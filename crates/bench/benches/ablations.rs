@@ -1,0 +1,5 @@
+//! Ablations of design choices (wasted-time model, Eq. 9 memo, top-k,
+//! mid-operator checkpointing, skew). Run with `cargo bench --bench ablations`.
+fn main() {
+    ftpde_bench::ablation::print_all();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's illustrative figures (2, 3, 4, 9) from the
+//! implementation. Run with `cargo bench --bench diagrams`.
+fn main() {
+    ftpde_bench::diagrams::print_all();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig01 data. Run with `cargo bench --bench fig01_success_probability`.
+fn main() {
+    let data = ftpde_bench::fig01::run();
+    ftpde_bench::fig01::print(&data);
+}

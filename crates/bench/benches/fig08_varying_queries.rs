@@ -1,0 +1,5 @@
+//! Regenerates Figure 8 (both panels). Run with `cargo bench --bench fig08_varying_queries`.
+fn main() {
+    let data = ftpde_bench::fig08::run();
+    ftpde_bench::fig08::print(&data);
+}

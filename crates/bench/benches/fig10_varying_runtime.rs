@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig10 data. Run with `cargo bench --bench fig10_varying_runtime`.
+fn main() {
+    let data = ftpde_bench::fig10::run();
+    ftpde_bench::fig10::print(&data);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 11. Run with `cargo bench --bench fig11_varying_mtbf`.
+fn main() {
+    let (baseline, rows) = ftpde_bench::fig11::run();
+    ftpde_bench::fig11::print(baseline, &rows);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 12 (panels a and b). Run with `cargo bench --bench fig12_accuracy`.
+fn main() {
+    let a = ftpde_bench::fig12::run_panel_a();
+    let b = ftpde_bench::fig12::run_panel_b();
+    ftpde_bench::fig12::print(&a, &b);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig13 data. Run with `cargo bench --bench fig13_pruning`.
+fn main() {
+    let data = ftpde_bench::fig13::run();
+    ftpde_bench::fig13::print(&data);
+}

@@ -1,0 +1,80 @@
+//! Criterion micro-benchmarks of the optimizer-facing hot paths: join
+//! enumeration, plan collapsing + cost estimation, and the full
+//! `findBestFTPlan` search with and without pruning — quantifying the
+//! planning-time payoff of the paper's §4 rules.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use ftpde_cluster::config::{mtbf, ClusterConfig};
+use ftpde_core::config::MatConfig;
+use ftpde_core::cost::estimate_ft_plan;
+use ftpde_core::prune::PruneOptions;
+use ftpde_core::search::find_best_ft_plan;
+use ftpde_optimizer::enumerate::{all_plans, count_join_orders, k_best_plans};
+use ftpde_sim::scheme::Scheme;
+use ftpde_tpch::costing::CostModel;
+use ftpde_tpch::queries::{q5_join_graph, q5_plan};
+
+fn bench_join_enumeration(c: &mut Criterion) {
+    let graph = q5_join_graph(10.0);
+    c.bench_function("optimizer/count_join_orders_q5", |b| {
+        b.iter(|| count_join_orders(&graph))
+    });
+    c.bench_function("optimizer/k_best_plans_q5_k10", |b| b.iter(|| k_best_plans(&graph, 10)));
+    c.bench_function("optimizer/all_plans_q5_1344", |b| b.iter(|| all_plans(&graph)));
+}
+
+fn bench_cost_model(c: &mut Criterion) {
+    let plan = q5_plan(100.0, &CostModel::xdb_calibrated());
+    let cluster = ClusterConfig::paper_cluster(mtbf::HOUR);
+    let params = Scheme::cost_params(&cluster);
+    let config = MatConfig::from_free_bits(&plan, 0b01010);
+    c.bench_function("core/estimate_ft_plan_q5", |b| {
+        b.iter(|| estimate_ft_plan(&plan, &config, &params))
+    });
+    c.bench_function("core/enumerate_32_configs_q5", |b| {
+        b.iter(|| {
+            MatConfig::enumerate(&plan)
+                .map(|cfg| estimate_ft_plan(&plan, &cfg, &params).dominant_cost)
+                .fold(f64::INFINITY, f64::min)
+        })
+    });
+}
+
+fn bench_search_pruning(c: &mut Criterion) {
+    let graph = q5_join_graph(10.0);
+    let cm = CostModel::xdb_calibrated();
+    let trees = k_best_plans(&graph, 50);
+    let plans: Vec<_> = trees
+        .iter()
+        .map(|t| {
+            ftpde_optimizer::physical::tree_to_plan(
+                &graph,
+                t,
+                &cm,
+                Some(ftpde_tpch::queries::q5_agg_spec()),
+            )
+        })
+        .collect();
+    let cluster = ClusterConfig::paper_cluster(mtbf::HOUR);
+    let params = Scheme::cost_params(&cluster);
+    let mut g = c.benchmark_group("search/top50_q5_plans");
+    g.bench_function("no_pruning", |b| {
+        b.iter_batched(
+            || plans.clone(),
+            |p| find_best_ft_plan(&p, &params, &PruneOptions::none()).unwrap().1,
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("all_rules", |b| {
+        b.iter_batched(
+            || plans.clone(),
+            |p| find_best_ft_plan(&p, &params, &PruneOptions::default()).unwrap().1,
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_join_enumeration, bench_cost_model, bench_search_pruning);
+criterion_main!(benches);

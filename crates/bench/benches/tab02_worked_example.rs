@@ -1,0 +1,5 @@
+//! Regenerates the paper's tab02 data. Run with `cargo bench --bench tab02_worked_example`.
+fn main() {
+    let data = ftpde_bench::tab02::run();
+    ftpde_bench::tab02::print(&data);
+}

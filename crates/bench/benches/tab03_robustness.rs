@@ -1,0 +1,5 @@
+//! Regenerates the paper's tab03 data. Run with `cargo bench --bench tab03_robustness`.
+fn main() {
+    let data = ftpde_bench::tab03::run();
+    ftpde_bench::tab03::print(&data);
+}

@@ -1,0 +1,61 @@
+//! Shared experiment plumbing for the overhead figures (8, 10, 11).
+
+use ftpde_cluster::config::ClusterConfig;
+use ftpde_cluster::trace::TraceSet;
+use ftpde_core::dag::PlanDag;
+use ftpde_sim::metrics::{run_all_schemes, suggested_horizon, SchemeRun};
+use ftpde_sim::scheme::Scheme;
+use ftpde_sim::simulate::SimOptions;
+
+/// Overheads of all four schemes on `plan` under `cluster`, averaged over
+/// `n_traces` paired failure traces (`None` = every trace aborted, the
+/// paper's "Aborted").
+pub fn scheme_overheads(
+    plan: &PlanDag,
+    cluster: &ClusterConfig,
+    n_traces: usize,
+    seed: u64,
+) -> Vec<(Scheme, Option<f64>)> {
+    runs(plan, cluster, n_traces, seed)
+        .into_iter()
+        .map(|r| (r.scheme, r.mean_overhead_pct()))
+        .collect()
+}
+
+/// Full per-scheme runs (for harnesses that need completion times or
+/// configs, e.g. Figure 12).
+pub fn runs(
+    plan: &PlanDag,
+    cluster: &ClusterConfig,
+    n_traces: usize,
+    seed: u64,
+) -> Vec<SchemeRun> {
+    let opts = SimOptions::default();
+    let horizon = suggested_horizon(plan, cluster, &opts);
+    let traces = TraceSet::generate(cluster, horizon, n_traces, seed);
+    run_all_schemes(plan, cluster, &traces, &opts).expect("schemes run on valid plans")
+}
+
+/// Number of traces per measurement, as in the paper (§5.2).
+pub const TRACES: usize = 10;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftpde_cluster::config::mtbf;
+    use ftpde_optimizer::physical::CostModel;
+    use ftpde_tpch::queries::q3_plan;
+
+    #[test]
+    fn overheads_come_back_for_all_four_schemes() {
+        let plan = q3_plan(10.0, &CostModel::xdb_calibrated());
+        let cluster = ClusterConfig::paper_cluster(mtbf::DAY);
+        let out = scheme_overheads(&plan, &cluster, 3, 1);
+        assert_eq!(out.len(), 4);
+        for (_, oh) in &out {
+            if let Some(v) = oh {
+                assert!(*v >= -1e-9, "overhead cannot be negative: {v}");
+            }
+        }
+    }
+}

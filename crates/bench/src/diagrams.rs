@@ -1,0 +1,109 @@
+//! The paper's *illustrative* figures, regenerated from the actual
+//! implementation rather than hand-drawn:
+//!
+//! * **Figure 2** — the example DAG-structured execution plan;
+//! * **Figure 3** — the four steps of the procedure on that plan
+//!   (fault-tolerant plan → collapsed plan → paths → costs);
+//! * **Figure 4** — the wasted-runtime saw-tooth along an execution path;
+//! * **Figure 9** — the TPC-H Q5 plan with its five free operators.
+//!
+//! (Figures 5, 6 and 7 — the pruning-rule worked examples — are asserted
+//! numerically in `ftpde-core`'s `prune` tests.)
+
+use ftpde_core::collapse::CollapsedPlan;
+use ftpde_core::config::MatConfig;
+use ftpde_core::cost::{estimate_ft_plan, CostParams};
+use ftpde_core::dag::figure2_plan;
+use ftpde_core::explain::{explain_collapsed, explain_estimate, explain_plan, to_dot};
+use ftpde_core::operator::OpId;
+use ftpde_core::paths::all_paths;
+use ftpde_tpch::costing::CostModel;
+use ftpde_tpch::queries::q5_plan;
+
+use crate::report;
+
+/// Prints all diagram reproductions.
+pub fn print_all() {
+    let plan = figure2_plan();
+    let config =
+        MatConfig::from_materialized_free_ops(&plan, &[OpId(2), OpId(4), OpId(5), OpId(6)])
+            .expect("figure 3 config");
+    let params = CostParams::new(60.0, 0.0);
+
+    report::banner("Figure 2: Parallel Execution Model (example plan)");
+    print!("{}", explain_plan(&plan, &config));
+
+    report::banner("Figure 3 step 2: collapsed plan");
+    let collapsed = CollapsedPlan::collapse(&plan, &config, params.pipe_const);
+    print!("{}", explain_collapsed(&plan, &collapsed));
+
+    report::banner("Figure 3 step 3: enumerated execution paths");
+    for (i, path) in all_paths(&collapsed).iter().enumerate() {
+        let names: Vec<String> = path
+            .iter()
+            .map(|&c| format!("{{{}}}", collapsed.op(c).members.iter().map(|o| (o.0 + 1).to_string()).collect::<Vec<_>>().join(",")))
+            .collect();
+        println!("Pt{}: {}", i + 1, names.join(" → "));
+    }
+
+    report::banner("Figure 3 step 4: cost estimates and dominant path");
+    let est = estimate_ft_plan(&plan, &config, &params);
+    print!("{}", explain_estimate(&plan, &est, &params));
+
+    report::banner("Figure 4: wasted runtime along the dominant path (saw-tooth)");
+    print!("{}", wasted_runtime_sawtooth(&collapsed, &est.dominant_path));
+
+    report::banner("Figure 9: TPC-H Query 5 (free operators 1-5), DOT export");
+    let q5 = q5_plan(100.0, &CostModel::xdb_calibrated());
+    let q5_cfg = MatConfig::none(&q5);
+    let q5_collapsed = CollapsedPlan::collapse(&q5, &q5_cfg, 1.0);
+    print!("{}", to_dot(&q5, &q5_cfg, &q5_collapsed));
+}
+
+/// Renders Figure 4's saw-tooth: the potentially wasted runtime grows
+/// linearly within each collapsed operator and resets at every
+/// materialization point.
+pub fn wasted_runtime_sawtooth(collapsed: &CollapsedPlan, path: &[ftpde_core::collapse::CId]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let mut t = 0.0f64;
+    for &c in path {
+        let dur = collapsed.op(c).total_cost();
+        let steps = 8usize;
+        for s in 1..=steps {
+            let frac = s as f64 / steps as f64;
+            let wasted = dur * frac;
+            let bar = "█".repeat((wasted * 4.0).round() as usize);
+            let _ = writeln!(out, "t={:6.2}  wasted {:5.2} {}", t + dur * frac, wasted, bar);
+        }
+        let _ = writeln!(out, "t={:6.2}  -- materialized: wasted runtime resets --", t + dur);
+        t += dur;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sawtooth_resets_at_every_stage() {
+        let plan = figure2_plan();
+        let config =
+            MatConfig::from_materialized_free_ops(&plan, &[OpId(2), OpId(4), OpId(5), OpId(6)])
+                .unwrap();
+        let collapsed = CollapsedPlan::collapse(&plan, &config, 1.0);
+        let est = estimate_ft_plan(&plan, &config, &CostParams::new(60.0, 0.0));
+        let s = wasted_runtimes_ok(&collapsed, &est.dominant_path);
+        assert!(s);
+    }
+
+    fn wasted_runtimes_ok(
+        collapsed: &CollapsedPlan,
+        path: &[ftpde_core::collapse::CId],
+    ) -> bool {
+        let s = wasted_runtime_sawtooth(collapsed, path);
+        // One reset marker per collapsed operator on the path.
+        s.matches("resets").count() == path.len()
+    }
+}

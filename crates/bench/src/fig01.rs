@@ -1,0 +1,68 @@
+//! **Figure 1** — probability that a query finishes without a mid-query
+//! failure, as a function of its runtime, for the paper's four cluster
+//! setups.
+
+use ftpde_cluster::analytics::{success_curve, SuccessPoint};
+use ftpde_cluster::config::figure1_clusters;
+
+use crate::report;
+
+/// One cluster's curve.
+#[derive(Debug, Clone)]
+pub struct Curve {
+    /// The cluster's label as printed in the paper's legend.
+    pub label: &'static str,
+    /// Sampled points (runtime minutes → success %).
+    pub points: Vec<SuccessPoint>,
+}
+
+/// Computes all four curves of Figure 1 (0–160 minutes).
+pub fn run() -> Vec<Curve> {
+    figure1_clusters()
+        .into_iter()
+        .map(|(label, cluster)| Curve { label, points: success_curve(&cluster, 160.0, 20.0) })
+        .collect()
+}
+
+/// Prints the curves as one table (x = runtime in minutes).
+pub fn print(curves: &[Curve]) {
+    report::banner("Figure 1: Probability of Success of a Query");
+    let mut headers = vec!["runtime (min)"];
+    headers.extend(curves.iter().map(|c| c.label));
+    let n = curves[0].points.len();
+    let rows: Vec<Vec<String>> = (0..n)
+        .map(|i| {
+            let mut row = vec![format!("{:.0}", curves[0].points[i].runtime_min)];
+            row.extend(curves.iter().map(|c| format!("{:.1}%", c.points[i].success_pct)));
+            row
+        })
+        .collect();
+    report::table(&headers, &rows);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_curves_with_shared_x_axis() {
+        let curves = run();
+        assert_eq!(curves.len(), 4);
+        for c in &curves {
+            assert_eq!(c.points.len(), 9); // 0..=160 step 20
+            assert_eq!(c.points[0].success_pct, 100.0);
+        }
+    }
+
+    #[test]
+    fn figure1_qualitative_shape() {
+        let curves = run();
+        let at_160: Vec<f64> = curves.iter().map(|c| c.points[8].success_pct).collect();
+        // Cluster 1 (1h, 100 nodes) dies instantly; cluster 4 (1wk, 10
+        // nodes) stays high; clusters 2 and 3 are runtime-dependent.
+        assert!(at_160[0] < 0.001, "cluster 1: {}", at_160[0]);
+        assert!(at_160[3] > 80.0, "cluster 4: {}", at_160[3]);
+        assert!(at_160[1] > 1.0 && at_160[1] < 50.0, "cluster 2: {}", at_160[1]);
+        assert!(at_160[2] < 2.0, "cluster 3: {}", at_160[2]);
+    }
+}

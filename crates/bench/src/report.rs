@@ -1,0 +1,99 @@
+//! Small plain-text table/series printers shared by the experiment
+//! harnesses. Output is deliberately plain `println!` rows so `cargo
+//! bench` transcripts diff cleanly against EXPERIMENTS.md.
+
+/// Prints a title banner.
+pub fn banner(title: &str) {
+    println!();
+    println!("==== {title} ====");
+}
+
+/// Prints a table: a header row and rows of equal arity, space-aligned.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let headers: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    println!("{}", fmt_row(&headers));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Formats an optional overhead percentage; `None` prints as the paper's
+/// "Aborted".
+pub fn overhead_cell(pct: Option<f64>) -> String {
+    match pct {
+        Some(v) => format!("{v:.1}%"),
+        None => "Aborted".to_string(),
+    }
+}
+
+/// Formats seconds with one decimal.
+pub fn secs(v: f64) -> String {
+    format!("{v:.1}s")
+}
+
+/// Pearson correlation coefficient of two equal-length series.
+///
+/// # Panics
+/// Panics if the series lengths differ or are shorter than 2.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    assert!(a.len() >= 2);
+    let n = a.len() as f64;
+    let (ma, mb) = (a.iter().sum::<f64>() / n, b.iter().sum::<f64>() / n);
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma).powi(2);
+        vb += (y - mb).powi(2);
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_cells() {
+        assert_eq!(overhead_cell(Some(34.13)), "34.1%");
+        assert_eq!(overhead_cell(None), "Aborted");
+    }
+
+    #[test]
+    fn pearson_perfect_correlation() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-12);
+        let c = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&a, &c) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_no_correlation_is_small() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let b = [5.0, 1.0, 4.0, 2.0, 8.0, 3.0, 7.0, 6.0];
+        assert!(pearson(&a, &b).abs() < 0.9);
+    }
+
+    #[test]
+    fn secs_formatting() {
+        assert_eq!(secs(905.329), "905.3s");
+    }
+}

@@ -1,0 +1,147 @@
+//! Analytic reliability formulas (paper §1, footnote 1 — Figure 1).
+//!
+//! Failures arrive per node as a Poisson process with rate `1/MTBF`;
+//! failures of the `n` nodes are independent. The probability that a query
+//! of runtime `t` sees **no** failure anywhere in the cluster is
+//!
+//! ```text
+//! P(Nⁿ_t = 0) = P(N¹_t = 0)ⁿ = e^(−t·n / MTBF)
+//! ```
+//!
+//! which is exactly the success-probability curve plotted in Figure 1 for
+//! four cluster setups.
+
+use crate::config::{ClusterConfig, Seconds};
+
+/// Probability that **no** node of `cluster` fails during an interval of
+/// length `t` seconds.
+pub fn success_probability(cluster: &ClusterConfig, t: Seconds) -> f64 {
+    (-t * cluster.nodes as f64 / cluster.mtbf).exp()
+}
+
+/// Probability of **at least one** failure in the cluster during `t`
+/// seconds: `P(Nⁿ_t > 0) = 1 − e^(−t·n/MTBF)` (footnote 1).
+pub fn failure_probability(cluster: &ClusterConfig, t: Seconds) -> f64 {
+    -(-t * cluster.nodes as f64 / cluster.mtbf).exp_m1()
+}
+
+/// Expected number of failures across the cluster during `t` seconds
+/// (the Poisson mean `t·n/MTBF`).
+pub fn expected_failures(cluster: &ClusterConfig, t: Seconds) -> f64 {
+    t * cluster.nodes as f64 / cluster.mtbf
+}
+
+/// Probability of exactly `k` failures across the cluster during `t`
+/// seconds (Poisson pmf).
+pub fn failure_count_probability(cluster: &ClusterConfig, t: Seconds, k: u32) -> f64 {
+    let mean = expected_failures(cluster, t);
+    let mut log_p = -mean + k as f64 * mean.ln();
+    for i in 1..=k {
+        log_p -= (i as f64).ln();
+    }
+    if mean == 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    log_p.exp()
+}
+
+/// One point of a Figure 1 curve: query runtime (minutes) and success
+/// probability (percent).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SuccessPoint {
+    /// Query runtime in minutes (Figure 1's x axis).
+    pub runtime_min: f64,
+    /// Probability of finishing without any mid-query failure, in percent.
+    pub success_pct: f64,
+}
+
+/// Samples the success-probability curve of Figure 1 for one cluster,
+/// from 0 to `max_minutes` in steps of `step_minutes`.
+pub fn success_curve(
+    cluster: &ClusterConfig,
+    max_minutes: f64,
+    step_minutes: f64,
+) -> Vec<SuccessPoint> {
+    assert!(step_minutes > 0.0);
+    let steps = (max_minutes / step_minutes).round() as usize;
+    (0..=steps)
+        .map(|i| {
+            let runtime_min = i as f64 * step_minutes;
+            let p = success_probability(cluster, runtime_min * 60.0);
+            SuccessPoint { runtime_min, success_pct: p * 100.0 }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{figure1_clusters, mtbf};
+
+    #[test]
+    fn success_and_failure_are_complementary() {
+        let c = ClusterConfig::new(100, mtbf::HOUR, 1.0);
+        for t in [0.0, 60.0, 600.0, 6000.0] {
+            let s = success_probability(&c, t);
+            let f = failure_probability(&c, t);
+            assert!((s + f - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn figure1_anchor_points() {
+        let clusters = figure1_clusters();
+        // Cluster 1 (MTBF=1h, n=100): a 10-minute query survives with
+        // e^(-600*100/3600) ≈ e^(-16.7) — essentially never.
+        let p1 = success_probability(&clusters[0].1, 600.0);
+        assert!(p1 < 1e-6, "cluster 1 almost never succeeds: {p1}");
+        // Cluster 4 (MTBF=1wk, n=10): a 160-minute query survives with
+        // e^(-9600*10/604800) ≈ 0.853 — very likely.
+        let p4 = success_probability(&clusters[3].1, 160.0 * 60.0);
+        assert!((p4 - 0.853).abs() < 0.01, "cluster 4: {p4}");
+        // Cluster 2 (MTBF=1wk, n=100): runtime-dependent mid-range, as the
+        // figure shows ≈ 20% at 160 min.
+        let p2 = success_probability(&clusters[1].1, 160.0 * 60.0);
+        assert!((0.15..0.30).contains(&p2), "cluster 2: {p2}");
+        // Cluster 3 (MTBF=1h, n=10): ≈ 19% at 10 min.
+        let p3 = success_probability(&clusters[2].1, 10.0 * 60.0);
+        assert!((0.15..0.25).contains(&p3), "cluster 3: {p3}");
+    }
+
+    #[test]
+    fn expected_failures_scales_linearly() {
+        let c = ClusterConfig::new(10, 1000.0, 0.0);
+        assert_eq!(expected_failures(&c, 100.0), 1.0);
+        assert_eq!(expected_failures(&c, 200.0), 2.0);
+    }
+
+    #[test]
+    fn poisson_pmf_sums_to_one() {
+        let c = ClusterConfig::new(10, 1000.0, 0.0);
+        let total: f64 = (0..60).map(|k| failure_count_probability(&c, 300.0, k)).sum();
+        assert!((total - 1.0).abs() < 1e-9, "pmf sums to {total}");
+        // P(0 failures) must equal the success probability.
+        assert!(
+            (failure_count_probability(&c, 300.0, 0) - success_probability(&c, 300.0)).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn poisson_pmf_zero_interval() {
+        let c = ClusterConfig::new(10, 1000.0, 0.0);
+        assert_eq!(failure_count_probability(&c, 0.0, 0), 1.0);
+        assert_eq!(failure_count_probability(&c, 0.0, 3), 0.0);
+    }
+
+    #[test]
+    fn curve_shape() {
+        let c = ClusterConfig::new(10, mtbf::HOUR, 1.0);
+        let curve = success_curve(&c, 160.0, 20.0);
+        assert_eq!(curve.len(), 9);
+        assert_eq!(curve[0].success_pct, 100.0);
+        for w in curve.windows(2) {
+            assert!(w[0].success_pct >= w[1].success_pct, "monotone decreasing");
+        }
+    }
+}

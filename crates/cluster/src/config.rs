@@ -1,0 +1,133 @@
+//! Cluster configuration: node count, reliability statistics and the
+//! monitoring/repair behaviour of the coordinator (paper §5.1).
+
+use serde::{Deserialize, Serialize};
+
+/// Durations are plain `f64` seconds throughout the cluster model; the
+/// engine's internal cost unit equals seconds when `CONST_cost = 1`, as in
+/// the paper's evaluation.
+pub type Seconds = f64;
+
+/// Common MTBF presets used by the paper's experiments.
+pub mod mtbf {
+    use super::Seconds;
+
+    /// 30 minutes (Figure 12a's most unreliable setting).
+    pub const HALF_HOUR: Seconds = 1800.0;
+    /// 1 hour (cluster C in Figures 11 and 13).
+    pub const HOUR: Seconds = 3600.0;
+    /// 1 day (cluster B; also Figure 10's setting).
+    pub const DAY: Seconds = 86_400.0;
+    /// 1 week (cluster A).
+    pub const WEEK: Seconds = 604_800.0;
+    /// 1 month — 30 days (Figure 12a's most reliable setting).
+    pub const MONTH: Seconds = 2_592_000.0;
+}
+
+/// A shared-nothing cluster as seen by the fault-tolerance machinery.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of worker nodes participating in query execution.
+    pub nodes: usize,
+    /// Mean time between failures of **one** node, in seconds.
+    pub mtbf: Seconds,
+    /// Mean time to repair/redeploy a failed sub-plan, in seconds. The
+    /// paper's XDB setup uses a 2 s monitoring interval, giving an average
+    /// detection+redeploy time of 1 s.
+    pub mttr: Seconds,
+}
+
+impl ClusterConfig {
+    /// Creates a cluster configuration.
+    ///
+    /// # Panics
+    /// Panics if `nodes == 0`, `mtbf <= 0` or `mttr < 0` — configurations
+    /// are programmer-provided constants, not runtime inputs.
+    pub fn new(nodes: usize, mtbf: Seconds, mttr: Seconds) -> Self {
+        assert!(nodes > 0, "a cluster needs at least one node");
+        assert!(mtbf > 0.0 && mtbf.is_finite(), "MTBF must be positive");
+        assert!(mttr >= 0.0 && mttr.is_finite(), "MTTR must be non-negative");
+        ClusterConfig { nodes, mtbf, mttr }
+    }
+
+    /// The paper's experimental cluster: 10 nodes, MTTR = 1 s.
+    pub fn paper_cluster(mtbf: Seconds) -> Self {
+        ClusterConfig::new(10, mtbf, 1.0)
+    }
+
+    /// Per-node failure rate λ = 1/MTBF.
+    #[inline]
+    pub fn lambda(&self) -> f64 {
+        1.0 / self.mtbf
+    }
+
+    /// Effective MTBF of the whole cluster (first failure on any of the
+    /// `n` independent nodes): `MTBF / n`.
+    #[inline]
+    pub fn cluster_mtbf(&self) -> Seconds {
+        self.mtbf / self.nodes as f64
+    }
+}
+
+/// The four cluster setups of the paper's Figure 1.
+pub fn figure1_clusters() -> [(&'static str, ClusterConfig); 4] {
+    [
+        ("Cluster 1 (MTBF=1 hour,n=100)", ClusterConfig::new(100, mtbf::HOUR, 1.0)),
+        ("Cluster 2 (MTBF=1 week,n=100)", ClusterConfig::new(100, mtbf::WEEK, 1.0)),
+        ("Cluster 3 (MTBF=1 hour,n=10)", ClusterConfig::new(10, mtbf::HOUR, 1.0)),
+        ("Cluster 4 (MTBF=1 week,n=10)", ClusterConfig::new(10, mtbf::WEEK, 1.0)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lambda_and_cluster_mtbf() {
+        let c = ClusterConfig::new(10, 3600.0, 1.0);
+        assert_eq!(c.lambda(), 1.0 / 3600.0);
+        assert_eq!(c.cluster_mtbf(), 360.0);
+    }
+
+    #[test]
+    fn paper_cluster_defaults() {
+        let c = ClusterConfig::paper_cluster(mtbf::DAY);
+        assert_eq!(c.nodes, 10);
+        assert_eq!(c.mtbf, 86_400.0);
+        assert_eq!(c.mttr, 1.0);
+    }
+
+    #[test]
+    fn figure1_setups() {
+        let setups = figure1_clusters();
+        assert_eq!(setups[0].1.nodes, 100);
+        assert_eq!(setups[3].1.mtbf, mtbf::WEEK);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        let _ = ClusterConfig::new(0, 1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "MTBF must be positive")]
+    fn non_positive_mtbf_rejected() {
+        let _ = ClusterConfig::new(1, 0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "MTTR must be non-negative")]
+    fn negative_mttr_rejected() {
+        let _ = ClusterConfig::new(1, 1.0, -1.0);
+    }
+
+    #[test]
+    fn mtbf_presets_are_consistent() {
+        assert_eq!(mtbf::HOUR, 2.0 * mtbf::HALF_HOUR);
+        assert_eq!(mtbf::DAY, 24.0 * mtbf::HOUR);
+        assert_eq!(mtbf::WEEK, 7.0 * mtbf::DAY);
+        assert_eq!(mtbf::MONTH, 30.0 * mtbf::DAY);
+    }
+}

@@ -1,0 +1,34 @@
+//! # ftpde-cluster — cluster failure model
+//!
+//! The reliability substrate of the reproduction: cluster configurations
+//! (node count, per-node MTBF, MTTR), deterministic exponential failure
+//! traces (replayed identically against every fault-tolerance scheme, as
+//! in the paper's §5.1), and the closed-form Poisson reliability analytics
+//! behind the paper's Figure 1.
+//!
+//! ```
+//! use ftpde_cluster::prelude::*;
+//!
+//! let cluster = ClusterConfig::new(100, mtbf::HOUR, 1.0);
+//! // A 30-minute query on 100 unreliable nodes almost never succeeds in
+//! // one attempt:
+//! assert!(success_probability(&cluster, 30.0 * 60.0) < 1e-10);
+//!
+//! // Deterministic failure traces for simulation:
+//! let trace = FailureTrace::generate(&cluster, 7200.0, 42);
+//! assert!(trace.total_failures() > 0);
+//! ```
+
+pub mod analytics;
+pub mod config;
+pub mod trace;
+
+/// Convenient glob-import of the crate's main types.
+pub mod prelude {
+    pub use crate::analytics::{
+        expected_failures, failure_count_probability, failure_probability, success_curve,
+        success_probability, SuccessPoint,
+    };
+    pub use crate::config::{figure1_clusters, mtbf, ClusterConfig, Seconds};
+    pub use crate::trace::{FailureTrace, TraceSet};
+}

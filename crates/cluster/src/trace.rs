@@ -1,0 +1,237 @@
+//! Failure-trace generation (paper §5.1, "Statistics").
+//!
+//! The paper injects failures from pre-generated traces: for each unique
+//! MTBF, ten traces are drawn from an exponential distribution with
+//! `λ = 1/MTBF` and the *same* trace set is replayed against every
+//! fault-tolerance scheme so that overhead comparisons are paired.
+//!
+//! A [`FailureTrace`] holds, per node, the absolute times at which that
+//! node fails. Traces are deterministic given a seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::config::{ClusterConfig, Seconds};
+
+/// Failure times for every node of a cluster over a finite horizon.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailureTrace {
+    /// `node_failures[i]` — strictly increasing failure times of node `i`.
+    node_failures: Vec<Vec<Seconds>>,
+    /// The horizon up to which the trace is populated.
+    horizon: Seconds,
+}
+
+impl FailureTrace {
+    /// Draws a trace for `cluster` covering `[0, horizon)` using
+    /// exponential inter-arrival times with mean `cluster.mtbf`,
+    /// deterministically from `seed`.
+    pub fn generate(cluster: &ClusterConfig, horizon: Seconds, seed: u64) -> Self {
+        assert!(horizon >= 0.0 && horizon.is_finite());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let node_failures = (0..cluster.nodes)
+            .map(|_| {
+                let mut times = Vec::new();
+                let mut t = 0.0;
+                loop {
+                    t += exponential(&mut rng, cluster.mtbf);
+                    if t >= horizon {
+                        break;
+                    }
+                    times.push(t);
+                }
+                times
+            })
+            .collect();
+        FailureTrace { node_failures, horizon }
+    }
+
+    /// A trace with no failures at all (baseline runs).
+    pub fn failure_free(cluster: &ClusterConfig, horizon: Seconds) -> Self {
+        FailureTrace { node_failures: vec![Vec::new(); cluster.nodes], horizon }
+    }
+
+    /// Builds a trace from explicit failure times (tests, worked examples).
+    /// Each node's times are sorted internally.
+    pub fn from_times(mut node_failures: Vec<Vec<Seconds>>, horizon: Seconds) -> Self {
+        for times in &mut node_failures {
+            times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        }
+        FailureTrace { node_failures, horizon }
+    }
+
+    /// Number of nodes covered.
+    pub fn nodes(&self) -> usize {
+        self.node_failures.len()
+    }
+
+    /// The populated horizon.
+    pub fn horizon(&self) -> Seconds {
+        self.horizon
+    }
+
+    /// Failure times of one node.
+    pub fn failures_of(&self, node: usize) -> &[Seconds] {
+        &self.node_failures[node]
+    }
+
+    /// First failure of `node` at or after time `t`, if within the horizon.
+    pub fn next_failure(&self, node: usize, t: Seconds) -> Option<Seconds> {
+        let times = &self.node_failures[node];
+        let idx = times.partition_point(|&x| x < t);
+        times.get(idx).copied()
+    }
+
+    /// First failure on *any* node at or after `t`, as `(time, node)`.
+    pub fn next_cluster_failure(&self, t: Seconds) -> Option<(Seconds, usize)> {
+        (0..self.nodes())
+            .filter_map(|n| self.next_failure(n, t).map(|ft| (ft, n)))
+            .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"))
+    }
+
+    /// Total number of failures across all nodes.
+    pub fn total_failures(&self) -> usize {
+        self.node_failures.iter().map(Vec::len).sum()
+    }
+}
+
+/// A set of traces replayed against every scheme (the paper uses 10 per
+/// MTBF).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceSet {
+    traces: Vec<FailureTrace>,
+}
+
+impl TraceSet {
+    /// Generates `count` traces with seeds `base_seed..base_seed+count`.
+    pub fn generate(
+        cluster: &ClusterConfig,
+        horizon: Seconds,
+        count: usize,
+        base_seed: u64,
+    ) -> Self {
+        let traces = (0..count)
+            .map(|i| FailureTrace::generate(cluster, horizon, base_seed + i as u64))
+            .collect();
+        TraceSet { traces }
+    }
+
+    /// The traces in this set.
+    pub fn iter(&self) -> impl Iterator<Item = &FailureTrace> {
+        self.traces.iter()
+    }
+
+    /// Number of traces.
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// `true` iff the set holds no traces.
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+}
+
+/// Draws from an exponential distribution with the given mean via inverse
+/// transform sampling. Implemented locally to keep the dependency surface
+/// to `rand` core (no `rand_distr`).
+fn exponential(rng: &mut impl Rng, mean: Seconds) -> Seconds {
+    // gen::<f64>() is in [0, 1); use 1 - u to avoid ln(0).
+    let u: f64 = rng.gen();
+    -mean * (1.0 - u).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster() -> ClusterConfig {
+        ClusterConfig::new(10, 3600.0, 1.0)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let c = cluster();
+        let a = FailureTrace::generate(&c, 1e5, 42);
+        let b = FailureTrace::generate(&c, 1e5, 42);
+        assert_eq!(a, b);
+        let c2 = FailureTrace::generate(&c, 1e5, 43);
+        assert_ne!(a, c2);
+    }
+
+    #[test]
+    fn times_are_increasing_and_within_horizon() {
+        let t = FailureTrace::generate(&cluster(), 50_000.0, 7);
+        for n in 0..t.nodes() {
+            let times = t.failures_of(n);
+            for w in times.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+            for &x in times {
+                assert!((0.0..50_000.0).contains(&x));
+            }
+        }
+    }
+
+    #[test]
+    fn empirical_rate_matches_mtbf() {
+        // Over a long horizon the empirical failure count approaches
+        // horizon/MTBF per node.
+        let c = ClusterConfig::new(20, 1000.0, 0.0);
+        let horizon = 200_000.0;
+        let t = FailureTrace::generate(&c, horizon, 1);
+        let expected = c.nodes as f64 * horizon / c.mtbf; // 4000
+        let got = t.total_failures() as f64;
+        assert!(
+            (got - expected).abs() < expected * 0.1,
+            "expected ≈ {expected}, got {got}"
+        );
+    }
+
+    #[test]
+    fn next_failure_lookup() {
+        let t = FailureTrace::from_times(vec![vec![5.0, 1.0, 9.0], vec![]], 10.0);
+        assert_eq!(t.failures_of(0), &[1.0, 5.0, 9.0]); // sorted
+        assert_eq!(t.next_failure(0, 0.0), Some(1.0));
+        assert_eq!(t.next_failure(0, 1.0), Some(1.0)); // inclusive
+        assert_eq!(t.next_failure(0, 1.1), Some(5.0));
+        assert_eq!(t.next_failure(0, 9.5), None);
+        assert_eq!(t.next_failure(1, 0.0), None);
+    }
+
+    #[test]
+    fn next_cluster_failure_picks_minimum() {
+        let t = FailureTrace::from_times(vec![vec![5.0], vec![3.0], vec![8.0]], 10.0);
+        assert_eq!(t.next_cluster_failure(0.0), Some((3.0, 1)));
+        assert_eq!(t.next_cluster_failure(4.0), Some((5.0, 0)));
+        assert_eq!(t.next_cluster_failure(9.0), None);
+    }
+
+    #[test]
+    fn failure_free_trace() {
+        let t = FailureTrace::failure_free(&cluster(), 1e9);
+        assert_eq!(t.total_failures(), 0);
+        assert_eq!(t.next_cluster_failure(0.0), None);
+    }
+
+    #[test]
+    fn trace_set_seeds_are_distinct() {
+        let set = TraceSet::generate(&cluster(), 1e5, 10, 100);
+        assert_eq!(set.len(), 10);
+        let firsts: Vec<_> =
+            set.iter().map(|t| t.next_cluster_failure(0.0)).collect();
+        // Not all traces identical.
+        assert!(firsts.iter().any(|f| *f != firsts[0]));
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 50_000;
+        let mean = 123.0;
+        let sum: f64 = (0..n).map(|_| exponential(&mut rng, mean)).sum();
+        let emp = sum / n as f64;
+        assert!((emp - mean).abs() < mean * 0.05, "empirical mean {emp}");
+    }
+}

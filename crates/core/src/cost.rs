@@ -1,0 +1,372 @@
+//! The cost model for query runtime under mid-query failures
+//! (paper §3.5, Equations 2–8).
+//!
+//! For a collapsed operator `c` with failure-free runtime `t(c)`:
+//!
+//! * probability that `c` fails during one attempt:
+//!   `η(c) = 1 − e^(−t(c)/MTBF_cost)`; success `γ(c) = 1 − η(c)`;
+//! * expected runtime wasted per failure (Eq. 3):
+//!   `w(c) = MTBF_cost − t(c) / (e^(t(c)/MTBF_cost) − 1)`,
+//!   approximated by `t(c)/2` (Eq. 4) — the paper's default, since
+//!   `w(c) → t(c)/2` already for `MTBF_cost > t(c)`;
+//! * number of *additional* attempts needed to reach the target success
+//!   percentile `S` (Eq. 6):
+//!   `a(c) = max(ln(1 − S)/ln(η(c)) − 1, 0)`;
+//! * total runtime of the operator under failures (Eq. 8):
+//!   `T(c) = t(c) + a(c)·w(c) + a(c)·MTTR_cost`;
+//! * total runtime of an execution path (Eq. 7): `T_Pt = Σ_{c∈Pt} T(c)`.
+//!
+//! `MTBF_cost = MTBF · CONST_cost` and `MTTR_cost = MTTR · CONST_cost`
+//! convert wall-clock reliability statistics into the engine's internal
+//! cost unit; the paper's evaluation uses `CONST_cost = 1` (costs are
+//! seconds).
+
+use std::ops::ControlFlow;
+
+use serde::{Deserialize, Serialize};
+
+use crate::collapse::{CId, CollapsedPlan};
+use crate::config::MatConfig;
+use crate::dag::PlanDag;
+use crate::error::{CoreError, Result};
+use crate::paths::for_each_path;
+
+/// How the expected wasted runtime per failure `w(c)` is computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum WastedTimeModel {
+    /// The paper's default approximation `w(c) = t(c)/2` (Eq. 4).
+    #[default]
+    HalfRuntime,
+    /// The exact expectation of Eq. 3,
+    /// `w(c) = MTBF_cost − t(c)/(e^(t(c)/MTBF_cost) − 1)`.
+    Exact,
+}
+
+/// Parameters of the cost model.
+///
+/// Construct with [`CostParams::new`] and customize via the with-methods:
+///
+/// ```
+/// use ftpde_core::cost::CostParams;
+///
+/// let params = CostParams::new(3600.0, 1.0) // MTBF 1 h, MTTR 1 s
+///     .with_success_target(0.95)
+///     .with_pipe_const(1.0);
+/// assert_eq!(params.mtbf_cost, 3600.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostParams {
+    /// Mean time between failures of one node, in internal cost units
+    /// (`MTBF · CONST_cost`).
+    pub mtbf_cost: f64,
+    /// Mean time to repair/redeploy, in internal cost units.
+    pub mttr_cost: f64,
+    /// Target success percentile `S` used to size the number of attempts;
+    /// the paper uses `S = 0.95` throughout.
+    pub success_target: f64,
+    /// `CONST_pipe ∈ (0, 1]`: pipeline-parallelism factor applied to
+    /// multi-operator collapsed sub-plans (Eq. 1). The paper's calibration
+    /// on XDB yielded `1.0`.
+    pub pipe_const: f64,
+    /// Wasted-runtime model (Eq. 3 exact vs Eq. 4 approximation).
+    pub wasted_model: WastedTimeModel,
+}
+
+impl CostParams {
+    /// Creates parameters with the paper's defaults: `S = 0.95`,
+    /// `CONST_pipe = 1`, `w(c) = t(c)/2`.
+    pub fn new(mtbf_cost: f64, mttr_cost: f64) -> Self {
+        CostParams {
+            mtbf_cost,
+            mttr_cost,
+            success_target: 0.95,
+            pipe_const: 1.0,
+            wasted_model: WastedTimeModel::HalfRuntime,
+        }
+    }
+
+    /// Sets the target success percentile `S ∈ (0, 1)`.
+    pub fn with_success_target(mut self, s: f64) -> Self {
+        self.success_target = s;
+        self
+    }
+
+    /// Sets `CONST_pipe ∈ (0, 1]`.
+    pub fn with_pipe_const(mut self, pipe: f64) -> Self {
+        self.pipe_const = pipe;
+        self
+    }
+
+    /// Selects the wasted-runtime model.
+    pub fn with_wasted_model(mut self, model: WastedTimeModel) -> Self {
+        self.wasted_model = model;
+        self
+    }
+
+    /// Validates the parameter domain.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.mtbf_cost.is_finite() && self.mtbf_cost > 0.0) {
+            return Err(CoreError::InvalidParameter { what: "MTBF_cost", value: self.mtbf_cost });
+        }
+        if !(self.mttr_cost.is_finite() && self.mttr_cost >= 0.0) {
+            return Err(CoreError::InvalidParameter { what: "MTTR_cost", value: self.mttr_cost });
+        }
+        if !(self.success_target > 0.0 && self.success_target < 1.0) {
+            return Err(CoreError::InvalidParameter {
+                what: "success_target",
+                value: self.success_target,
+            });
+        }
+        if !(self.pipe_const > 0.0 && self.pipe_const <= 1.0) {
+            return Err(CoreError::InvalidParameter { what: "pipe_const", value: self.pipe_const });
+        }
+        Ok(())
+    }
+
+    /// `γ(c) = e^(−t/MTBF_cost)`: probability that an operator with runtime
+    /// `t` completes without a failure on one node.
+    #[inline]
+    pub fn success_probability(&self, t: f64) -> f64 {
+        (-t / self.mtbf_cost).exp()
+    }
+
+    /// `η(c) = 1 − γ(c)`: probability that one attempt fails.
+    #[inline]
+    pub fn failure_probability(&self, t: f64) -> f64 {
+        -(-t / self.mtbf_cost).exp_m1()
+    }
+
+    /// Expected runtime wasted by one failure during an operator of
+    /// runtime `t` (Eq. 3 or Eq. 4 depending on the configured model).
+    #[inline]
+    pub fn wasted_runtime(&self, t: f64) -> f64 {
+        match self.wasted_model {
+            WastedTimeModel::HalfRuntime => t / 2.0,
+            WastedTimeModel::Exact => {
+                if t == 0.0 {
+                    0.0
+                } else {
+                    self.mtbf_cost - t / (t / self.mtbf_cost).exp_m1()
+                }
+            }
+        }
+    }
+
+    /// `a(c)`: number of additional attempts (beyond the first) needed for
+    /// an operator of runtime `t` to reach the success percentile `S`
+    /// (Eq. 6). Fractional by design — the paper plugs the real-valued
+    /// solution of the geometric series into Eq. 8.
+    pub fn attempts(&self, t: f64) -> f64 {
+        let eta = self.failure_probability(t);
+        if eta <= 0.0 {
+            return 0.0;
+        }
+        if eta >= 1.0 {
+            return f64::INFINITY;
+        }
+        ((1.0 - self.success_target).ln() / eta.ln() - 1.0).max(0.0)
+    }
+
+    /// `T(c)` (Eq. 8): total expected runtime of an operator of
+    /// failure-free runtime `t`, including wasted re-execution time and
+    /// redeployment cost.
+    pub fn op_cost(&self, t: f64) -> f64 {
+        let a = self.attempts(t);
+        t + a * self.wasted_runtime(t) + a * self.mttr_cost
+    }
+}
+
+/// Cost of an execution path `Pt` *with* recovery costs: `T_Pt` (Eq. 7).
+pub fn path_cost(plan: &CollapsedPlan, path: &[CId], params: &CostParams) -> f64 {
+    path.iter().map(|&c| params.op_cost(plan.op(c).total_cost())).sum()
+}
+
+/// Cost of an execution path without failures: `R_Pt = Σ t(c)`.
+pub fn path_runtime(plan: &CollapsedPlan, path: &[CId]) -> f64 {
+    path.iter().map(|&c| plan.op(c).total_cost()).sum()
+}
+
+/// The cost estimate of one fault-tolerant plan `[P, M_P]`: the collapsed
+/// plan together with its dominant execution path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FtEstimate {
+    /// The collapsed plan the estimate was computed over.
+    pub collapsed: CollapsedPlan,
+    /// The dominant (maximal-cost) execution path.
+    pub dominant_path: Vec<CId>,
+    /// `T_Pt` of the dominant path — the plan's estimated runtime under
+    /// mid-query failures.
+    pub dominant_cost: f64,
+    /// `R_Pt` of the dominant path — its runtime without failures.
+    pub dominant_runtime: f64,
+    /// Number of execution paths examined.
+    pub paths_examined: u64,
+}
+
+/// Estimates the runtime of the fault-tolerant plan `[plan, config]` under
+/// mid-query failures: collapses the plan, enumerates all execution paths
+/// and returns the dominant one (steps 2–4 of the paper's procedure).
+pub fn estimate_ft_plan(plan: &PlanDag, config: &MatConfig, params: &CostParams) -> FtEstimate {
+    let collapsed = CollapsedPlan::collapse(plan, config, params.pipe_const);
+    let mut dominant_path = Vec::new();
+    let mut dominant_cost = f64::NEG_INFINITY;
+    let mut dominant_runtime = 0.0;
+    let mut paths_examined = 0u64;
+    for_each_path::<()>(&collapsed, |p| {
+        paths_examined += 1;
+        let c = path_cost(&collapsed, p, params);
+        if c > dominant_cost {
+            dominant_cost = c;
+            dominant_runtime = path_runtime(&collapsed, p);
+            dominant_path = p.to_vec();
+        }
+        ControlFlow::Continue(())
+    });
+    FtEstimate { collapsed, dominant_path, dominant_cost, dominant_runtime, paths_examined }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::figure2_plan;
+    use crate::operator::OpId;
+
+    fn table2_params() -> CostParams {
+        CostParams::new(60.0, 0.0)
+    }
+
+    fn figure3_setup() -> (PlanDag, MatConfig) {
+        let plan = figure2_plan();
+        let cfg = MatConfig::from_materialized_free_ops(
+            &plan,
+            &[OpId(2), OpId(4), OpId(5), OpId(6)],
+        )
+        .unwrap();
+        (plan, cfg)
+    }
+
+    #[test]
+    fn table2_success_probabilities() {
+        let p = table2_params();
+        // Table 2 row γ(c): 0.94, 0.95, 0.98, 0.96 for t = 4, 3, 1, 2.
+        assert!((p.success_probability(4.0) - 0.94).abs() < 0.005);
+        assert!((p.success_probability(3.0) - 0.95).abs() < 0.005);
+        assert!((p.success_probability(1.0) - 0.98).abs() < 0.005);
+        // (exact γ(2) = 0.967; the paper's table rounds it down to 0.96)
+        assert!((p.success_probability(2.0) - 0.96).abs() < 0.01);
+    }
+
+    #[test]
+    fn table2_attempts_with_paper_rounding() {
+        // The paper computes a({1,2,3}) = 0.0648 from η rounded to 0.06.
+        let s: f64 = 0.95;
+        let eta_rounded: f64 = 0.06;
+        let a = (1.0 - s).ln() / eta_rounded.ln() - 1.0;
+        assert!((a - 0.0648).abs() < 1e-3, "paper's rounded value, got {a}");
+        // Exact arithmetic gives a slightly larger value.
+        let p = table2_params();
+        let a_exact = p.attempts(4.0);
+        assert!((a_exact - 0.0929).abs() < 1e-3, "exact value, got {a_exact}");
+        // Operators with t = 3, 1, 2 need no extra attempt at S = 0.95.
+        assert_eq!(p.attempts(3.0), 0.0);
+        assert_eq!(p.attempts(1.0), 0.0);
+        assert_eq!(p.attempts(2.0), 0.0);
+    }
+
+    #[test]
+    fn table2_path_costs_and_dominant_path() {
+        let (plan, cfg) = figure3_setup();
+        let params = table2_params();
+        let est = estimate_ft_plan(&plan, &cfg, &params);
+        assert_eq!(est.paths_examined, 2);
+        // Exact arithmetic: TPt1 = 8.186, TPt2 = 9.186 (paper reports
+        // 8.13 / 9.13 from rounded η; the difference is only the a(c) of
+        // the first collapsed operator).
+        let t1 = path_cost(&est.collapsed, &[CId(0), CId(1), CId(2)], &params);
+        let t2 = path_cost(&est.collapsed, &[CId(0), CId(1), CId(3)], &params);
+        assert!((t1 - 8.13).abs() < 0.06, "TPt1 = {t1}");
+        assert!((t2 - 9.13).abs() < 0.06, "TPt2 = {t2}");
+        // Pt2 is dominant, as in Figure 3 step 4.
+        assert_eq!(est.dominant_path, vec![CId(0), CId(1), CId(3)]);
+        assert!((est.dominant_cost - t2).abs() < 1e-12);
+        assert_eq!(est.dominant_runtime, 9.0);
+    }
+
+    #[test]
+    fn wasted_runtime_half_model() {
+        let p = table2_params();
+        assert_eq!(p.wasted_runtime(4.0), 2.0);
+        assert_eq!(p.wasted_runtime(0.0), 0.0);
+    }
+
+    #[test]
+    fn wasted_runtime_exact_model_limits() {
+        let p = table2_params().with_wasted_model(WastedTimeModel::Exact);
+        // Exact w is always below t/2 and approaches it as MTBF >> t.
+        for &t in &[0.1, 1.0, 10.0, 60.0, 600.0] {
+            let w = p.wasted_runtime(t);
+            assert!(w > 0.0 && w < t / 2.0 + 1e-12, "w({t}) = {w}");
+        }
+        let long_mtbf = CostParams::new(1e9, 0.0).with_wasted_model(WastedTimeModel::Exact);
+        let w = long_mtbf.wasted_runtime(10.0);
+        assert!((w - 5.0).abs() < 1e-3, "limit MTBF→∞ gives t/2, got {w}");
+        assert_eq!(p.wasted_runtime(0.0), 0.0);
+    }
+
+    #[test]
+    fn attempts_edge_cases() {
+        let p = table2_params();
+        assert_eq!(p.attempts(0.0), 0.0);
+        // t >> MTBF: η → 1, attempts diverge.
+        assert!(p.attempts(1e9).is_infinite());
+        // Larger S needs at least as many attempts.
+        let p90 = table2_params().with_success_target(0.90);
+        let p99 = table2_params().with_success_target(0.99);
+        assert!(p99.attempts(10.0) >= p90.attempts(10.0));
+    }
+
+    #[test]
+    fn op_cost_includes_mttr_per_attempt() {
+        let no_repair = CostParams::new(10.0, 0.0);
+        let with_repair = CostParams::new(10.0, 5.0);
+        let t = 8.0;
+        let a = no_repair.attempts(t);
+        assert!(a > 0.0);
+        let diff = with_repair.op_cost(t) - no_repair.op_cost(t);
+        assert!((diff - a * 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validate_domains() {
+        assert!(CostParams::new(60.0, 0.0).validate().is_ok());
+        assert!(CostParams::new(0.0, 0.0).validate().is_err());
+        assert!(CostParams::new(-1.0, 0.0).validate().is_err());
+        assert!(CostParams::new(60.0, -1.0).validate().is_err());
+        assert!(CostParams::new(60.0, 0.0).with_success_target(1.0).validate().is_err());
+        assert!(CostParams::new(60.0, 0.0).with_success_target(0.0).validate().is_err());
+        assert!(CostParams::new(60.0, 0.0).with_pipe_const(0.0).validate().is_err());
+        assert!(CostParams::new(60.0, 0.0).with_pipe_const(1.5).validate().is_err());
+    }
+
+    #[test]
+    fn gamma_eta_sum_to_one() {
+        let p = table2_params();
+        for &t in &[0.0, 0.5, 1.0, 10.0, 100.0] {
+            let sum = p.success_probability(t) + p.failure_probability(t);
+            assert!((sum - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn estimate_single_op_plan() {
+        let mut b = PlanDag::builder();
+        b.free("only", 10.0, 2.0, &[]).unwrap();
+        let plan = b.build().unwrap();
+        let cfg = MatConfig::from_free_bits(&plan, 1);
+        let params = CostParams::new(1e9, 0.0);
+        let est = estimate_ft_plan(&plan, &cfg, &params);
+        assert_eq!(est.dominant_cost, 12.0);
+        assert_eq!(est.dominant_runtime, 12.0);
+        assert_eq!(est.paths_examined, 1);
+    }
+}

@@ -1,0 +1,79 @@
+//! # ftpde-core — cost-based fault tolerance for parallel data processing
+//!
+//! This crate implements the core contribution of *"Cost-based
+//! Fault-tolerance for Parallel Data Processing"* (Salama, Binnig, Kraska,
+//! Zamanian — SIGMOD 2015): given a DAG-structured parallel execution plan,
+//! select the subset of intermediate results to materialize (the
+//! *materialization configuration*) that minimizes the query's total
+//! runtime **under mid-query failures**.
+//!
+//! ## Pipeline
+//!
+//! 1. Build a [`dag::PlanDag`] of [`operator::Operator`]s carrying runtime
+//!    (`tr`) and materialization (`tm`) cost estimates.
+//! 2. Enumerate [`config::MatConfig`]s — or let the search do it.
+//! 3. Each fault-tolerant plan `[P, M_P]` is collapsed
+//!    ([`collapse::CollapsedPlan`]): maximal pipelined sub-plans become the
+//!    units of re-execution.
+//! 4. All source→sink execution paths of the collapsed plan are enumerated
+//!    ([`paths`]) and costed under the failure model ([`cost`]); the
+//!    *dominant* (most expensive) path represents the plan's runtime.
+//! 5. [`search::find_best_ft_plan`] picks the plan/configuration with the
+//!    shortest dominant path, applying the pruning rules of [`prune`].
+//!
+//! ## Quick example
+//!
+//! ```
+//! use ftpde_core::prelude::*;
+//!
+//! // A three-operator chain: scan -> join -> aggregate.
+//! let mut b = PlanDag::builder();
+//! let scan = b.free("scan", 120.0, 250.0, &[]).unwrap();
+//! let join = b.free("join", 300.0, 20.0, &[scan]).unwrap();
+//! let _agg = b.free("agg", 60.0, 1.0, &[join]).unwrap();
+//! let plan = b.build().unwrap();
+//!
+//! // A cluster with MTBF = 600 s and MTTR = 1 s per node (cost unit = s).
+//! let params = CostParams::new(600.0, 1.0);
+//! let (best, _stats) =
+//!     find_best_ft_plan(std::slice::from_ref(&plan), &params, &PruneOptions::default())
+//!         .unwrap();
+//!
+//! // On such an unreliable cluster, the cheap-to-materialize join output
+//! // is checkpointed; the expensive scan output is not.
+//! assert!(best.config.materializes(join));
+//! assert!(!best.config.materializes(scan));
+//! ```
+//!
+//! The failure model and its assumptions (exponential inter-arrival times,
+//! intermediates survive failures, recovery from the last materialized
+//! result after MTTR) are described in the paper's §2.2 and implemented in
+//! [`cost::CostParams`].
+
+pub mod collapse;
+pub mod config;
+pub mod cost;
+pub mod dag;
+pub mod error;
+pub mod explain;
+pub mod operator;
+pub mod paths;
+pub mod prune;
+pub mod search;
+pub mod stats;
+
+/// Convenient glob-import of the crate's main types.
+pub mod prelude {
+    pub use crate::collapse::{CId, CollapsedOp, CollapsedPlan};
+    pub use crate::config::MatConfig;
+    pub use crate::cost::{
+        estimate_ft_plan, path_cost, path_runtime, CostParams, FtEstimate, WastedTimeModel,
+    };
+    pub use crate::dag::{PlanDag, PlanDagBuilder};
+    pub use crate::error::{CoreError, Result};
+    pub use crate::explain::{explain_collapsed, explain_estimate, explain_plan, to_dot};
+    pub use crate::operator::{Binding, OpId, Operator};
+    pub use crate::prune::{apply_rule1, apply_rule2, PathMemo, PruneOptions};
+    pub use crate::search::{find_best_ft_plan, BestFtPlan, SearchStats};
+    pub use crate::stats::{baseline_positions, rank_configs, Perturbation, RankedConfig};
+}

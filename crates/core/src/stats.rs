@@ -1,0 +1,198 @@
+//! Statistics perturbation and configuration-ranking helpers.
+//!
+//! The paper's robustness experiment (§5.4, Table 3) perturbs the inputs of
+//! the cost model — the cluster MTBF, the I/O (materialization) costs, or
+//! all operator costs — by a factor and observes how the *ranking* of
+//! materialization configurations changes. This module provides the
+//! perturbation operators and the ranking machinery; the experiment harness
+//! lives in `ftpde-bench`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::MatConfig;
+use crate::cost::{estimate_ft_plan, CostParams};
+use crate::dag::PlanDag;
+
+/// A multiplicative error injected into the cost model's inputs before the
+/// model runs (Table 3's three perturbation categories).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Perturbation {
+    /// Scale the cluster MTBF by the factor.
+    Mtbf(f64),
+    /// Scale every operator's materialization cost `tm(o)` ("I/O costs").
+    IoCost(f64),
+    /// Scale every operator's `tr(o)` and `tm(o)` ("compute & I/O costs").
+    AllCosts(f64),
+}
+
+impl Perturbation {
+    /// The perturbation factor.
+    pub fn factor(self) -> f64 {
+        match self {
+            Perturbation::Mtbf(f) | Perturbation::IoCost(f) | Perturbation::AllCosts(f) => f,
+        }
+    }
+
+    /// Applies the perturbation, returning the (possibly) modified plan and
+    /// parameters that the cost model will see.
+    pub fn apply(self, plan: &PlanDag, params: &CostParams) -> (PlanDag, CostParams) {
+        let mut plan = plan.clone();
+        let mut params = *params;
+        match self {
+            Perturbation::Mtbf(f) => params.mtbf_cost *= f,
+            Perturbation::IoCost(f) => {
+                for id in plan.op_ids().collect::<Vec<_>>() {
+                    plan.op_mut(id).mat_cost *= f;
+                }
+            }
+            Perturbation::AllCosts(f) => {
+                for id in plan.op_ids().collect::<Vec<_>>() {
+                    plan.op_mut(id).run_cost *= f;
+                    plan.op_mut(id).mat_cost *= f;
+                }
+            }
+        }
+        (plan, params)
+    }
+}
+
+/// One entry of a configuration ranking.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedConfig {
+    /// The configuration.
+    pub config: MatConfig,
+    /// Its estimated dominant-path runtime under failures.
+    pub estimated_cost: f64,
+}
+
+/// Ranks *all* materialization configurations of `plan` ascending by their
+/// estimated runtime under mid-query failures (the x-axis ordering of the
+/// paper's Figure 12b and the baseline ranking of Table 3).
+pub fn rank_configs(plan: &PlanDag, params: &CostParams) -> Vec<RankedConfig> {
+    let mut ranked: Vec<RankedConfig> = MatConfig::enumerate(plan)
+        .map(|config| {
+            let est = estimate_ft_plan(plan, &config, params);
+            RankedConfig { config, estimated_cost: est.dominant_cost }
+        })
+        .collect();
+    ranked.sort_by(|a, b| a.estimated_cost.partial_cmp(&b.estimated_cost).expect("finite costs"));
+    ranked
+}
+
+/// For each of the first `top_n` configurations of `perturbed`, returns its
+/// 1-based position in the `baseline` ranking — exactly the rows of
+/// Table 3 ("which materialization configuration of the baseline ranking
+/// moved to the top-5 positions").
+///
+/// # Panics
+/// Panics if a perturbed configuration does not occur in the baseline
+/// ranking (both rankings must enumerate the same plan).
+pub fn baseline_positions(
+    baseline: &[RankedConfig],
+    perturbed: &[RankedConfig],
+    top_n: usize,
+) -> Vec<usize> {
+    perturbed
+        .iter()
+        .take(top_n)
+        .map(|rc| {
+            baseline
+                .iter()
+                .position(|b| b.config == rc.config)
+                .expect("perturbed config must exist in baseline ranking")
+                + 1
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::figure2_plan;
+    use crate::operator::OpId;
+
+    fn params() -> CostParams {
+        CostParams::new(60.0, 1.0)
+    }
+
+    #[test]
+    fn mtbf_perturbation_touches_only_params() {
+        let plan = figure2_plan();
+        let p = params();
+        let (plan2, p2) = Perturbation::Mtbf(0.5).apply(&plan, &p);
+        assert_eq!(plan2, plan);
+        assert_eq!(p2.mtbf_cost, 30.0);
+        assert_eq!(p2.mttr_cost, p.mttr_cost);
+    }
+
+    #[test]
+    fn io_perturbation_scales_mat_costs_only() {
+        let plan = figure2_plan();
+        let (plan2, p2) = Perturbation::IoCost(2.0).apply(&plan, &params());
+        assert_eq!(p2, params());
+        for id in plan.op_ids() {
+            assert_eq!(plan2.op(id).mat_cost, plan.op(id).mat_cost * 2.0);
+            assert_eq!(plan2.op(id).run_cost, plan.op(id).run_cost);
+        }
+    }
+
+    #[test]
+    fn all_costs_perturbation_scales_both() {
+        let plan = figure2_plan();
+        let (plan2, _) = Perturbation::AllCosts(10.0).apply(&plan, &params());
+        for id in plan.op_ids() {
+            assert_eq!(plan2.op(id).mat_cost, plan.op(id).mat_cost * 10.0);
+            assert_eq!(plan2.op(id).run_cost, plan.op(id).run_cost * 10.0);
+        }
+    }
+
+    #[test]
+    fn factor_accessor() {
+        assert_eq!(Perturbation::Mtbf(0.1).factor(), 0.1);
+        assert_eq!(Perturbation::IoCost(2.0).factor(), 2.0);
+        assert_eq!(Perturbation::AllCosts(10.0).factor(), 10.0);
+    }
+
+    #[test]
+    fn ranking_is_sorted_and_complete() {
+        let plan = figure2_plan();
+        let ranked = rank_configs(&plan, &params());
+        assert_eq!(ranked.len(), 128);
+        for w in ranked.windows(2) {
+            assert!(w[0].estimated_cost <= w[1].estimated_cost);
+        }
+    }
+
+    #[test]
+    fn identity_perturbation_keeps_top5_positions() {
+        let plan = figure2_plan();
+        let p = params();
+        let baseline = rank_configs(&plan, &p);
+        let (plan2, p2) = Perturbation::AllCosts(1.0).apply(&plan, &p);
+        let perturbed = rank_configs(&plan2, &p2);
+        assert_eq!(baseline_positions(&baseline, &perturbed, 5), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn extreme_io_perturbation_changes_the_ranking() {
+        // Make one operator's materialization nominally cheap; under a 10x
+        // I/O perturbation the model flees materialization-heavy configs.
+        let mut plan = figure2_plan();
+        plan.op_mut(OpId(2)).mat_cost = 3.0;
+        let p = CostParams::new(10.0, 1.0);
+        let baseline = rank_configs(&plan, &p);
+        let (plan2, p2) = Perturbation::IoCost(10.0).apply(&plan, &p);
+        let perturbed = rank_configs(&plan2, &p2);
+        let pos = baseline_positions(&baseline, &perturbed, 5);
+        assert!(pos != vec![1, 2, 3, 4, 5], "10x perturbation must disturb the top-5");
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let plan = figure2_plan();
+        let p = params();
+        let baseline = rank_configs(&plan, &p);
+        let pos = baseline_positions(&baseline, &baseline, 3);
+        assert_eq!(pos, vec![1, 2, 3]);
+    }
+}

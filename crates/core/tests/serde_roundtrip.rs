@@ -1,0 +1,66 @@
+//! Serialization round-trips: plans, configurations, parameters and
+//! collapsed plans all survive a JSON round-trip unchanged — the contract
+//! a coordinator needs to persist fault-tolerant plans next to the
+//! intermediates they describe.
+
+use ftpde_core::collapse::CollapsedPlan;
+use ftpde_core::config::MatConfig;
+use ftpde_core::cost::{CostParams, WastedTimeModel};
+use ftpde_core::dag::{figure2_plan, PlanDag};
+use ftpde_core::prune::PruneOptions;
+use ftpde_core::search::SearchStats;
+
+#[test]
+fn plan_dag_roundtrip() {
+    let plan = figure2_plan();
+    let json = serde_json::to_string(&plan).unwrap();
+    let back: PlanDag = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, plan);
+    // Structure survives: same sources/sinks/edges.
+    assert_eq!(back.sources(), plan.sources());
+    assert_eq!(back.sinks(), plan.sinks());
+}
+
+#[test]
+fn mat_config_roundtrip_preserves_decisions() {
+    let plan = figure2_plan();
+    for cfg in MatConfig::enumerate(&plan).step_by(17) {
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: MatConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
+        assert_eq!(back.materialized_ops(), cfg.materialized_ops());
+    }
+}
+
+#[test]
+fn cost_params_roundtrip() {
+    let params = CostParams::new(3600.0, 1.5)
+        .with_success_target(0.99)
+        .with_pipe_const(0.8)
+        .with_wasted_model(WastedTimeModel::Exact);
+    let json = serde_json::to_string(&params).unwrap();
+    let back: CostParams = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, params);
+}
+
+#[test]
+fn collapsed_plan_roundtrip() {
+    let plan = figure2_plan();
+    let cfg = MatConfig::from_free_bits(&plan, 0b0110100);
+    let pc = CollapsedPlan::collapse(&plan, &cfg, 1.0);
+    let json = serde_json::to_string(&pc).unwrap();
+    let back: CollapsedPlan = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, pc);
+    assert_eq!(back.total_cost(), pc.total_cost());
+}
+
+#[test]
+fn options_and_stats_roundtrip() {
+    let opts = PruneOptions::only(2);
+    let back: PruneOptions = serde_json::from_str(&serde_json::to_string(&opts).unwrap()).unwrap();
+    assert_eq!(back, opts);
+
+    let stats = SearchStats { plans_considered: 3, configs_unpruned: 96, ..Default::default() };
+    let back: SearchStats = serde_json::from_str(&serde_json::to_string(&stats).unwrap()).unwrap();
+    assert_eq!(back, stats);
+}

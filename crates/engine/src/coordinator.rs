@@ -1,0 +1,301 @@
+//! The query coordinator: splits a plan into sub-plans at its
+//! materialization points, schedules them partition-parallel on worker
+//! threads (one per node), monitors for injected node failures, and
+//! recovers — fine-grained (redeploy the failed node's sub-plan, as the
+//! paper's XDB coordinator does) or coarse-grained (restart the whole
+//! query, the classic parallel-database behaviour).
+//!
+//! The stage structure is exactly the paper's collapsed plan: the engine
+//! reuses [`ftpde_core::collapse::CollapsedPlan`] on a structural mirror
+//! of the engine plan, so the recovery granularity the cost model reasons
+//! about is the granularity the engine actually executes.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ftpde_core::collapse::CollapsedPlan;
+use ftpde_core::config::MatConfig;
+
+use crate::failure::FailureInjector;
+use crate::ops::{execute, merge_partials, ExecCtx, Interrupted};
+use crate::plan::{EOpId, EnginePlan, OpKind};
+use crate::store::IntermediateStore;
+use crate::table::{Catalog, Distribution};
+use crate::value::Row;
+
+/// How the coordinator recovers from node failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineRecovery {
+    /// Redeploy only the failed node's sub-plan (all-mat, lineage and
+    /// cost-based schemes).
+    FineGrained,
+    /// Restart the whole query, discarding all intermediates
+    /// (no-mat (restart)).
+    CoarseRestart,
+}
+
+/// Coordinator options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOptions {
+    /// Recovery mode.
+    pub recovery: EngineRecovery,
+    /// Whole-query restarts after which a coarse run aborts (paper: 100).
+    pub max_restarts: u32,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions { recovery: EngineRecovery::FineGrained, max_restarts: 100 }
+    }
+}
+
+/// Outcome of a query run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Result rows per sink operator, in sink id order.
+    pub results: Vec<(EOpId, Vec<Row>)>,
+    /// Fine-grained per-node sub-plan re-executions.
+    pub node_retries: u64,
+    /// Coarse whole-query restarts.
+    pub query_restarts: u32,
+    /// `true` iff the coarse restart limit was hit.
+    pub aborted: bool,
+    /// Total rows written to the fault-tolerant store.
+    pub rows_materialized: u64,
+    /// Stages skipped because their output was already materialized in the
+    /// supplied store (only nonzero for [`run_query_resumable`]).
+    pub stages_skipped: u64,
+}
+
+/// Runs `plan` under materialization configuration `config` on `catalog`'s
+/// sharded database, injecting failures from `injector`.
+///
+/// # Panics
+/// Panics if `config` does not match the plan shape or a fine-grained node
+/// exceeds 10 000 attempts (an injector bug — the engine's injections are
+/// finite by construction).
+pub fn run_query(
+    plan: &EnginePlan,
+    config: &MatConfig,
+    catalog: &Catalog,
+    injector: &FailureInjector,
+    opts: &RunOptions,
+) -> RunReport {
+    run_query_resumable(plan, config, catalog, injector, opts, &IntermediateStore::new())
+}
+
+/// Like [`run_query`], but resuming from (and writing to) an external
+/// fault-tolerant `store` — the paper's §2.2 recovery contract across
+/// *coordinator* restarts: a re-submitted query skips every sub-plan whose
+/// output already survived in the store and re-executes only the rest.
+///
+/// Stages are skipped only when **all** their partitions are present
+/// (non-sink stages with materializing roots); coarse restarts still clear
+/// the store, as the `no-mat (restart)` scheme keeps no state by
+/// definition.
+pub fn run_query_resumable(
+    plan: &EnginePlan,
+    config: &MatConfig,
+    catalog: &Catalog,
+    injector: &FailureInjector,
+    opts: &RunOptions,
+    store: &IntermediateStore,
+) -> RunReport {
+    let dag = plan.to_plan_dag();
+    config.validate(&dag).expect("config matches plan");
+    let collapsed = CollapsedPlan::collapse(&dag, config, 1.0);
+    let dists = plan.distributions(catalog);
+    let nodes = catalog.nodes();
+    assert!(nodes > 0, "catalog has no tables");
+    let node_retries = AtomicU64::new(0);
+    let mut query_restarts = 0u32;
+    let mut stages_skipped = 0u64;
+    let mut first_attempt = true;
+
+    'query: loop {
+        // A resumed first attempt keeps the store's surviving state; any
+        // coarse restart discards everything (no-mat semantics).
+        if !first_attempt {
+            store.clear();
+        }
+        first_attempt = false;
+        let mut results: Vec<(EOpId, Vec<Row>)> = Vec::new();
+
+        for cid in collapsed.op_ids() {
+            let c = collapsed.op(cid);
+            let root = EOpId(c.root.0);
+            let members: Vec<EOpId> = c.members.iter().map(|m| EOpId(m.0)).collect();
+
+            // Resume: a non-sink stage whose output fully survived in the
+            // store needs no re-execution.
+            let is_sink_stage = plan.consumers(root).is_empty();
+            if !is_sink_stage && (0..nodes).all(|n| store.contains(root.0, n)) {
+                stages_skipped += 1;
+                continue;
+            }
+
+            // Execute the stage on every node.
+            let partials: Vec<Option<Vec<Row>>> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..nodes)
+                    .map(|node| {
+                        let members = &members;
+                        let store = &store;
+                        let node_retries = &node_retries;
+                        s.spawn(move || match opts.recovery {
+                            EngineRecovery::FineGrained => {
+                                let mut attempt = 0u32;
+                                loop {
+                                    match run_stage_on_node(
+                                        plan, members, root, node, attempt, catalog, store,
+                                        injector,
+                                    ) {
+                                        Ok(rows) => break Some(rows),
+                                        Err(Interrupted) => {
+                                            node_retries.fetch_add(1, Ordering::Relaxed);
+                                            attempt += 1;
+                                            assert!(attempt < 10_000, "injector never lets node finish");
+                                        }
+                                    }
+                                }
+                            }
+                            EngineRecovery::CoarseRestart => run_stage_on_node(
+                                plan,
+                                members,
+                                root,
+                                node,
+                                query_restarts,
+                                catalog,
+                                store,
+                                injector,
+                            )
+                            .ok(),
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            });
+
+            if partials.iter().any(Option::is_none) {
+                // A node died under coarse recovery: restart the query.
+                query_restarts += 1;
+                if query_restarts >= opts.max_restarts {
+                    return RunReport {
+                        results: Vec::new(),
+                        node_retries: node_retries.load(Ordering::Relaxed),
+                        query_restarts,
+                        aborted: true,
+                        rows_materialized: store.rows_written(),
+                        stages_skipped,
+                    };
+                }
+                continue 'query;
+            }
+            let partials: Vec<Vec<Row>> = partials.into_iter().map(Option::unwrap).collect();
+
+            // Root output handling: gather points (aggregations, top-k)
+            // merge globally and are broadcast; other roots stay
+            // partitioned.
+            let root_op = plan.op(root);
+            let is_sink = plan.consumers(root).is_empty();
+            let merge_ctx = ExecCtx { catalog, node: 0, interrupted: &|| false };
+            if root_op.kind.is_gather() {
+                let global = match dists[root_op.inputs[0].index()] {
+                    // Replicated input: every node's partial already is the
+                    // global answer.
+                    Distribution::Replicated => partials.into_iter().next().unwrap(),
+                    Distribution::Partitioned => match &root_op.kind {
+                        OpKind::HashAgg { group_cols, aggs } => {
+                            merge_partials(&partials, group_cols, aggs, &merge_ctx)
+                                .expect("coordinator-side merge cannot be interrupted")
+                        }
+                        OpKind::TopK { sort_col, ascending, k } => {
+                            let all: Vec<crate::value::Row> =
+                                partials.into_iter().flatten().collect();
+                            crate::ops::top_k(&all, *sort_col, *ascending, *k, &merge_ctx)
+                                .expect("coordinator-side merge cannot be interrupted")
+                        }
+                        _ => unreachable!("is_gather covers exactly these kinds"),
+                    },
+                };
+                if is_sink {
+                    results.push((root, global));
+                } else {
+                    store.put_replicated(root.0, global, nodes);
+                }
+            } else if config.materializes(c.root) {
+                // Sinks are non-materializable (EnginePlan::finish), so a
+                // materialized non-agg root keeps its per-node partitions.
+                for (node, rows) in partials.into_iter().enumerate() {
+                    store.put(root.0, node, rows);
+                }
+            } else {
+                // Collapse boundaries are materialization points or sinks.
+                debug_assert!(is_sink);
+                let rows = match dists[root.index()] {
+                    Distribution::Replicated => partials.into_iter().next().unwrap(),
+                    Distribution::Partitioned => partials.into_iter().flatten().collect(),
+                };
+                results.push((root, rows));
+            }
+        }
+
+        return RunReport {
+            results,
+            node_retries: node_retries.load(Ordering::Relaxed),
+            query_restarts,
+            aborted: false,
+            rows_materialized: store.rows_written(),
+            stages_skipped,
+        };
+    }
+}
+
+/// Executes the sub-plan `members` (rooted at `root`) on one node,
+/// checking the failure injector at batch boundaries.
+#[allow(clippy::too_many_arguments)]
+fn run_stage_on_node(
+    plan: &EnginePlan,
+    members: &[EOpId],
+    root: EOpId,
+    node: usize,
+    attempt: u32,
+    catalog: &Catalog,
+    store: &IntermediateStore,
+    injector: &FailureInjector,
+) -> Result<Vec<Row>, Interrupted> {
+    let interrupted = || injector.should_fail(root.0, node, attempt);
+    let ctx = ExecCtx { catalog, node, interrupted: &interrupted };
+    let mut memo: HashMap<EOpId, Vec<Row>> = HashMap::new();
+
+    for &m in members {
+        let op = plan.op(m);
+        // Resolve inputs: in-stage producers from the memo, materialized
+        // producers from the fault-tolerant store.
+        let stored: Vec<Option<Arc<Vec<Row>>>> = op
+            .inputs
+            .iter()
+            .map(|p| {
+                if members.contains(p) {
+                    None
+                } else {
+                    Some(store.get(p.0, node).unwrap_or_else(|| {
+                        panic!("producer {:?} must be materialized before {:?}", p, m)
+                    }))
+                }
+            })
+            .collect();
+        let slices: Vec<&[Row]> = op
+            .inputs
+            .iter()
+            .zip(&stored)
+            .map(|(p, s)| match s {
+                Some(arc) => arc.as_slice(),
+                None => memo[p].as_slice(),
+            })
+            .collect();
+        let out = execute(&op.kind, &slices, &ctx)?;
+        memo.insert(m, out);
+    }
+    Ok(memo.remove(&root).expect("root is a member"))
+}

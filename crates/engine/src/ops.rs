@@ -1,0 +1,364 @@
+//! Physical operator execution on one node's data.
+//!
+//! Every operator is a pure function from input row vectors to an output
+//! row vector. Executors poll an interrupt flag at row-batch boundaries so
+//! an injected node failure aborts the operator mid-flight — partial work
+//! is discarded exactly as when a real process dies.
+
+use std::collections::HashMap;
+
+use crate::plan::{Agg, AggFunc, OpKind};
+use crate::table::Catalog;
+use crate::value::{Row, Value};
+
+/// Execution failure: the node was killed while running the operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interrupted;
+
+/// How many rows are processed between interrupt checks.
+const BATCH: usize = 256;
+
+/// Per-node execution context.
+pub struct ExecCtx<'a> {
+    /// The sharded database.
+    pub catalog: &'a Catalog,
+    /// This worker's node index.
+    pub node: usize,
+    /// Returns `true` when the node has been killed.
+    pub interrupted: &'a dyn Fn() -> bool,
+}
+
+impl ExecCtx<'_> {
+    #[allow(clippy::manual_is_multiple_of)] // usize::is_multiple_of needs Rust 1.87; MSRV is 1.82
+    fn check(&self, processed: usize) -> Result<(), Interrupted> {
+        if processed % BATCH == 0 && (self.interrupted)() {
+            Err(Interrupted)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Executes one operator on one node. `inputs` are the operator's input
+/// row sets in plan order (empty for scans).
+pub fn execute(kind: &OpKind, inputs: &[&[Row]], ctx: &ExecCtx<'_>) -> Result<Vec<Row>, Interrupted> {
+    match kind {
+        OpKind::Scan { table, filter, project } => {
+            let rows = ctx.catalog.table(table).partition(ctx.node);
+            let mut out = Vec::new();
+            for (i, r) in rows.iter().enumerate() {
+                ctx.check(i)?;
+                if filter.as_ref().is_some_and(|f| !f.eval_bool(r)) {
+                    continue;
+                }
+                out.push(match project {
+                    Some(cols) => cols.iter().map(|&c| r[c]).collect(),
+                    None => r.clone(),
+                });
+            }
+            Ok(out)
+        }
+        OpKind::Filter { predicate } => {
+            let mut out = Vec::new();
+            for (i, r) in inputs[0].iter().enumerate() {
+                ctx.check(i)?;
+                if predicate.eval_bool(r) {
+                    out.push(r.clone());
+                }
+            }
+            Ok(out)
+        }
+        OpKind::Project { exprs } => {
+            let mut out = Vec::with_capacity(inputs[0].len());
+            for (i, r) in inputs[0].iter().enumerate() {
+                ctx.check(i)?;
+                out.push(exprs.iter().map(|e| e.eval(r)).collect());
+            }
+            Ok(out)
+        }
+        OpKind::HashJoin { build_key, probe_key, residual } => {
+            let (build, probe) = (inputs[0], inputs[1]);
+            let mut table: HashMap<i64, Vec<&Row>> = HashMap::new();
+            for (i, r) in build.iter().enumerate() {
+                ctx.check(i)?;
+                table.entry(r[*build_key].as_int()).or_default().push(r);
+            }
+            let mut out = Vec::new();
+            for (i, p) in probe.iter().enumerate() {
+                ctx.check(i)?;
+                if let Some(matches) = table.get(&p[*probe_key].as_int()) {
+                    for b in matches {
+                        let joined: Row = b.iter().chain(p.iter()).copied().collect();
+                        if residual.as_ref().is_none_or(|f| f.eval_bool(&joined)) {
+                            out.push(joined);
+                        }
+                    }
+                }
+            }
+            Ok(out)
+        }
+        OpKind::HashAgg { group_cols, aggs } => {
+            aggregate(inputs[0], group_cols, aggs, ctx)
+        }
+        OpKind::TopK { sort_col, ascending, k } => {
+            top_k(inputs[0], *sort_col, *ascending, *k, ctx)
+        }
+    }
+}
+
+/// Top-k with a total, deterministic order: primary key is the sort
+/// column, ties are broken by comparing the full row — so merging
+/// per-node partials reproduces the single-node result exactly.
+pub fn top_k(
+    rows: &[Row],
+    sort_col: usize,
+    ascending: bool,
+    k: usize,
+    ctx: &ExecCtx<'_>,
+) -> Result<Vec<Row>, Interrupted> {
+    ctx.check(0)?; // single interruption point: sorting is one burst
+    let mut out: Vec<Row> = rows.to_vec();
+    let cmp = |a: &Row, b: &Row| {
+        let primary = a[sort_col].total_cmp(&b[sort_col]);
+        let primary = if ascending { primary } else { primary.reverse() };
+        primary.then_with(|| {
+            a.iter()
+                .zip(b.iter())
+                .map(|(x, y)| x.total_cmp(y))
+                .find(|o| !o.is_eq())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+    };
+    out.sort_by(cmp);
+    out.truncate(k);
+    Ok(out)
+}
+
+/// Hash aggregation with deterministic (group-key-sorted) output order.
+fn aggregate(
+    rows: &[Row],
+    group_cols: &[usize],
+    aggs: &[Agg],
+    ctx: &ExecCtx<'_>,
+) -> Result<Vec<Row>, Interrupted> {
+    let mut groups: HashMap<Vec<i64>, Vec<Value>> = HashMap::new();
+    for (i, r) in rows.iter().enumerate() {
+        ctx.check(i)?;
+        let key: Vec<i64> = group_cols.iter().map(|&c| r[c].as_int()).collect();
+        let accs = groups.entry(key).or_insert_with(|| init_accs(aggs));
+        for (acc, agg) in accs.iter_mut().zip(aggs) {
+            update_acc(acc, agg, r);
+        }
+    }
+    // Empty input with no groups: global aggregates still yield one row.
+    if groups.is_empty() && group_cols.is_empty() {
+        groups.insert(Vec::new(), init_accs(aggs));
+    }
+    let mut keyed: Vec<(Vec<i64>, Vec<Value>)> = groups.into_iter().collect();
+    keyed.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(keyed
+        .into_iter()
+        .map(|(key, accs)| {
+            key.into_iter().map(Value::Int).chain(accs).collect::<Row>()
+        })
+        .collect())
+}
+
+fn init_accs(aggs: &[Agg]) -> Vec<Value> {
+    aggs.iter()
+        .map(|a| match a.func {
+            AggFunc::Sum | AggFunc::Count => Value::Int(0),
+            AggFunc::Min => Value::Int(i64::MAX),
+            AggFunc::Max => Value::Int(i64::MIN),
+        })
+        .collect()
+}
+
+fn update_acc(acc: &mut Value, agg: &Agg, row: &Row) {
+    match agg.func {
+        AggFunc::Count => *acc = Value::Int(acc.as_int() + 1),
+        AggFunc::Sum => {
+            let v = agg.expr.eval(row);
+            *acc = match (*acc, v) {
+                (Value::Int(a), Value::Int(b)) => Value::Int(a + b),
+                (a, b) => Value::Float(a.as_float() + b.as_float()),
+            };
+        }
+        AggFunc::Min => {
+            let v = agg.expr.eval(row);
+            if v.total_cmp(acc).is_lt() {
+                *acc = v;
+            }
+        }
+        AggFunc::Max => {
+            let v = agg.expr.eval(row);
+            if v.total_cmp(acc).is_gt() {
+                *acc = v;
+            }
+        }
+    }
+}
+
+/// Merges per-node partial aggregation outputs into the global result:
+/// re-aggregates the partial rows on the same group columns with each
+/// aggregate's merge function applied to its accumulator column.
+pub fn merge_partials(
+    partials: &[Vec<Row>],
+    group_cols: &[usize],
+    aggs: &[Agg],
+    ctx: &ExecCtx<'_>,
+) -> Result<Vec<Row>, Interrupted> {
+    use crate::expr::Expr;
+    let all: Vec<Row> = partials.iter().flatten().cloned().collect();
+    let merge_group: Vec<usize> = (0..group_cols.len()).collect();
+    let merge_aggs: Vec<Agg> = aggs
+        .iter()
+        .enumerate()
+        .map(|(i, a)| Agg {
+            func: a.func.merge_func(),
+            expr: Expr::col(group_cols.len() + i),
+        })
+        .collect();
+    aggregate(&all, &merge_group, &merge_aggs, ctx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::table::PartitionedTable;
+    use crate::value::int_row;
+
+    fn ctx(catalog: &Catalog) -> ExecCtx<'_> {
+        ExecCtx { catalog, node: 0, interrupted: &|| false }
+    }
+
+    fn empty_catalog() -> Catalog {
+        Catalog::new()
+    }
+
+    #[test]
+    fn scan_filters_and_projects() {
+        let mut c = Catalog::new();
+        c.register(PartitionedTable::replicated(
+            "t",
+            (0..10).map(|k| int_row(&[k, k * 2])).collect(),
+            1,
+        ));
+        let kind = OpKind::Scan {
+            table: "t".into(),
+            filter: Some(Expr::col(0).ge(Expr::lit(7))),
+            project: Some(vec![1]),
+        };
+        let out = execute(&kind, &[], &ctx(&c)).unwrap();
+        assert_eq!(out, vec![int_row(&[14]), int_row(&[16]), int_row(&[18])]);
+    }
+
+    #[test]
+    fn filter_and_project() {
+        let c = empty_catalog();
+        let input: Vec<Row> = (0..6).map(|k| int_row(&[k])).collect();
+        let f = OpKind::Filter { predicate: Expr::col(0).gt(Expr::lit(3)) };
+        let out = execute(&f, &[&input], &ctx(&c)).unwrap();
+        assert_eq!(out.len(), 2);
+        let p = OpKind::Project { exprs: vec![Expr::col(0).mul(Expr::lit(10))] };
+        let out = execute(&p, &[&out], &ctx(&c)).unwrap();
+        assert_eq!(out, vec![int_row(&[40]), int_row(&[50])]);
+    }
+
+    #[test]
+    fn hash_join_concatenates_and_matches() {
+        let c = empty_catalog();
+        let build: Vec<Row> = vec![int_row(&[1, 100]), int_row(&[2, 200])];
+        let probe: Vec<Row> = vec![int_row(&[10, 1]), int_row(&[20, 2]), int_row(&[30, 3])];
+        let j = OpKind::HashJoin { build_key: 0, probe_key: 1, residual: None };
+        let mut out = execute(&j, &[&build, &probe], &ctx(&c)).unwrap();
+        out.sort_by_key(|r| r[0].as_int());
+        assert_eq!(out, vec![int_row(&[1, 100, 10, 1]), int_row(&[2, 200, 20, 2])]);
+    }
+
+    #[test]
+    fn hash_join_residual_filters_combined_row() {
+        let c = empty_catalog();
+        let build: Vec<Row> = vec![int_row(&[1, 100])];
+        let probe: Vec<Row> = vec![int_row(&[50, 1]), int_row(&[150, 1])];
+        // combined row: [b0, b1, p0, p1]; keep p0 > b1.
+        let j = OpKind::HashJoin {
+            build_key: 0,
+            probe_key: 1,
+            residual: Some(Expr::col(2).gt(Expr::col(1))),
+        };
+        let out = execute(&j, &[&build, &probe], &ctx(&c)).unwrap();
+        assert_eq!(out, vec![int_row(&[1, 100, 150, 1])]);
+    }
+
+    #[test]
+    fn duplicate_build_keys_produce_all_matches() {
+        let c = empty_catalog();
+        let build: Vec<Row> = vec![int_row(&[1, 7]), int_row(&[1, 8])];
+        let probe: Vec<Row> = vec![int_row(&[1])];
+        let j = OpKind::HashJoin { build_key: 0, probe_key: 0, residual: None };
+        let out = execute(&j, &[&build, &probe], &ctx(&c)).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn aggregation_groups_and_sorts() {
+        let c = empty_catalog();
+        let input: Vec<Row> =
+            vec![int_row(&[2, 10]), int_row(&[1, 5]), int_row(&[2, 30]), int_row(&[1, 7])];
+        let a = OpKind::HashAgg {
+            group_cols: vec![0],
+            aggs: vec![
+                Agg { func: AggFunc::Sum, expr: Expr::col(1) },
+                Agg { func: AggFunc::Count, expr: Expr::lit(1) },
+                Agg { func: AggFunc::Min, expr: Expr::col(1) },
+                Agg { func: AggFunc::Max, expr: Expr::col(1) },
+            ],
+        };
+        let out = execute(&a, &[&input], &ctx(&c)).unwrap();
+        assert_eq!(out, vec![int_row(&[1, 12, 2, 5, 7]), int_row(&[2, 40, 2, 10, 30])]);
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_input_yields_one_row() {
+        let c = empty_catalog();
+        let input: Vec<Row> = Vec::new();
+        let a = OpKind::HashAgg {
+            group_cols: vec![],
+            aggs: vec![Agg { func: AggFunc::Count, expr: Expr::lit(1) }],
+        };
+        let out = execute(&a, &[&input], &ctx(&c)).unwrap();
+        assert_eq!(out, vec![int_row(&[0])]);
+    }
+
+    #[test]
+    fn merge_partials_reaggregates() {
+        let c = empty_catalog();
+        let cx = ctx(&c);
+        let group_cols = vec![0];
+        let aggs = vec![
+            Agg { func: AggFunc::Sum, expr: Expr::col(1) },
+            Agg { func: AggFunc::Count, expr: Expr::lit(1) },
+            Agg { func: AggFunc::Min, expr: Expr::col(1) },
+        ];
+        // Partials from two nodes: [group, sum, count, min].
+        let node0 = vec![int_row(&[1, 10, 2, 3])];
+        let node1 = vec![int_row(&[1, 20, 3, 1]), int_row(&[2, 5, 1, 5])];
+        let merged = merge_partials(&[node0, node1], &group_cols, &aggs, &cx).unwrap();
+        assert_eq!(merged, vec![int_row(&[1, 30, 5, 1]), int_row(&[2, 5, 1, 5])]);
+    }
+
+    #[test]
+    fn interruption_aborts_execution() {
+        let mut c = Catalog::new();
+        c.register(PartitionedTable::replicated(
+            "t",
+            (0..10_000).map(|k| int_row(&[k])).collect(),
+            1,
+        ));
+        let cx = ExecCtx { catalog: &c, node: 0, interrupted: &|| true };
+        let kind = OpKind::Scan { table: "t".into(), filter: None, project: None };
+        assert_eq!(execute(&kind, &[], &cx), Err(Interrupted));
+    }
+}

@@ -1,0 +1,391 @@
+//! Engine execution plans: DAGs of physical operators with real
+//! semantics, mirroring the abstract [`ftpde_core::dag::PlanDag`] so the
+//! fault-tolerance machinery (materialization configurations, collapsed
+//! plans) applies unchanged.
+//!
+//! Binding rules in the engine:
+//!
+//! * **Scans** are non-materializable — base tables are already stored.
+//! * **Non-sink aggregations** are *always materialized*: their output
+//!   must be globally gathered and broadcast anyway (the engine-level
+//!   analogue of the paper's always-materialized repartition operators,
+//!   §2.1).
+//! * **Sinks** are non-materializable: the coordinator assembles the query
+//!   result directly.
+//! * Everything else (joins, filters, projections) is free.
+
+use crate::expr::Expr;
+use crate::table::{Catalog, Distribution};
+use ftpde_core::dag::PlanDag;
+use ftpde_core::operator::Binding;
+
+/// Identifier of an operator inside an [`EnginePlan`]. Matches the
+/// positions (and therefore the [`ftpde_core::operator::OpId`]s) of the
+/// mirrored cost-model plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EOpId(pub u32);
+
+impl EOpId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An aggregate function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// Sum of an expression.
+    Sum,
+    /// Row count (the expression is ignored).
+    Count,
+    /// Minimum of an expression.
+    Min,
+    /// Maximum of an expression.
+    Max,
+}
+
+impl AggFunc {
+    /// The function used to merge per-node partial accumulators: counts
+    /// merge by summation, everything else by itself.
+    pub fn merge_func(self) -> AggFunc {
+        match self {
+            AggFunc::Count => AggFunc::Sum,
+            f => f,
+        }
+    }
+}
+
+/// One aggregate: a function over an input expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Agg {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// The aggregated expression (ignored for `Count`).
+    pub expr: Expr,
+}
+
+/// Physical operator kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpKind {
+    /// Scans a base table partition, optionally filtering and projecting.
+    Scan {
+        /// Catalog table name.
+        table: String,
+        /// Row filter.
+        filter: Option<Expr>,
+        /// Column projection (indices into the table row).
+        project: Option<Vec<usize>>,
+    },
+    /// Filters the single input by a predicate.
+    Filter {
+        /// The predicate.
+        predicate: Expr,
+    },
+    /// Maps the single input through expressions.
+    Project {
+        /// One expression per output column.
+        exprs: Vec<Expr>,
+    },
+    /// Hash join: builds on input 0, probes with input 1; the output row
+    /// is the build row concatenated with the probe row.
+    HashJoin {
+        /// Join-key column of the build input.
+        build_key: usize,
+        /// Join-key column of the probe input.
+        probe_key: usize,
+        /// Residual predicate over the concatenated output row.
+        residual: Option<Expr>,
+    },
+    /// Hash aggregation over the single input: groups by integer columns,
+    /// producing `group_cols ++ accumulators` rows (per-node partials that
+    /// the coordinator merges globally).
+    HashAgg {
+        /// Grouping columns (must hold integer values).
+        group_cols: Vec<usize>,
+        /// The aggregates.
+        aggs: Vec<Agg>,
+    },
+    /// Top-k of the single input by one sort column (ties broken by the
+    /// full row for determinism). Per-node partials are globally merged
+    /// by the coordinator, like aggregations.
+    TopK {
+        /// The sort column.
+        sort_col: usize,
+        /// `true` = ascending (smallest first).
+        ascending: bool,
+        /// How many rows to keep.
+        k: usize,
+    },
+}
+
+impl OpKind {
+    /// `true` iff this operator's per-node outputs must be gathered and
+    /// merged globally by the coordinator (aggregations and top-k).
+    pub fn is_gather(&self) -> bool {
+        matches!(self, OpKind::HashAgg { .. } | OpKind::TopK { .. })
+    }
+}
+
+/// One operator of an engine plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineOp {
+    /// Display name.
+    pub name: String,
+    /// Semantics.
+    pub kind: OpKind,
+    /// Producer operators.
+    pub inputs: Vec<EOpId>,
+    /// Materialization binding (see module docs for the defaults).
+    pub binding: Binding,
+}
+
+/// A DAG of physical operators.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EnginePlan {
+    ops: Vec<EngineOp>,
+    consumers: Vec<Vec<EOpId>>,
+}
+
+impl EnginePlan {
+    /// Creates an empty plan; add operators with [`EnginePlan::add`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an operator with the default binding for its kind (see module
+    /// docs) and returns its id. Inputs must already exist.
+    pub fn add(&mut self, name: impl Into<String>, kind: OpKind, inputs: &[EOpId]) -> EOpId {
+        let binding = match kind {
+            OpKind::Scan { .. } => Binding::NonMaterializable,
+            // Gather points are re-bound for sinks in `finish`.
+            ref k if k.is_gather() => Binding::AlwaysMaterialized,
+            _ => Binding::Free,
+        };
+        self.add_bound(name, kind, inputs, binding)
+    }
+
+    /// Adds an operator with an explicit binding.
+    ///
+    /// # Panics
+    /// Panics on unknown input ids.
+    pub fn add_bound(
+        &mut self,
+        name: impl Into<String>,
+        kind: OpKind,
+        inputs: &[EOpId],
+        binding: Binding,
+    ) -> EOpId {
+        let id = EOpId(self.ops.len() as u32);
+        for inp in inputs {
+            assert!(inp.index() < self.ops.len(), "unknown input {inp:?}");
+            self.consumers[inp.index()].push(id);
+        }
+        self.ops.push(EngineOp { name: name.into(), kind, inputs: inputs.to_vec(), binding });
+        self.consumers.push(Vec::new());
+        id
+    }
+
+    /// Finalizes the plan: sinks are re-bound to non-materializable (their
+    /// output is the query result, assembled by the coordinator).
+    pub fn finish(mut self) -> Self {
+        for i in 0..self.ops.len() {
+            if self.consumers[i].is_empty() {
+                self.ops[i].binding = Binding::NonMaterializable;
+            }
+        }
+        self
+    }
+
+    /// Number of operators.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` iff the plan has no operators.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The operator with the given id.
+    pub fn op(&self, id: EOpId) -> &EngineOp {
+        &self.ops[id.index()]
+    }
+
+    /// Operator ids in topological (insertion) order.
+    pub fn op_ids(&self) -> impl Iterator<Item = EOpId> {
+        (0..self.ops.len() as u32).map(EOpId)
+    }
+
+    /// The consumers of an operator.
+    pub fn consumers(&self, id: EOpId) -> &[EOpId] {
+        &self.consumers[id.index()]
+    }
+
+    /// The sink operators (no consumers).
+    pub fn sinks(&self) -> Vec<EOpId> {
+        self.op_ids().filter(|&id| self.consumers(id).is_empty()).collect()
+    }
+
+    /// Mirrors the plan as a cost-model [`PlanDag`] with the same shape,
+    /// names and bindings. Costs are unit-valued: the engine uses the
+    /// mirror only for structure (collapsing into stages); when a real
+    /// cost model is available, build the `PlanDag` from it instead and
+    /// keep ids aligned.
+    pub fn to_plan_dag(&self) -> PlanDag {
+        let mut b = PlanDag::builder();
+        for op in &self.ops {
+            let core_inputs: Vec<ftpde_core::operator::OpId> =
+                op.inputs.iter().map(|i| ftpde_core::operator::OpId(i.0)).collect();
+            let mut proto = ftpde_core::operator::Operator::free(op.name.clone(), 1.0, 1.0);
+            proto.binding = op.binding;
+            b.add(proto, &core_inputs).expect("engine plans are structurally valid");
+        }
+        b.build().expect("non-empty plan")
+    }
+
+    /// Statically derives each operator's output distribution under
+    /// `catalog`'s table layout.
+    ///
+    /// # Panics
+    /// Panics if a scanned table is missing from the catalog.
+    pub fn distributions(&self, catalog: &Catalog) -> Vec<Distribution> {
+        let mut out: Vec<Distribution> = Vec::with_capacity(self.ops.len());
+        for op in &self.ops {
+            let d = match &op.kind {
+                OpKind::Scan { table, .. } => catalog.table(table).distribution(),
+                OpKind::Filter { .. } | OpKind::Project { .. } => out[op.inputs[0].index()],
+                OpKind::HashJoin { .. } => {
+                    let l = out[op.inputs[0].index()];
+                    let r = out[op.inputs[1].index()];
+                    if l == Distribution::Partitioned || r == Distribution::Partitioned {
+                        Distribution::Partitioned
+                    } else {
+                        Distribution::Replicated
+                    }
+                }
+                // Gather points are globally merged and broadcast.
+                OpKind::HashAgg { .. } | OpKind::TopK { .. } => Distribution::Replicated,
+            };
+            out.push(d);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::PartitionedTable;
+    use crate::value::int_row;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register(PartitionedTable::hash_partitioned(
+            "fact",
+            (0..100).map(|k| int_row(&[k, k % 7])).collect(),
+            0,
+            4,
+        ));
+        c.register(PartitionedTable::replicated(
+            "dim",
+            (0..7).map(|k| int_row(&[k])).collect(),
+            4,
+        ));
+        c
+    }
+
+    fn join_plan() -> EnginePlan {
+        let mut p = EnginePlan::new();
+        let dim = p.add("scan dim", OpKind::Scan { table: "dim".into(), filter: None, project: None }, &[]);
+        let fact =
+            p.add("scan fact", OpKind::Scan { table: "fact".into(), filter: None, project: None }, &[]);
+        let join = p.add(
+            "join",
+            OpKind::HashJoin { build_key: 0, probe_key: 1, residual: None },
+            &[dim, fact],
+        );
+        p.add(
+            "agg",
+            OpKind::HashAgg {
+                group_cols: vec![0],
+                aggs: vec![Agg { func: AggFunc::Count, expr: Expr::lit(1) }],
+            },
+            &[join],
+        );
+        p.finish()
+    }
+
+    #[test]
+    fn default_bindings() {
+        let p = join_plan();
+        assert_eq!(p.op(EOpId(0)).binding, Binding::NonMaterializable); // scan
+        assert_eq!(p.op(EOpId(2)).binding, Binding::Free); // join
+        // sink agg re-bound by finish()
+        assert_eq!(p.op(EOpId(3)).binding, Binding::NonMaterializable);
+    }
+
+    #[test]
+    fn mid_plan_agg_stays_always_materialized() {
+        let mut p = EnginePlan::new();
+        let s = p.add("scan", OpKind::Scan { table: "fact".into(), filter: None, project: None }, &[]);
+        let a = p.add(
+            "agg",
+            OpKind::HashAgg { group_cols: vec![], aggs: vec![] },
+            &[s],
+        );
+        p.add("filter", OpKind::Filter { predicate: Expr::lit(1) }, &[a]);
+        let p = p.finish();
+        assert_eq!(p.op(a).binding, Binding::AlwaysMaterialized);
+    }
+
+    #[test]
+    fn mirror_plan_dag_preserves_shape_and_bindings() {
+        let p = join_plan();
+        let dag = p.to_plan_dag();
+        assert_eq!(dag.len(), p.len());
+        assert_eq!(dag.free_count(), 1); // only the join
+        for id in p.op_ids() {
+            let core = ftpde_core::operator::OpId(id.0);
+            assert_eq!(dag.op(core).name, p.op(id).name);
+            assert_eq!(dag.op(core).binding, p.op(id).binding);
+            assert_eq!(
+                dag.inputs(core).len(),
+                p.op(id).inputs.len(),
+            );
+        }
+    }
+
+    #[test]
+    fn distribution_analysis() {
+        let p = join_plan();
+        let d = p.distributions(&catalog());
+        assert_eq!(d[0], Distribution::Replicated); // dim scan
+        assert_eq!(d[1], Distribution::Partitioned); // fact scan
+        assert_eq!(d[2], Distribution::Partitioned); // join
+        assert_eq!(d[3], Distribution::Replicated); // agg (merged)
+    }
+
+    #[test]
+    fn sinks_and_consumers() {
+        let p = join_plan();
+        assert_eq!(p.sinks(), vec![EOpId(3)]);
+        assert_eq!(p.consumers(EOpId(2)), &[EOpId(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown input")]
+    fn unknown_input_panics() {
+        let mut p = EnginePlan::new();
+        p.add("bad", OpKind::Filter { predicate: Expr::lit(1) }, &[EOpId(5)]);
+    }
+
+    #[test]
+    fn merge_funcs() {
+        assert_eq!(AggFunc::Count.merge_func(), AggFunc::Sum);
+        assert_eq!(AggFunc::Sum.merge_func(), AggFunc::Sum);
+        assert_eq!(AggFunc::Min.merge_func(), AggFunc::Min);
+        assert_eq!(AggFunc::Max.merge_func(), AggFunc::Max);
+    }
+}

@@ -1,0 +1,123 @@
+//! The fault-tolerant intermediate store.
+//!
+//! Models the paper's external iSCSI storage (§5.1): sub-plans write
+//! their output here, and the store **survives node failures** — the key
+//! assumption of the paper's failure model (§2.2). Recovery always
+//! restarts from the last materialized intermediate found here.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::value::Row;
+
+/// Key: (producing operator id, node/partition index).
+type Key = (u32, usize);
+
+/// A shared, thread-safe intermediate-result store.
+#[derive(Debug, Default)]
+pub struct IntermediateStore {
+    inner: Mutex<HashMap<Key, Arc<Vec<Row>>>>,
+    rows_written: Mutex<u64>,
+}
+
+impl IntermediateStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores a node-local partition of operator `op`'s output.
+    pub fn put(&self, op: u32, node: usize, rows: Vec<Row>) {
+        *self.rows_written.lock() += rows.len() as u64;
+        self.inner.lock().insert((op, node), Arc::new(rows));
+    }
+
+    /// Stores a globally merged (replicated) result of operator `op`: the
+    /// same data is visible on all `nodes` partitions.
+    pub fn put_replicated(&self, op: u32, rows: Vec<Row>, nodes: usize) {
+        *self.rows_written.lock() += rows.len() as u64;
+        let shared = Arc::new(rows);
+        let mut inner = self.inner.lock();
+        for node in 0..nodes {
+            inner.insert((op, node), Arc::clone(&shared));
+        }
+    }
+
+    /// Fetches operator `op`'s output for `node`, if materialized.
+    pub fn get(&self, op: u32, node: usize) -> Option<Arc<Vec<Row>>> {
+        self.inner.lock().get(&(op, node)).cloned()
+    }
+
+    /// `true` iff operator `op` has a materialized partition for `node`.
+    pub fn contains(&self, op: u32, node: usize) -> bool {
+        self.inner.lock().contains_key(&(op, node))
+    }
+
+    /// Drops everything (a coarse whole-query restart discards all
+    /// intermediate state).
+    pub fn clear(&self) {
+        self.inner.lock().clear();
+    }
+
+    /// Total rows ever written (materialization volume metric).
+    pub fn rows_written(&self) -> u64 {
+        *self.rows_written.lock()
+    }
+
+    /// Number of stored partitions.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// `true` iff nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::int_row;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let s = IntermediateStore::new();
+        s.put(3, 1, vec![int_row(&[1]), int_row(&[2])]);
+        assert!(s.contains(3, 1));
+        assert!(!s.contains(3, 0));
+        assert_eq!(s.get(3, 1).unwrap().len(), 2);
+        assert!(s.get(4, 1).is_none());
+    }
+
+    #[test]
+    fn replicated_put_is_visible_on_all_nodes() {
+        let s = IntermediateStore::new();
+        s.put_replicated(7, vec![int_row(&[9])], 4);
+        for n in 0..4 {
+            assert_eq!(s.get(7, n).unwrap()[0], int_row(&[9]));
+        }
+        // One logical write, shared storage.
+        assert_eq!(s.rows_written(), 1);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn clear_discards_everything_but_keeps_write_counter() {
+        let s = IntermediateStore::new();
+        s.put(1, 0, vec![int_row(&[1])]);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.rows_written(), 1, "write accounting is cumulative");
+    }
+
+    #[test]
+    fn overwrite_replaces() {
+        let s = IntermediateStore::new();
+        s.put(1, 0, vec![int_row(&[1])]);
+        s.put(1, 0, vec![int_row(&[2]), int_row(&[3])]);
+        assert_eq!(s.get(1, 0).unwrap().len(), 2);
+    }
+}

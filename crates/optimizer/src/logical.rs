@@ -1,0 +1,312 @@
+//! Logical join graphs: the input of the join-order enumerator.
+//!
+//! A [`JoinGraph`] holds base relations (with filtered cardinalities) and
+//! join edges (with join selectivities). Relation sets are represented as
+//! bitsets (`u32`), which caps the enumerator at 32 relations — far beyond
+//! the NP-hard practical limit for exhaustive DAG join ordering the paper
+//! cites \[Moerkotte\].
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a relation in a [`JoinGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RelId(pub u8);
+
+impl RelId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The singleton bitset containing only this relation.
+    #[inline]
+    pub fn bit(self) -> u32 {
+        1u32 << self.0
+    }
+}
+
+/// A base relation with its local predicates already applied.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Relation {
+    /// Display name (e.g. `σ(REGION)`).
+    pub name: String,
+    /// Cardinality of the unfiltered base table.
+    pub base_rows: f64,
+    /// Selectivity of local predicates on this relation (1.0 = no filter).
+    pub selectivity: f64,
+    /// Average output row width in bytes (after projection).
+    pub row_bytes: f64,
+}
+
+impl Relation {
+    /// Cardinality after local predicates.
+    #[inline]
+    pub fn rows(&self) -> f64 {
+        self.base_rows * self.selectivity
+    }
+}
+
+/// An (undirected) join edge with its join selectivity:
+/// `|L ⋈ R| = |L| · |R| · selectivity`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JoinEdge {
+    /// One endpoint.
+    pub a: RelId,
+    /// The other endpoint.
+    pub b: RelId,
+    /// Join selectivity.
+    pub selectivity: f64,
+}
+
+/// A query's join graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JoinGraph {
+    relations: Vec<Relation>,
+    edges: Vec<JoinEdge>,
+}
+
+impl JoinGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        JoinGraph { relations: Vec::new(), edges: Vec::new() }
+    }
+
+    /// Adds a relation and returns its id.
+    ///
+    /// # Panics
+    /// Panics beyond 32 relations (bitset capacity).
+    pub fn add_relation(
+        &mut self,
+        name: impl Into<String>,
+        base_rows: f64,
+        selectivity: f64,
+        row_bytes: f64,
+    ) -> RelId {
+        assert!(self.relations.len() < 32, "join graphs are limited to 32 relations");
+        let id = RelId(self.relations.len() as u8);
+        self.relations.push(Relation { name: name.into(), base_rows, selectivity, row_bytes });
+        id
+    }
+
+    /// Adds an undirected join edge.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is unknown or the selectivity is not in
+    /// `(0, 1]`.
+    pub fn add_edge(&mut self, a: RelId, b: RelId, selectivity: f64) {
+        assert!(a.index() < self.relations.len() && b.index() < self.relations.len());
+        assert!(a != b, "self-joins must be modelled as two relations");
+        assert!(selectivity > 0.0 && selectivity <= 1.0);
+        self.edges.push(JoinEdge { a, b, selectivity });
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// `true` iff the graph has no relations.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// The relation with the given id.
+    pub fn relation(&self, id: RelId) -> &Relation {
+        &self.relations[id.index()]
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[JoinEdge] {
+        &self.edges
+    }
+
+    /// Ids of all relations.
+    pub fn rel_ids(&self) -> impl Iterator<Item = RelId> {
+        (0..self.relations.len() as u8).map(RelId)
+    }
+
+    /// The bitset containing every relation.
+    pub fn all_rels(&self) -> u32 {
+        if self.relations.is_empty() {
+            0
+        } else {
+            (1u32 << self.relations.len()) - 1
+        }
+    }
+
+    /// `true` iff some edge connects `a` (a bitset) with `b` (a bitset).
+    pub fn sets_connected(&self, a: u32, b: u32) -> bool {
+        self.edges
+            .iter()
+            .any(|e| (e.a.bit() & a != 0 && e.b.bit() & b != 0) || (e.a.bit() & b != 0 && e.b.bit() & a != 0))
+    }
+
+    /// `true` iff the relation subset `set` induces a connected subgraph.
+    pub fn is_connected(&self, set: u32) -> bool {
+        if set == 0 {
+            return false;
+        }
+        let start = set & set.wrapping_neg(); // lowest bit
+        let mut reached = start;
+        loop {
+            let mut grew = false;
+            for e in &self.edges {
+                let (ab, bb) = (e.a.bit(), e.b.bit());
+                if ab & set != 0 && bb & set != 0 {
+                    if reached & ab != 0 && reached & bb == 0 {
+                        reached |= bb;
+                        grew = true;
+                    } else if reached & bb != 0 && reached & ab == 0 {
+                        reached |= ab;
+                        grew = true;
+                    }
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        reached == set
+    }
+
+    /// Estimated cardinality of joining the relation subset `set`:
+    /// the product of filtered base cardinalities times the selectivity of
+    /// every edge internal to the subset (the classic independence
+    /// assumption the paper's `tr`/`tm` derivation relies on \[Moerkotte\]).
+    pub fn subset_rows(&self, set: u32) -> f64 {
+        let mut rows = 1.0;
+        for id in self.rel_ids() {
+            if set & id.bit() != 0 {
+                rows *= self.relation(id).rows();
+            }
+        }
+        for e in &self.edges {
+            if set & e.a.bit() != 0 && set & e.b.bit() != 0 {
+                rows *= e.selectivity;
+            }
+        }
+        rows
+    }
+
+    /// Estimated output row width of the subset (sum of member widths,
+    /// damped for projection of join keys).
+    pub fn subset_row_bytes(&self, set: u32) -> f64 {
+        let total: f64 = self
+            .rel_ids()
+            .filter(|id| set & id.bit() != 0)
+            .map(|id| self.relation(id).row_bytes)
+            .sum();
+        if set.count_ones() > 1 {
+            total * 0.7
+        } else {
+            total
+        }
+    }
+}
+
+impl Default for JoinGraph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Builds a chain graph `r0 — r1 — … — r(n−1)` from `(name, rows,
+/// selectivity, row_bytes)` specs and per-edge selectivities
+/// (`edge_sels[i]` joins `ri` with `r(i+1)`).
+///
+/// # Panics
+/// Panics unless `edge_sels.len() + 1 == rels.len()`.
+pub fn chain_graph(rels: &[(&str, f64, f64, f64)], edge_sels: &[f64]) -> JoinGraph {
+    assert_eq!(edge_sels.len() + 1, rels.len());
+    let mut g = JoinGraph::new();
+    let ids: Vec<RelId> =
+        rels.iter().map(|(n, r, s, w)| g.add_relation(*n, *r, *s, *w)).collect();
+    for (i, &sel) in edge_sels.iter().enumerate() {
+        g.add_edge(ids[i], ids[i + 1], sel);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> JoinGraph {
+        let mut g = JoinGraph::new();
+        let a = g.add_relation("A", 100.0, 1.0, 8.0);
+        let b = g.add_relation("B", 200.0, 0.5, 8.0);
+        let c = g.add_relation("C", 300.0, 1.0, 8.0);
+        g.add_edge(a, b, 0.01);
+        g.add_edge(b, c, 0.02);
+        g.add_edge(a, c, 0.5);
+        g
+    }
+
+    #[test]
+    fn relation_rows_apply_selectivity() {
+        let g = triangle();
+        assert_eq!(g.relation(RelId(1)).rows(), 100.0);
+    }
+
+    #[test]
+    fn connectivity() {
+        let g = triangle();
+        assert!(g.is_connected(0b111));
+        assert!(g.is_connected(0b011));
+        assert!(g.is_connected(0b001));
+        assert!(!g.is_connected(0b000));
+        let mut chain = chain_graph(
+            &[("A", 1.0, 1.0, 8.0), ("B", 1.0, 1.0, 8.0), ("C", 1.0, 1.0, 8.0)],
+            &[1.0, 1.0],
+        );
+        assert!(!chain.is_connected(0b101), "A and C are not adjacent in the chain");
+        assert!(chain.is_connected(0b111));
+        // Extra edge closes the gap.
+        chain.add_edge(RelId(0), RelId(2), 1.0);
+        assert!(chain.is_connected(0b101));
+    }
+
+    #[test]
+    fn sets_connected_between_disjoint_sets() {
+        let g = triangle();
+        assert!(g.sets_connected(0b001, 0b010));
+        assert!(g.sets_connected(0b001, 0b110));
+        let chain = chain_graph(
+            &[("A", 1.0, 1.0, 8.0), ("B", 1.0, 1.0, 8.0), ("C", 1.0, 1.0, 8.0)],
+            &[1.0, 1.0],
+        );
+        assert!(!chain.sets_connected(0b001, 0b100));
+    }
+
+    #[test]
+    fn subset_cardinality_uses_independence() {
+        let g = triangle();
+        // A ⋈ B = 100 * 100 * 0.01 = 100.
+        assert_eq!(g.subset_rows(0b011), 100.0);
+        // A ⋈ B ⋈ C = 100*100*300 * 0.01*0.02*0.5.
+        let expected = 100.0 * 100.0 * 300.0 * 0.01 * 0.02 * 0.5;
+        assert!((g.subset_rows(0b111) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn subset_width_damps_joins() {
+        let g = triangle();
+        assert_eq!(g.subset_row_bytes(0b001), 8.0);
+        assert!((g.subset_row_bytes(0b011) - 16.0 * 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-joins")]
+    fn self_edge_rejected() {
+        let mut g = JoinGraph::new();
+        let a = g.add_relation("A", 1.0, 1.0, 8.0);
+        g.add_edge(a, a, 0.5);
+    }
+
+    #[test]
+    fn all_rels_mask() {
+        assert_eq!(triangle().all_rels(), 0b111);
+        assert_eq!(JoinGraph::new().all_rels(), 0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Execution timelines: an optional event log the simulator can emit,
+//! useful for debugging recovery behaviour, for visualizing runs, and for
+//! asserting fine-grained timing properties in tests.
+//!
+//! Events are emitted in processing order — by stage, then by node within
+//! a stage — so failure events of concurrently executing nodes are grouped
+//! per node rather than globally sorted by timestamp; sort by
+//! [`SimEvent::at`] for a strict chronological view.
+
+use serde::{Deserialize, Serialize};
+
+use ftpde_cluster::config::Seconds;
+use ftpde_core::collapse::CId;
+
+/// One timeline event of a simulated query execution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SimEvent {
+    /// A collapsed operator became ready and started on all nodes.
+    StageStarted {
+        /// The stage (collapsed operator).
+        stage: CId,
+        /// Virtual start time.
+        at: Seconds,
+    },
+    /// A node failed while executing a stage; its progress (beyond any
+    /// mid-operator checkpoint) is lost.
+    NodeFailed {
+        /// The stage being executed.
+        stage: CId,
+        /// The failed node.
+        node: usize,
+        /// Failure time.
+        at: Seconds,
+        /// When the node resumes (failure time + MTTR).
+        resumes_at: Seconds,
+    },
+    /// A stage finished on every node (its output is materialized if the
+    /// configuration says so).
+    StageCompleted {
+        /// The stage.
+        stage: CId,
+        /// Completion time (max over nodes).
+        at: Seconds,
+    },
+    /// Coarse recovery restarted the whole query.
+    QueryRestarted {
+        /// 1-based restart count.
+        attempt: u32,
+        /// Restart time.
+        at: Seconds,
+    },
+    /// The query finished.
+    QueryCompleted {
+        /// Completion time.
+        at: Seconds,
+    },
+    /// The query hit the restart limit and was aborted.
+    QueryAborted {
+        /// Abort time.
+        at: Seconds,
+    },
+}
+
+impl SimEvent {
+    /// The event's timestamp.
+    pub fn at(&self) -> Seconds {
+        match *self {
+            SimEvent::StageStarted { at, .. }
+            | SimEvent::NodeFailed { at, .. }
+            | SimEvent::StageCompleted { at, .. }
+            | SimEvent::QueryRestarted { at, .. }
+            | SimEvent::QueryCompleted { at }
+            | SimEvent::QueryAborted { at } => at,
+        }
+    }
+}
+
+/// An event sink. [`SimLog::None`] is free; [`SimLog::Events`] collects
+/// the full timeline.
+#[derive(Debug, Default)]
+pub enum SimLog {
+    /// Discard events (the default for performance experiments).
+    #[default]
+    None,
+    /// Collect events in order.
+    Events(Vec<SimEvent>),
+}
+
+impl SimLog {
+    /// Creates a collecting log.
+    pub fn collecting() -> Self {
+        SimLog::Events(Vec::new())
+    }
+
+    /// Records an event (no-op for [`SimLog::None`]).
+    #[inline]
+    pub fn push(&mut self, event: SimEvent) {
+        if let SimLog::Events(v) = self {
+            v.push(event);
+        }
+    }
+
+    /// The collected events (empty for [`SimLog::None`]).
+    pub fn events(&self) -> &[SimEvent] {
+        match self {
+            SimLog::None => &[],
+            SimLog::Events(v) => v,
+        }
+    }
+
+    /// Renders the timeline as one line per event.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for e in self.events() {
+            let _ = match *e {
+                SimEvent::StageStarted { stage, at } => {
+                    writeln!(out, "[{at:10.1}s] stage {} started", stage.0)
+                }
+                SimEvent::NodeFailed { stage, node, at, resumes_at } => writeln!(
+                    out,
+                    "[{at:10.1}s] node {node} FAILED in stage {} (resumes {resumes_at:.1}s)",
+                    stage.0
+                ),
+                SimEvent::StageCompleted { stage, at } => {
+                    writeln!(out, "[{at:10.1}s] stage {} completed", stage.0)
+                }
+                SimEvent::QueryRestarted { attempt, at } => {
+                    writeln!(out, "[{at:10.1}s] QUERY RESTARTED (attempt {attempt})")
+                }
+                SimEvent::QueryCompleted { at } => writeln!(out, "[{at:10.1}s] query completed"),
+                SimEvent::QueryAborted { at } => writeln!(out, "[{at:10.1}s] query ABORTED"),
+            };
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_log_discards() {
+        let mut log = SimLog::None;
+        log.push(SimEvent::QueryCompleted { at: 1.0 });
+        assert!(log.events().is_empty());
+    }
+
+    #[test]
+    fn collecting_log_keeps_order() {
+        let mut log = SimLog::collecting();
+        log.push(SimEvent::StageStarted { stage: CId(0), at: 0.0 });
+        log.push(SimEvent::StageCompleted { stage: CId(0), at: 5.0 });
+        assert_eq!(log.events().len(), 2);
+        assert_eq!(log.events()[1].at(), 5.0);
+    }
+
+    #[test]
+    fn render_is_line_per_event() {
+        let mut log = SimLog::collecting();
+        log.push(SimEvent::StageStarted { stage: CId(3), at: 0.0 });
+        log.push(SimEvent::NodeFailed { stage: CId(3), node: 2, at: 4.5, resumes_at: 5.5 });
+        log.push(SimEvent::QueryAborted { at: 9.0 });
+        let s = log.render();
+        assert_eq!(s.lines().count(), 3);
+        assert!(s.contains("node 2 FAILED in stage 3"));
+        assert!(s.contains("ABORTED"));
+    }
+}

@@ -1,0 +1,180 @@
+//! The four fault-tolerance schemes compared in the paper's evaluation
+//! (§5.2):
+//!
+//! * **all-mat** — Hadoop's strategy: every intermediate is materialized;
+//!   recovery is fine-grained (only failed sub-plans restart).
+//! * **no-mat (lineage)** — Spark/Shark's strategy: nothing is
+//!   materialized; a failed node recomputes its sub-plan from base data
+//!   (fine-grained recovery via lineage).
+//! * **no-mat (restart)** — the classic parallel-database strategy:
+//!   nothing is materialized and any mid-query failure restarts the whole
+//!   query (coarse-grained recovery).
+//! * **cost-based** — the paper's contribution: a cost-model-selected
+//!   subset of intermediates is materialized; recovery is fine-grained.
+
+use serde::{Deserialize, Serialize};
+
+use ftpde_cluster::config::ClusterConfig;
+use ftpde_core::config::MatConfig;
+use ftpde_core::cost::CostParams;
+use ftpde_core::dag::PlanDag;
+use ftpde_core::error::Result;
+use ftpde_core::prune::PruneOptions;
+use ftpde_core::search::find_best_ft_plan;
+
+/// How a scheme recovers from a mid-query failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Recovery {
+    /// Restart only the failed sub-plan on the failed node, from the last
+    /// successfully materialized inputs.
+    FineGrained,
+    /// Restart the complete query from scratch.
+    CoarseRestart,
+}
+
+/// A fault-tolerance scheme: a materialization policy plus a recovery mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scheme {
+    /// Materialize every intermediate (Hadoop-style).
+    AllMat,
+    /// Materialize nothing; recover failed sub-plans via lineage
+    /// recomputation (Spark-style).
+    NoMatLineage,
+    /// Materialize nothing; restart the whole query on failure
+    /// (parallel-database-style).
+    NoMatRestart,
+    /// Materialize the cost-model-selected subset (this paper).
+    CostBased,
+}
+
+impl Scheme {
+    /// All four schemes, in the order the paper's figures list them.
+    pub const ALL: [Scheme; 4] =
+        [Scheme::AllMat, Scheme::NoMatLineage, Scheme::NoMatRestart, Scheme::CostBased];
+
+    /// The display name used in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scheme::AllMat => "all-mat",
+            Scheme::NoMatLineage => "no-mat (lineage)",
+            Scheme::NoMatRestart => "no-mat (restart)",
+            Scheme::CostBased => "cost-based",
+        }
+    }
+
+    /// The recovery mode of this scheme.
+    pub fn recovery(&self) -> Recovery {
+        match self {
+            Scheme::NoMatRestart => Recovery::CoarseRestart,
+            _ => Recovery::FineGrained,
+        }
+    }
+
+    /// Builds the cost-model parameters a scheme's optimizer sees for a
+    /// given cluster: the **per-node** MTBF and MTTR with `CONST_cost = 1`
+    /// (costs are seconds), exactly the statistics the paper feeds its
+    /// optimizer (§5.1). Per-node is the right failure process under
+    /// fine-grained recovery: a failure only loses the failed node's
+    /// progress, and an operator's completion tracks the slowest node's
+    /// renewal process (rate `1/MTBF`), not the cluster-wide first-failure
+    /// process (rate `n/MTBF`) — which is also why the model is slightly
+    /// optimistic (Figure 12a): it ignores the max over nodes.
+    pub fn cost_params(cluster: &ClusterConfig) -> CostParams {
+        CostParams::new(cluster.mtbf, cluster.mttr)
+    }
+
+    /// Selects the materialization configuration this scheme uses for
+    /// `plan` on `cluster`.
+    ///
+    /// # Errors
+    /// Propagates cost-model validation errors from the cost-based search.
+    pub fn select_config(&self, plan: &PlanDag, cluster: &ClusterConfig) -> Result<MatConfig> {
+        match self {
+            Scheme::AllMat => Ok(MatConfig::all(plan)),
+            Scheme::NoMatLineage | Scheme::NoMatRestart => Ok(MatConfig::none(plan)),
+            Scheme::CostBased => {
+                let params = Self::cost_params(cluster);
+                let (best, _) = find_best_ft_plan(
+                    std::slice::from_ref(plan),
+                    &params,
+                    &PruneOptions::default(),
+                )?;
+                Ok(best.config)
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Scheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftpde_core::dag::figure2_plan;
+
+    fn cluster(mtbf: f64) -> ClusterConfig {
+        ClusterConfig::new(10, mtbf, 1.0)
+    }
+
+    #[test]
+    fn names_match_the_paper() {
+        let names: Vec<_> = Scheme::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            vec!["all-mat", "no-mat (lineage)", "no-mat (restart)", "cost-based"]
+        );
+    }
+
+    #[test]
+    fn recovery_modes() {
+        assert_eq!(Scheme::AllMat.recovery(), Recovery::FineGrained);
+        assert_eq!(Scheme::NoMatLineage.recovery(), Recovery::FineGrained);
+        assert_eq!(Scheme::NoMatRestart.recovery(), Recovery::CoarseRestart);
+        assert_eq!(Scheme::CostBased.recovery(), Recovery::FineGrained);
+    }
+
+    #[test]
+    fn all_mat_materializes_everything_free() {
+        let plan = figure2_plan();
+        let cfg = Scheme::AllMat.select_config(&plan, &cluster(3600.0)).unwrap();
+        assert_eq!(cfg.materialized_count(), plan.len());
+    }
+
+    #[test]
+    fn no_mat_materializes_nothing() {
+        let plan = figure2_plan();
+        for s in [Scheme::NoMatLineage, Scheme::NoMatRestart] {
+            let cfg = s.select_config(&plan, &cluster(3600.0)).unwrap();
+            assert_eq!(cfg.materialized_count(), 0);
+        }
+    }
+
+    #[test]
+    fn cost_based_adapts_to_cluster_reliability() {
+        let plan = figure2_plan();
+        // Reliable cluster: no materialization.
+        let reliable = Scheme::CostBased.select_config(&plan, &cluster(1e9)).unwrap();
+        assert_eq!(reliable.materialized_count(), 0);
+        // Very unreliable cluster (per-node MTBF = 4 s for ~8 s of work):
+        // checkpoints appear.
+        let flaky = Scheme::CostBased.select_config(&plan, &cluster(4.0)).unwrap();
+        assert!(flaky.materialized_count() > 0);
+    }
+
+    #[test]
+    fn cost_params_use_per_node_mtbf() {
+        let c = cluster(3600.0);
+        let p = Scheme::cost_params(&c);
+        assert_eq!(p.mtbf_cost, 3600.0);
+        assert_eq!(p.mttr_cost, 1.0);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Scheme::CostBased.to_string(), "cost-based");
+    }
+}

@@ -1,0 +1,644 @@
+//! Virtual-time execution of fault-tolerant plans against failure traces.
+//!
+//! The simulator mirrors the execution model of the paper's XDB setup
+//! (§5.1): a plan is split into collapsed sub-plans at its materialization
+//! points; each collapsed operator runs partition-parallel on all cluster
+//! nodes and is a blocking barrier (consumers start only after its output
+//! is fully materialized). A node failure during execution loses that
+//! node's progress on its current sub-plan; after the mean time to repair
+//! the sub-plan is redeployed on the node and re-executed from its inputs
+//! (fine-grained recovery) — or, for the coarse `no-mat (restart)` scheme,
+//! the whole query starts over.
+//!
+//! Simplifications follow the paper's footnote 6: per-partition durations
+//! are uniform (no skew), concurrent collapsed operators do not contend
+//! for resources, and materialized intermediates survive failures (§2.2).
+
+use serde::{Deserialize, Serialize};
+
+use ftpde_cluster::config::{ClusterConfig, Seconds};
+use ftpde_cluster::trace::FailureTrace;
+use ftpde_core::collapse::CollapsedPlan;
+use ftpde_core::config::MatConfig;
+use ftpde_core::dag::PlanDag;
+
+use crate::event::{SimEvent, SimLog};
+use crate::scheme::Recovery;
+
+/// Tunables of the simulator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimOptions {
+    /// `CONST_pipe` used when collapsing the plan (Eq. 1); the paper's
+    /// calibrated value is 1.0.
+    pub pipe_const: f64,
+    /// Coarse restarts after which the query is aborted; the paper aborts
+    /// after 100 restarts (§5.2).
+    pub max_restarts: u32,
+    /// **Mid-operator checkpointing** (the paper's §7 future work): when
+    /// set, every collapsed operator checkpoints its internal state every
+    /// `interval` seconds, and a node failure only loses the progress
+    /// since the node's last checkpoint instead of the whole sub-plan.
+    /// Each checkpoint costs [`SimOptions::mid_op_checkpoint_cost`]
+    /// seconds of extra runtime. Only affects fine-grained recovery.
+    pub mid_op_checkpoint: Option<f64>,
+    /// Cost of writing one mid-operator checkpoint, in seconds.
+    pub mid_op_checkpoint_cost: f64,
+    /// **Per-node skew** (the paper's §7 future work): multiplicative
+    /// factors on each node's share of every operator (1.0 = uniform).
+    /// Must have one entry per cluster node when set. Operator completion
+    /// remains the max over nodes, so skew stretches the straggler.
+    pub skew: Option<Vec<f64>>,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            pipe_const: 1.0,
+            max_restarts: 100,
+            mid_op_checkpoint: None,
+            mid_op_checkpoint_cost: 0.0,
+            skew: None,
+        }
+    }
+}
+
+impl SimOptions {
+    /// Enables mid-operator checkpointing every `interval` seconds at
+    /// `cost` seconds per checkpoint.
+    pub fn with_mid_op_checkpoints(mut self, interval: f64, cost: f64) -> Self {
+        assert!(interval > 0.0 && cost >= 0.0);
+        self.mid_op_checkpoint = Some(interval);
+        self.mid_op_checkpoint_cost = cost;
+        self
+    }
+
+    /// Sets per-node skew factors.
+    pub fn with_skew(mut self, factors: Vec<f64>) -> Self {
+        assert!(factors.iter().all(|&f| f > 0.0));
+        self.skew = Some(factors);
+        self
+    }
+
+    /// The duration of one node's share of a collapsed operator with
+    /// nominal duration `dur`, including skew and checkpoint overhead.
+    fn node_duration(&self, dur: f64, node: usize) -> f64 {
+        let skewed = match &self.skew {
+            Some(f) => dur * f[node],
+            None => dur,
+        };
+        match self.mid_op_checkpoint {
+            Some(interval) => {
+                // Checkpoints strictly inside the work interval — one at
+                // the very end would protect nothing.
+                let checkpoints = ((skewed / interval).ceil() - 1.0).max(0.0);
+                skewed + checkpoints * self.mid_op_checkpoint_cost
+            }
+            None => skewed,
+        }
+    }
+}
+
+/// Outcome of one simulated query execution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Virtual completion time of the query, in seconds. For aborted runs
+    /// this is the time at which the abort was declared.
+    pub completion: Seconds,
+    /// Coarse whole-query restarts (only the `no-mat (restart)` scheme
+    /// produces these).
+    pub restarts: u32,
+    /// Fine-grained per-node sub-plan re-executions.
+    pub node_retries: u64,
+    /// `true` iff the query hit the restart limit and was aborted.
+    pub aborted: bool,
+    /// `true` iff simulated time ran past the trace's populated horizon —
+    /// the tail of the run then saw no failures, so the result may be
+    /// optimistic and the caller should regenerate with a longer horizon.
+    pub horizon_exceeded: bool,
+}
+
+/// Failure-free makespan of `plan` under `config`: the critical-path
+/// completion time of the collapsed plan including materialization costs
+/// of materialized operators.
+pub fn failure_free_makespan(plan: &PlanDag, config: &MatConfig, pipe_const: f64) -> Seconds {
+    let pc = CollapsedPlan::collapse(plan, config, pipe_const);
+    let mut completion = vec![0.0f64; pc.len()];
+    let mut makespan: f64 = 0.0;
+    for id in pc.op_ids() {
+        let start = pc
+            .inputs(id)
+            .iter()
+            .map(|i| completion[i.index()])
+            .fold(0.0f64, f64::max);
+        completion[id.index()] = start + pc.op(id).total_cost();
+        makespan = makespan.max(completion[id.index()]);
+    }
+    makespan
+}
+
+/// The paper's baseline: pure query runtime with **no** extra
+/// materializations and no failures (the denominator of every reported
+/// overhead).
+pub fn baseline_runtime(plan: &PlanDag, pipe_const: f64) -> Seconds {
+    failure_free_makespan(plan, &MatConfig::none(plan), pipe_const)
+}
+
+/// Simulates one execution of the fault-tolerant plan `[plan, config]` on
+/// `cluster` against `trace`.
+pub fn simulate(
+    plan: &PlanDag,
+    config: &MatConfig,
+    recovery: Recovery,
+    cluster: &ClusterConfig,
+    trace: &FailureTrace,
+    opts: &SimOptions,
+) -> SimResult {
+    simulate_logged(plan, config, recovery, cluster, trace, opts, &mut SimLog::None)
+}
+
+/// Like [`simulate`], additionally emitting a timeline of events into
+/// `log` (pass [`SimLog::collecting`] to capture it).
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_logged(
+    plan: &PlanDag,
+    config: &MatConfig,
+    recovery: Recovery,
+    cluster: &ClusterConfig,
+    trace: &FailureTrace,
+    opts: &SimOptions,
+    log: &mut SimLog,
+) -> SimResult {
+    debug_assert_eq!(trace.nodes(), cluster.nodes);
+    let result = match recovery {
+        Recovery::FineGrained => simulate_fine_grained(plan, config, cluster, trace, opts, log),
+        Recovery::CoarseRestart => simulate_coarse_restart(plan, config, cluster, trace, opts, log),
+    };
+    log.push(if result.aborted {
+        SimEvent::QueryAborted { at: result.completion }
+    } else {
+        SimEvent::QueryCompleted { at: result.completion }
+    });
+    result
+}
+
+fn simulate_fine_grained(
+    plan: &PlanDag,
+    config: &MatConfig,
+    cluster: &ClusterConfig,
+    trace: &FailureTrace,
+    opts: &SimOptions,
+    log: &mut SimLog,
+) -> SimResult {
+    let pc = CollapsedPlan::collapse(plan, config, opts.pipe_const);
+    let mut completion = vec![0.0f64; pc.len()];
+    let mut node_retries = 0u64;
+    let mut horizon_exceeded = false;
+    let mut query_end: f64 = 0.0;
+
+    for id in pc.op_ids() {
+        let start = pc
+            .inputs(id)
+            .iter()
+            .map(|i| completion[i.index()])
+            .fold(0.0f64, f64::max);
+        let dur = pc.op(id).total_cost();
+        log.push(SimEvent::StageStarted { stage: id, at: start });
+        let mut op_end = start; // zero-duration operators finish instantly
+        for node in 0..cluster.nodes {
+            let total = opts.node_duration(dur, node);
+            let times = trace.failures_of(node);
+            let mut idx = times.partition_point(|&x| x < start);
+            let mut t = start;
+            // Wall-clock progress that survives failures (only nonzero
+            // with mid-operator checkpointing enabled).
+            let mut done = 0.0f64;
+            loop {
+                let end = t + (total - done);
+                if end > trace.horizon() {
+                    horizon_exceeded = true;
+                }
+                // Failures while the node was being repaired are absorbed
+                // by the repair (the node is down anyway).
+                while idx < times.len() && times[idx] < t {
+                    idx += 1;
+                }
+                if idx < times.len() && times[idx] < end {
+                    node_retries += 1;
+                    log.push(SimEvent::NodeFailed {
+                        stage: id,
+                        node,
+                        at: times[idx],
+                        resumes_at: times[idx] + cluster.mttr,
+                    });
+                    if let Some(interval) = opts.mid_op_checkpoint {
+                        // Keep everything up to the last completed
+                        // checkpoint boundary.
+                        let chunk = interval + opts.mid_op_checkpoint_cost;
+                        let progressed = done + (times[idx] - t);
+                        done = (progressed / chunk).floor() * chunk;
+                    }
+                    t = times[idx] + cluster.mttr;
+                    idx += 1;
+                } else {
+                    break;
+                }
+            }
+            op_end = op_end.max(t + (total - done));
+        }
+        log.push(SimEvent::StageCompleted { stage: id, at: op_end });
+        completion[id.index()] = op_end;
+        query_end = query_end.max(op_end);
+    }
+
+    SimResult {
+        completion: query_end,
+        restarts: 0,
+        node_retries,
+        aborted: false,
+        horizon_exceeded,
+    }
+}
+
+fn simulate_coarse_restart(
+    plan: &PlanDag,
+    config: &MatConfig,
+    cluster: &ClusterConfig,
+    trace: &FailureTrace,
+    opts: &SimOptions,
+    log: &mut SimLog,
+) -> SimResult {
+    // One attempt takes the failure-free makespan under the scheme's
+    // (empty) configuration; any failure anywhere in the cluster during an
+    // attempt kills the whole query. Skew stretches the attempt to the
+    // straggler node; mid-operator checkpoints cannot help a scheme that
+    // discards all state on restart.
+    let skew_max = opts.skew.as_ref().map_or(1.0, |f| f.iter().cloned().fold(1.0, f64::max));
+    let duration = failure_free_makespan(plan, config, opts.pipe_const) * skew_max;
+    // Merge all nodes' failure times; any failure kills the whole attempt.
+    let mut all: Vec<f64> = (0..trace.nodes())
+        .flat_map(|n| trace.failures_of(n).iter().copied())
+        .collect();
+    all.sort_by(|a, b| a.partial_cmp(b).expect("finite failure times"));
+
+    let mut t = 0.0f64;
+    let mut idx = 0usize;
+    let mut restarts = 0u32;
+    let mut horizon_exceeded = false;
+    loop {
+        let end = t + duration;
+        if end > trace.horizon() {
+            horizon_exceeded = true;
+        }
+        // Failures during the repair window are absorbed by the repair.
+        while idx < all.len() && all[idx] < t {
+            idx += 1;
+        }
+        if idx < all.len() && all[idx] < end {
+            restarts += 1;
+            t = all[idx] + cluster.mttr;
+            idx += 1;
+            log.push(SimEvent::QueryRestarted { attempt: restarts, at: t });
+            if restarts >= opts.max_restarts {
+                return SimResult {
+                    completion: t,
+                    restarts,
+                    node_retries: 0,
+                    aborted: true,
+                    horizon_exceeded,
+                };
+            }
+        } else {
+            return SimResult {
+                completion: end,
+                restarts,
+                node_retries: 0,
+                aborted: false,
+                horizon_exceeded,
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftpde_core::dag::figure2_plan;
+    use ftpde_core::operator::OpId;
+
+    fn cluster(nodes: usize, mtbf: f64, mttr: f64) -> ClusterConfig {
+        ClusterConfig::new(nodes, mtbf, mttr)
+    }
+
+    fn no_failures(c: &ClusterConfig) -> FailureTrace {
+        FailureTrace::failure_free(c, 1e12)
+    }
+
+    /// scan(2) -> join(3) -> agg(1), tm = 1 each.
+    fn chain_plan() -> PlanDag {
+        let mut b = PlanDag::builder();
+        let s = b.free("scan", 2.0, 1.0, &[]).unwrap();
+        let j = b.free("join", 3.0, 1.0, &[s]).unwrap();
+        b.free("agg", 1.0, 1.0, &[j]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn baseline_is_critical_path_without_materialization() {
+        let plan = chain_plan();
+        assert_eq!(baseline_runtime(&plan, 1.0), 6.0);
+        // figure2: dominant chain scan S(1.6) + join(2) + repart(1) +
+        // map(1.5) + reduce B(1.7) = 7.8.
+        assert_eq!(baseline_runtime(&figure2_plan(), 1.0), 7.8);
+    }
+
+    #[test]
+    fn makespan_includes_materialization_costs() {
+        let plan = chain_plan();
+        let all = MatConfig::all(&plan);
+        // (2+1) + (3+1) + (1+1) = 9.
+        assert_eq!(failure_free_makespan(&plan, &all, 1.0), 9.0);
+    }
+
+    #[test]
+    fn failure_free_simulation_equals_makespan() {
+        let plan = figure2_plan();
+        let c = cluster(10, 3600.0, 1.0);
+        let trace = no_failures(&c);
+        for cfg in [MatConfig::none(&plan), MatConfig::all(&plan)] {
+            for rec in [Recovery::FineGrained, Recovery::CoarseRestart] {
+                let r = simulate(&plan, &cfg, rec, &c, &trace, &SimOptions::default());
+                assert_eq!(r.completion, failure_free_makespan(&plan, &cfg, 1.0));
+                assert_eq!(r.restarts, 0);
+                assert_eq!(r.node_retries, 0);
+                assert!(!r.aborted);
+            }
+        }
+    }
+
+    #[test]
+    fn fine_grained_failure_delays_only_failed_node() {
+        let plan = chain_plan();
+        let c = cluster(2, 1e9, 0.5);
+        let all = MatConfig::all(&plan);
+        // Node 0 fails at t = 1.0 during the scan (duration 3 with tm).
+        let trace = FailureTrace::from_times(vec![vec![1.0], vec![]], 1e9);
+        let r = simulate(&plan, &all, Recovery::FineGrained, &c, &trace, &SimOptions::default());
+        // Node 0: restart at 1.5, scan done at 4.5; node 1 done at 3.0.
+        // Join starts at 4.5 (barrier), done 8.5; agg done 10.5.
+        assert_eq!(r.completion, 10.5);
+        assert_eq!(r.node_retries, 1);
+        assert!(!r.aborted);
+    }
+
+    #[test]
+    fn materialization_limits_recovery_scope() {
+        // Same failure time, with vs without a checkpoint before it.
+        let plan = chain_plan();
+        let c = cluster(1, 1e9, 0.0);
+        // Failure at t = 5.5.
+        let trace = FailureTrace::from_times(vec![vec![5.5]], 1e9);
+        // Nothing materialized: the whole chain (6.0) re-runs from 5.5.
+        let none = MatConfig::none(&plan);
+        let r_none =
+            simulate(&plan, &none, Recovery::FineGrained, &c, &trace, &SimOptions::default());
+        assert_eq!(r_none.completion, 5.5 + 6.0);
+        // Scan materialized (done at 3.0): only join+agg re-run.
+        let cfg = MatConfig::from_materialized_free_ops(&plan, &[OpId(0)]).unwrap();
+        let r_ckpt =
+            simulate(&plan, &cfg, Recovery::FineGrained, &c, &trace, &SimOptions::default());
+        // scan+tm done at 3.0; join/agg group (3+1) runs 3.0..7.0, fails at
+        // 5.5, re-runs 5.5..9.5.
+        assert_eq!(r_ckpt.completion, 9.5);
+        assert!(r_ckpt.completion < r_none.completion);
+    }
+
+    #[test]
+    fn repeated_failures_accumulate() {
+        let plan = chain_plan();
+        let c = cluster(1, 1e9, 1.0);
+        let none = MatConfig::none(&plan);
+        let trace = FailureTrace::from_times(vec![vec![2.0, 8.0]], 1e9);
+        let r = simulate(&plan, &none, Recovery::FineGrained, &c, &trace, &SimOptions::default());
+        // Attempt 1: 0..6 fails at 2 → resume 3. Attempt 2: 3..9 fails at
+        // 8 → resume 9. Attempt 3: 9..15 OK.
+        assert_eq!(r.completion, 15.0);
+        assert_eq!(r.node_retries, 2);
+    }
+
+    #[test]
+    fn coarse_restart_restarts_everything() {
+        let plan = chain_plan();
+        let c = cluster(2, 1e9, 1.0);
+        let none = MatConfig::none(&plan);
+        // A failure on node 1 at t = 5.0 (during the 6 s attempt).
+        let trace = FailureTrace::from_times(vec![vec![], vec![5.0]], 1e9);
+        let r =
+            simulate(&plan, &none, Recovery::CoarseRestart, &c, &trace, &SimOptions::default());
+        assert_eq!(r.restarts, 1);
+        assert_eq!(r.completion, 6.0 + 6.0); // restart at 6.0, finish at 12.0
+        assert!(!r.aborted);
+    }
+
+    #[test]
+    fn coarse_restart_aborts_at_limit() {
+        let plan = chain_plan();
+        let c = cluster(1, 1e9, 0.0);
+        // A failure every 3 s forever (attempt needs 6 s).
+        let times: Vec<f64> = (1..10_000).map(|i| i as f64 * 3.0).collect();
+        let trace = FailureTrace::from_times(vec![times], 1e9);
+        let r =
+            simulate(&plan, &none_cfg(&plan), Recovery::CoarseRestart, &c, &trace, &SimOptions::default());
+        assert!(r.aborted);
+        assert_eq!(r.restarts, 100);
+    }
+
+    fn none_cfg(plan: &PlanDag) -> MatConfig {
+        MatConfig::none(plan)
+    }
+
+    #[test]
+    fn horizon_exceeded_is_flagged() {
+        let plan = chain_plan();
+        let c = cluster(1, 1e9, 0.0);
+        let trace = FailureTrace::from_times(vec![vec![]], 4.0); // horizon < runtime
+        let r = simulate(
+            &plan,
+            &none_cfg(&plan),
+            Recovery::FineGrained,
+            &c,
+            &trace,
+            &SimOptions::default(),
+        );
+        assert!(r.horizon_exceeded);
+    }
+
+    #[test]
+    fn failure_exactly_at_completion_does_not_kill() {
+        let plan = chain_plan();
+        let c = cluster(1, 1e9, 0.0);
+        let trace = FailureTrace::from_times(vec![vec![6.0]], 1e9);
+        let r = simulate(
+            &plan,
+            &none_cfg(&plan),
+            Recovery::FineGrained,
+            &c,
+            &trace,
+            &SimOptions::default(),
+        );
+        assert_eq!(r.completion, 6.0);
+        assert_eq!(r.node_retries, 0);
+    }
+
+    #[test]
+    fn mid_operator_checkpoints_limit_lost_work() {
+        // One node, one long operator (no materialization), failure late
+        // in the run.
+        let mut b = PlanDag::builder();
+        b.free("long", 100.0, 0.0, &[]).unwrap();
+        let plan = b.build().unwrap();
+        let c = cluster(1, 1e9, 0.0);
+        let none = MatConfig::none(&plan);
+        let trace = FailureTrace::from_times(vec![vec![90.0]], 1e9);
+        // Without checkpoints: all 90 s are lost → completion 190.
+        let plain =
+            simulate(&plan, &none, Recovery::FineGrained, &c, &trace, &SimOptions::default());
+        assert_eq!(plain.completion, 190.0);
+        // With free checkpoints every 10 s: only the last partial chunk is
+        // lost → resume from 90 → completion 100.
+        let opts = SimOptions::default().with_mid_op_checkpoints(10.0, 0.0);
+        let ckpt = simulate(&plan, &none, Recovery::FineGrained, &c, &trace, &opts);
+        assert_eq!(ckpt.completion, 100.0);
+        assert_eq!(ckpt.node_retries, 1);
+    }
+
+    #[test]
+    fn mid_operator_checkpoints_pay_their_cost() {
+        let mut b = PlanDag::builder();
+        b.free("long", 100.0, 0.0, &[]).unwrap();
+        let plan = b.build().unwrap();
+        let c = cluster(1, 1e9, 0.0);
+        let none = MatConfig::none(&plan);
+        let trace = FailureTrace::failure_free(&c, 1e9);
+        // 9 interior checkpoints à 2 s on a failure-free run: pure overhead.
+        let opts = SimOptions::default().with_mid_op_checkpoints(10.0, 2.0);
+        let r = simulate(&plan, &none, Recovery::FineGrained, &c, &trace, &opts);
+        assert_eq!(r.completion, 118.0);
+    }
+
+    #[test]
+    fn mid_operator_checkpoint_recovery_respects_write_cost() {
+        let mut b = PlanDag::builder();
+        b.free("long", 100.0, 0.0, &[]).unwrap();
+        let plan = b.build().unwrap();
+        let c = cluster(1, 1e9, 0.0);
+        let none = MatConfig::none(&plan);
+        // total = 100 + 9·2 = 118 wall seconds (checkpoints at work
+        // 10,20,…,90); chunk = 12 wall seconds. Failure at t = 30: two
+        // full chunks survive (done = 24).
+        let trace = FailureTrace::from_times(vec![vec![30.0]], 1e9);
+        let opts = SimOptions::default().with_mid_op_checkpoints(10.0, 2.0);
+        let r = simulate(&plan, &none, Recovery::FineGrained, &c, &trace, &opts);
+        // completion = 30 (failure) + 0 (mttr) + (118 − 24) = 124.
+        assert_eq!(r.completion, 124.0);
+    }
+
+    #[test]
+    fn skew_stretches_the_straggler_node() {
+        let plan = chain_plan(); // baseline 6.0 with no materialization
+        let c = cluster(3, 1e9, 0.0);
+        let none = MatConfig::none(&plan);
+        let trace = FailureTrace::failure_free(&c, 1e9);
+        let opts = SimOptions::default().with_skew(vec![1.0, 2.0, 1.0]);
+        let r = simulate(&plan, &none, Recovery::FineGrained, &c, &trace, &opts);
+        assert_eq!(r.completion, 12.0, "the 2x-skewed node determines the makespan");
+        // Coarse restart attempts also take the straggler's duration.
+        let r2 = simulate(&plan, &none, Recovery::CoarseRestart, &c, &trace, &opts);
+        assert_eq!(r2.completion, 12.0);
+    }
+
+    #[test]
+    fn skew_interacts_with_failures() {
+        let plan = chain_plan();
+        let c = cluster(2, 1e9, 0.0);
+        let none = MatConfig::none(&plan);
+        // Node 1 is 2x slower (12 s) and fails at t = 10.
+        let trace = FailureTrace::from_times(vec![vec![], vec![10.0]], 1e9);
+        let opts = SimOptions::default().with_skew(vec![1.0, 2.0]);
+        let r = simulate(&plan, &none, Recovery::FineGrained, &c, &trace, &opts);
+        assert_eq!(r.completion, 22.0); // 10 + 12
+    }
+
+    #[test]
+    fn event_log_records_the_timeline() {
+        use crate::event::{SimEvent, SimLog};
+        let plan = chain_plan();
+        let c = cluster(2, 1e9, 0.5);
+        let all = MatConfig::all(&plan);
+        let trace = FailureTrace::from_times(vec![vec![1.0], vec![]], 1e9);
+        let mut log = SimLog::collecting();
+        let r = simulate_logged(
+            &plan,
+            &all,
+            Recovery::FineGrained,
+            &c,
+            &trace,
+            &SimOptions::default(),
+            &mut log,
+        );
+        let events = log.events();
+        // 3 stages × (start + complete) + 1 failure + query completion.
+        assert_eq!(events.len(), 8);
+        assert!(matches!(events[0], SimEvent::StageStarted { at, .. } if at == 0.0));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, SimEvent::NodeFailed { node: 0, at, .. } if *at == 1.0)));
+        assert!(matches!(events.last().unwrap(), SimEvent::QueryCompleted { at } if *at == r.completion));
+        // Timestamps are plausible: every stage completion follows its start.
+        let mut started = std::collections::HashMap::new();
+        for e in events {
+            match *e {
+                SimEvent::StageStarted { stage, at } => {
+                    started.insert(stage, at);
+                }
+                SimEvent::StageCompleted { stage, at } => {
+                    assert!(at >= started[&stage]);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn event_log_records_coarse_restarts() {
+        use crate::event::{SimEvent, SimLog};
+        let plan = chain_plan();
+        let c = cluster(1, 1e9, 1.0);
+        let none = MatConfig::none(&plan);
+        let trace = FailureTrace::from_times(vec![vec![5.0]], 1e9);
+        let mut log = SimLog::collecting();
+        simulate_logged(
+            &plan,
+            &none,
+            Recovery::CoarseRestart,
+            &c,
+            &trace,
+            &SimOptions::default(),
+            &mut log,
+        );
+        assert!(log
+            .events()
+            .iter()
+            .any(|e| matches!(e, SimEvent::QueryRestarted { attempt: 1, at } if *at == 6.0)));
+        assert!(!log.render().is_empty());
+    }
+
+    #[test]
+    fn pipe_const_shortens_collapsed_groups() {
+        let plan = chain_plan();
+        let none = MatConfig::none(&plan);
+        let full = failure_free_makespan(&plan, &none, 1.0);
+        let piped = failure_free_makespan(&plan, &none, 0.5);
+        assert_eq!(full, 6.0);
+        assert_eq!(piped, 3.0);
+    }
+}

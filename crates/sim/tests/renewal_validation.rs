@@ -1,0 +1,125 @@
+//! Statistical validation of the simulator against closed-form renewal
+//! theory.
+//!
+//! For a single operator of duration `D` executed on one node with
+//! exponential failures at rate `λ = 1/MTBF` and repair time `r`,
+//! restart-from-scratch recovery forms a renewal-reward process whose
+//! expected completion time is the textbook result (e.g. Tobias &
+//! Trindade, *Applied Reliability* — the paper's reliability reference):
+//!
+//! ```text
+//! E[T] = (1/λ + r) · (e^{λD} − 1)
+//! ```
+//!
+//! The simulator must converge to this expectation over many traces; the
+//! cost model's 95th-percentile `T(c)` must be an upper band around it for
+//! small failure counts. These tests tie all three layers (trace
+//! generation, simulation, cost model) to independent mathematics.
+
+use ftpde_cluster::config::ClusterConfig;
+use ftpde_cluster::trace::FailureTrace;
+use ftpde_core::config::MatConfig;
+use ftpde_core::cost::CostParams;
+use ftpde_core::dag::PlanDag;
+use ftpde_sim::scheme::Recovery;
+use ftpde_sim::simulate::{simulate, SimOptions};
+
+/// Closed-form expected completion of one attempt-until-success task.
+fn renewal_expectation(duration: f64, mtbf: f64, mttr: f64) -> f64 {
+    let lambda = 1.0 / mtbf;
+    (1.0 / lambda + mttr) * ((lambda * duration).exp() - 1.0)
+}
+
+fn single_op_plan(duration: f64) -> PlanDag {
+    let mut b = PlanDag::builder();
+    b.free("op", duration, 0.0, &[]).unwrap();
+    b.build().unwrap()
+}
+
+fn mean_completion(duration: f64, mtbf: f64, mttr: f64, runs: usize) -> f64 {
+    let cluster = ClusterConfig::new(1, mtbf, mttr);
+    let plan = single_op_plan(duration);
+    let config = MatConfig::none(&plan);
+    let opts = SimOptions::default();
+    let horizon = 60.0 * (duration + mtbf + mttr);
+    let total: f64 = (0..runs)
+        .map(|seed| {
+            let trace = FailureTrace::generate(&cluster, horizon, seed as u64);
+            simulate(&plan, &config, Recovery::FineGrained, &cluster, &trace, &opts).completion
+        })
+        .sum();
+    total / runs as f64
+}
+
+#[test]
+fn simulator_matches_renewal_theory_low_failure_rate() {
+    // D = 100, MTBF = 1000: E[T] = 1000·(e^0.1 − 1) ≈ 105.17.
+    let expected = renewal_expectation(100.0, 1000.0, 0.0);
+    let measured = mean_completion(100.0, 1000.0, 0.0, 1500);
+    assert!(
+        (measured - expected).abs() < expected * 0.06,
+        "measured {measured:.2} vs theory {expected:.2}"
+    );
+}
+
+#[test]
+fn simulator_matches_renewal_theory_high_failure_rate() {
+    // D = MTBF: E[T] = (100 + 5)·(e − 1) ≈ 180.5.
+    let expected = renewal_expectation(100.0, 100.0, 5.0);
+    let measured = mean_completion(100.0, 100.0, 5.0, 1500);
+    assert!(
+        (measured - expected).abs() < expected * 0.06,
+        "measured {measured:.2} vs theory {expected:.2}"
+    );
+}
+
+#[test]
+fn simulator_matches_renewal_theory_with_repair_time() {
+    let expected = renewal_expectation(50.0, 200.0, 10.0);
+    let measured = mean_completion(50.0, 200.0, 10.0, 1500);
+    assert!(
+        (measured - expected).abs() < expected * 0.05,
+        "measured {measured:.2} vs theory {expected:.2}"
+    );
+}
+
+#[test]
+fn cost_model_percentile_brackets_the_renewal_mean() {
+    // The paper sizes attempts for the 95th percentile (S = 0.95), so for
+    // moderate failure rates T(c) should sit at or above the renewal MEAN,
+    // but not absurdly far above it.
+    for (d, mtbf) in [(100.0, 1000.0), (100.0, 400.0), (50.0, 200.0)] {
+        let params = CostParams::new(mtbf, 0.0);
+        let model = params.op_cost(d);
+        let theory = renewal_expectation(d, mtbf, 0.0);
+        assert!(
+            model >= theory * 0.9,
+            "D={d}, MTBF={mtbf}: model {model:.1} far below renewal mean {theory:.1}"
+        );
+        assert!(
+            model <= theory * 2.0,
+            "D={d}, MTBF={mtbf}: model {model:.1} unreasonably above mean {theory:.1}"
+        );
+    }
+}
+
+#[test]
+fn multi_node_completion_is_max_of_renewals() {
+    // On n independent nodes the operator completes at the max of n
+    // per-node renewal processes, so the mean grows with n but stays
+    // bounded by n · E[single] (crude union bound).
+    let single = mean_completion(100.0, 300.0, 1.0, 800);
+    let cluster = ClusterConfig::new(8, 300.0, 1.0);
+    let plan = single_op_plan(100.0);
+    let config = MatConfig::none(&plan);
+    let opts = SimOptions::default();
+    let total: f64 = (0..800)
+        .map(|seed| {
+            let trace = FailureTrace::generate(&cluster, 1e5, 10_000 + seed as u64);
+            simulate(&plan, &config, Recovery::FineGrained, &cluster, &trace, &opts).completion
+        })
+        .sum();
+    let eight = total / 800.0;
+    assert!(eight > single, "max over 8 nodes exceeds a single node's mean");
+    assert!(eight < 8.0 * single, "union bound");
+}

@@ -1,0 +1,468 @@
+//! The paper's evaluation queries (§5.2): TPC-H Q1, Q3 and Q5 plus the two
+//! complex variants Q1C and Q2C, as cost-annotated execution plans.
+//!
+//! * **Q1** — scan + aggregation, no join; it has *no free operator*
+//!   (scans and the sink aggregation are bound), so every fine-grained
+//!   scheme behaves identically on it.
+//! * **Q3** — 3-way join `C ⋈ O ⋈ L` with an aggregation sink; the two
+//!   joins are free.
+//! * **Q5** — the 6-way join of Figure 9: the left-deep chain
+//!   `σ(R) ⋈ N ⋈ C ⋈ σ(O) ⋈ L ⋈ S` with Γ on top; the five joins
+//!   (operators 1–5 in the figure) are free.
+//! * **Q1C** — a nested variant of Q1: the inner aggregate (tiny output,
+//!   cheap to materialize) sits *in the middle of the plan* and joins back
+//!   against LINEITEM. The middle aggregation is exactly the checkpoint
+//!   the cost-based scheme exploits.
+//! * **Q2C** — a DAG-structured plan: Q2's inner aggregation query (4-way
+//!   join) is a common table expression consumed by two outer 5-way join
+//!   queries with different PART predicates.
+//!
+//! Cardinalities come from the TPC-H schema and the usual independence /
+//! FK-uniformity assumptions; `tr`/`tm` are derived through
+//! [`CostModel`], as in the paper (§2.1).
+
+use serde::{Deserialize, Serialize};
+
+use ftpde_core::dag::PlanDag;
+use ftpde_optimizer::enumerate::JoinTree;
+use ftpde_optimizer::logical::JoinGraph;
+use ftpde_optimizer::physical::{tree_to_plan, AggSpec, CostModel};
+
+use crate::schema::{ratios, Table};
+
+/// The five evaluation queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Query {
+    /// TPC-H Q1 (no join).
+    Q1,
+    /// TPC-H Q3 (3-way join).
+    Q3,
+    /// TPC-H Q5 (6-way join, Figure 9).
+    Q5,
+    /// Nested Q1 variant with a mid-plan aggregation.
+    Q1C,
+    /// DAG-structured Q2 variant with a shared CTE.
+    Q2C,
+}
+
+impl Query {
+    /// All five queries in the order of the paper's Figure 8.
+    pub const ALL: [Query; 5] = [Query::Q1, Query::Q3, Query::Q5, Query::Q1C, Query::Q2C];
+
+    /// The query's display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Query::Q1 => "Q1",
+            Query::Q3 => "Q3",
+            Query::Q5 => "Q5",
+            Query::Q1C => "Q1C",
+            Query::Q2C => "Q2C",
+        }
+    }
+
+    /// Builds the query's execution plan at scale factor `sf` costed for
+    /// `cm`'s cluster.
+    pub fn plan(&self, sf: f64, cm: &CostModel) -> PlanDag {
+        match self {
+            Query::Q1 => q1_plan(sf, cm),
+            Query::Q3 => q3_plan(sf, cm),
+            Query::Q5 => q5_plan(sf, cm),
+            Query::Q1C => q1c_plan(sf, cm),
+            Query::Q2C => q2c_plan(sf, cm),
+        }
+    }
+}
+
+impl std::fmt::Display for Query {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+// --- Q1 -------------------------------------------------------------------
+
+/// Q1: `σ(L)` → `Γ`. Both operators are bound, so the plan has no free
+/// operator (paper §5.2: "Q1 ... has no free operator that can be selected
+/// for materialization").
+pub fn q1_plan(sf: f64, cm: &CostModel) -> PlanDag {
+    let l_rows = Table::Lineitem.rows(sf);
+    let filtered = l_rows * 0.98; // l_shipdate <= '1998-09-02'
+    let mut b = PlanDag::builder();
+    let scan = b
+        .bound_pipelined("scan σ(LINEITEM)", cm.scan_cost(l_rows), cm.mat_cost(filtered, 48.0), &[])
+        .expect("valid scan");
+    b.bound_pipelined("Γ", cm.agg_cost(filtered), cm.mat_cost(4.0, 80.0), &[scan])
+        .expect("valid agg");
+    b.build().expect("non-empty plan")
+}
+
+// --- Q3 -------------------------------------------------------------------
+
+/// The join graph of Q3: the chain `σ(C) — σ(O) — σ(L)`.
+pub fn q3_join_graph(sf: f64) -> JoinGraph {
+    let mut g = JoinGraph::new();
+    let c = g.add_relation("σ(C)", Table::Customer.rows(sf), 0.2, 30.0);
+    let o = g.add_relation("σ(O)", Table::Orders.rows(sf), 0.49, 24.0);
+    let l = g.add_relation("σ(L)", Table::Lineitem.rows(sf), 0.54, 32.0);
+    // FK selectivities: 1 / (PK-side base cardinality).
+    g.add_edge(c, o, 1.0 / Table::Customer.rows(sf));
+    g.add_edge(o, l, 1.0 / Table::Orders.rows(sf));
+    g
+}
+
+/// Q3: `(σ(C) ⋈ σ(O)) ⋈ σ(L)` → `Γ` (group by order). The two joins are
+/// free.
+pub fn q3_plan(sf: f64, cm: &CostModel) -> PlanDag {
+    let g = q3_join_graph(sf);
+    let tree = left_deep_chain(3);
+    let out_orders = g.subset_rows(0b011); // qualifying (customer, order) pairs
+    tree_to_plan(&g, &tree, cm, Some(AggSpec { out_rows: out_orders, row_bytes: 44.0, free: false }))
+}
+
+// --- Q5 -------------------------------------------------------------------
+
+/// The join graph of Q5 as the paper enumerates it: the 6-relation chain
+/// `σ(R) — N — C — σ(O) — L — S` (its 1344 connected bushy orders match
+/// the paper's §5.5 count exactly).
+///
+/// The `c_nationkey = s_nationkey` predicate is folded into the `L — S`
+/// edge selectivity (`1/|S| · 1/25`), the standard transitive-predicate
+/// approximation.
+pub fn q5_join_graph(sf: f64) -> JoinGraph {
+    q5_join_graph_with(sf, ratios::ONE_YEAR_ORDERS)
+}
+
+/// [`q5_join_graph`] with an explicit `o_orderdate` selectivity. The
+/// paper's §5.3/§5.4 experiments run Q5 "using a low selectivity" (most
+/// orders qualify) to stretch the runtime; pass a larger fraction for
+/// that variant.
+///
+/// # Panics
+/// Panics unless `order_selectivity ∈ (0, 1]`.
+pub fn q5_join_graph_with(sf: f64, order_selectivity: f64) -> JoinGraph {
+    assert!(order_selectivity > 0.0 && order_selectivity <= 1.0);
+    let mut g = JoinGraph::new();
+    let r = g.add_relation("σ(R)", Table::Region.rows(sf), ratios::ONE_REGION, 24.0);
+    let n = g.add_relation("N", Table::Nation.rows(sf), 1.0, 30.0);
+    let c = g.add_relation("C", Table::Customer.rows(sf), 1.0, 24.0);
+    let o = g.add_relation("σ(O)", Table::Orders.rows(sf), order_selectivity, 24.0);
+    let l = g.add_relation("L", Table::Lineitem.rows(sf), 1.0, 40.0);
+    let s = g.add_relation("S", Table::Supplier.rows(sf), 1.0, 24.0);
+    g.add_edge(r, n, 1.0 / Table::Region.rows(sf)); // 5 nations per region
+    g.add_edge(n, c, 1.0 / Table::Nation.rows(sf));
+    g.add_edge(c, o, 1.0 / Table::Customer.rows(sf));
+    g.add_edge(o, l, 1.0 / Table::Orders.rows(sf));
+    g.add_edge(l, s, 1.0 / (Table::Supplier.rows(sf) * ratios::NATIONS));
+    g
+}
+
+/// The aggregation on top of Q5 (`group by n_name` — 5 regions' nations).
+pub fn q5_agg_spec() -> AggSpec {
+    AggSpec { out_rows: 5.0, row_bytes: 40.0, free: false }
+}
+
+/// Q5 exactly as in Figure 9: the left-deep chain with Γ on top; free
+/// operators are the five joins.
+pub fn q5_plan(sf: f64, cm: &CostModel) -> PlanDag {
+    let g = q5_join_graph(sf);
+    let tree = left_deep_chain(6);
+    tree_to_plan(&g, &tree, cm, Some(q5_agg_spec()))
+}
+
+/// The "low selectivity" Q5 variant of the paper's §5.3/§5.4: every
+/// order's year qualifies, roughly 7× more data flows through the join
+/// chain than in [`q5_plan`].
+pub fn q5_plan_low_selectivity(sf: f64, cm: &CostModel) -> PlanDag {
+    let g = q5_join_graph_with(sf, 1.0);
+    let tree = left_deep_chain(6);
+    tree_to_plan(&g, &tree, cm, Some(q5_agg_spec()))
+}
+
+// --- Q1C ------------------------------------------------------------------
+
+/// Q1C: `σ(L) → Γ_avg → ⋈ (probe: scan L) → Γ_count`. The mid-plan
+/// aggregation and the join are free; scans and the sink are bound.
+pub fn q1c_plan(sf: f64, cm: &CostModel) -> PlanDag {
+    let l_rows = Table::Lineitem.rows(sf);
+    let mut b = PlanDag::builder();
+    let scan1 = b
+        .bound_pipelined("scan σ(LINEITEM)", cm.scan_cost(l_rows), cm.mat_cost(l_rows * 0.98, 48.0), &[])
+        .expect("valid scan");
+    // Inner Q1: average price per (returnflag, linestatus) — 4 groups
+    // (materializing it costs next to nothing — the checkpoint the
+    // cost-based scheme exploits).
+    let avg = b
+        .free("Γ avg", cm.agg_cost(l_rows * 0.98), cm.mat_cost(4.0, 32.0), &[scan1])
+        .expect("valid agg");
+    let scan2 = b
+        .bound_pipelined("scan LINEITEM", cm.scan_cost(l_rows), cm.mat_cost(l_rows, 48.0), &[])
+        .expect("valid scan");
+    // Items of the given status priced above their flag's average: the
+    // comparison streams all of LINEITEM against the 4-row build side;
+    // ~3 % qualify.
+    let join_out = l_rows * 0.03;
+    let join = b
+        .free(
+            "⋈ price > avg",
+            cm.agg_cost(l_rows),
+            cm.mat_cost(join_out, 48.0),
+            &[avg, scan2],
+        )
+        .expect("valid join");
+    b.bound_pipelined("Γ count", cm.agg_cost(join_out), cm.mat_cost(1.0, 16.0), &[join])
+        .expect("valid agg");
+    b.build().expect("non-empty plan")
+}
+
+// --- Q2C ------------------------------------------------------------------
+
+/// Q2C: Q2's inner aggregation query as a CTE consumed by two outer 5-way
+/// join queries with different PART predicates — a genuinely DAG-structured
+/// plan (two sinks, shared scans, shared CTE).
+pub fn q2c_plan(sf: f64, cm: &CostModel) -> PlanDag {
+    let ps_rows = Table::Partsupp.rows(sf);
+    let s_rows = Table::Supplier.rows(sf);
+    let p_rows = Table::Part.rows(sf);
+    let mut b = PlanDag::builder();
+
+    // Shared scans (all consumed by both the CTE and the outer queries).
+    let scan_r = b
+        .bound_pipelined("scan σ(REGION)", cm.scan_cost(5.0), cm.mat_cost(1.0, 24.0), &[])
+        .expect("valid scan");
+    let scan_n = b
+        .bound_pipelined("scan NATION", cm.scan_cost(25.0), cm.mat_cost(25.0, 30.0), &[])
+        .expect("valid scan");
+    let scan_s = b
+        .bound_pipelined("scan SUPPLIER", cm.scan_cost(s_rows), cm.mat_cost(s_rows, 30.0), &[])
+        .expect("valid scan");
+    let scan_ps = b
+        .bound_pipelined("scan PARTSUPP", cm.scan_cost(ps_rows), cm.mat_cost(ps_rows, 36.0), &[])
+        .expect("valid scan");
+
+    // Inner query: σ(R) ⋈ N ⋈ S ⋈ PS → Γ min(ps_supplycost) per part.
+    let i1 = b
+        .free("⋈ R,N", cm.join_cost(1.0, 5.0), cm.mat_cost(5.0, 30.0), &[scan_r, scan_n])
+        .expect("valid join");
+    let i2_out = s_rows / ratios::REGIONS; // suppliers in the region
+    let i2 = b
+        .free("⋈ R,N,S", cm.join_cost(5.0, i2_out), cm.mat_cost(i2_out, 36.0), &[i1, scan_s])
+        .expect("valid join");
+    let i3_out = ps_rows / ratios::REGIONS; // their partsupp entries
+    let i3 = b
+        .free(
+            "⋈ R,N,S,PS",
+            cm.join_cost(i2_out, i3_out),
+            cm.mat_cost(i3_out, 44.0),
+            &[i2, scan_ps],
+        )
+        .expect("valid join");
+    // Parts with at least one supplier in the region: 1 − (4/5)^4 ≈ 0.59.
+    let cte_out = p_rows * 0.59;
+    let cte = b
+        .free("Γ min cost (CTE)", cm.agg_cost(i3_out), cm.mat_cost(cte_out, 16.0), &[i3])
+        .expect("valid agg");
+
+    // Two outer queries with different PART filters.
+    for (k, p_sel) in [(1u8, 0.02), (2u8, 0.01)] {
+        let pk_out = p_rows * p_sel;
+        let scan_p = b
+            .bound_pipelined(
+                format!("scan σ{k}(PART)"),
+                cm.scan_cost(p_rows),
+                cm.mat_cost(pk_out, 40.0),
+                &[],
+            )
+            .expect("valid scan");
+        let o1_out = pk_out * 4.0; // 4 partsupp entries per part
+        let o1 = b
+            .free(
+                format!("⋈{k} P,PS"),
+                cm.join_cost(pk_out, o1_out),
+                cm.mat_cost(o1_out, 56.0),
+                &[scan_p, scan_ps],
+            )
+            .expect("valid join");
+        let o2 = b
+            .free(
+                format!("⋈{k} P,PS,S"),
+                cm.join_cost(o1_out, o1_out),
+                cm.mat_cost(o1_out, 64.0),
+                &[o1, scan_s],
+            )
+            .expect("valid join");
+        let o3 = b
+            .free(
+                format!("⋈{k} P,PS,S,N"),
+                cm.join_cost(o1_out, o1_out),
+                cm.mat_cost(o1_out, 70.0),
+                &[o2, scan_n],
+            )
+            .expect("valid join");
+        let o4_out = o1_out / ratios::REGIONS;
+        let o4 = b
+            .free(
+                format!("⋈{k} P,PS,S,N,R"),
+                cm.join_cost(o1_out, o4_out),
+                cm.mat_cost(o4_out, 70.0),
+                &[o3, scan_r],
+            )
+            .expect("valid join");
+        // Keep only the minimum-cost supplier per part: one in ~4 entries.
+        let o5_out = o4_out * 0.25;
+        let o5 = b
+            .free(
+                format!("⋈{k} min-cost"),
+                cm.join_cost(o4_out, o5_out),
+                cm.mat_cost(o5_out, 80.0),
+                &[o4, cte],
+            )
+            .expect("valid join");
+        b.bound_pipelined(
+            format!("sort/top{k}"),
+            cm.agg_cost(o5_out),
+            cm.mat_cost(100.0, 80.0),
+            &[o5],
+        )
+        .expect("valid sink");
+    }
+    b.build().expect("non-empty plan")
+}
+
+// --- helpers ----------------------------------------------------------------
+
+/// The left-deep chain tree `((((r0 ⋈ r1) ⋈ r2) … ) ⋈ r(n−1))` — the plan
+/// shape of Figure 9 when applied to [`q5_join_graph`].
+pub fn left_deep_chain(n: usize) -> JoinTree {
+    use ftpde_optimizer::logical::RelId;
+    use std::rc::Rc;
+    assert!(n >= 1);
+    let mut tree = JoinTree::Leaf { rel: RelId(0) };
+    for i in 1..n {
+        tree = JoinTree::Join {
+            left: Rc::new(tree),
+            right: Rc::new(JoinTree::Leaf { rel: RelId(i as u8) }),
+        };
+    }
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftpde_optimizer::enumerate::count_join_orders;
+
+    fn cm() -> CostModel {
+        CostModel::xdb_calibrated()
+    }
+
+    #[test]
+    fn q1_has_no_free_operator() {
+        let p = q1_plan(100.0, &cm());
+        assert_eq!(p.free_count(), 0);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn q3_has_two_free_joins() {
+        let p = q3_plan(100.0, &cm());
+        assert_eq!(p.free_count(), 2);
+        assert_eq!(p.sinks().len(), 1);
+    }
+
+    #[test]
+    fn q5_matches_figure9_shape() {
+        let p = q5_plan(100.0, &cm());
+        // 6 scans + 5 joins + Γ.
+        assert_eq!(p.len(), 12);
+        assert_eq!(p.free_count(), 5, "free operators 1–5 of Figure 9");
+        assert_eq!(p.sources().len(), 6);
+        assert_eq!(p.sinks().len(), 1);
+    }
+
+    #[test]
+    fn q5_join_graph_has_1344_orders() {
+        // Paper §5.5: "we enumerate all 1344 equivalent join orders of
+        // TPC-H query 5".
+        assert_eq!(count_join_orders(&q5_join_graph(10.0)), 1344);
+    }
+
+    #[test]
+    fn q5_cardinalities_follow_fk_semantics() {
+        let sf = 100.0;
+        let g = q5_join_graph(sf);
+        // {R,N} = 5 nations in the region.
+        assert!((g.subset_rows(0b000011) - 5.0).abs() < 1e-6);
+        // {R,N,C} = customers in the region = 150k·sf / 5.
+        assert!((g.subset_rows(0b000111) - 30_000.0 * sf).abs() < 1.0);
+        // Full join ≈ 6857·sf.
+        let full = g.subset_rows(0b111111);
+        assert!((full / sf - 6857.0).abs() < 20.0, "full Q5 join: {}", full / sf);
+    }
+
+    #[test]
+    fn q1c_has_mid_plan_aggregation() {
+        let p = q1c_plan(100.0, &cm());
+        assert_eq!(p.free_count(), 2); // Γ avg + join
+        let avg = p.find_by_name("Γ avg").unwrap();
+        assert!(!p.consumers(avg).is_empty(), "the aggregation is mid-plan, not a sink");
+        // Its materialization is orders of magnitude cheaper than the
+        // join's — the checkpoint the cost-based scheme exploits.
+        let join = p.find_by_name("⋈ price > avg").unwrap();
+        assert!(p.op(avg).mat_cost * 1000.0 < p.op(join).mat_cost);
+    }
+
+    #[test]
+    fn q2c_is_a_dag_with_two_sinks_and_shared_cte() {
+        let p = q2c_plan(100.0, &cm());
+        assert_eq!(p.sinks().len(), 2);
+        let cte = p.find_by_name("Γ min cost (CTE)").unwrap();
+        assert_eq!(p.consumers(cte).len(), 2, "CTE feeds both outer queries");
+        let ps = p.find_by_name("scan PARTSUPP").unwrap();
+        assert_eq!(p.consumers(ps).len(), 3, "PARTSUPP scan is shared");
+        assert_eq!(p.free_count(), 14);
+    }
+
+    #[test]
+    fn plans_scale_linearly_with_sf() {
+        for q in Query::ALL {
+            let p1 = q.plan(1.0, &cm());
+            let p10 = q.plan(10.0, &cm());
+            let (r1, r10) = (p1.total_run_cost(), p10.total_run_cost());
+            assert!(
+                r10 > 5.0 * r1 && r10 < 11.0 * r1,
+                "{q}: {r1} → {r10} not ≈ linear"
+            );
+        }
+    }
+
+    #[test]
+    fn low_selectivity_variant_is_slower_with_same_shape() {
+        let sf = 100.0;
+        let default = q5_plan(sf, &cm());
+        let low_sel = q5_plan_low_selectivity(sf, &cm());
+        assert_eq!(low_sel.len(), default.len());
+        assert_eq!(low_sel.free_count(), default.free_count());
+        assert!(
+            low_sel.total_run_cost() > 3.0 * default.total_run_cost(),
+            "all orders qualify → much more join work"
+        );
+        // Order count is unchanged: both graphs are the same 6-chain.
+        use ftpde_optimizer::enumerate::count_join_orders;
+        assert_eq!(count_join_orders(&q5_join_graph_with(sf, 1.0)), 1344);
+    }
+
+    #[test]
+    fn query_names_and_display() {
+        assert_eq!(Query::Q1C.name(), "Q1C");
+        assert_eq!(Query::Q5.to_string(), "Q5");
+        assert_eq!(Query::ALL.len(), 5);
+    }
+
+    #[test]
+    fn left_deep_chain_shape() {
+        let t = left_deep_chain(6);
+        assert_eq!(t.join_count(), 5);
+        let g = q5_join_graph(1.0);
+        assert_eq!(t.render(&g), "(((((σ(R) ⋈ N) ⋈ C) ⋈ σ(O)) ⋈ L) ⋈ S)");
+    }
+}

@@ -1,0 +1,118 @@
+//! Simplified TPC-H row types for the execution engine.
+//!
+//! Only the columns the evaluation queries touch are generated; dates are
+//! day numbers, string enumerations are small integers. This keeps the
+//! generator deterministic and the engine value model simple while
+//! preserving every join/filter relationship the queries exercise.
+
+use serde::{Deserialize, Serialize};
+
+/// A LINEITEM row (fact table).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Lineitem {
+    /// FK to [`Order::orderkey`].
+    pub orderkey: i64,
+    /// FK to [`Supplier::suppkey`].
+    pub suppkey: i64,
+    /// FK to PART (`p_partkey`).
+    pub partkey: i64,
+    /// Extended price in cents.
+    pub extendedprice: i64,
+    /// Discount in basis points (0–1000).
+    pub discount: i64,
+    /// Quantity (1–50).
+    pub quantity: i64,
+    /// Return flag as a small enum (0 = 'A', 1 = 'N', 2 = 'R').
+    pub returnflag: i64,
+    /// Ship date as a day number in `[0, 2557)` (7 years).
+    pub shipdate: i64,
+}
+
+/// An ORDERS row.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Order {
+    /// Primary key.
+    pub orderkey: i64,
+    /// FK to [`Customer::custkey`].
+    pub custkey: i64,
+    /// Order date as a day number in `[0, 2557)`.
+    pub orderdate: i64,
+}
+
+/// A CUSTOMER row.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Customer {
+    /// Primary key.
+    pub custkey: i64,
+    /// FK to [`Nation::nationkey`].
+    pub nationkey: i64,
+    /// Market segment as a small enum (0–4).
+    pub mktsegment: i64,
+}
+
+/// A SUPPLIER row.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Supplier {
+    /// Primary key.
+    pub suppkey: i64,
+    /// FK to [`Nation::nationkey`].
+    pub nationkey: i64,
+}
+
+/// A PART row.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Part {
+    /// Primary key.
+    pub partkey: i64,
+    /// Size (1–50), used by Q2's filters.
+    pub size: i64,
+    /// Type as a small enum (0–24).
+    pub typ: i64,
+}
+
+/// A PARTSUPP row.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Partsupp {
+    /// FK to [`Part::partkey`].
+    pub partkey: i64,
+    /// FK to [`Supplier::suppkey`].
+    pub suppkey: i64,
+    /// Supply cost in cents.
+    pub supplycost: i64,
+}
+
+/// A NATION row (25 fixed rows).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Nation {
+    /// Primary key, 0–24.
+    pub nationkey: i64,
+    /// FK to [`Region::regionkey`].
+    pub regionkey: i64,
+}
+
+/// A REGION row (5 fixed rows).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Region {
+    /// Primary key, 0–4.
+    pub regionkey: i64,
+}
+
+/// The number of days covered by order/ship dates (7 years).
+pub const DATE_RANGE_DAYS: i64 = 7 * 365 + 2;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn date_range_is_seven_years() {
+        assert_eq!(DATE_RANGE_DAYS, 2557);
+    }
+
+    #[test]
+    fn rows_are_copy_and_comparable() {
+        let a = Region { regionkey: 1 };
+        let b = a;
+        assert_eq!(a, b);
+    }
+}

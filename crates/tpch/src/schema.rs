@@ -1,0 +1,156 @@
+//! The TPC-H benchmark schema: tables, base cardinalities per scale
+//! factor, and approximate row widths (paper §5.1 runs all experiments on
+//! TPC-H data).
+
+use serde::{Deserialize, Serialize};
+
+/// The eight TPC-H tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Table {
+    /// LINEITEM — the fact table, ~6 M rows per scale factor.
+    Lineitem,
+    /// ORDERS — ~1.5 M rows per scale factor.
+    Orders,
+    /// CUSTOMER — ~150 k rows per scale factor.
+    Customer,
+    /// PART — ~200 k rows per scale factor.
+    Part,
+    /// PARTSUPP — ~800 k rows per scale factor.
+    Partsupp,
+    /// SUPPLIER — ~10 k rows per scale factor.
+    Supplier,
+    /// NATION — fixed 25 rows.
+    Nation,
+    /// REGION — fixed 5 rows.
+    Region,
+}
+
+impl Table {
+    /// All tables.
+    pub const ALL: [Table; 8] = [
+        Table::Lineitem,
+        Table::Orders,
+        Table::Customer,
+        Table::Part,
+        Table::Partsupp,
+        Table::Supplier,
+        Table::Nation,
+        Table::Region,
+    ];
+
+    /// The table's name as used in the TPC-H specification.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Table::Lineitem => "LINEITEM",
+            Table::Orders => "ORDERS",
+            Table::Customer => "CUSTOMER",
+            Table::Part => "PART",
+            Table::Partsupp => "PARTSUPP",
+            Table::Supplier => "SUPPLIER",
+            Table::Nation => "NATION",
+            Table::Region => "REGION",
+        }
+    }
+
+    /// Number of rows at the given scale factor. NATION and REGION are
+    /// fixed-size; all other tables scale linearly (TPC-H §4.2.5; the
+    /// nominal 6,001,215 LINEITEM rows at SF = 1 are approximated by the
+    /// 6 M used for cardinality estimation).
+    pub fn rows(&self, sf: f64) -> f64 {
+        match self {
+            Table::Lineitem => 6_000_000.0 * sf,
+            Table::Orders => 1_500_000.0 * sf,
+            Table::Customer => 150_000.0 * sf,
+            Table::Part => 200_000.0 * sf,
+            Table::Partsupp => 800_000.0 * sf,
+            Table::Supplier => 10_000.0 * sf,
+            Table::Nation => 25.0,
+            Table::Region => 5.0,
+        }
+    }
+
+    /// Approximate average row width in bytes (from the TPC-H table
+    /// layouts; used to convert cardinalities into I/O volumes).
+    pub fn row_bytes(&self) -> f64 {
+        match self {
+            Table::Lineitem => 112.0,
+            Table::Orders => 104.0,
+            Table::Customer => 160.0,
+            Table::Part => 128.0,
+            Table::Partsupp => 136.0,
+            Table::Supplier => 144.0,
+            Table::Nation => 80.0,
+            Table::Region => 80.0,
+        }
+    }
+
+    /// Table volume in bytes at the given scale factor.
+    pub fn bytes(&self, sf: f64) -> f64 {
+        self.rows(sf) * self.row_bytes()
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Frequently used TPC-H ratios.
+pub mod ratios {
+    /// Average LINEITEM rows per ORDERS row.
+    pub const LINEITEMS_PER_ORDER: f64 = 4.0;
+    /// Number of distinct nations.
+    pub const NATIONS: f64 = 25.0;
+    /// Number of distinct regions.
+    pub const REGIONS: f64 = 5.0;
+    /// Nations per region.
+    pub const NATIONS_PER_REGION: f64 = 5.0;
+    /// Selectivity of a one-region predicate (`r_name = '...'`).
+    pub const ONE_REGION: f64 = 1.0 / REGIONS;
+    /// Selectivity of a one-year `o_orderdate` range (7 years of orders).
+    pub const ONE_YEAR_ORDERS: f64 = 1.0 / 7.0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cardinalities_scale_linearly_except_fixed_tables() {
+        assert_eq!(Table::Lineitem.rows(1.0), 6e6);
+        assert_eq!(Table::Lineitem.rows(100.0), 6e8);
+        assert_eq!(Table::Orders.rows(10.0), 1.5e7);
+        assert_eq!(Table::Nation.rows(1000.0), 25.0);
+        assert_eq!(Table::Region.rows(1000.0), 5.0);
+    }
+
+    #[test]
+    fn lineitem_to_orders_ratio() {
+        let sf = 37.0;
+        assert_eq!(
+            Table::Lineitem.rows(sf) / Table::Orders.rows(sf),
+            ratios::LINEITEMS_PER_ORDER
+        );
+    }
+
+    #[test]
+    fn bytes_combine_rows_and_width() {
+        assert_eq!(Table::Region.bytes(1.0), 5.0 * 80.0);
+        assert_eq!(Table::Lineitem.bytes(1.0), 6e6 * 112.0);
+    }
+
+    #[test]
+    fn names_and_display() {
+        assert_eq!(Table::Lineitem.name(), "LINEITEM");
+        assert_eq!(Table::Partsupp.to_string(), "PARTSUPP");
+        let names: std::collections::HashSet<_> =
+            Table::ALL.iter().map(|t| t.name()).collect();
+        assert_eq!(names.len(), 8);
+    }
+
+    #[test]
+    fn ratios_are_consistent() {
+        assert_eq!(ratios::NATIONS, ratios::REGIONS * ratios::NATIONS_PER_REGION);
+    }
+}

@@ -1,0 +1,101 @@
+//! End-to-end run of the real execution engine: generate TPC-H data,
+//! shard it over worker threads, execute Q5 under injected node failures
+//! with three recovery strategies, and verify every strategy produces the
+//! identical result.
+//!
+//! ```text
+//! cargo run --example engine_demo
+//! ```
+
+use ftpde::core::config::MatConfig;
+use ftpde::engine::prelude::*;
+use ftpde::tpch::datagen::Database;
+
+fn main() {
+    const NODES: usize = 4;
+    let db = Database::generate(0.002, 42);
+    println!(
+        "generated TPC-H-like database @ SF 0.002: {} rows total ({} lineitems)",
+        db.total_rows(),
+        db.lineitem.len()
+    );
+    let catalog = load_catalog(&db, NODES);
+    println!("sharded over {NODES} worker nodes (lineitem/orders hash-partitioned, rest replicated)\n");
+
+    let plan = q5_engine_plan();
+    let dag = plan.to_plan_dag();
+
+    // Ground truth: failure-free run.
+    let reference = run_query(
+        &plan,
+        &MatConfig::none(&dag),
+        &catalog,
+        &FailureInjector::none(),
+        &RunOptions::default(),
+    );
+    let truth = &reference.results[0].1;
+    println!("failure-free Q5 result ({} nations):", truth.len());
+    for row in truth.iter() {
+        println!("  nation {:>2}  revenue {}", row[0].as_int(), row[1].as_int());
+    }
+
+    // Now break things: kill several first attempts across all stages.
+    let stage_roots: Vec<u32> = {
+        let pc = ftpde::core::collapse::CollapsedPlan::collapse(
+            &dag,
+            &MatConfig::from_free_bits(&dag, 0b00101),
+            1.0,
+        );
+        pc.iter().map(|(_, c)| c.root.0).collect()
+    };
+    let scenarios: [(&str, MatConfig, EngineRecovery); 3] = [
+        ("all-mat + fine-grained", MatConfig::all(&dag), EngineRecovery::FineGrained),
+        ("lineage (no-mat) + fine-grained", MatConfig::none(&dag), EngineRecovery::FineGrained),
+        (
+            "cost-based subset + fine-grained",
+            MatConfig::from_free_bits(&dag, 0b00101),
+            EngineRecovery::FineGrained,
+        ),
+    ];
+
+    println!("\ninjecting node failures (p = 0.4 per stage × node, first attempts):");
+    for (label, config, recovery) in scenarios {
+        let injector = FailureInjector::random_first_attempts(&stage_roots, NODES, 0.4, 9);
+        let report = run_query(
+            &plan,
+            &config,
+            &catalog,
+            &injector,
+            &RunOptions { recovery, max_restarts: 100 },
+        );
+        let ok = report.results[0].1 == *truth;
+        println!(
+            "  {:<34} retries={:<3} rows materialized={:<7} result {}",
+            label,
+            report.node_retries,
+            report.rows_materialized,
+            if ok { "IDENTICAL ✓" } else { "DIFFERS ✗" }
+        );
+        assert!(ok, "recovery must never change query results");
+    }
+
+    // Coarse restart for comparison.
+    let sink = plan.sinks()[0];
+    let injector = FailureInjector::with([Injection { stage: sink.0, node: 1, attempt: 0 }]);
+    let report = run_query(
+        &plan,
+        &MatConfig::none(&dag),
+        &catalog,
+        &injector,
+        &RunOptions { recovery: EngineRecovery::CoarseRestart, max_restarts: 100 },
+    );
+    println!(
+        "  {:<34} restarts={:<2} result {}",
+        "restart (parallel-DB style)",
+        report.query_restarts,
+        if report.results[0].1 == *truth { "IDENTICAL ✓" } else { "DIFFERS ✗" }
+    );
+    assert_eq!(report.results[0].1, *truth);
+
+    println!("\nevery recovery path reproduced the failure-free result bit-for-bit.");
+}

@@ -1,0 +1,242 @@
+//! `ftpde` — command-line what-if tool for cost-based fault tolerance.
+//!
+//! ```text
+//! ftpde plan     --query Q5 --sf 100 --nodes 10 --mtbf 3600 [--mttr 1]
+//! ftpde simulate --query Q5 --sf 100 --nodes 10 --mtbf 3600 [--traces 10] [--seed 42]
+//! ftpde success  --runtime-min 30 --nodes 10 --mtbf 3600
+//! ftpde dot      --query Q5 --sf 100 --mtbf 3600 > plan.dot
+//! ```
+//!
+//! * `plan` — run the cost-based search for a TPC-H query and explain the
+//!   chosen materialization configuration.
+//! * `simulate` — replay failure traces under all four fault-tolerance
+//!   schemes and report overheads.
+//! * `success` — probability that a query of the given runtime finishes
+//!   without any mid-query failure (the paper's Figure 1 formula).
+//! * `dot` — emit the chosen fault-tolerant plan as Graphviz DOT (stages
+//!   as dashed clusters, checkpoints highlighted).
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use ftpde::cluster::prelude::*;
+use ftpde::core::prelude::*;
+use ftpde::sim::prelude::*;
+use ftpde::tpch::prelude::*;
+
+/// CLI result type (the core prelude shadows `std::result::Result`'s
+/// two-parameter form with its own alias).
+type CliResult<T> = std::result::Result<T, String>;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, flags)) = parse(&args) else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "plan" => cmd_plan(&flags),
+        "simulate" => cmd_simulate(&flags),
+        "success" => cmd_success(&flags),
+        "dot" => cmd_dot(&flags),
+        _ => Err(format!("unknown command {cmd:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  ftpde plan     --query <Q1|Q3|Q5|Q1C|Q2C> --sf <N> --nodes <N> --mtbf <secs> [--mttr <secs>]
+  ftpde simulate --query <Q1|Q3|Q5|Q1C|Q2C> --sf <N> --nodes <N> --mtbf <secs> [--mttr <secs>] [--traces <N>] [--seed <N>]
+  ftpde success  --runtime-min <N> --nodes <N> --mtbf <secs>
+  ftpde dot      --query <Q1|Q3|Q5|Q1C|Q2C> --sf <N> --nodes <N> --mtbf <secs>";
+
+/// Splits `["cmd", "--k", "v", ...]` into the command and a flag map.
+fn parse(args: &[String]) -> Option<(String, HashMap<String, String>)> {
+    let (cmd, rest) = args.split_first()?;
+    let mut flags = HashMap::new();
+    let mut it = rest.iter();
+    while let Some(k) = it.next() {
+        let k = k.strip_prefix("--")?;
+        let v = it.next()?;
+        flags.insert(k.to_string(), v.clone());
+    }
+    Some((cmd.clone(), flags))
+}
+
+fn get_f64(flags: &HashMap<String, String>, key: &str, default: Option<f64>) -> CliResult<f64> {
+    match flags.get(key) {
+        Some(v) => v.parse().map_err(|_| format!("--{key}: not a number: {v:?}")),
+        None => default.ok_or_else(|| format!("missing required flag --{key}")),
+    }
+}
+
+fn get_query(flags: &HashMap<String, String>) -> CliResult<Query> {
+    let name = flags.get("query").ok_or("missing required flag --query")?;
+    Query::ALL
+        .into_iter()
+        .find(|q| q.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown query {name:?} (expected Q1, Q3, Q5, Q1C or Q2C)"))
+}
+
+fn get_cluster(flags: &HashMap<String, String>) -> CliResult<ClusterConfig> {
+    let nodes = get_f64(flags, "nodes", Some(10.0))? as usize;
+    let mtbf = get_f64(flags, "mtbf", None)?;
+    let mttr = get_f64(flags, "mttr", Some(1.0))?;
+    if nodes == 0 || mtbf <= 0.0 || mttr < 0.0 {
+        return Err("nodes must be ≥ 1, mtbf > 0, mttr ≥ 0".into());
+    }
+    Ok(ClusterConfig::new(nodes, mtbf, mttr))
+}
+
+fn cmd_plan(flags: &HashMap<String, String>) -> CliResult<()> {
+    let query = get_query(flags)?;
+    let sf = get_f64(flags, "sf", Some(100.0))?;
+    let cluster = get_cluster(flags)?;
+    let cm = CostModel::xdb_calibrated();
+    let plan = query.plan(sf, &cm);
+    let params = Scheme::cost_params(&cluster);
+    let (best, stats) =
+        find_best_ft_plan(std::slice::from_ref(&plan), &params, &PruneOptions::default())
+            .map_err(|e| e.to_string())?;
+
+    println!(
+        "{query} @ SF {sf} on {} nodes (MTBF {:.0}s, MTTR {:.0}s)",
+        cluster.nodes, cluster.mtbf, cluster.mttr
+    );
+    println!(
+        "baseline {:.1}s | estimated under failures {:.1}s\n",
+        ftpde::tpch::costing::baseline_runtime(&plan),
+        best.estimate.dominant_cost
+    );
+    print!("{}", explain_plan(&plan, &best.config));
+    println!();
+    print!("{}", explain_estimate(&plan, &best.estimate, &params));
+    println!(
+        "\nsearch: {}/{} configurations, {} paths costed, rule3 stops: {}",
+        stats.configs_enumerated,
+        stats.configs_unpruned,
+        stats.paths_costed,
+        stats.rule3_stops()
+    );
+    Ok(())
+}
+
+fn cmd_simulate(flags: &HashMap<String, String>) -> CliResult<()> {
+    let query = get_query(flags)?;
+    let sf = get_f64(flags, "sf", Some(100.0))?;
+    let cluster = get_cluster(flags)?;
+    let traces_n = get_f64(flags, "traces", Some(10.0))? as usize;
+    let seed = get_f64(flags, "seed", Some(42.0))? as u64;
+    let cm = CostModel::xdb_calibrated();
+    let plan = query.plan(sf, &cm);
+    let opts = SimOptions::default();
+    let horizon = suggested_horizon(&plan, &cluster, &opts);
+    let traces = TraceSet::generate(&cluster, horizon, traces_n, seed);
+    let baseline = ftpde::tpch::costing::baseline_runtime(&plan);
+    println!(
+        "{query} @ SF {sf}: baseline {:.1}s, {} traces, MTBF {:.0}s/node\n",
+        baseline, traces_n, cluster.mtbf
+    );
+    println!("{:<18} {:>12} {:>14} {:>10}", "scheme", "overhead", "completion", "checkpoints");
+    for run in run_all_schemes(&plan, &cluster, &traces, &opts).map_err(|e| e.to_string())? {
+        let (oh, comp) = match (run.mean_overhead_pct(), run.mean_completion()) {
+            (Some(o), Some(c)) => (format!("{o:.1} %"), format!("{c:.1} s")),
+            _ => ("aborted".into(), "-".into()),
+        };
+        println!(
+            "{:<18} {:>12} {:>14} {:>10}",
+            run.scheme.name(),
+            oh,
+            comp,
+            run.config.materialized_count()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_success(flags: &HashMap<String, String>) -> CliResult<()> {
+    let runtime_min = get_f64(flags, "runtime-min", None)?;
+    let cluster = get_cluster(flags)?;
+    let p = success_probability(&cluster, runtime_min * 60.0);
+    println!(
+        "P(no failure during a {runtime_min:.1}-minute query on {} nodes, MTBF {:.0}s/node) = {:.2} %",
+        cluster.nodes,
+        cluster.mtbf,
+        p * 100.0
+    );
+    println!("expected failures during the query: {:.2}", expected_failures(&cluster, runtime_min * 60.0));
+    Ok(())
+}
+
+fn cmd_dot(flags: &HashMap<String, String>) -> CliResult<()> {
+    let query = get_query(flags)?;
+    let sf = get_f64(flags, "sf", Some(100.0))?;
+    let cluster = get_cluster(flags)?;
+    let cm = CostModel::xdb_calibrated();
+    let plan = query.plan(sf, &cm);
+    let params = Scheme::cost_params(&cluster);
+    let (best, _) =
+        find_best_ft_plan(std::slice::from_ref(&plan), &params, &PruneOptions::default())
+            .map_err(|e| e.to_string())?;
+    print!("{}", to_dot(&plan, &best.config, &best.estimate.collapsed));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(pairs: &[(&str, &str)]) -> HashMap<String, String> {
+        pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+    }
+
+    #[test]
+    fn parse_splits_command_and_flags() {
+        let args: Vec<String> =
+            ["plan", "--query", "Q5", "--sf", "10"].iter().map(|s| s.to_string()).collect();
+        let (cmd, f) = parse(&args).unwrap();
+        assert_eq!(cmd, "plan");
+        assert_eq!(f["query"], "Q5");
+        assert_eq!(f["sf"], "10");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_flags() {
+        let args: Vec<String> = ["plan", "query"].iter().map(|s| s.to_string()).collect();
+        assert!(parse(&args).is_none());
+        assert!(parse(&[]).is_none());
+    }
+
+    #[test]
+    fn query_lookup_is_case_insensitive() {
+        assert_eq!(get_query(&flags(&[("query", "q1c")])).unwrap(), Query::Q1C);
+        assert!(get_query(&flags(&[("query", "Q9")])).is_err());
+        assert!(get_query(&flags(&[])).is_err());
+    }
+
+    #[test]
+    fn cluster_validation() {
+        assert!(get_cluster(&flags(&[("mtbf", "3600")])).is_ok());
+        assert!(get_cluster(&flags(&[])).is_err()); // mtbf required
+        assert!(get_cluster(&flags(&[("mtbf", "-1")])).is_err());
+        assert!(get_cluster(&flags(&[("mtbf", "x")])).is_err());
+    }
+
+    #[test]
+    fn commands_run_end_to_end() {
+        let f = flags(&[("query", "Q3"), ("sf", "1"), ("mtbf", "600")]);
+        cmd_plan(&f).unwrap();
+        let f = flags(&[("query", "Q1"), ("sf", "1"), ("mtbf", "600"), ("traces", "2")]);
+        cmd_simulate(&f).unwrap();
+        let f = flags(&[("runtime-min", "30"), ("mtbf", "3600")]);
+        cmd_success(&f).unwrap();
+        let f = flags(&[("query", "Q5"), ("sf", "1"), ("mtbf", "600")]);
+        cmd_dot(&f).unwrap();
+    }
+}
