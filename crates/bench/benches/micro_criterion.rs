@@ -17,9 +17,7 @@ use ftpde_tpch::queries::{q5_join_graph, q5_plan};
 
 fn bench_join_enumeration(c: &mut Criterion) {
     let graph = q5_join_graph(10.0);
-    c.bench_function("optimizer/count_join_orders_q5", |b| {
-        b.iter(|| count_join_orders(&graph))
-    });
+    c.bench_function("optimizer/count_join_orders_q5", |b| b.iter(|| count_join_orders(&graph)));
     c.bench_function("optimizer/k_best_plans_q5_k10", |b| b.iter(|| k_best_plans(&graph, 10)));
     c.bench_function("optimizer/all_plans_q5_1344", |b| b.iter(|| all_plans(&graph)));
 }

@@ -44,26 +44,31 @@ pub struct WastedRow {
 /// Runs ablation 1 on Q5 @ SF = 100.
 pub fn wasted_time_model() -> Vec<WastedRow> {
     let plan = q5_plan(100.0, &CostModel::xdb_calibrated());
-    [("1 week", mtbf::WEEK), ("1 day", mtbf::DAY), ("1 hour", mtbf::HOUR), ("30 min", mtbf::HALF_HOUR)]
-        .into_iter()
-        .map(|(label, m)| {
-            let cluster = ClusterConfig::paper_cluster(m);
-            let base = Scheme::cost_params(&cluster);
-            let exact = base.with_wasted_model(WastedTimeModel::Exact);
-            let (best_a, _) =
-                find_best_ft_plan(std::slice::from_ref(&plan), &base, &PruneOptions::none())
-                    .expect("valid");
-            let (best_e, _) =
-                find_best_ft_plan(std::slice::from_ref(&plan), &exact, &PruneOptions::none())
-                    .expect("valid");
-            WastedRow {
-                label,
-                approx_estimate: best_a.estimate.dominant_cost,
-                exact_estimate: best_e.estimate.dominant_cost,
-                same_config: best_a.config == best_e.config,
-            }
-        })
-        .collect()
+    [
+        ("1 week", mtbf::WEEK),
+        ("1 day", mtbf::DAY),
+        ("1 hour", mtbf::HOUR),
+        ("30 min", mtbf::HALF_HOUR),
+    ]
+    .into_iter()
+    .map(|(label, m)| {
+        let cluster = ClusterConfig::paper_cluster(m);
+        let base = Scheme::cost_params(&cluster);
+        let exact = base.with_wasted_model(WastedTimeModel::Exact);
+        let (best_a, _) =
+            find_best_ft_plan(std::slice::from_ref(&plan), &base, &PruneOptions::none())
+                .expect("valid");
+        let (best_e, _) =
+            find_best_ft_plan(std::slice::from_ref(&plan), &exact, &PruneOptions::none())
+                .expect("valid");
+        WastedRow {
+            label,
+            approx_estimate: best_a.estimate.dominant_cost,
+            exact_estimate: best_e.estimate.dominant_cost,
+            same_config: best_a.config == best_e.config,
+        }
+    })
+    .collect()
 }
 
 /// Ablation 2: search work with rule 3 alone vs rule 3 + Eq. 9 memo.
@@ -146,9 +151,18 @@ pub fn mid_operator_checkpointing() -> Vec<MidOpRow> {
     for (label, opts) in [
         ("no mid-op checkpoints".to_string(), SimOptions::default()),
         // 60 s of work per checkpoint, 3 s to write one.
-        ("every 60 s (3 s each)".to_string(), SimOptions::default().with_mid_op_checkpoints(60.0, 3.0)),
-        ("every 300 s (3 s each)".to_string(), SimOptions::default().with_mid_op_checkpoints(300.0, 3.0)),
-        ("every 900 s (3 s each)".to_string(), SimOptions::default().with_mid_op_checkpoints(900.0, 3.0)),
+        (
+            "every 60 s (3 s each)".to_string(),
+            SimOptions::default().with_mid_op_checkpoints(60.0, 3.0),
+        ),
+        (
+            "every 300 s (3 s each)".to_string(),
+            SimOptions::default().with_mid_op_checkpoints(300.0, 3.0),
+        ),
+        (
+            "every 900 s (3 s each)".to_string(),
+            SimOptions::default().with_mid_op_checkpoints(900.0, 3.0),
+        ),
     ] {
         let horizon = suggested_horizon(&plan, &cluster, &opts);
         let traces = TraceSet::generate(&cluster, horizon, 10, 31);
@@ -187,8 +201,7 @@ pub fn skew_accuracy() -> Vec<SkewRow> {
             // Node i runs at factor 1 + s·i/(n−1): node 0 nominal, the
             // last node (1+s)× slower.
             let n = cluster.nodes;
-            let factors: Vec<f64> =
-                (0..n).map(|i| 1.0 + s * i as f64 / (n - 1) as f64).collect();
+            let factors: Vec<f64> = (0..n).map(|i| 1.0 + s * i as f64 / (n - 1) as f64).collect();
             let opts = SimOptions::default().with_skew(factors);
             let horizon = suggested_horizon(&plan, &cluster, &opts) * (1.0 + s);
             let traces = TraceSet::generate(&cluster, horizon, 10, 57);
@@ -243,7 +256,9 @@ pub fn print_all() {
         .collect();
     report::table(&["k", "best estimate", "winning order"], &rows);
 
-    report::banner("Ablation 4: mid-operator checkpointing (§7) — Q5 @ SF=1000, lineage config, MTBF=1 hour");
+    report::banner(
+        "Ablation 4: mid-operator checkpointing (§7) — Q5 @ SF=1000, lineage config, MTBF=1 hour",
+    );
     let rows: Vec<Vec<String>> = mid_operator_checkpointing()
         .iter()
         .map(|r| vec![r.label.clone(), report::secs(r.completion)])
@@ -318,8 +333,12 @@ mod tests {
     fn skew_error_grows() {
         let rows = skew_accuracy();
         let err = |r: &SkewRow| (r.actual - r.estimated) / r.actual;
-        assert!(err(&rows[3]) > err(&rows[0]), "skew must hurt accuracy: {:?} vs {:?}",
-            (rows[3].actual, rows[3].estimated), (rows[0].actual, rows[0].estimated));
+        assert!(
+            err(&rows[3]) > err(&rows[0]),
+            "skew must hurt accuracy: {:?} vs {:?}",
+            (rows[3].actual, rows[3].estimated),
+            (rows[0].actual, rows[0].estimated)
+        );
         // The skew-oblivious estimate itself is constant.
         assert!(rows.iter().all(|r| (r.estimated - rows[0].estimated).abs() < 1e-9));
     }

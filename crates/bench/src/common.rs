@@ -24,12 +24,7 @@ pub fn scheme_overheads(
 
 /// Full per-scheme runs (for harnesses that need completion times or
 /// configs, e.g. Figure 12).
-pub fn runs(
-    plan: &PlanDag,
-    cluster: &ClusterConfig,
-    n_traces: usize,
-    seed: u64,
-) -> Vec<SchemeRun> {
+pub fn runs(plan: &PlanDag, cluster: &ClusterConfig, n_traces: usize, seed: u64) -> Vec<SchemeRun> {
     let opts = SimOptions::default();
     let horizon = suggested_horizon(plan, cluster, &opts);
     let traces = TraceSet::generate(cluster, horizon, n_traces, seed);

@@ -41,7 +41,18 @@ pub fn print_all() {
     for (i, path) in all_paths(&collapsed).iter().enumerate() {
         let names: Vec<String> = path
             .iter()
-            .map(|&c| format!("{{{}}}", collapsed.op(c).members.iter().map(|o| (o.0 + 1).to_string()).collect::<Vec<_>>().join(",")))
+            .map(|&c| {
+                format!(
+                    "{{{}}}",
+                    collapsed
+                        .op(c)
+                        .members
+                        .iter()
+                        .map(|o| (o.0 + 1).to_string())
+                        .collect::<Vec<_>>()
+                        .join(",")
+                )
+            })
             .collect();
         println!("Pt{}: {}", i + 1, names.join(" → "));
     }
@@ -63,7 +74,10 @@ pub fn print_all() {
 /// Renders Figure 4's saw-tooth: the potentially wasted runtime grows
 /// linearly within each collapsed operator and resets at every
 /// materialization point.
-pub fn wasted_runtime_sawtooth(collapsed: &CollapsedPlan, path: &[ftpde_core::collapse::CId]) -> String {
+pub fn wasted_runtime_sawtooth(
+    collapsed: &CollapsedPlan,
+    path: &[ftpde_core::collapse::CId],
+) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     let mut t = 0.0f64;
@@ -98,10 +112,7 @@ mod tests {
         assert!(s);
     }
 
-    fn wasted_runtimes_ok(
-        collapsed: &CollapsedPlan,
-        path: &[ftpde_core::collapse::CId],
-    ) -> bool {
+    fn wasted_runtimes_ok(collapsed: &CollapsedPlan, path: &[ftpde_core::collapse::CId]) -> bool {
         let s = wasted_runtime_sawtooth(collapsed, path);
         // One reset marker per collapsed operator on the path.
         s.matches("resets").count() == path.len()

@@ -58,9 +58,10 @@ pub fn run() -> Figure8 {
 
 /// Prints the figure as two tables.
 pub fn print(fig: &Figure8) {
-    for (label, rows) in
-        [("(a) Low MTBF (1.1x runtime)", &fig.low_mtbf), ("(b) High MTBF (10x runtime)", &fig.high_mtbf)]
-    {
+    for (label, rows) in [
+        ("(a) Low MTBF (1.1x runtime)", &fig.low_mtbf),
+        ("(b) High MTBF (10x runtime)", &fig.high_mtbf),
+    ] {
         report::banner(&format!("Figure 8{label}: Varying Queries, SF=100, overhead in %"));
         let mut headers = vec!["query", "baseline"];
         headers.extend(Scheme::ALL.iter().map(|s| s.name()));
@@ -87,10 +88,8 @@ mod tests {
         let plan = query.plan(SF, &cm);
         let baseline = baseline_runtime(&plan);
         let cluster = ClusterConfig::paper_cluster(mtbf_factor * baseline);
-        let overheads = scheme_overheads(&plan, &cluster, 5, 99)
-            .into_iter()
-            .map(|(_, oh)| oh)
-            .collect();
+        let overheads =
+            scheme_overheads(&plan, &cluster, 5, 99).into_iter().map(|(_, oh)| oh).collect();
         QueryRow { query, baseline, overheads }
     }
 

@@ -14,8 +14,7 @@ use crate::report;
 /// our calibrated Q5 needs larger scale factors to reach the same runtimes
 /// (the two top entries push the restart scheme past its abort limit, the
 /// cliff the paper describes).
-pub const SCALE_FACTORS: [f64; 9] =
-    [1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1000.0, 3000.0, 10_000.0];
+pub const SCALE_FACTORS: [f64; 9] = [1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1000.0, 3000.0, 10_000.0];
 
 /// One point of the sweep.
 #[derive(Debug, Clone)]

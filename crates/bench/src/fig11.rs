@@ -95,10 +95,8 @@ mod tests {
 
         // Monotonicity: every scheme's overhead grows as MTBF shrinks.
         for s in 0..4 {
-            let vals: Vec<f64> = rows
-                .iter()
-                .map(|r| r.overheads[s].unwrap_or(f64::INFINITY))
-                .collect();
+            let vals: Vec<f64> =
+                rows.iter().map(|r| r.overheads[s].unwrap_or(f64::INFINITY)).collect();
             assert!(
                 vals[0] <= vals[1] * 1.2 + 6.0 && vals[1] <= vals[2] * 1.2 + 6.0,
                 "scheme {s}: {vals:?}"

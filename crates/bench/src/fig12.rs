@@ -67,8 +67,7 @@ pub fn run_panel_a() -> Vec<Pair> {
         .map(|(i, &(label, m))| {
             let cluster = ClusterConfig::paper_cluster(m);
             let params = Scheme::cost_params(&cluster);
-            let config =
-                Scheme::CostBased.select_config(&plan, &cluster).expect("valid plan");
+            let config = Scheme::CostBased.select_config(&plan, &cluster).expect("valid plan");
             let estimated = estimate_ft_plan(&plan, &config, &params).dominant_cost;
             let horizon = suggested_horizon(&plan, &cluster, &SimOptions::default());
             let traces = TraceSet::generate(&cluster, horizon, 10, 1200 + i as u64);
@@ -98,9 +97,11 @@ pub fn run_panel_b() -> Vec<Pair> {
     pairs
 }
 
-/// Prints both panels.
-pub fn print(panel_a: &[Pair], panel_b: &[Pair]) {
-    report::banner("Figure 12a: Accuracy of Cost Model — Varying MTBF (Q5, SF=100)");
+/// Builds the full two-panel report as an [`ftpde_obs::Summary`], so it
+/// can be printed, rendered to a string, or mirrored into a recorder.
+pub fn summary(panel_a: &[Pair], panel_b: &[Pair]) -> ftpde_obs::Summary {
+    let mut s = ftpde_obs::Summary::new();
+    s.banner("Figure 12a: Accuracy of Cost Model — Varying MTBF (Q5, SF=100)");
     let rows: Vec<Vec<String>> = panel_a
         .iter()
         .map(|p| {
@@ -112,9 +113,9 @@ pub fn print(panel_a: &[Pair], panel_b: &[Pair]) {
             ]
         })
         .collect();
-    report::table(&["MTBF", "actual", "estimated", "error"], &rows);
+    s.table(&["MTBF", "actual", "estimated", "error"], &rows);
 
-    report::banner("Figure 12b: Accuracy over all 32 Mat. Configurations (MTBF=1 hour)");
+    s.banner("Figure 12b: Accuracy over all 32 Mat. Configurations (MTBF=1 hour)");
     let rows: Vec<Vec<String>> = panel_b
         .iter()
         .enumerate()
@@ -127,18 +128,38 @@ pub fn print(panel_a: &[Pair], panel_b: &[Pair]) {
             ]
         })
         .collect();
-    report::table(&["rank", "config", "actual", "estimated"], &rows);
+    s.table(&["rank", "config", "actual", "estimated"], &rows);
     let actual: Vec<f64> = panel_b.iter().map(|p| p.actual).collect();
     let estimated: Vec<f64> = panel_b.iter().map(|p| p.estimated).collect();
-    println!(
+    s.line(format!(
         "Pearson correlation (actual vs estimated): {:.3}",
         report::pearson(&actual, &estimated)
-    );
+    ));
+    s
+}
+
+/// Prints both panels.
+pub fn print(panel_a: &[Pair], panel_b: &[Pair]) {
+    summary(panel_a, panel_b).print();
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn summary_renders_both_panels_and_pearson() {
+        let a = vec![Pair { label: "1 month".into(), actual: 100.0, estimated: 100.0 }];
+        let b = vec![
+            Pair { label: "cfg00".into(), actual: 100.0, estimated: 90.0 },
+            Pair { label: "cfg01".into(), actual: 120.0, estimated: 110.0 },
+        ];
+        let text = summary(&a, &b).render();
+        assert!(text.contains("==== Figure 12a: Accuracy of Cost Model"), "{text}");
+        assert!(text.contains("==== Figure 12b: Accuracy over all 32"), "{text}");
+        assert!(text.contains("rank  config  actual  estimated"), "{text}");
+        assert!(text.ends_with("Pearson correlation (actual vs estimated): 1.000\n"), "{text}");
+    }
 
     #[test]
     fn panel_a_errors_grow_with_failure_rate_and_underestimate() {

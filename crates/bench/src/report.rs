@@ -1,35 +1,22 @@
 //! Small plain-text table/series printers shared by the experiment
-//! harnesses. Output is deliberately plain `println!` rows so `cargo
-//! bench` transcripts diff cleanly against EXPERIMENTS.md.
+//! harnesses. Rendering is delegated to [`ftpde_obs::Summary`], whose
+//! plain-text output is byte-identical to the original `println!` rows so
+//! `cargo bench` transcripts keep diffing cleanly against EXPERIMENTS.md.
+
+use ftpde_obs::Summary;
 
 /// Prints a title banner.
 pub fn banner(title: &str) {
-    println!();
-    println!("==== {title} ====");
+    let mut s = Summary::new();
+    s.banner(title);
+    print!("{}", s.render());
 }
 
 /// Prints a table: a header row and rows of equal arity, space-aligned.
 pub fn table(headers: &[&str], rows: &[Vec<String>]) {
-    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
-    for row in rows {
-        for (i, cell) in row.iter().enumerate() {
-            widths[i] = widths[i].max(cell.len());
-        }
-    }
-    let fmt_row = |cells: &[String]| {
-        cells
-            .iter()
-            .enumerate()
-            .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
-            .collect::<Vec<_>>()
-            .join("  ")
-    };
-    let headers: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
-    println!("{}", fmt_row(&headers));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
-    for row in rows {
-        println!("{}", fmt_row(row));
-    }
+    let mut s = Summary::new();
+    s.table(headers, rows);
+    print!("{}", s.render());
 }
 
 /// Formats an optional overhead percentage; `None` prints as the paper's

@@ -65,8 +65,11 @@ pub fn run() -> Vec<RobustnessRow> {
 /// Prints the table.
 pub fn print(rows: &[RobustnessRow]) {
     report::banner("Table 3: Robustness of Cost Model (Q5, SF=100, MTBF=1 hour)");
-    let mut table_rows =
-        vec![vec!["Ranking w exact statistics".to_string(), "1 2 3 4 5".to_string(), "1.00x".to_string()]];
+    let mut table_rows = vec![vec![
+        "Ranking w exact statistics".to_string(),
+        "1 2 3 4 5".to_string(),
+        "1.00x".to_string(),
+    ]];
     table_rows.extend(rows.iter().map(|r| {
         vec![
             r.label.clone(),
@@ -84,9 +87,7 @@ mod tests {
     #[test]
     fn small_perturbations_stay_near_the_top() {
         let rows = run();
-        for r in rows.iter().filter(|r| {
-            r.label.ends_with("×0.5") || r.label.ends_with("×2")
-        }) {
+        for r in rows.iter().filter(|r| r.label.ends_with("×0.5") || r.label.ends_with("×2")) {
             // Paper: factors 0.5×/2× "often change the order within the
             // top-5 only slightly" — the chosen winner stays cheap.
             assert!(

@@ -183,10 +183,7 @@ mod tests {
         let t = FailureTrace::generate(&c, horizon, 1);
         let expected = c.nodes as f64 * horizon / c.mtbf; // 4000
         let got = t.total_failures() as f64;
-        assert!(
-            (got - expected).abs() < expected * 0.1,
-            "expected ≈ {expected}, got {got}"
-        );
+        assert!((got - expected).abs() < expected * 0.1, "expected ≈ {expected}, got {got}");
     }
 
     #[test]
@@ -219,8 +216,7 @@ mod tests {
     fn trace_set_seeds_are_distinct() {
         let set = TraceSet::generate(&cluster(), 1e5, 10, 100);
         assert_eq!(set.len(), 10);
-        let firsts: Vec<_> =
-            set.iter().map(|t| t.next_cluster_failure(0.0)).collect();
+        let firsts: Vec<_> = set.iter().map(|t| t.next_cluster_failure(0.0)).collect();
         // Not all traces identical.
         assert!(firsts.iter().any(|f| *f != firsts[0]));
     }

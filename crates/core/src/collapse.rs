@@ -254,11 +254,7 @@ mod tests {
     /// The materialization configuration of Figure 3 step 1: operators
     /// 3, 5, 6 and 7 (0-based ids 2, 4, 5, 6) materialize.
     pub(crate) fn figure3_config(plan: &PlanDag) -> MatConfig {
-        MatConfig::from_materialized_free_ops(
-            plan,
-            &[OpId(2), OpId(4), OpId(5), OpId(6)],
-        )
-        .unwrap()
+        MatConfig::from_materialized_free_ops(plan, &[OpId(2), OpId(4), OpId(5), OpId(6)]).unwrap()
     }
 
     #[test]
@@ -267,10 +263,8 @@ mod tests {
         let cfg = figure3_config(&plan);
         let pc = CollapsedPlan::collapse(&plan, &cfg, 1.0);
         assert_eq!(pc.len(), 4);
-        let groups: Vec<Vec<u32>> = pc
-            .iter()
-            .map(|(_, c)| c.members.iter().map(|o| o.0).collect())
-            .collect();
+        let groups: Vec<Vec<u32>> =
+            pc.iter().map(|(_, c)| c.members.iter().map(|o| o.0).collect()).collect();
         assert_eq!(groups, vec![vec![0, 1, 2], vec![3, 4], vec![5], vec![6]]);
         // Edges: {1,2,3} -> {4,5} -> {6} and {4,5} -> {7}.
         assert_eq!(pc.inputs(CId(1)), &[CId(0)]);

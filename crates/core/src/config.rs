@@ -32,10 +32,8 @@ impl MatConfig {
     /// The configuration that materializes every operator that is not
     /// explicitly non-materializable (the `all-mat` / Hadoop-style scheme).
     pub fn all(plan: &PlanDag) -> Self {
-        let bits = plan
-            .iter()
-            .map(|(_, op)| !matches!(op.binding, Binding::NonMaterializable))
-            .collect();
+        let bits =
+            plan.iter().map(|(_, op)| !matches!(op.binding, Binding::NonMaterializable)).collect();
         MatConfig { bits }
     }
 
@@ -100,11 +98,7 @@ impl MatConfig {
 
     /// Ids of all materialized operators, in topological order.
     pub fn materialized_ops(&self) -> Vec<OpId> {
-        self.bits
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &m)| m.then_some(OpId(i as u32)))
-            .collect()
+        self.bits.iter().enumerate().filter_map(|(i, &m)| m.then_some(OpId(i as u32))).collect()
     }
 
     /// Number of materialized operators.
@@ -115,10 +109,7 @@ impl MatConfig {
     /// Total materialization cost `Σ tm(o)·m(o)` implied by this
     /// configuration on `plan`.
     pub fn total_mat_cost(&self, plan: &PlanDag) -> f64 {
-        plan.iter()
-            .filter(|(id, _)| self.materializes(*id))
-            .map(|(_, op)| op.mat_cost)
-            .sum()
+        plan.iter().filter(|(id, _)| self.materializes(*id)).map(|(_, op)| op.mat_cost).sum()
     }
 
     /// Validates that this configuration matches the shape of `plan`:
@@ -209,7 +200,7 @@ mod tests {
         let p = figure2_plan();
         let cfgs: Vec<_> = MatConfig::enumerate(&p).collect();
         assert_eq!(cfgs.len(), 128); // 2^7 free operators
-        // All distinct.
+                                     // All distinct.
         let set: std::collections::HashSet<_> = cfgs.iter().cloned().collect();
         assert_eq!(set.len(), 128);
     }

@@ -237,11 +237,9 @@ mod tests {
 
     fn figure3_setup() -> (PlanDag, MatConfig) {
         let plan = figure2_plan();
-        let cfg = MatConfig::from_materialized_free_ops(
-            &plan,
-            &[OpId(2), OpId(4), OpId(5), OpId(6)],
-        )
-        .unwrap();
+        let cfg =
+            MatConfig::from_materialized_free_ops(&plan, &[OpId(2), OpId(4), OpId(5), OpId(6)])
+                .unwrap();
         (plan, cfg)
     }
 

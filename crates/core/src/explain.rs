@@ -10,6 +10,7 @@ use crate::config::MatConfig;
 use crate::cost::{CostParams, FtEstimate};
 use crate::dag::PlanDag;
 use crate::operator::Binding;
+use crate::search::SearchStats;
 
 /// Renders the plan as an indented operator table with per-operator costs
 /// and the materialization decision of `config`.
@@ -52,10 +53,8 @@ pub fn explain_plan(plan: &PlanDag, config: &MatConfig) -> String {
 pub fn explain_collapsed(plan: &PlanDag, collapsed: &CollapsedPlan) -> String {
     let mut out = String::new();
     for (cid, c) in collapsed.iter() {
-        let members: Vec<&str> =
-            c.members.iter().map(|&m| plan.op(m).name.as_str()).collect();
-        let dom: Vec<&str> =
-            c.dominant_path.iter().map(|&m| plan.op(m).name.as_str()).collect();
+        let members: Vec<&str> = c.members.iter().map(|&m| plan.op(m).name.as_str()).collect();
+        let dom: Vec<&str> = c.dominant_path.iter().map(|&m| plan.op(m).name.as_str()).collect();
         let _ = writeln!(
             out,
             "stage {}: t(c) = {:.2} (tr {:.2} + tm {:.2})\n  members: {}\n  dominant path: {}",
@@ -95,19 +94,77 @@ pub fn explain_estimate(plan: &PlanDag, estimate: &FtEstimate, params: &CostPara
     out
 }
 
+/// Renders the search-statistics summary: how the configuration space was
+/// partitioned between the pruning rules and full exploration (the data
+/// behind the paper's Figure 13), plus path-level counters.
+pub fn explain_search_stats(stats: &SearchStats) -> String {
+    let mut out = String::new();
+    let pct = |part: u64| {
+        if stats.configs_unpruned == 0 {
+            0.0
+        } else {
+            100.0 * part as f64 / stats.configs_unpruned as f64
+        }
+    };
+    let _ = writeln!(
+        out,
+        "search: {} candidate plan(s), {} configurations unpruned",
+        stats.plans_considered, stats.configs_unpruned
+    );
+    let _ = writeln!(
+        out,
+        "  pruned by rule 1 (high mat cost):     {:>8}  ({:.1}%)",
+        stats.configs_pruned_rule1,
+        pct(stats.configs_pruned_rule1)
+    );
+    let _ = writeln!(
+        out,
+        "  pruned by rule 2 (success prob):      {:>8}  ({:.1}%)",
+        stats.configs_pruned_rule2,
+        pct(stats.configs_pruned_rule2)
+    );
+    let _ = writeln!(
+        out,
+        "  abandoned by rule 3 (long paths):     {:>8}  ({:.1}%)  \
+         [runtime {} / estimate {} / memo {}]",
+        stats.rule3_stops(),
+        pct(stats.rule3_stops()),
+        stats.rule3_runtime_stops,
+        stats.rule3_estimate_stops,
+        stats.rule3_memo_stops
+    );
+    let _ = writeln!(
+        out,
+        "  explored to completion:               {:>8}  ({:.1}%)",
+        stats.configs_explored,
+        pct(stats.configs_explored)
+    );
+    let _ = writeln!(
+        out,
+        "  paths: {} examined, {} costed; best plan replaced {} time(s)",
+        stats.paths_examined, stats.paths_costed, stats.best_updates
+    );
+    if !stats.partition_holds() {
+        let _ = writeln!(out, "  WARNING: pruning partition does not sum to the unpruned space");
+    }
+    out
+}
+
 /// Renders the fault-tolerant plan as Graphviz DOT: operators as nodes
 /// (materialized ones double-peripheried and filled), data flow as edges,
 /// and collapsed stages as dashed clusters. Paste the output into any DOT
 /// renderer to visualize recovery granularity.
 pub fn to_dot(plan: &PlanDag, config: &MatConfig, collapsed: &CollapsedPlan) -> String {
-    let mut out = String::from("digraph ftplan {\n  rankdir=BT;\n  node [shape=box, fontsize=10];\n");
+    let mut out =
+        String::from("digraph ftplan {\n  rankdir=BT;\n  node [shape=box, fontsize=10];\n");
     // An operator shared by several stages (a non-materialized producer
     // with multiple consumers) is drawn in its first stage only — Graphviz
     // clusters cannot share nodes.
     let mut drawn = vec![false; plan.len()];
     for (cid, c) in collapsed.iter() {
         let _ = writeln!(out, "  subgraph cluster_{} {{", cid.0);
-        let _ = writeln!(out, "    label=\"stage {} (t={:.1})\"; style=dashed;", cid.0, c.total_cost());
+        let _ =
+            writeln!(out, "    label=\"stage {} (t={:.1})\"; style=dashed;", cid.0, c.total_cost());
         for &m in &c.members {
             if drawn[m.index()] {
                 continue;
@@ -122,7 +179,11 @@ pub fn to_dot(plan: &PlanDag, config: &MatConfig, collapsed: &CollapsedPlan) -> 
             let _ = writeln!(
                 out,
                 "    op{} [label=\"{}\\ntr={:.1} tm={:.1}\"{}];",
-                m.0, op.name.replace('"', "'"), op.run_cost, op.mat_cost, style
+                m.0,
+                op.name.replace('"', "'"),
+                op.run_cost,
+                op.mat_cost,
+                style
             );
         }
         let _ = writeln!(out, "  }}");
@@ -145,11 +206,9 @@ mod tests {
 
     fn setup() -> (PlanDag, MatConfig, CostParams) {
         let plan = figure2_plan();
-        let cfg = MatConfig::from_materialized_free_ops(
-            &plan,
-            &[OpId(2), OpId(4), OpId(5), OpId(6)],
-        )
-        .unwrap();
+        let cfg =
+            MatConfig::from_materialized_free_ops(&plan, &[OpId(2), OpId(4), OpId(5), OpId(6)])
+                .unwrap();
         (plan, cfg, CostParams::new(60.0, 0.0))
     }
 
@@ -181,6 +240,35 @@ mod tests {
         assert!(s.contains("estimated runtime under failures: 9.19"));
         assert!(s.contains("γ = "));
         assert!(s.contains("reduce UDF B"), "dominant path ends at the expensive sink");
+    }
+
+    #[test]
+    fn search_stats_summary_partitions_the_space() {
+        use crate::prune::PruneOptions;
+        use crate::search::find_best_ft_plan;
+
+        let plan = figure2_plan();
+        let p = CostParams::new(20.0, 1.0);
+        let (_, stats) =
+            find_best_ft_plan(std::slice::from_ref(&plan), &p, &PruneOptions::default()).unwrap();
+        let s = explain_search_stats(&stats);
+        assert!(s.contains("1 candidate plan(s)"));
+        assert!(s.contains(&format!("{} configurations unpruned", stats.configs_unpruned)));
+        assert!(s.contains("pruned by rule 1"));
+        assert!(s.contains("pruned by rule 2"));
+        assert!(s.contains("abandoned by rule 3"));
+        assert!(s.contains("explored to completion"));
+        assert!(!s.contains("WARNING"), "partition must hold:\n{s}");
+    }
+
+    #[test]
+    fn search_stats_summary_flags_inconsistent_counters() {
+        let stats = crate::search::SearchStats {
+            configs_unpruned: 10,
+            configs_explored: 3,
+            ..Default::default()
+        };
+        assert!(explain_search_stats(&stats).contains("WARNING"));
     }
 
     #[test]

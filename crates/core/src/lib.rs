@@ -71,9 +71,11 @@ pub mod prelude {
     };
     pub use crate::dag::{PlanDag, PlanDagBuilder};
     pub use crate::error::{CoreError, Result};
-    pub use crate::explain::{explain_collapsed, explain_estimate, explain_plan, to_dot};
+    pub use crate::explain::{
+        explain_collapsed, explain_estimate, explain_plan, explain_search_stats, to_dot,
+    };
     pub use crate::operator::{Binding, OpId, Operator};
     pub use crate::prune::{apply_rule1, apply_rule2, PathMemo, PruneOptions};
-    pub use crate::search::{find_best_ft_plan, BestFtPlan, SearchStats};
+    pub use crate::search::{find_best_ft_plan, find_best_ft_plan_traced, BestFtPlan, SearchStats};
     pub use crate::stats::{baseline_positions, rank_configs, Perturbation, RankedConfig};
 }

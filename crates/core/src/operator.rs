@@ -108,10 +108,7 @@ mod tests {
             Operator::always_materialized("a", 1.0, 2.0).binding,
             Binding::AlwaysMaterialized
         );
-        assert_eq!(
-            Operator::non_materializable("a", 1.0, 2.0).binding,
-            Binding::NonMaterializable
-        );
+        assert_eq!(Operator::non_materializable("a", 1.0, 2.0).binding, Binding::NonMaterializable);
     }
 
     #[test]

@@ -102,11 +102,9 @@ mod tests {
 
     fn figure3_collapsed() -> CollapsedPlan {
         let plan = figure2_plan();
-        let cfg = MatConfig::from_materialized_free_ops(
-            &plan,
-            &[OpId(2), OpId(4), OpId(5), OpId(6)],
-        )
-        .unwrap();
+        let cfg =
+            MatConfig::from_materialized_free_ops(&plan, &[OpId(2), OpId(4), OpId(5), OpId(6)])
+                .unwrap();
         CollapsedPlan::collapse(&plan, &cfg, 1.0)
     }
 
@@ -114,10 +112,7 @@ mod tests {
     fn figure3_has_two_paths() {
         let pc = figure3_collapsed();
         let paths = all_paths(&pc);
-        assert_eq!(
-            paths,
-            vec![vec![CId(0), CId(1), CId(2)], vec![CId(0), CId(1), CId(3)]]
-        );
+        assert_eq!(paths, vec![vec![CId(0), CId(1), CId(2)], vec![CId(0), CId(1), CId(3)]]);
         assert_eq!(count_paths(&pc), 2);
     }
 

@@ -29,11 +29,13 @@ use crate::operator::{Binding, OpId};
 /// the dominant path `max tr(child) + tr(p)` scaled by `CONST_pipe` (the
 /// group has ≥ 2 operators by construction) and `tm(p)` as the group's
 /// materialization cost — exactly the arithmetic of Figures 5 and 6.
-fn local_group_cost(plan: &PlanDag, parent: OpId, group_children: &[OpId], params: &CostParams) -> f64 {
-    let max_child_tr = group_children
-        .iter()
-        .map(|&o| plan.op(o).run_cost)
-        .fold(0.0f64, f64::max);
+fn local_group_cost(
+    plan: &PlanDag,
+    parent: OpId,
+    group_children: &[OpId],
+    params: &CostParams,
+) -> f64 {
+    let max_child_tr = group_children.iter().map(|&o| plan.op(o).run_cost).fold(0.0f64, f64::max);
     (max_child_tr + plan.op(parent).run_cost) * params.pipe_const + plan.op(parent).mat_cost
 }
 
@@ -73,8 +75,7 @@ pub fn apply_rule1(plan: &mut PlanDag, params: &CostParams) -> Vec<OpId> {
             .iter()
             .copied()
             .filter(|&o| {
-                free_children.contains(&o)
-                    || plan.op(o).binding == Binding::NonMaterializable
+                free_children.contains(&o) || plan.op(o).binding == Binding::NonMaterializable
             })
             .collect();
         let collapsed = local_group_cost(plan, p, &group, params);
@@ -213,10 +214,7 @@ impl PathMemo {
         let max_len = sorted_desc.len().min(self.entries.len());
         self.entries[..max_len].iter().flatten().any(|(memo, _)| {
             // memo.len() <= sorted_desc.len(); pad memo with zeros.
-            memo.iter()
-                .chain(std::iter::repeat(&0.0))
-                .zip(sorted_desc)
-                .all(|(m, p)| p >= m)
+            memo.iter().chain(std::iter::repeat(&0.0)).zip(sorted_desc).all(|(m, p)| p >= m)
         })
     }
 
@@ -310,7 +308,7 @@ mod tests {
         b.free("p", 0.2, 0.15, &[o]).unwrap();
         let mut plan = b.build().unwrap();
         let params = CostParams::new(3600.0, 0.0); // pipe = 1 as in Fig. 6
-        // t({o,p}) = 0.7 + 0.15 = 0.85; γ = e^(-0.85/3600) ≈ 0.9998 ≥ 0.95.
+                                                   // t({o,p}) = 0.7 + 0.15 = 0.85; γ = e^(-0.85/3600) ≈ 0.9998 ≥ 0.95.
         let marked = apply_rule2(&mut plan, &params);
         assert_eq!(marked, vec![o]);
     }

@@ -12,6 +12,7 @@
 
 use std::ops::ControlFlow;
 
+use ftpde_obs::{Event, NoopRecorder, Recorder};
 use serde::{Deserialize, Serialize};
 
 use crate::collapse::{CId, CollapsedPlan};
@@ -46,6 +47,16 @@ pub struct SearchStats {
     /// Configurations actually enumerated (after rules 1/2 shrank the free
     /// sets; includes configurations later abandoned by rule 3).
     pub configs_enumerated: u64,
+    /// Configurations eliminated by rule 1: for a plan with `n` free
+    /// operators of which rule 1 binds `b1`, the `2^n - 2^(n-b1)`
+    /// configurations that would have materialized a rule-1-bound operator.
+    pub configs_pruned_rule1: u64,
+    /// Configurations eliminated by rule 2 *after* rule 1 shrank the space:
+    /// `2^(n-b1) - 2^(n-b1-b2)` per plan.
+    pub configs_pruned_rule2: u64,
+    /// Configurations whose every execution path was enumerated and costed
+    /// to completion (i.e. not abandoned by rule 3).
+    pub configs_explored: u64,
     /// Free operators bound by rule 1, summed over candidate plans.
     pub rule1_bound_ops: u64,
     /// Free operators bound by rule 2, summed over candidate plans.
@@ -77,6 +88,17 @@ impl SearchStats {
     /// Configurations eliminated outright by rules 1/2 (never enumerated).
     pub fn configs_skipped(&self) -> u64 {
         self.configs_unpruned - self.configs_enumerated
+    }
+
+    /// The pruning-accounting partition: every configuration in the
+    /// unpruned space is either explored to completion, eliminated by
+    /// rule 1 or rule 2 before enumeration, or abandoned by a rule-3 stop.
+    pub fn partition_holds(&self) -> bool {
+        self.configs_explored
+            + self.configs_pruned_rule1
+            + self.configs_pruned_rule2
+            + self.rule3_stops()
+            == self.configs_unpruned
     }
 }
 
@@ -174,10 +196,32 @@ pub fn find_best_ft_plan(
     params: &CostParams,
     opts: &PruneOptions,
 ) -> Result<(BestFtPlan, SearchStats)> {
+    find_best_ft_plan_traced(candidates, params, opts, &NoopRecorder)
+}
+
+/// [`find_best_ft_plan`] with search events mirrored into `rec` under
+/// category `"search"` (wall-clock microseconds from the call's start):
+/// one `plan` instant per candidate (free-operator count and per-rule
+/// bindings), one `best_update` instant per incumbent replacement, and a
+/// closing `find_best_ft_plan` span carrying the final [`SearchStats`]
+/// counters. With a [`NoopRecorder`] the instrumentation costs one branch
+/// per site.
+///
+/// # Errors
+/// Same as [`find_best_ft_plan`].
+pub fn find_best_ft_plan_traced(
+    candidates: &[PlanDag],
+    params: &CostParams,
+    opts: &PruneOptions,
+    rec: &dyn Recorder,
+) -> Result<(BestFtPlan, SearchStats)> {
     params.validate()?;
     if candidates.is_empty() {
         return Err(CoreError::NoCandidatePlans);
     }
+
+    let t0 = std::time::Instant::now();
+    let now_us = || t0.elapsed().as_micros() as u64;
 
     let mut stats = SearchStats::default();
     let mut memo = PathMemo::new();
@@ -186,15 +230,27 @@ pub fn find_best_ft_plan(
 
     for (plan_index, candidate) in candidates.iter().enumerate() {
         stats.plans_considered += 1;
-        stats.configs_unpruned += 1u64 << candidate.free_count();
+        let free_ops = candidate.free_count() as u64;
+        stats.configs_unpruned += 1u64 << free_ops;
 
         let mut plan = candidate.clone();
-        if opts.rule1 {
-            stats.rule1_bound_ops += apply_rule1(&mut plan, params).len() as u64;
-        }
-        if opts.rule2 {
-            stats.rule2_bound_ops += apply_rule2(&mut plan, params).len() as u64;
-        }
+        let rule1_bound = if opts.rule1 { apply_rule1(&mut plan, params).len() as u64 } else { 0 };
+        let rule2_bound = if opts.rule2 { apply_rule2(&mut plan, params).len() as u64 } else { 0 };
+        stats.rule1_bound_ops += rule1_bound;
+        stats.rule2_bound_ops += rule2_bound;
+        // Each bound operator halves the remaining space; attribute the
+        // eliminated configurations to the rule that bound it.
+        stats.configs_pruned_rule1 += (1u64 << free_ops) - (1u64 << (free_ops - rule1_bound));
+        stats.configs_pruned_rule2 +=
+            (1u64 << (free_ops - rule1_bound)) - (1u64 << (free_ops - rule1_bound - rule2_bound));
+
+        rec.record_with(|| {
+            Event::instant("plan", "search", now_us())
+                .arg("plan_index", plan_index)
+                .arg("free_ops", free_ops)
+                .arg("rule1_bound", rule1_bound)
+                .arg("rule2_bound", rule2_bound)
+        });
 
         for config in MatConfig::enumerate(&plan) {
             stats.configs_enumerated += 1;
@@ -202,6 +258,7 @@ pub fn find_best_ft_plan(
             match evaluate_config(&collapsed, params, opts, best_t, &mut memo, &mut stats) {
                 ConfigOutcome::Abandoned => {}
                 ConfigOutcome::Complete { dominant, dominant_cost, dominant_runtime } => {
+                    stats.configs_explored += 1;
                     if opts.rule3_memo {
                         let costs: Vec<f64> =
                             dominant.iter().map(|&c| collapsed.op(c).total_cost()).collect();
@@ -210,6 +267,12 @@ pub fn find_best_ft_plan(
                     if dominant_cost < best_t {
                         best_t = dominant_cost;
                         stats.best_updates += 1;
+                        rec.record_with(|| {
+                            Event::instant("best_update", "search", now_us())
+                                .arg("plan_index", plan_index)
+                                .arg("cost", dominant_cost)
+                                .arg("materialized", config.materialized_count())
+                        });
                         let paths_examined = stats.paths_examined;
                         best = Some(BestFtPlan {
                             plan_index,
@@ -228,6 +291,20 @@ pub fn find_best_ft_plan(
             }
         }
     }
+
+    rec.record_with(|| {
+        Event::span("find_best_ft_plan", "search", 0, now_us())
+            .arg("plans", stats.plans_considered)
+            .arg("configs_unpruned", stats.configs_unpruned)
+            .arg("configs_explored", stats.configs_explored)
+            .arg("configs_pruned_rule1", stats.configs_pruned_rule1)
+            .arg("configs_pruned_rule2", stats.configs_pruned_rule2)
+            .arg("rule3_stops", stats.rule3_stops())
+            .arg("memo_hits", stats.rule3_memo_stops)
+            .arg("paths_examined", stats.paths_examined)
+            .arg("paths_costed", stats.paths_costed)
+            .arg("best_updates", stats.best_updates)
+    });
 
     Ok((best.expect("at least one config per plan completes"), stats))
 }
@@ -375,8 +452,9 @@ mod tests {
     fn invalid_params_error() {
         let plan = figure2_plan();
         let bad = CostParams::new(-1.0, 0.0);
-        assert!(find_best_ft_plan(std::slice::from_ref(&plan), &bad, &PruneOptions::none())
-            .is_err());
+        assert!(
+            find_best_ft_plan(std::slice::from_ref(&plan), &bad, &PruneOptions::none()).is_err()
+        );
     }
 
     #[test]
@@ -389,10 +467,81 @@ mod tests {
         assert!(stats.configs_enumerated <= stats.configs_unpruned);
         assert!(stats.paths_costed <= stats.paths_examined);
         assert!(stats.best_updates >= 1);
+        assert_eq!(stats.configs_skipped(), stats.configs_unpruned - stats.configs_enumerated);
+    }
+
+    #[test]
+    fn pruning_counters_partition_the_config_space() {
+        let plan = figure2_plan();
+        for mtbf in [4.0, 20.0, 60.0, 1000.0] {
+            for opts in [
+                PruneOptions::none(),
+                PruneOptions::only(1),
+                PruneOptions::only(2),
+                PruneOptions::only(3),
+                PruneOptions::default(),
+            ] {
+                let p = params(mtbf);
+                let (_, stats) = find_best_ft_plan(std::slice::from_ref(&plan), &p, &opts).unwrap();
+                assert!(
+                    stats.partition_holds(),
+                    "mtbf={mtbf} opts={opts:?}: {} explored + {} rule1 + {} rule2 + {} rule3 \
+                     != {} unpruned",
+                    stats.configs_explored,
+                    stats.configs_pruned_rule1,
+                    stats.configs_pruned_rule2,
+                    stats.rule3_stops(),
+                    stats.configs_unpruned
+                );
+                // Every enumerated config ended either explored or stopped.
+                assert_eq!(stats.configs_enumerated, stats.configs_explored + stats.rule3_stops());
+            }
+        }
+    }
+
+    #[test]
+    fn traced_search_records_plan_and_summary_events() {
+        use ftpde_obs::{ArgValue, MemoryRecorder};
+
+        let plan = figure2_plan();
+        let p = params(60.0);
+        let rec = MemoryRecorder::new();
+        let (_, stats) = find_best_ft_plan_traced(
+            std::slice::from_ref(&plan),
+            &p,
+            &PruneOptions::default(),
+            &rec,
+        )
+        .unwrap();
+        let events = rec.events();
+        assert_eq!(events.iter().filter(|e| e.name == "plan").count(), 1);
         assert_eq!(
-            stats.configs_skipped(),
-            stats.configs_unpruned - stats.configs_enumerated
+            events.iter().filter(|e| e.name == "best_update").count(),
+            stats.best_updates as usize
         );
+        let done = events.last().unwrap();
+        assert_eq!(done.name, "find_best_ft_plan");
+        assert_eq!(done.cat, "search");
+        assert_eq!(done.get_arg("configs_explored"), Some(&ArgValue::U64(stats.configs_explored)));
+        assert_eq!(done.get_arg("memo_hits"), Some(&ArgValue::U64(stats.rule3_memo_stops)));
+    }
+
+    #[test]
+    fn traced_and_untraced_search_agree() {
+        let plan = figure2_plan();
+        let p = params(60.0);
+        let (best, stats) =
+            find_best_ft_plan(std::slice::from_ref(&plan), &p, &PruneOptions::default()).unwrap();
+        let (best_t, stats_t) = find_best_ft_plan_traced(
+            std::slice::from_ref(&plan),
+            &p,
+            &PruneOptions::default(),
+            &ftpde_obs::MemoryRecorder::new(),
+        )
+        .unwrap();
+        assert_eq!(stats, stats_t);
+        assert_eq!(best.estimate.dominant_cost, best_t.estimate.dominant_cost);
+        assert_eq!(best.config, best_t.config);
     }
 
     #[test]

@@ -172,6 +172,38 @@ proptest! {
         prop_assert_eq!(stats.configs_enumerated, 1u64 << plan.free_count());
     }
 
+    /// The search's pruning counters partition the configuration space:
+    /// every candidate configuration is either explored to completion,
+    /// pruned up front by rule 1 or rule 2, or abandoned mid-enumeration
+    /// by rule 3 — under any combination of prune rules.
+    #[test]
+    fn pruning_counters_partition_config_space(
+        plan in arb_plan(10),
+        mtbf in 1.0f64..1e5,
+        which in 0u8..5,
+    ) {
+        let opts = match which {
+            0 => PruneOptions::none(),
+            1 => PruneOptions::only(1),
+            2 => PruneOptions::only(2),
+            3 => PruneOptions::only(3),
+            _ => PruneOptions::default(),
+        };
+        let params = CostParams::new(mtbf, 1.0);
+        let (_, stats) =
+            find_best_ft_plan(std::slice::from_ref(&plan), &params, &opts).unwrap();
+        prop_assert_eq!(
+            stats.configs_explored + stats.configs_pruned_rule1 + stats.configs_pruned_rule2
+                + stats.rule3_stops(),
+            stats.configs_unpruned,
+            "partition violated: {:?}", stats
+        );
+        prop_assert_eq!(
+            stats.configs_enumerated,
+            stats.configs_explored + stats.rule3_stops()
+        );
+    }
+
     /// Rules 1/2 never *unbind* operators and never bind bound ones.
     #[test]
     fn rules_only_bind_free_ops(plan in arb_plan(10), mtbf in 1.0f64..1e5) {

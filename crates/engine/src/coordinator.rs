@@ -13,9 +13,11 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use ftpde_core::collapse::CollapsedPlan;
 use ftpde_core::config::MatConfig;
+use ftpde_obs::{Event, NoopRecorder, Recorder};
 
 use crate::failure::FailureInjector;
 use crate::ops::{execute, merge_partials, ExecCtx, Interrupted};
@@ -50,6 +52,20 @@ impl Default for RunOptions {
     }
 }
 
+/// Wall-clock accounting for one stage execution (or resume-skip).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageTiming {
+    /// The stage's root operator id.
+    pub stage: u32,
+    /// Wall-clock duration of the stage barrier (all nodes, including
+    /// retries), microseconds. Zero for skipped stages.
+    pub wall_us: u64,
+    /// Fine-grained re-executions within this stage execution.
+    pub retries: u64,
+    /// `true` when the stage was resumed from the store without running.
+    pub skipped: bool,
+}
+
 /// Outcome of a query run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
@@ -66,6 +82,10 @@ pub struct RunReport {
     /// Stages skipped because their output was already materialized in the
     /// supplied store (only nonzero for [`run_query_resumable`]).
     pub stages_skipped: u64,
+    /// Per-stage wall-clock accounting in execution order. One entry per
+    /// stage execution: a coarse restart appends the re-executed stages
+    /// again, so the list is a timeline, not a per-stage map.
+    pub stage_timings: Vec<StageTiming>,
 }
 
 /// Runs `plan` under materialization configuration `config` on `catalog`'s
@@ -85,6 +105,32 @@ pub fn run_query(
     run_query_resumable(plan, config, catalog, injector, opts, &IntermediateStore::new())
 }
 
+/// Like [`run_query`], additionally mirroring the execution into an
+/// observability [`Recorder`] as `"engine"`-category events with
+/// wall-clock microsecond timestamps measured from the call's start:
+/// a coordinator-track span per stage (tid 0), a worker-track span per
+/// completed node attempt (tid = node + 1), instants for injected node
+/// failures, redeploys, materialization writes, coarse restarts and query
+/// termination. With a [`NoopRecorder`] every site costs one branch.
+pub fn run_query_traced(
+    plan: &EnginePlan,
+    config: &MatConfig,
+    catalog: &Catalog,
+    injector: &FailureInjector,
+    opts: &RunOptions,
+    rec: &dyn Recorder,
+) -> RunReport {
+    run_query_resumable_traced(
+        plan,
+        config,
+        catalog,
+        injector,
+        opts,
+        &IntermediateStore::new(),
+        rec,
+    )
+}
+
 /// Like [`run_query`], but resuming from (and writing to) an external
 /// fault-tolerant `store` — the paper's §2.2 recovery contract across
 /// *coordinator* restarts: a re-submitted query skips every sub-plan whose
@@ -102,6 +148,21 @@ pub fn run_query_resumable(
     opts: &RunOptions,
     store: &IntermediateStore,
 ) -> RunReport {
+    run_query_resumable_traced(plan, config, catalog, injector, opts, store, &NoopRecorder)
+}
+
+/// [`run_query_resumable`] with the event mirroring of
+/// [`run_query_traced`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_query_resumable_traced(
+    plan: &EnginePlan,
+    config: &MatConfig,
+    catalog: &Catalog,
+    injector: &FailureInjector,
+    opts: &RunOptions,
+    store: &IntermediateStore,
+    rec: &dyn Recorder,
+) -> RunReport {
     let dag = plan.to_plan_dag();
     config.validate(&dag).expect("config matches plan");
     let collapsed = CollapsedPlan::collapse(&dag, config, 1.0);
@@ -112,6 +173,9 @@ pub fn run_query_resumable(
     let mut query_restarts = 0u32;
     let mut stages_skipped = 0u64;
     let mut first_attempt = true;
+    let mut stage_timings: Vec<StageTiming> = Vec::new();
+    let t0 = Instant::now();
+    let now_us = move || t0.elapsed().as_micros() as u64;
 
     'query: loop {
         // A resumed first attempt keeps the store's surviving state; any
@@ -132,8 +196,20 @@ pub fn run_query_resumable(
             let is_sink_stage = plan.consumers(root).is_empty();
             if !is_sink_stage && (0..nodes).all(|n| store.contains(root.0, n)) {
                 stages_skipped += 1;
+                stage_timings.push(StageTiming {
+                    stage: root.0,
+                    wall_us: 0,
+                    retries: 0,
+                    skipped: true,
+                });
+                rec.record_with(|| {
+                    Event::instant("stage_skipped", "engine", now_us()).arg("stage", root.0)
+                });
                 continue;
             }
+
+            let stage_start = now_us();
+            let retries_before = node_retries.load(Ordering::Relaxed);
 
             // Execute the stage on every node.
             let partials: Vec<Option<Vec<Row>>> = std::thread::scope(|s| {
@@ -146,40 +222,116 @@ pub fn run_query_resumable(
                             EngineRecovery::FineGrained => {
                                 let mut attempt = 0u32;
                                 loop {
+                                    let attempt_start = now_us();
                                     match run_stage_on_node(
                                         plan, members, root, node, attempt, catalog, store,
                                         injector,
                                     ) {
-                                        Ok(rows) => break Some(rows),
+                                        Ok(rows) => {
+                                            rec.record_with(|| {
+                                                worker_span(
+                                                    attempt_start,
+                                                    now_us(),
+                                                    root,
+                                                    node,
+                                                    attempt,
+                                                    true,
+                                                )
+                                                .arg("rows", rows.len())
+                                            });
+                                            break Some(rows);
+                                        }
                                         Err(Interrupted) => {
+                                            rec.record_with(|| {
+                                                failure_instant(now_us(), root, node, attempt)
+                                            });
                                             node_retries.fetch_add(1, Ordering::Relaxed);
                                             attempt += 1;
-                                            assert!(attempt < 10_000, "injector never lets node finish");
+                                            assert!(
+                                                attempt < 10_000,
+                                                "injector never lets node finish"
+                                            );
+                                            // Fine-grained recovery: the
+                                            // failed node's sub-plan is
+                                            // redeployed on the spot.
+                                            rec.record_with(|| {
+                                                Event::instant("redeploy", "engine", now_us())
+                                                    .tid(node as u32 + 1)
+                                                    .arg("stage", root.0)
+                                                    .arg("node", node)
+                                                    .arg("attempt", attempt)
+                                            });
                                         }
                                     }
                                 }
                             }
-                            EngineRecovery::CoarseRestart => run_stage_on_node(
-                                plan,
-                                members,
-                                root,
-                                node,
-                                query_restarts,
-                                catalog,
-                                store,
-                                injector,
-                            )
-                            .ok(),
+                            EngineRecovery::CoarseRestart => {
+                                let attempt_start = now_us();
+                                match run_stage_on_node(
+                                    plan,
+                                    members,
+                                    root,
+                                    node,
+                                    query_restarts,
+                                    catalog,
+                                    store,
+                                    injector,
+                                ) {
+                                    Ok(rows) => {
+                                        rec.record_with(|| {
+                                            worker_span(
+                                                attempt_start,
+                                                now_us(),
+                                                root,
+                                                node,
+                                                query_restarts,
+                                                true,
+                                            )
+                                            .arg("rows", rows.len())
+                                        });
+                                        Some(rows)
+                                    }
+                                    Err(Interrupted) => {
+                                        rec.record_with(|| {
+                                            failure_instant(now_us(), root, node, query_restarts)
+                                        });
+                                        None
+                                    }
+                                }
+                            }
                         })
                     })
                     .collect();
                 handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
             });
 
-            if partials.iter().any(Option::is_none) {
+            let stage_failed = partials.iter().any(Option::is_none);
+            stage_timings.push(StageTiming {
+                stage: root.0,
+                wall_us: now_us() - stage_start,
+                retries: node_retries.load(Ordering::Relaxed) - retries_before,
+                skipped: false,
+            });
+            rec.record_with(|| {
+                Event::span(
+                    format!("stage {}", root.0),
+                    "engine",
+                    stage_start,
+                    now_us() - stage_start,
+                )
+                .arg("stage", root.0)
+                .arg("nodes", nodes)
+                .arg("failed", stage_failed)
+            });
+
+            if stage_failed {
                 // A node died under coarse recovery: restart the query.
                 query_restarts += 1;
                 if query_restarts >= opts.max_restarts {
+                    rec.record_with(|| {
+                        Event::instant("query_aborted", "engine", now_us())
+                            .arg("restarts", query_restarts)
+                    });
                     return RunReport {
                         results: Vec::new(),
                         node_retries: node_retries.load(Ordering::Relaxed),
@@ -187,8 +339,13 @@ pub fn run_query_resumable(
                         aborted: true,
                         rows_materialized: store.rows_written(),
                         stages_skipped,
+                        stage_timings,
                     };
                 }
+                rec.record_with(|| {
+                    Event::instant("query_restart", "engine", now_us())
+                        .arg("attempt", query_restarts)
+                });
                 continue 'query;
             }
             let partials: Vec<Vec<Row>> = partials.into_iter().map(Option::unwrap).collect();
@@ -221,12 +378,25 @@ pub fn run_query_resumable(
                 if is_sink {
                     results.push((root, global));
                 } else {
+                    rec.record_with(|| {
+                        Event::instant("materialize", "engine", now_us())
+                            .arg("stage", root.0)
+                            .arg("rows", global.len())
+                            .arg("replicated", true)
+                    });
                     store.put_replicated(root.0, global, nodes);
                 }
             } else if config.materializes(c.root) {
                 // Sinks are non-materializable (EnginePlan::finish), so a
                 // materialized non-agg root keeps its per-node partitions.
                 for (node, rows) in partials.into_iter().enumerate() {
+                    rec.record_with(|| {
+                        Event::instant("materialize", "engine", now_us())
+                            .tid(node as u32 + 1)
+                            .arg("stage", root.0)
+                            .arg("node", node)
+                            .arg("rows", rows.len())
+                    });
                     store.put(root.0, node, rows);
                 }
             } else {
@@ -240,6 +410,13 @@ pub fn run_query_resumable(
             }
         }
 
+        rec.record_with(|| {
+            Event::instant("query_completed", "engine", now_us())
+                .arg("node_retries", node_retries.load(Ordering::Relaxed))
+                .arg("query_restarts", query_restarts)
+                .arg("rows_materialized", store.rows_written())
+                .arg("stages_skipped", stages_skipped)
+        });
         return RunReport {
             results,
             node_retries: node_retries.load(Ordering::Relaxed),
@@ -247,8 +424,36 @@ pub fn run_query_resumable(
             aborted: false,
             rows_materialized: store.rows_written(),
             stages_skipped,
+            stage_timings,
         };
     }
+}
+
+/// A completed worker-attempt span on the node's track (tid = node + 1;
+/// tid 0 is the coordinator's stage track).
+fn worker_span(
+    start_us: u64,
+    end_us: u64,
+    root: EOpId,
+    node: usize,
+    attempt: u32,
+    ok: bool,
+) -> Event {
+    Event::span("attempt", "engine", start_us, end_us.saturating_sub(start_us))
+        .tid(node as u32 + 1)
+        .arg("stage", root.0)
+        .arg("node", node)
+        .arg("attempt", attempt)
+        .arg("ok", ok)
+}
+
+/// An injected-failure instant on the node's track.
+fn failure_instant(at_us: u64, root: EOpId, node: usize, attempt: u32) -> Event {
+    Event::instant("node_failure", "engine", at_us)
+        .tid(node as u32 + 1)
+        .arg("stage", root.0)
+        .arg("node", node)
+        .arg("attempt", attempt)
 }
 
 /// Executes the sub-plan `members` (rooted at `root`) on one node,
@@ -265,6 +470,12 @@ fn run_stage_on_node(
     injector: &FailureInjector,
 ) -> Result<Vec<Row>, Interrupted> {
     let interrupted = || injector.should_fail(root.0, node, attempt);
+    // A planned kill takes the node down even when its partition holds no
+    // rows — without this check an empty-input attempt would never reach a
+    // batch boundary and the injection would silently not fire.
+    if interrupted() {
+        return Err(Interrupted);
+    }
     let ctx = ExecCtx { catalog, node, interrupted: &interrupted };
     let mut memo: HashMap<EOpId, Vec<Row>> = HashMap::new();
 

@@ -40,7 +40,10 @@ pub mod value;
 
 /// Convenient glob-import of the crate's main types.
 pub mod prelude {
-    pub use crate::coordinator::{run_query, run_query_resumable, EngineRecovery, RunOptions, RunReport};
+    pub use crate::coordinator::{
+        run_query, run_query_resumable, run_query_resumable_traced, run_query_traced,
+        EngineRecovery, RunOptions, RunReport, StageTiming,
+    };
     pub use crate::expr::{ArithOp, CmpOp, Expr};
     pub use crate::failure::{FailureInjector, Injection};
     pub use crate::ops::{execute, merge_partials, ExecCtx, Interrupted};

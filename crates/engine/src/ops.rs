@@ -41,7 +41,11 @@ impl ExecCtx<'_> {
 
 /// Executes one operator on one node. `inputs` are the operator's input
 /// row sets in plan order (empty for scans).
-pub fn execute(kind: &OpKind, inputs: &[&[Row]], ctx: &ExecCtx<'_>) -> Result<Vec<Row>, Interrupted> {
+pub fn execute(
+    kind: &OpKind,
+    inputs: &[&[Row]],
+    ctx: &ExecCtx<'_>,
+) -> Result<Vec<Row>, Interrupted> {
     match kind {
         OpKind::Scan { table, filter, project } => {
             let rows = ctx.catalog.table(table).partition(ctx.node);
@@ -97,12 +101,8 @@ pub fn execute(kind: &OpKind, inputs: &[&[Row]], ctx: &ExecCtx<'_>) -> Result<Ve
             }
             Ok(out)
         }
-        OpKind::HashAgg { group_cols, aggs } => {
-            aggregate(inputs[0], group_cols, aggs, ctx)
-        }
-        OpKind::TopK { sort_col, ascending, k } => {
-            top_k(inputs[0], *sort_col, *ascending, *k, ctx)
-        }
+        OpKind::HashAgg { group_cols, aggs } => aggregate(inputs[0], group_cols, aggs, ctx),
+        OpKind::TopK { sort_col, ascending, k } => top_k(inputs[0], *sort_col, *ascending, *k, ctx),
     }
 }
 
@@ -158,9 +158,7 @@ fn aggregate(
     keyed.sort_by(|a, b| a.0.cmp(&b.0));
     Ok(keyed
         .into_iter()
-        .map(|(key, accs)| {
-            key.into_iter().map(Value::Int).chain(accs).collect::<Row>()
-        })
+        .map(|(key, accs)| key.into_iter().map(Value::Int).chain(accs).collect::<Row>())
         .collect())
 }
 
@@ -214,10 +212,7 @@ pub fn merge_partials(
     let merge_aggs: Vec<Agg> = aggs
         .iter()
         .enumerate()
-        .map(|(i, a)| Agg {
-            func: a.func.merge_func(),
-            expr: Expr::col(group_cols.len() + i),
-        })
+        .map(|(i, a)| Agg { func: a.func.merge_func(), expr: Expr::col(group_cols.len() + i) })
         .collect();
     aggregate(&all, &merge_group, &merge_aggs, ctx)
 }

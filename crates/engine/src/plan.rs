@@ -288,19 +288,22 @@ mod tests {
             0,
             4,
         ));
-        c.register(PartitionedTable::replicated(
-            "dim",
-            (0..7).map(|k| int_row(&[k])).collect(),
-            4,
-        ));
+        c.register(PartitionedTable::replicated("dim", (0..7).map(|k| int_row(&[k])).collect(), 4));
         c
     }
 
     fn join_plan() -> EnginePlan {
         let mut p = EnginePlan::new();
-        let dim = p.add("scan dim", OpKind::Scan { table: "dim".into(), filter: None, project: None }, &[]);
-        let fact =
-            p.add("scan fact", OpKind::Scan { table: "fact".into(), filter: None, project: None }, &[]);
+        let dim = p.add(
+            "scan dim",
+            OpKind::Scan { table: "dim".into(), filter: None, project: None },
+            &[],
+        );
+        let fact = p.add(
+            "scan fact",
+            OpKind::Scan { table: "fact".into(), filter: None, project: None },
+            &[],
+        );
         let join = p.add(
             "join",
             OpKind::HashJoin { build_key: 0, probe_key: 1, residual: None },
@@ -322,19 +325,16 @@ mod tests {
         let p = join_plan();
         assert_eq!(p.op(EOpId(0)).binding, Binding::NonMaterializable); // scan
         assert_eq!(p.op(EOpId(2)).binding, Binding::Free); // join
-        // sink agg re-bound by finish()
+                                                           // sink agg re-bound by finish()
         assert_eq!(p.op(EOpId(3)).binding, Binding::NonMaterializable);
     }
 
     #[test]
     fn mid_plan_agg_stays_always_materialized() {
         let mut p = EnginePlan::new();
-        let s = p.add("scan", OpKind::Scan { table: "fact".into(), filter: None, project: None }, &[]);
-        let a = p.add(
-            "agg",
-            OpKind::HashAgg { group_cols: vec![], aggs: vec![] },
-            &[s],
-        );
+        let s =
+            p.add("scan", OpKind::Scan { table: "fact".into(), filter: None, project: None }, &[]);
+        let a = p.add("agg", OpKind::HashAgg { group_cols: vec![], aggs: vec![] }, &[s]);
         p.add("filter", OpKind::Filter { predicate: Expr::lit(1) }, &[a]);
         let p = p.finish();
         assert_eq!(p.op(a).binding, Binding::AlwaysMaterialized);
@@ -350,10 +350,7 @@ mod tests {
             let core = ftpde_core::operator::OpId(id.0);
             assert_eq!(dag.op(core).name, p.op(id).name);
             assert_eq!(dag.op(core).binding, p.op(id).binding);
-            assert_eq!(
-                dag.inputs(core).len(),
-                p.op(id).inputs.len(),
-            );
+            assert_eq!(dag.inputs(core).len(), p.op(id).inputs.len(),);
         }
     }
 

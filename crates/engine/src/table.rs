@@ -124,9 +124,7 @@ impl Catalog {
     /// Panics on unknown tables — plans are validated against the catalog
     /// at construction time.
     pub fn table(&self, name: &str) -> &PartitionedTable {
-        self.tables
-            .get(name)
-            .unwrap_or_else(|| panic!("unknown table {name:?}"))
+        self.tables.get(name).unwrap_or_else(|| panic!("unknown table {name:?}"))
     }
 
     /// `true` iff a table of this name is registered.

@@ -10,8 +10,7 @@ use ftpde_engine::coordinator::{run_query, EngineRecovery, RunOptions};
 use ftpde_engine::failure::{FailureInjector, Injection};
 use ftpde_engine::plan::EnginePlan;
 use ftpde_engine::queries::{
-    load_catalog, q1_engine_plan, q1c_engine_plan, q2c_engine_plan, q3_engine_plan,
-    q5_engine_plan,
+    load_catalog, q1_engine_plan, q1c_engine_plan, q2c_engine_plan, q3_engine_plan, q5_engine_plan,
 };
 use ftpde_engine::table::Catalog;
 use ftpde_engine::value::Row;

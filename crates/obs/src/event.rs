@@ -1,0 +1,170 @@
+//! The trace-event model.
+//!
+//! An [`Event`] is deliberately shaped after the Chrome trace-event
+//! format (name / category / phase / ts / dur / pid / tid / args) so the
+//! exporter is a direct mapping; the same struct round-trips through the
+//! JSONL exporter for machine consumption.
+
+use serde::{Deserialize, Serialize};
+
+/// A typed argument value attached to an event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ArgValue {
+    /// Unsigned counter-like value.
+    U64(u64),
+    /// Signed value.
+    I64(i64),
+    /// Floating-point value (seconds, ratios, costs).
+    F64(f64),
+    /// Free-form text.
+    Str(String),
+    /// Flag.
+    Bool(bool),
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::U64(v)
+    }
+}
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> Self {
+        ArgValue::U64(v as u64)
+    }
+}
+impl From<u32> for ArgValue {
+    fn from(v: u32) -> Self {
+        ArgValue::U64(v as u64)
+    }
+}
+impl From<i64> for ArgValue {
+    fn from(v: i64) -> Self {
+        ArgValue::I64(v)
+    }
+}
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::F64(v)
+    }
+}
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_owned())
+    }
+}
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Str(v)
+    }
+}
+impl From<bool> for ArgValue {
+    fn from(v: bool) -> Self {
+        ArgValue::Bool(v)
+    }
+}
+
+/// Chrome trace-event phase of an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Phase {
+    /// A complete span with a duration (`ph: "X"`).
+    Span,
+    /// A point-in-time marker (`ph: "i"`).
+    Instant,
+}
+
+/// One recorded event. Timestamps are microseconds on whatever clock the
+/// producing layer uses: the engine records wall-clock offsets from the
+/// run start, the simulator records *simulated* time — the unit, not the
+/// epoch, is the contract.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Human-readable event name (`stage ⋈ C,O`, `node_failure`, …).
+    pub name: String,
+    /// Producing layer: `"search"`, `"sim"`, `"engine"`, `"bench"`.
+    pub cat: String,
+    /// Span or instant.
+    pub phase: Phase,
+    /// Start time in microseconds.
+    pub ts_us: u64,
+    /// Duration in microseconds; `0` for instants.
+    pub dur_us: u64,
+    /// Track group; `0` unless a layer separates processes.
+    pub pid: u32,
+    /// Track within the group — the engine uses the node index.
+    pub tid: u32,
+    /// Named arguments shown in the trace viewer's detail pane.
+    pub args: Vec<(String, ArgValue)>,
+}
+
+impl Event {
+    /// A complete span starting at `ts_us` lasting `dur_us`.
+    pub fn span(name: impl Into<String>, cat: impl Into<String>, ts_us: u64, dur_us: u64) -> Self {
+        Event {
+            name: name.into(),
+            cat: cat.into(),
+            phase: Phase::Span,
+            ts_us,
+            dur_us,
+            pid: 0,
+            tid: 0,
+            args: Vec::new(),
+        }
+    }
+
+    /// A point-in-time marker at `ts_us`.
+    pub fn instant(name: impl Into<String>, cat: impl Into<String>, ts_us: u64) -> Self {
+        Event {
+            name: name.into(),
+            cat: cat.into(),
+            phase: Phase::Instant,
+            ts_us,
+            dur_us: 0,
+            pid: 0,
+            tid: 0,
+            args: Vec::new(),
+        }
+    }
+
+    /// Sets the track id (builder-style).
+    pub fn tid(mut self, tid: u32) -> Self {
+        self.tid = tid;
+        self
+    }
+
+    /// Sets the track group id (builder-style).
+    pub fn pid(mut self, pid: u32) -> Self {
+        self.pid = pid;
+        self
+    }
+
+    /// Attaches a named argument (builder-style).
+    pub fn arg(mut self, key: impl Into<String>, value: impl Into<ArgValue>) -> Self {
+        self.args.push((key.into(), value.into()));
+        self
+    }
+
+    /// Looks up an argument by name.
+    pub fn get_arg(&self, key: &str) -> Option<&ArgValue> {
+        self.args.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_fill_fields() {
+        let e = Event::span("stage", "engine", 10, 250).tid(3).arg("rows", 17u64).arg("ok", true);
+        assert_eq!(e.phase, Phase::Span);
+        assert_eq!(e.dur_us, 250);
+        assert_eq!(e.tid, 3);
+        assert_eq!(e.get_arg("rows"), Some(&ArgValue::U64(17)));
+        assert_eq!(e.get_arg("ok"), Some(&ArgValue::Bool(true)));
+        assert_eq!(e.get_arg("missing"), None);
+
+        let i = Event::instant("failure", "engine", 99);
+        assert_eq!(i.phase, Phase::Instant);
+        assert_eq!(i.dur_us, 0);
+    }
+}

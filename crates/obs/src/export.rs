@@ -1,0 +1,157 @@
+//! Event-log exporters: JSONL (machine-readable, one event per line,
+//! lossless round-trip) and Chrome trace-event JSON (loadable in
+//! `chrome://tracing` or Perfetto's legacy importer).
+
+use std::io::Write;
+use std::path::Path;
+
+use serde::Value;
+
+use crate::event::{ArgValue, Event, Phase};
+
+/// Serializes events as JSONL: one self-contained JSON object per line.
+/// The format round-trips through [`from_jsonl`] losslessly.
+pub fn to_jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&serde_json::to_string(e).expect("events always serialize"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a JSONL event log produced by [`to_jsonl`].
+///
+/// # Errors
+/// Returns the underlying JSON error if any non-empty line fails to parse
+/// or does not describe an [`Event`].
+pub fn from_jsonl(s: &str) -> Result<Vec<Event>, serde_json::Error> {
+    s.lines().map(str::trim).filter(|l| !l.is_empty()).map(serde_json::from_str::<Event>).collect()
+}
+
+fn arg_to_json(v: &ArgValue) -> Value {
+    match v {
+        ArgValue::U64(n) => Value::UInt(*n),
+        ArgValue::I64(n) => Value::Int(*n),
+        ArgValue::F64(f) => Value::Float(*f),
+        ArgValue::Str(s) => Value::Str(s.clone()),
+        ArgValue::Bool(b) => Value::Bool(*b),
+    }
+}
+
+/// Serializes events in the Chrome trace-event format: a JSON object with
+/// a `traceEvents` array whose entries use `ph: "X"` for spans and
+/// `ph: "i"` for instants, timestamps in microseconds.
+pub fn to_chrome_trace(events: &[Event]) -> String {
+    let trace_events: Vec<Value> = events
+        .iter()
+        .map(|e| {
+            let mut obj: Vec<(String, Value)> = vec![
+                ("name".into(), Value::Str(e.name.clone())),
+                ("cat".into(), Value::Str(e.cat.clone())),
+                ("ts".into(), Value::UInt(e.ts_us)),
+                ("pid".into(), Value::UInt(e.pid as u64)),
+                ("tid".into(), Value::UInt(e.tid as u64)),
+            ];
+            match e.phase {
+                Phase::Span => {
+                    obj.push(("ph".into(), Value::Str("X".into())));
+                    obj.push(("dur".into(), Value::UInt(e.dur_us)));
+                }
+                Phase::Instant => {
+                    obj.push(("ph".into(), Value::Str("i".into())));
+                    // Thread-scoped instant: renders on its tid track.
+                    obj.push(("s".into(), Value::Str("t".into())));
+                }
+            }
+            if !e.args.is_empty() {
+                let args: Vec<(String, Value)> =
+                    e.args.iter().map(|(k, v)| (k.clone(), arg_to_json(v))).collect();
+                obj.push(("args".into(), Value::Object(args)));
+            }
+            Value::Object(obj)
+        })
+        .collect();
+    let root = Value::Object(vec![
+        ("traceEvents".into(), Value::Array(trace_events)),
+        ("displayTimeUnit".into(), Value::Str("ms".into())),
+    ]);
+    serde_json::to_string(&root).expect("trace always serializes")
+}
+
+/// Writes `contents` to `path`, creating parent directories as needed.
+///
+/// # Errors
+/// Propagates filesystem errors.
+pub fn write_file(path: impl AsRef<Path>, contents: &str) -> std::io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(contents.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Event> {
+        vec![
+            Event::span("stage ⋈ C,O", "engine", 100, 2500)
+                .tid(1)
+                .arg("rows", 42u64)
+                .arg("attempt", 0u64),
+            Event::instant("node_failure", "engine", 1200).tid(1).arg("attempt", 0u64),
+            Event::instant("best_update", "search", 7).arg("cost", 123.5),
+        ]
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let events = sample();
+        let text = to_jsonl(&events);
+        assert_eq!(text.lines().count(), 3);
+        let parsed = from_jsonl(&text).unwrap();
+        assert_eq!(parsed, events);
+    }
+
+    #[test]
+    fn jsonl_ignores_blank_lines_and_rejects_garbage() {
+        let text = format!("\n{}\n\n", to_jsonl(&sample()));
+        assert_eq!(from_jsonl(&text).unwrap().len(), 3);
+        assert!(from_jsonl("not json\n").is_err());
+    }
+
+    #[test]
+    fn chrome_trace_has_expected_shape() {
+        let text = to_chrome_trace(&sample());
+        let root: Value = serde_json::from_str(&text).unwrap();
+        let events = root.get("traceEvents").and_then(Value::as_array).unwrap();
+        assert_eq!(events.len(), 3);
+        let span = &events[0];
+        assert_eq!(span.get("ph").and_then(Value::as_str), Some("X"));
+        assert_eq!(span.get("dur").and_then(Value::as_u64), Some(2500));
+        assert_eq!(span.get("ts").and_then(Value::as_u64), Some(100));
+        assert_eq!(span.get("tid").and_then(Value::as_u64), Some(1));
+        let args = span.get("args").unwrap();
+        assert_eq!(args.get("rows").and_then(Value::as_u64), Some(42));
+        let instant = &events[1];
+        assert_eq!(instant.get("ph").and_then(Value::as_str), Some("i"));
+        assert_eq!(instant.get("s").and_then(Value::as_str), Some("t"));
+        let f = &events[2];
+        assert_eq!(f.get("args").unwrap().get("cost").and_then(Value::as_f64), Some(123.5));
+    }
+
+    #[test]
+    fn write_file_creates_parents() {
+        let dir = std::env::temp_dir().join("ftpde_obs_test_export");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested/trace.json");
+        write_file(&path, "{}").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

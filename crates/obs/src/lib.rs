@@ -1,0 +1,42 @@
+//! Observability for the fault-tolerance stack.
+//!
+//! Three pieces, all dependency-light (serde + serde_json + parking_lot
+//! only) so every other crate can depend on this one:
+//!
+//! - **Event recording** ([`event`], [`recorder`]): a [`Recorder`] trait
+//!   with an allocation-free no-op implementation and an in-memory sink.
+//!   Events carry explicit microsecond timestamps, so both wall-clock
+//!   layers (the execution engine) and simulated-time layers (the
+//!   discrete-event simulator) record through the same interface.
+//! - **Metrics** ([`metrics`]): a registry of named counters, gauges and
+//!   log-bucketed histograms whose [`metrics::MetricsSnapshot`] is
+//!   serde-serializable for export and assertion in tests.
+//! - **Exporters** ([`export`]): JSONL event logs (one JSON object per
+//!   line) and Chrome trace-event JSON loadable in `chrome://tracing` /
+//!   Perfetto.
+//!
+//! The intended pattern at an instrumentation site:
+//!
+//! ```
+//! use ftpde_obs::{Event, MemoryRecorder, Recorder};
+//!
+//! fn hot_path(rec: &dyn Recorder) {
+//!     // One branch when disabled; the Event is only built when enabled.
+//!     rec.record_with(|| Event::instant("cache_miss", "search", 42));
+//! }
+//!
+//! let rec = MemoryRecorder::new();
+//! hot_path(&rec);
+//! assert_eq!(rec.events().len(), 1);
+//! ```
+
+pub mod event;
+pub mod export;
+pub mod metrics;
+pub mod recorder;
+pub mod report;
+
+pub use event::{ArgValue, Event, Phase};
+pub use metrics::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use recorder::{MemoryRecorder, NoopRecorder, Recorder};
+pub use report::Summary;

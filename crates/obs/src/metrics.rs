@@ -1,0 +1,234 @@
+//! A small metrics registry: named counters, gauges and log-bucketed
+//! histograms, safe to update from worker threads, snapshot-able into a
+//! serde-serializable value for export or test assertions.
+
+use std::collections::BTreeMap;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Number of power-of-two histogram buckets. Bucket `i` covers values in
+/// `[2^(i-OFFSET), 2^(i-OFFSET+1))`; the extremes clamp.
+const BUCKETS: usize = 80;
+/// Bucket 40 covers `[1, 2)`: forty octaves of sub-unit resolution
+/// (down to ~1e-12, enough for microsecond fractions of a second) and
+/// forty above (up to ~1e12).
+const OFFSET: i32 = 40;
+
+fn bucket_index(value: f64) -> usize {
+    let v = value.max(1e-300);
+    (v.log2().floor() as i32 + OFFSET).clamp(0, BUCKETS as i32 - 1) as usize
+}
+
+#[derive(Debug, Clone)]
+struct Histogram {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    buckets: Vec<u64>,
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: vec![0; BUCKETS],
+        }
+    }
+
+    fn observe(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[bucket_index(value)] += 1;
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        // Sparse form: only non-empty buckets, as (index, count).
+        let buckets = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i as u64, c))
+            .collect();
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            min: self.min,
+            max: self.max,
+            buckets,
+        }
+    }
+}
+
+/// Frozen state of one histogram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: f64,
+    /// Smallest observation (`inf` when empty).
+    pub min: f64,
+    /// Largest observation (`-inf` when empty).
+    pub max: f64,
+    /// Sparse `(bucket_index, count)` pairs; bucket `i` covers
+    /// `[2^(i-40), 2^(i-39))`.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+}
+
+/// Frozen state of a whole registry, sorted by name.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters.
+    pub counters: Vec<(String, u64)>,
+    /// Last-write-wins values.
+    pub gauges: Vec<(String, f64)>,
+    /// Distributions.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// Value of a counter, `0` if absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.iter().find(|(n, _)| n == name).map_or(0, |(_, v)| *v)
+    }
+
+    /// Value of a gauge, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// A histogram's snapshot, if it has observations.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// Thread-safe registry of named metrics.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Inner>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to counter `name` (creating it at zero).
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        let mut inner = self.inner.lock();
+        *inner.counters.entry(name.to_owned()).or_insert(0) += delta;
+    }
+
+    /// Sets gauge `name` to `value`.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        self.inner.lock().gauges.insert(name.to_owned(), value);
+    }
+
+    /// Records one observation into histogram `name`.
+    pub fn observe(&self, name: &str, value: f64) {
+        let mut inner = self.inner.lock();
+        inner.histograms.entry(name.to_owned()).or_insert_with(Histogram::new).observe(value);
+    }
+
+    /// Freezes the current state (sorted by metric name).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock();
+        MetricsSnapshot {
+            counters: inner.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            gauges: inner.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            histograms: inner.histograms.iter().map(|(k, h)| (k.clone(), h.snapshot())).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = MetricsRegistry::new();
+        m.counter_add("retries", 1);
+        m.counter_add("retries", 2);
+        m.counter_add("restarts", 5);
+        let s = m.snapshot();
+        assert_eq!(s.counter("retries"), 3);
+        assert_eq!(s.counter("restarts"), 5);
+        assert_eq!(s.counter("absent"), 0);
+    }
+
+    #[test]
+    fn gauges_take_the_last_value() {
+        let m = MetricsRegistry::new();
+        m.gauge_set("overhead_pct", 12.0);
+        m.gauge_set("overhead_pct", 7.5);
+        assert_eq!(m.snapshot().gauge("overhead_pct"), Some(7.5));
+        assert_eq!(m.snapshot().gauge("absent"), None);
+    }
+
+    #[test]
+    fn histograms_track_distribution() {
+        let m = MetricsRegistry::new();
+        for v in [0.5, 1.0, 1.5, 2.0, 100.0] {
+            m.observe("stage_seconds", v);
+        }
+        let s = m.snapshot();
+        let h = s.histogram("stage_seconds").unwrap();
+        assert_eq!(h.count, 5);
+        assert!((h.sum - 105.0).abs() < 1e-12);
+        assert_eq!(h.min, 0.5);
+        assert_eq!(h.max, 100.0);
+        assert_eq!(h.mean(), Some(21.0));
+        // 0.5 → bucket 39; 1.0 and 1.5 → 40; 2.0 → 41; 100 → 46.
+        let total: u64 = h.buckets.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 5);
+        assert!(h.buckets.iter().any(|&(i, c)| i == 40 && c == 2));
+    }
+
+    #[test]
+    fn bucket_index_clamps_extremes() {
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(f64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_index(1.0), OFFSET as usize);
+    }
+
+    #[test]
+    fn concurrent_updates_are_consistent() {
+        let m = MetricsRegistry::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let m = &m;
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        m.counter_add("n", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.snapshot().counter("n"), 8000);
+    }
+}

@@ -1,0 +1,186 @@
+//! A structured plain-text summary: banners, aligned tables and free
+//! lines collected into one renderable value instead of scattered
+//! `println!` calls — so harness output can be printed, diffed against a
+//! golden transcript, exported, or mirrored into a [`Recorder`] as
+//! events.
+
+use crate::event::Event;
+use crate::recorder::Recorder;
+
+#[derive(Debug, Clone)]
+enum Item {
+    Banner(String),
+    Table { headers: Vec<String>, rows: Vec<Vec<String>> },
+    Line(String),
+}
+
+/// An ordered collection of report items.
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    items: Vec<Item>,
+}
+
+impl Summary {
+    /// An empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a title banner.
+    pub fn banner(&mut self, title: impl Into<String>) -> &mut Self {
+        self.items.push(Item::Banner(title.into()));
+        self
+    }
+
+    /// Appends a table: a header row and rows of equal arity,
+    /// right-aligned per column at render time.
+    pub fn table(&mut self, headers: &[&str], rows: &[Vec<String>]) -> &mut Self {
+        self.items.push(Item::Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: rows.to_vec(),
+        });
+        self
+    }
+
+    /// Appends one free-form line.
+    pub fn line(&mut self, text: impl Into<String>) -> &mut Self {
+        self.items.push(Item::Line(text.into()));
+        self
+    }
+
+    /// Appends a `key: value` line.
+    pub fn kv(&mut self, key: &str, value: impl std::fmt::Display) -> &mut Self {
+        self.line(format!("{key}: {value}"))
+    }
+
+    /// `true` when nothing has been added.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Renders the whole summary to text (trailing newline included).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for item in &self.items {
+            match item {
+                Item::Banner(title) => {
+                    out.push('\n');
+                    out.push_str(&format!("==== {title} ====\n"));
+                }
+                Item::Table { headers, rows } => {
+                    let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+                    for row in rows {
+                        for (i, cell) in row.iter().enumerate() {
+                            widths[i] = widths[i].max(cell.len());
+                        }
+                    }
+                    let fmt_row = |cells: &[String]| -> String {
+                        cells
+                            .iter()
+                            .enumerate()
+                            .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+                            .collect::<Vec<_>>()
+                            .join("  ")
+                    };
+                    out.push_str(&fmt_row(headers));
+                    out.push('\n');
+                    out.push_str(
+                        &"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)),
+                    );
+                    out.push('\n');
+                    for row in rows {
+                        out.push_str(&fmt_row(row));
+                        out.push('\n');
+                    }
+                }
+                Item::Line(text) => {
+                    out.push_str(text);
+                    out.push('\n');
+                }
+            }
+        }
+        out
+    }
+
+    /// Prints the rendered summary to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// Mirrors the summary's structure into `rec` as instant events
+    /// under category `cat`: one `section` event per banner (carrying the
+    /// title) and one `table` event per table (carrying its dimensions
+    /// and the section it belongs to).
+    pub fn record_events(&self, rec: &dyn Recorder, cat: &str) {
+        if !rec.enabled() {
+            return;
+        }
+        let mut section = String::new();
+        let mut seq = 0u64;
+        for item in &self.items {
+            seq += 1;
+            match item {
+                Item::Banner(title) => {
+                    section = title.clone();
+                    rec.record(Event::instant("section", cat, seq).arg("title", title.as_str()));
+                }
+                Item::Table { headers, rows } => {
+                    rec.record(
+                        Event::instant("table", cat, seq)
+                            .arg("section", section.as_str())
+                            .arg("cols", headers.len())
+                            .arg("rows", rows.len()),
+                    );
+                }
+                Item::Line(_) => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::MemoryRecorder;
+
+    #[test]
+    fn renders_banner_table_and_lines() {
+        let mut s = Summary::new();
+        s.banner("Figure X");
+        s.table(
+            &["name", "value"],
+            &[vec!["a".into(), "1".into()], vec!["bb".into(), "22".into()]],
+        );
+        s.kv("Pearson", format!("{:.3}", 0.987_6));
+        let text = s.render();
+        let expected = "\n==== Figure X ====\nname  value\n-----------\n   a      1\n  bb     22\nPearson: 0.988\n";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn table_alignment_matches_widest_cell() {
+        let mut s = Summary::new();
+        s.table(&["h"], &[vec!["wide-cell".into()]]);
+        assert_eq!(s.render(), "        h\n---------\nwide-cell\n");
+    }
+
+    #[test]
+    fn record_events_mirrors_structure() {
+        let mut s = Summary::new();
+        s.banner("A").table(&["x"], &[]).banner("B").table(&["y"], &[vec!["1".into()]]);
+        let rec = MemoryRecorder::new();
+        s.record_events(&rec, "bench");
+        let events = rec.events();
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[0].name, "section");
+        assert_eq!(events[1].name, "table");
+        assert_eq!(events[3].get_arg("section"), Some(&crate::event::ArgValue::Str("B".into())));
+    }
+
+    #[test]
+    fn empty_summary_renders_empty() {
+        let s = Summary::new();
+        assert!(s.is_empty());
+        assert_eq!(s.render(), "");
+    }
+}

@@ -1,0 +1,97 @@
+//! Serde round-trip guarantees for the exported observability types:
+//! trace events (through JSON and the JSONL exporter) and metric
+//! snapshots survive serialize → deserialize without loss.
+
+use ftpde_obs::{
+    export, ArgValue, Event, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, Phase,
+};
+
+fn sample_events() -> Vec<Event> {
+    vec![
+        Event::span("stage 3", "engine", 1_000, 2_500)
+            .tid(2)
+            .arg("stage", 3u64)
+            .arg("node", 1u64)
+            .arg("ok", true),
+        Event::instant("node_failure", "engine", 3_141)
+            .tid(1)
+            .arg("lost_s", 4.5f64)
+            .arg("label", "mid-op")
+            .arg("delta", -7i64),
+        Event::instant("query_completed", "sim", 9_999),
+    ]
+}
+
+#[test]
+fn events_round_trip_through_json() {
+    for ev in sample_events() {
+        let text = serde_json::to_string(&ev).unwrap();
+        let back: Event = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, ev);
+    }
+}
+
+#[test]
+fn events_round_trip_through_the_jsonl_exporter() {
+    let events = sample_events();
+    let text = export::to_jsonl(&events);
+    assert_eq!(text.lines().count(), events.len());
+    let back = export::from_jsonl(&text).unwrap();
+    assert_eq!(back, events);
+    // Every arg value variant survived.
+    let failure = &back[1];
+    assert_eq!(failure.phase, Phase::Instant);
+    assert_eq!(failure.get_arg("lost_s"), Some(&ArgValue::F64(4.5)));
+    assert_eq!(failure.get_arg("label"), Some(&ArgValue::Str("mid-op".into())));
+    assert_eq!(failure.get_arg("delta"), Some(&ArgValue::I64(-7)));
+    assert_eq!(back[0].get_arg("ok"), Some(&ArgValue::Bool(true)));
+    assert_eq!(back[0].get_arg("stage"), Some(&ArgValue::U64(3)));
+}
+
+#[test]
+fn metrics_snapshot_round_trips_through_json() {
+    let reg = MetricsRegistry::new();
+    reg.counter_add("search.memo_hits", 42);
+    reg.counter_add("engine.node_retries", 3);
+    reg.gauge_set("sim.overhead_pct", 12.5);
+    for v in [0.25, 1.0, 3.0, 250.0] {
+        reg.observe("engine.stage_seconds", v);
+    }
+    let snap = reg.snapshot();
+
+    let text = serde_json::to_string(&snap).unwrap();
+    let back: MetricsSnapshot = serde_json::from_str(&text).unwrap();
+    assert_eq!(back, snap);
+    assert_eq!(back.counter("search.memo_hits"), 42);
+    assert_eq!(back.gauge("sim.overhead_pct"), Some(12.5));
+    let h = back.histogram("engine.stage_seconds").unwrap();
+    assert_eq!(h.count, 4);
+    assert_eq!(h.mean(), snap.histogram("engine.stage_seconds").unwrap().mean());
+}
+
+#[test]
+fn registry_snapshots_are_always_json_safe() {
+    // JSON cannot represent ±inf, the sentinels of a never-observed
+    // histogram — but a registry only creates a histogram on its first
+    // observation, so every snapshot it produces has finite min/max and
+    // serializes cleanly.
+    let reg = MetricsRegistry::new();
+    reg.observe("h", 1.0);
+    let snap = reg.snapshot();
+    let (_, h) = &snap.histograms[0];
+    assert!(h.min.is_finite() && h.max.is_finite());
+    let back: MetricsSnapshot =
+        serde_json::from_str(&serde_json::to_string(&snap).unwrap()).unwrap();
+    assert_eq!(back, snap);
+
+    // The manual empty-histogram sentinel is the one value that cannot
+    // round-trip; constructing it is still fine, exporting it is not.
+    let empty = HistogramSnapshot {
+        count: 0,
+        sum: 0.0,
+        min: f64::INFINITY,
+        max: f64::NEG_INFINITY,
+        buckets: vec![],
+    };
+    assert_eq!(empty.mean(), None);
+}

@@ -130,10 +130,7 @@ fn subsets_by_size(universe: u32) -> Vec<u32> {
 pub fn k_best_plans(graph: &JoinGraph, k: usize) -> Vec<Rc<JoinTree>> {
     assert!(k > 0);
     assert!(!graph.is_empty(), "cannot enumerate an empty graph");
-    assert!(
-        graph.is_connected(graph.all_rels()),
-        "disconnected graphs would need cross products"
-    );
+    assert!(graph.is_connected(graph.all_rels()), "disconnected graphs would need cross products");
     let universe = graph.all_rels();
     let n_subsets = (universe as usize) + 1;
     // best[set] — up to k trees, ascending by work.
@@ -184,10 +181,7 @@ pub fn k_best_plans(graph: &JoinGraph, k: usize) -> Vec<Rc<JoinTree>> {
 /// As [`k_best_plans`].
 pub fn all_plans(graph: &JoinGraph) -> Vec<Rc<JoinTree>> {
     assert!(!graph.is_empty(), "cannot enumerate an empty graph");
-    assert!(
-        graph.is_connected(graph.all_rels()),
-        "disconnected graphs would need cross products"
-    );
+    assert!(graph.is_connected(graph.all_rels()), "disconnected graphs would need cross products");
     let universe = graph.all_rels();
     let mut table: Vec<Vec<Rc<JoinTree>>> = vec![Vec::new(); universe as usize + 1];
     for rel in graph.rel_ids() {
@@ -306,10 +300,7 @@ mod tests {
             assert!(w[0] <= w[1], "k-best must be sorted by work");
         }
         // The k=1 winner equals the exhaustive minimum.
-        let exhaustive_min = all_plans(&g)
-            .iter()
-            .map(|t| t.work(&g))
-            .fold(f64::INFINITY, f64::min);
+        let exhaustive_min = all_plans(&g).iter().map(|t| t.work(&g)).fold(f64::INFINITY, f64::min);
         assert!((works[0] - exhaustive_min).abs() < 1e-6);
     }
 

@@ -26,10 +26,7 @@ use crate::logical::JoinGraph;
 /// Panics if the graph is empty or disconnected.
 pub fn greedy_plan(graph: &JoinGraph) -> Rc<JoinTree> {
     assert!(!graph.is_empty(), "cannot plan an empty graph");
-    assert!(
-        graph.is_connected(graph.all_rels()),
-        "disconnected graphs would need cross products"
-    );
+    assert!(graph.is_connected(graph.all_rels()), "disconnected graphs would need cross products");
 
     let mut forest: Vec<Rc<JoinTree>> =
         graph.rel_ids().map(|rel| Rc::new(JoinTree::Leaf { rel })).collect();
@@ -111,10 +108,7 @@ mod tests {
             let g = chain(n);
             let dp = k_best_plans(&g, 1)[0].work(&g);
             let greedy = greedy_plan(&g).work(&g);
-            assert!(
-                greedy <= dp * 2.0,
-                "chain {n}: greedy {greedy} vs dp {dp} — too far off"
-            );
+            assert!(greedy <= dp * 2.0, "chain {n}: greedy {greedy} vs dp {dp} — too far off");
             assert!(greedy >= dp - 1e-9, "greedy cannot beat the exact optimum");
         }
     }

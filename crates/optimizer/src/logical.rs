@@ -137,9 +137,9 @@ impl JoinGraph {
 
     /// `true` iff some edge connects `a` (a bitset) with `b` (a bitset).
     pub fn sets_connected(&self, a: u32, b: u32) -> bool {
-        self.edges
-            .iter()
-            .any(|e| (e.a.bit() & a != 0 && e.b.bit() & b != 0) || (e.a.bit() & b != 0 && e.b.bit() & a != 0))
+        self.edges.iter().any(|e| {
+            (e.a.bit() & a != 0 && e.b.bit() & b != 0) || (e.a.bit() & b != 0 && e.b.bit() & a != 0)
+        })
     }
 
     /// `true` iff the relation subset `set` induces a connected subgraph.
@@ -220,8 +220,7 @@ impl Default for JoinGraph {
 pub fn chain_graph(rels: &[(&str, f64, f64, f64)], edge_sels: &[f64]) -> JoinGraph {
     assert_eq!(edge_sels.len() + 1, rels.len());
     let mut g = JoinGraph::new();
-    let ids: Vec<RelId> =
-        rels.iter().map(|(n, r, s, w)| g.add_relation(*n, *r, *s, *w)).collect();
+    let ids: Vec<RelId> = rels.iter().map(|(n, r, s, w)| g.add_relation(*n, *r, *s, *w)).collect();
     for (i, &sel) in edge_sels.iter().enumerate() {
         g.add_edge(ids[i], ids[i + 1], sel);
     }

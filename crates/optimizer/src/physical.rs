@@ -125,12 +125,7 @@ pub fn tree_to_plan(
     b.build().expect("non-empty plan")
 }
 
-fn build_op(
-    graph: &JoinGraph,
-    tree: &JoinTree,
-    cm: &CostModel,
-    b: &mut PlanDagBuilder,
-) -> OpId {
+fn build_op(graph: &JoinGraph, tree: &JoinTree, cm: &CostModel, b: &mut PlanDagBuilder) -> OpId {
     match tree {
         JoinTree::Leaf { rel } => {
             let r = graph.relation(*rel);
@@ -168,10 +163,7 @@ mod tests {
     use crate::logical::chain_graph;
 
     fn graph() -> JoinGraph {
-        chain_graph(
-            &[("A", 10_000.0, 0.5, 100.0), ("B", 100_000.0, 1.0, 50.0)],
-            &[0.0001],
-        )
+        chain_graph(&[("A", 10_000.0, 0.5, 100.0), ("B", 100_000.0, 1.0, 50.0)], &[0.0001])
     }
 
     fn unit_cm() -> CostModel {

@@ -33,6 +33,10 @@ pub enum SimEvent {
         at: Seconds,
         /// When the node resumes (failure time + MTTR).
         resumes_at: Seconds,
+        /// Work lost to the failure: progress since the node's last
+        /// surviving state (stage input or mid-operator checkpoint) that
+        /// must be re-executed.
+        lost: Seconds,
     },
     /// A stage finished on every node (its output is materialized if the
     /// configuration says so).
@@ -72,6 +76,103 @@ impl SimEvent {
             | SimEvent::QueryCompleted { at }
             | SimEvent::QueryAborted { at } => at,
         }
+    }
+
+    /// The recovery time this event charges to the query: lost work plus
+    /// repair window for node failures, zero otherwise. (Coarse restarts
+    /// are accounted by the simulator itself, since the lost attempt span
+    /// is not part of the event.)
+    pub fn recovery_seconds(&self) -> Seconds {
+        match *self {
+            SimEvent::NodeFailed { at, resumes_at, lost, .. } => (resumes_at - at) + lost,
+            _ => 0.0,
+        }
+    }
+}
+
+/// Converts a simulated-seconds timestamp to the microsecond unit of the
+/// observability layer.
+fn sim_us(at: Seconds) -> u64 {
+    (at.max(0.0) * 1e6).round() as u64
+}
+
+impl SimLog {
+    /// Converts the timeline into observability events (category `"sim"`,
+    /// timestamps in *simulated* microseconds): stage start/completion
+    /// pairs become spans, failures / restarts / query termination become
+    /// instants. Node failures use the node index as the track id.
+    pub fn to_obs_events(&self) -> Vec<ftpde_obs::Event> {
+        use std::collections::HashMap;
+
+        let mut out = Vec::new();
+        let mut started: HashMap<CId, Seconds> = HashMap::new();
+        for e in self.events() {
+            match *e {
+                SimEvent::StageStarted { stage, at } => {
+                    started.insert(stage, at);
+                }
+                SimEvent::StageCompleted { stage, at } => {
+                    let start = started.remove(&stage).unwrap_or(at);
+                    out.push(
+                        ftpde_obs::Event::span(
+                            format!("stage {}", stage.0),
+                            "sim",
+                            sim_us(start),
+                            sim_us(at) - sim_us(start),
+                        )
+                        .arg("stage", stage.0 as u64),
+                    );
+                }
+                SimEvent::NodeFailed { stage, node, at, resumes_at, lost } => {
+                    out.push(
+                        ftpde_obs::Event::instant("node_failure", "sim", sim_us(at))
+                            .tid(node as u32)
+                            .arg("stage", stage.0 as u64)
+                            .arg("node", node)
+                            .arg("resumes_at_s", resumes_at)
+                            .arg("lost_s", lost),
+                    );
+                }
+                SimEvent::QueryRestarted { attempt, at } => {
+                    out.push(
+                        ftpde_obs::Event::instant("query_restart", "sim", sim_us(at))
+                            .arg("attempt", attempt),
+                    );
+                }
+                SimEvent::QueryCompleted { at } => {
+                    out.push(ftpde_obs::Event::instant("query_completed", "sim", sim_us(at)));
+                }
+                SimEvent::QueryAborted { at } => {
+                    out.push(ftpde_obs::Event::instant("query_aborted", "sim", sim_us(at)));
+                }
+            }
+        }
+        out
+    }
+
+    /// Records the converted timeline into `rec` (no-op when disabled).
+    pub fn record_into(&self, rec: &dyn ftpde_obs::Recorder) {
+        if !rec.enabled() {
+            return;
+        }
+        for e in self.to_obs_events() {
+            rec.record(e);
+        }
+    }
+
+    /// Total recovery time per stage, derived from the failure events:
+    /// `(stage, Σ repair + lost work)` pairs in stage order.
+    pub fn recovery_by_stage(&self) -> Vec<(CId, Seconds)> {
+        let mut acc: Vec<(CId, Seconds)> = Vec::new();
+        for e in self.events() {
+            if let SimEvent::NodeFailed { stage, .. } = *e {
+                match acc.iter_mut().find(|(s, _)| *s == stage) {
+                    Some((_, total)) => *total += e.recovery_seconds(),
+                    None => acc.push((stage, e.recovery_seconds())),
+                }
+            }
+        }
+        acc
     }
 }
 
@@ -117,9 +218,10 @@ impl SimLog {
                 SimEvent::StageStarted { stage, at } => {
                     writeln!(out, "[{at:10.1}s] stage {} started", stage.0)
                 }
-                SimEvent::NodeFailed { stage, node, at, resumes_at } => writeln!(
+                SimEvent::NodeFailed { stage, node, at, resumes_at, lost } => writeln!(
                     out,
-                    "[{at:10.1}s] node {node} FAILED in stage {} (resumes {resumes_at:.1}s)",
+                    "[{at:10.1}s] node {node} FAILED in stage {} \
+                     (resumes {resumes_at:.1}s, {lost:.1}s lost)",
                     stage.0
                 ),
                 SimEvent::StageCompleted { stage, at } => {
@@ -160,7 +262,13 @@ mod tests {
     fn render_is_line_per_event() {
         let mut log = SimLog::collecting();
         log.push(SimEvent::StageStarted { stage: CId(3), at: 0.0 });
-        log.push(SimEvent::NodeFailed { stage: CId(3), node: 2, at: 4.5, resumes_at: 5.5 });
+        log.push(SimEvent::NodeFailed {
+            stage: CId(3),
+            node: 2,
+            at: 4.5,
+            resumes_at: 5.5,
+            lost: 4.5,
+        });
         log.push(SimEvent::QueryAborted { at: 9.0 });
         let s = log.render();
         assert_eq!(s.lines().count(), 3);

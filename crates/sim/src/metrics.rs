@@ -13,7 +13,7 @@ use ftpde_cluster::config::{ClusterConfig, Seconds};
 use ftpde_cluster::trace::TraceSet;
 use ftpde_core::config::MatConfig;
 use ftpde_core::dag::PlanDag;
-use ftpde_core::error::Result;
+use ftpde_core::error::{CoreError, Result};
 
 use crate::scheme::Scheme;
 use crate::simulate::{baseline_runtime, simulate, SimOptions, SimResult};
@@ -21,11 +21,14 @@ use crate::simulate::{baseline_runtime, simulate, SimOptions, SimResult};
 /// Overhead in percent of `completion` over `baseline`:
 /// `(completion / baseline − 1) · 100`.
 ///
-/// # Panics
-/// Panics if `baseline` is not strictly positive.
-pub fn overhead_pct(completion: Seconds, baseline: Seconds) -> f64 {
-    assert!(baseline > 0.0, "baseline runtime must be positive");
-    (completion / baseline - 1.0) * 100.0
+/// # Errors
+/// [`CoreError::InvalidParameter`] if `baseline` is not strictly positive
+/// (a zero or negative baseline makes the ratio meaningless).
+pub fn overhead_pct(completion: Seconds, baseline: Seconds) -> Result<f64> {
+    if baseline.is_nan() || baseline <= 0.0 {
+        return Err(CoreError::InvalidParameter { what: "baseline runtime", value: baseline });
+    }
+    Ok((completion / baseline - 1.0) * 100.0)
 }
 
 /// Result of running one scheme over a trace set.
@@ -43,13 +46,14 @@ pub struct SchemeRun {
 
 impl SchemeRun {
     /// Mean overhead in percent over the **completed** (non-aborted) runs;
-    /// `None` if every run aborted — the paper prints "Aborted" then.
+    /// `None` if every run aborted — the paper prints "Aborted" then — or
+    /// if the baseline is invalid (not strictly positive).
     pub fn mean_overhead_pct(&self) -> Option<f64> {
         let completed: Vec<f64> = self
             .runs
             .iter()
             .filter(|r| !r.aborted)
-            .map(|r| overhead_pct(r.completion, self.baseline))
+            .filter_map(|r| overhead_pct(r.completion, self.baseline).ok())
             .collect();
         if completed.is_empty() {
             None
@@ -117,27 +121,17 @@ pub fn run_all_schemes(
     traces: &TraceSet,
     opts: &SimOptions,
 ) -> Result<Vec<SchemeRun>> {
-    Scheme::ALL
-        .iter()
-        .map(|&s| run_scheme(plan, s, cluster, traces, opts))
-        .collect()
+    Scheme::ALL.iter().map(|&s| run_scheme(plan, s, cluster, traces, opts)).collect()
 }
 
 /// A generous trace horizon for simulating `plan` on `cluster`: covers the
 /// coarse-restart worst case (`max_restarts` windows separated by cluster
 /// failures) plus ample fine-grained retry slack.
-pub fn suggested_horizon(
-    plan: &PlanDag,
-    cluster: &ClusterConfig,
-    opts: &SimOptions,
-) -> Seconds {
-    let all_mat = crate::simulate::failure_free_makespan(
-        plan,
-        &MatConfig::all(plan),
-        opts.pipe_const,
-    );
-    let restart_worst = (opts.max_restarts as f64 + 2.0)
-        * (all_mat + cluster.mttr + cluster.cluster_mtbf());
+pub fn suggested_horizon(plan: &PlanDag, cluster: &ClusterConfig, opts: &SimOptions) -> Seconds {
+    let all_mat =
+        crate::simulate::failure_free_makespan(plan, &MatConfig::all(plan), opts.pipe_const);
+    let restart_worst =
+        (opts.max_restarts as f64 + 2.0) * (all_mat + cluster.mttr + cluster.cluster_mtbf());
     let fine_worst = 400.0 * (all_mat + cluster.mttr);
     restart_worst.max(fine_worst)
 }
@@ -159,15 +153,37 @@ mod tests {
 
     #[test]
     fn overhead_formula() {
-        assert_eq!(overhead_pct(150.0, 100.0), 50.0);
-        assert_eq!(overhead_pct(100.0, 100.0), 0.0);
-        assert!((overhead_pct(905.33, 905.33)).abs() < 1e-9);
+        assert_eq!(overhead_pct(150.0, 100.0).unwrap(), 50.0);
+        assert_eq!(overhead_pct(100.0, 100.0).unwrap(), 0.0);
+        assert!((overhead_pct(905.33, 905.33).unwrap()).abs() < 1e-9);
     }
 
     #[test]
-    #[should_panic(expected = "baseline runtime must be positive")]
-    fn zero_baseline_panics() {
-        let _ = overhead_pct(1.0, 0.0);
+    fn zero_or_negative_baseline_errors() {
+        for baseline in [0.0, -1.0, f64::NAN] {
+            match overhead_pct(1.0, baseline) {
+                Err(CoreError::InvalidParameter { what: "baseline runtime", .. }) => {}
+                other => panic!("baseline {baseline}: expected InvalidParameter, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_baseline_yields_no_mean_overhead() {
+        let run = SchemeRun {
+            scheme: Scheme::AllMat,
+            config: MatConfig::none(&figure2_plan()),
+            baseline: 0.0,
+            runs: vec![SimResult {
+                completion: 10.0,
+                restarts: 0,
+                node_retries: 0,
+                aborted: false,
+                horizon_exceeded: false,
+                recovery_seconds: 0.0,
+            }],
+        };
+        assert_eq!(run.mean_overhead_pct(), None);
     }
 
     #[test]
@@ -213,8 +229,9 @@ mod tests {
         let cluster = ClusterConfig::paper_cluster(360.0);
         let horizon = suggested_horizon(&plan, &cluster, &SimOptions::default());
         let traces = TraceSet::generate(&cluster, horizon, 5, 3);
-        let run = run_scheme(&plan, Scheme::NoMatRestart, &cluster, &traces, &SimOptions::default())
-            .unwrap();
+        let run =
+            run_scheme(&plan, Scheme::NoMatRestart, &cluster, &traces, &SimOptions::default())
+                .unwrap();
         assert!(run.all_aborted());
         assert_eq!(run.mean_overhead_pct(), None);
     }
@@ -225,10 +242,10 @@ mod tests {
         let cluster = ClusterConfig::paper_cluster(mtbf::DAY);
         let horizon = suggested_horizon(&plan, &cluster, &SimOptions::default());
         let traces = TraceSet::generate(&cluster, horizon, 10, 5);
-        let a = run_scheme(&plan, Scheme::AllMat, &cluster, &traces, &SimOptions::default())
-            .unwrap();
-        let b = run_scheme(&plan, Scheme::AllMat, &cluster, &traces, &SimOptions::default())
-            .unwrap();
+        let a =
+            run_scheme(&plan, Scheme::AllMat, &cluster, &traces, &SimOptions::default()).unwrap();
+        let b =
+            run_scheme(&plan, Scheme::AllMat, &cluster, &traces, &SimOptions::default()).unwrap();
         assert_eq!(a, b, "same traces, same scheme → identical results");
     }
 

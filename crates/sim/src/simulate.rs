@@ -115,6 +115,13 @@ pub struct SimResult {
     /// the tail of the run then saw no failures, so the result may be
     /// optimistic and the caller should regenerate with a longer horizon.
     pub horizon_exceeded: bool,
+    /// Total recovery time charged to failures: for every node failure the
+    /// repair window plus the re-executed (lost) work, and for every
+    /// coarse restart the repair window plus the discarded attempt. This
+    /// sums *serial* per-failure costs; since recovery on different nodes
+    /// overlaps in wall-clock time it can exceed
+    /// `completion - failure_free_makespan`.
+    pub recovery_seconds: Seconds,
 }
 
 /// Failure-free makespan of `plan` under `config`: the critical-path
@@ -125,11 +132,7 @@ pub fn failure_free_makespan(plan: &PlanDag, config: &MatConfig, pipe_const: f64
     let mut completion = vec![0.0f64; pc.len()];
     let mut makespan: f64 = 0.0;
     for id in pc.op_ids() {
-        let start = pc
-            .inputs(id)
-            .iter()
-            .map(|i| completion[i.index()])
-            .fold(0.0f64, f64::max);
+        let start = pc.inputs(id).iter().map(|i| completion[i.index()]).fold(0.0f64, f64::max);
         completion[id.index()] = start + pc.op(id).total_cost();
         makespan = makespan.max(completion[id.index()]);
     }
@@ -154,6 +157,26 @@ pub fn simulate(
     opts: &SimOptions,
 ) -> SimResult {
     simulate_logged(plan, config, recovery, cluster, trace, opts, &mut SimLog::None)
+}
+
+/// Like [`simulate`], additionally mirroring the timeline into an
+/// observability [`Recorder`](ftpde_obs::Recorder) as `"sim"`-category
+/// events with *simulated* timestamps (stage spans, failure / restart /
+/// termination instants). With a disabled recorder no timeline is even
+/// collected.
+pub fn simulate_traced(
+    plan: &PlanDag,
+    config: &MatConfig,
+    recovery: Recovery,
+    cluster: &ClusterConfig,
+    trace: &FailureTrace,
+    opts: &SimOptions,
+    rec: &dyn ftpde_obs::Recorder,
+) -> SimResult {
+    let mut log = if rec.enabled() { SimLog::collecting() } else { SimLog::None };
+    let result = simulate_logged(plan, config, recovery, cluster, trace, opts, &mut log);
+    log.record_into(rec);
+    result
 }
 
 /// Like [`simulate`], additionally emitting a timeline of events into
@@ -194,13 +217,10 @@ fn simulate_fine_grained(
     let mut node_retries = 0u64;
     let mut horizon_exceeded = false;
     let mut query_end: f64 = 0.0;
+    let mut recovery_seconds = 0.0f64;
 
     for id in pc.op_ids() {
-        let start = pc
-            .inputs(id)
-            .iter()
-            .map(|i| completion[i.index()])
-            .fold(0.0f64, f64::max);
+        let start = pc.inputs(id).iter().map(|i| completion[i.index()]).fold(0.0f64, f64::max);
         let dur = pc.op(id).total_cost();
         log.push(SimEvent::StageStarted { stage: id, at: start });
         let mut op_end = start; // zero-duration operators finish instantly
@@ -224,19 +244,22 @@ fn simulate_fine_grained(
                 }
                 if idx < times.len() && times[idx] < end {
                     node_retries += 1;
+                    let progressed = done + (times[idx] - t);
+                    if let Some(interval) = opts.mid_op_checkpoint {
+                        // Keep everything up to the last completed
+                        // checkpoint boundary.
+                        let chunk = interval + opts.mid_op_checkpoint_cost;
+                        done = (progressed / chunk).floor() * chunk;
+                    }
+                    let lost = progressed - done;
+                    recovery_seconds += cluster.mttr + lost;
                     log.push(SimEvent::NodeFailed {
                         stage: id,
                         node,
                         at: times[idx],
                         resumes_at: times[idx] + cluster.mttr,
+                        lost,
                     });
-                    if let Some(interval) = opts.mid_op_checkpoint {
-                        // Keep everything up to the last completed
-                        // checkpoint boundary.
-                        let chunk = interval + opts.mid_op_checkpoint_cost;
-                        let progressed = done + (times[idx] - t);
-                        done = (progressed / chunk).floor() * chunk;
-                    }
                     t = times[idx] + cluster.mttr;
                     idx += 1;
                 } else {
@@ -256,6 +279,7 @@ fn simulate_fine_grained(
         node_retries,
         aborted: false,
         horizon_exceeded,
+        recovery_seconds,
     }
 }
 
@@ -275,15 +299,15 @@ fn simulate_coarse_restart(
     let skew_max = opts.skew.as_ref().map_or(1.0, |f| f.iter().cloned().fold(1.0, f64::max));
     let duration = failure_free_makespan(plan, config, opts.pipe_const) * skew_max;
     // Merge all nodes' failure times; any failure kills the whole attempt.
-    let mut all: Vec<f64> = (0..trace.nodes())
-        .flat_map(|n| trace.failures_of(n).iter().copied())
-        .collect();
+    let mut all: Vec<f64> =
+        (0..trace.nodes()).flat_map(|n| trace.failures_of(n).iter().copied()).collect();
     all.sort_by(|a, b| a.partial_cmp(b).expect("finite failure times"));
 
     let mut t = 0.0f64;
     let mut idx = 0usize;
     let mut restarts = 0u32;
     let mut horizon_exceeded = false;
+    let mut recovery_seconds = 0.0f64;
     loop {
         let end = t + duration;
         if end > trace.horizon() {
@@ -295,6 +319,8 @@ fn simulate_coarse_restart(
         }
         if idx < all.len() && all[idx] < end {
             restarts += 1;
+            // The whole attempt so far is discarded, then the node repairs.
+            recovery_seconds += (all[idx] - t) + cluster.mttr;
             t = all[idx] + cluster.mttr;
             idx += 1;
             log.push(SimEvent::QueryRestarted { attempt: restarts, at: t });
@@ -305,6 +331,7 @@ fn simulate_coarse_restart(
                     node_retries: 0,
                     aborted: true,
                     horizon_exceeded,
+                    recovery_seconds,
                 };
             }
         } else {
@@ -314,6 +341,7 @@ fn simulate_coarse_restart(
                 node_retries: 0,
                 aborted: false,
                 horizon_exceeded,
+                recovery_seconds,
             };
         }
     }
@@ -432,8 +460,7 @@ mod tests {
         let none = MatConfig::none(&plan);
         // A failure on node 1 at t = 5.0 (during the 6 s attempt).
         let trace = FailureTrace::from_times(vec![vec![], vec![5.0]], 1e9);
-        let r =
-            simulate(&plan, &none, Recovery::CoarseRestart, &c, &trace, &SimOptions::default());
+        let r = simulate(&plan, &none, Recovery::CoarseRestart, &c, &trace, &SimOptions::default());
         assert_eq!(r.restarts, 1);
         assert_eq!(r.completion, 6.0 + 6.0); // restart at 6.0, finish at 12.0
         assert!(!r.aborted);
@@ -446,8 +473,14 @@ mod tests {
         // A failure every 3 s forever (attempt needs 6 s).
         let times: Vec<f64> = (1..10_000).map(|i| i as f64 * 3.0).collect();
         let trace = FailureTrace::from_times(vec![times], 1e9);
-        let r =
-            simulate(&plan, &none_cfg(&plan), Recovery::CoarseRestart, &c, &trace, &SimOptions::default());
+        let r = simulate(
+            &plan,
+            &none_cfg(&plan),
+            Recovery::CoarseRestart,
+            &c,
+            &trace,
+            &SimOptions::default(),
+        );
         assert!(r.aborted);
         assert_eq!(r.restarts, 100);
     }
@@ -592,7 +625,9 @@ mod tests {
         assert!(events
             .iter()
             .any(|e| matches!(e, SimEvent::NodeFailed { node: 0, at, .. } if *at == 1.0)));
-        assert!(matches!(events.last().unwrap(), SimEvent::QueryCompleted { at } if *at == r.completion));
+        assert!(
+            matches!(events.last().unwrap(), SimEvent::QueryCompleted { at } if *at == r.completion)
+        );
         // Timestamps are plausible: every stage completion follows its start.
         let mut started = std::collections::HashMap::new();
         for e in events {
@@ -630,6 +665,129 @@ mod tests {
             .iter()
             .any(|e| matches!(e, SimEvent::QueryRestarted { attempt: 1, at } if *at == 6.0)));
         assert!(!log.render().is_empty());
+    }
+
+    #[test]
+    fn recovery_time_is_lost_work_plus_repair() {
+        let plan = chain_plan();
+        let c = cluster(2, 1e9, 0.5);
+        let all = MatConfig::all(&plan);
+        // Node 0 fails at t = 1.0 during the scan stage (started at 0):
+        // 1.0 s of work lost + 0.5 s repair.
+        let trace = FailureTrace::from_times(vec![vec![1.0], vec![]], 1e9);
+        let r = simulate(&plan, &all, Recovery::FineGrained, &c, &trace, &SimOptions::default());
+        assert_eq!(r.recovery_seconds, 1.5);
+        // The single-failure case has no overlap, so the accounting equals
+        // the wall-clock slowdown.
+        assert_eq!(r.completion - failure_free_makespan(&plan, &all, 1.0), 1.5);
+        // Failure-free runs charge nothing.
+        let ok = simulate(
+            &plan,
+            &all,
+            Recovery::FineGrained,
+            &c,
+            &no_failures(&c),
+            &SimOptions::default(),
+        );
+        assert_eq!(ok.recovery_seconds, 0.0);
+    }
+
+    #[test]
+    fn coarse_restart_charges_the_discarded_attempt() {
+        let plan = chain_plan(); // 6 s attempt
+        let c = cluster(2, 1e9, 1.0);
+        let none = MatConfig::none(&plan);
+        let trace = FailureTrace::from_times(vec![vec![], vec![5.0]], 1e9);
+        let r = simulate(&plan, &none, Recovery::CoarseRestart, &c, &trace, &SimOptions::default());
+        // 5 s of attempt discarded + 1 s repair.
+        assert_eq!(r.recovery_seconds, 6.0);
+    }
+
+    #[test]
+    fn checkpoints_shrink_the_lost_work_accounting() {
+        let mut b = PlanDag::builder();
+        b.free("long", 100.0, 0.0, &[]).unwrap();
+        let plan = b.build().unwrap();
+        let c = cluster(1, 1e9, 0.0);
+        let none = MatConfig::none(&plan);
+        let trace = FailureTrace::from_times(vec![vec![90.0]], 1e9);
+        let plain =
+            simulate(&plan, &none, Recovery::FineGrained, &c, &trace, &SimOptions::default());
+        assert_eq!(plain.recovery_seconds, 90.0);
+        let opts = SimOptions::default().with_mid_op_checkpoints(10.0, 0.0);
+        let ckpt = simulate(&plan, &none, Recovery::FineGrained, &c, &trace, &opts);
+        assert_eq!(ckpt.recovery_seconds, 0.0, "failure exactly on a checkpoint boundary");
+    }
+
+    #[test]
+    fn traced_simulation_mirrors_the_timeline_into_a_recorder() {
+        use ftpde_obs::{ArgValue, MemoryRecorder, NoopRecorder, Phase};
+
+        let plan = chain_plan();
+        let c = cluster(2, 1e9, 0.5);
+        let all = MatConfig::all(&plan);
+        let trace = FailureTrace::from_times(vec![vec![1.0], vec![]], 1e9);
+        let rec = MemoryRecorder::new();
+        let r = simulate_traced(
+            &plan,
+            &all,
+            Recovery::FineGrained,
+            &c,
+            &trace,
+            &SimOptions::default(),
+            &rec,
+        );
+        let events = rec.events();
+        // 3 stage spans + 1 failure instant + query completion instant.
+        assert_eq!(events.len(), 5);
+        let spans: Vec<_> = events.iter().filter(|e| e.phase == Phase::Span).collect();
+        assert_eq!(spans.len(), 3);
+        // Simulated timestamps in µs: the scan stage span covers 0..4.5 s.
+        assert_eq!(spans[0].ts_us, 0);
+        assert_eq!(spans[0].dur_us, 4_500_000);
+        let failure = events.iter().find(|e| e.name == "node_failure").unwrap();
+        assert_eq!(failure.ts_us, 1_000_000);
+        assert_eq!(failure.get_arg("lost_s"), Some(&ArgValue::F64(1.0)));
+        let done = events.iter().find(|e| e.name == "query_completed").unwrap();
+        assert_eq!(done.ts_us, (r.completion * 1e6).round() as u64);
+        // A disabled recorder costs nothing and changes nothing.
+        let r2 = simulate_traced(
+            &plan,
+            &all,
+            Recovery::FineGrained,
+            &c,
+            &trace,
+            &SimOptions::default(),
+            &NoopRecorder,
+        );
+        assert_eq!(r, r2);
+    }
+
+    #[test]
+    fn recovery_by_stage_attributes_failures() {
+        use ftpde_core::collapse::CId;
+
+        let plan = chain_plan();
+        let c = cluster(1, 1e9, 0.5);
+        let all = MatConfig::all(&plan);
+        // Stage 0 (scan, 0..3) fails at 1.0; stage 1 (join, starts after
+        // scan) fails once more later.
+        let trace = FailureTrace::from_times(vec![vec![1.0, 5.0]], 1e9);
+        let mut log = SimLog::collecting();
+        let r = simulate_logged(
+            &plan,
+            &all,
+            Recovery::FineGrained,
+            &c,
+            &trace,
+            &SimOptions::default(),
+            &mut log,
+        );
+        let by_stage = log.recovery_by_stage();
+        assert_eq!(by_stage.len(), 2);
+        assert_eq!(by_stage[0].0, CId(0));
+        let total: f64 = by_stage.iter().map(|(_, s)| s).sum();
+        assert!((total - r.recovery_seconds).abs() < 1e-9);
     }
 
     #[test]

@@ -26,11 +26,8 @@ fn arb_chain() -> impl Strategy<Value = PlanDag> {
 /// Strategy: a failure trace over `nodes` nodes with a handful of failure
 /// times below `horizon`.
 fn arb_trace(nodes: usize, horizon: f64) -> impl Strategy<Value = FailureTrace> {
-    proptest::collection::vec(
-        proptest::collection::vec(1.0f64..horizon, 0..5),
-        nodes..=nodes,
-    )
-    .prop_map(move |times| FailureTrace::from_times(times, 1e12))
+    proptest::collection::vec(proptest::collection::vec(1.0f64..horizon, 0..5), nodes..=nodes)
+        .prop_map(move |times| FailureTrace::from_times(times, 1e12))
 }
 
 proptest! {

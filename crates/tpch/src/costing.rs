@@ -77,11 +77,7 @@ mod tests {
         // all-mat — "approx. 60 − 100% of the runtime costs".
         let plan = Query::Q1C.plan(100.0, &CostModel::xdb_calibrated());
         let share = free_materialization_cost(&plan) / baseline_runtime(&plan);
-        assert!(
-            (0.5..=1.3).contains(&share),
-            "Q1C materialization share = {:.1}%",
-            share * 100.0
-        );
+        assert!((0.5..=1.3).contains(&share), "Q1C materialization share = {:.1}%", share * 100.0);
     }
 
     #[test]

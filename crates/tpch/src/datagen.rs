@@ -50,8 +50,7 @@ impl Database {
         let n_part = ((200_000.0 * sf).round() as usize).max(1);
 
         let region = (0..5).map(|k| Region { regionkey: k }).collect();
-        let nation =
-            (0..25).map(|k| Nation { nationkey: k, regionkey: k % 5 }).collect::<Vec<_>>();
+        let nation = (0..25).map(|k| Nation { nationkey: k, regionkey: k % 5 }).collect::<Vec<_>>();
 
         let customer = (0..n_customer)
             .map(|k| Customer {

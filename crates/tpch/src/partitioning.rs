@@ -39,9 +39,7 @@ pub fn paper_layout(table: Table) -> Partitioning {
         Table::Lineitem => Partitioning::Hash { column: "l_orderkey" },
         Table::Orders => Partitioning::Hash { column: "o_orderkey" },
         Table::Customer => Partitioning::RRef { by: Table::Orders, column: "c_custkey" },
-        Table::Partsupp => {
-            Partitioning::RRef { by: Table::Lineitem, column: "ps_suppkey_partkey" }
-        }
+        Table::Partsupp => Partitioning::RRef { by: Table::Lineitem, column: "ps_suppkey_partkey" },
         Table::Supplier => Partitioning::RRef { by: Table::Partsupp, column: "s_suppkey" },
         Table::Part => Partitioning::RRef { by: Table::Partsupp, column: "p_partkey" },
         Table::Nation | Table::Region => Partitioning::Replicated,

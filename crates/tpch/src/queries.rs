@@ -116,7 +116,12 @@ pub fn q3_plan(sf: f64, cm: &CostModel) -> PlanDag {
     let g = q3_join_graph(sf);
     let tree = left_deep_chain(3);
     let out_orders = g.subset_rows(0b011); // qualifying (customer, order) pairs
-    tree_to_plan(&g, &tree, cm, Some(AggSpec { out_rows: out_orders, row_bytes: 44.0, free: false }))
+    tree_to_plan(
+        &g,
+        &tree,
+        cm,
+        Some(AggSpec { out_rows: out_orders, row_bytes: 44.0, free: false }),
+    )
 }
 
 // --- Q5 -------------------------------------------------------------------
@@ -186,7 +191,12 @@ pub fn q1c_plan(sf: f64, cm: &CostModel) -> PlanDag {
     let l_rows = Table::Lineitem.rows(sf);
     let mut b = PlanDag::builder();
     let scan1 = b
-        .bound_pipelined("scan σ(LINEITEM)", cm.scan_cost(l_rows), cm.mat_cost(l_rows * 0.98, 48.0), &[])
+        .bound_pipelined(
+            "scan σ(LINEITEM)",
+            cm.scan_cost(l_rows),
+            cm.mat_cost(l_rows * 0.98, 48.0),
+            &[],
+        )
         .expect("valid scan");
     // Inner Q1: average price per (returnflag, linestatus) — 4 groups
     // (materializing it costs next to nothing — the checkpoint the
@@ -202,12 +212,7 @@ pub fn q1c_plan(sf: f64, cm: &CostModel) -> PlanDag {
     // ~3 % qualify.
     let join_out = l_rows * 0.03;
     let join = b
-        .free(
-            "⋈ price > avg",
-            cm.agg_cost(l_rows),
-            cm.mat_cost(join_out, 48.0),
-            &[avg, scan2],
-        )
+        .free("⋈ price > avg", cm.agg_cost(l_rows), cm.mat_cost(join_out, 48.0), &[avg, scan2])
         .expect("valid join");
     b.bound_pipelined("Γ count", cm.agg_cost(join_out), cm.mat_cost(1.0, 16.0), &[join])
         .expect("valid agg");
@@ -249,12 +254,7 @@ pub fn q2c_plan(sf: f64, cm: &CostModel) -> PlanDag {
         .expect("valid join");
     let i3_out = ps_rows / ratios::REGIONS; // their partsupp entries
     let i3 = b
-        .free(
-            "⋈ R,N,S,PS",
-            cm.join_cost(i2_out, i3_out),
-            cm.mat_cost(i3_out, 44.0),
-            &[i2, scan_ps],
-        )
+        .free("⋈ R,N,S,PS", cm.join_cost(i2_out, i3_out), cm.mat_cost(i3_out, 44.0), &[i2, scan_ps])
         .expect("valid join");
     // Parts with at least one supplier in the region: 1 − (4/5)^4 ≈ 0.59.
     let cte_out = p_rows * 0.59;
@@ -428,10 +428,7 @@ mod tests {
             let p1 = q.plan(1.0, &cm());
             let p10 = q.plan(10.0, &cm());
             let (r1, r10) = (p1.total_run_cost(), p10.total_run_cost());
-            assert!(
-                r10 > 5.0 * r1 && r10 < 11.0 * r1,
-                "{q}: {r1} → {r10} not ≈ linear"
-            );
+            assert!(r10 > 5.0 * r1 && r10 < 11.0 * r1, "{q}: {r1} → {r10} not ≈ linear");
         }
     }
 

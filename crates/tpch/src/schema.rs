@@ -128,10 +128,7 @@ mod tests {
     #[test]
     fn lineitem_to_orders_ratio() {
         let sf = 37.0;
-        assert_eq!(
-            Table::Lineitem.rows(sf) / Table::Orders.rows(sf),
-            ratios::LINEITEMS_PER_ORDER
-        );
+        assert_eq!(Table::Lineitem.rows(sf) / Table::Orders.rows(sf), ratios::LINEITEMS_PER_ORDER);
     }
 
     #[test]
@@ -144,8 +141,7 @@ mod tests {
     fn names_and_display() {
         assert_eq!(Table::Lineitem.name(), "LINEITEM");
         assert_eq!(Table::Partsupp.to_string(), "PARTSUPP");
-        let names: std::collections::HashSet<_> =
-            Table::ALL.iter().map(|t| t.name()).collect();
+        let names: std::collections::HashSet<_> = Table::ALL.iter().map(|t| t.name()).collect();
         assert_eq!(names.len(), 8);
     }
 

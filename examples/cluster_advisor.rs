@@ -31,17 +31,15 @@ fn main() {
         let (best, _) =
             find_best_ft_plan(std::slice::from_ref(&plan), &params, &PruneOptions::default())
                 .expect("valid plan");
-        let checkpoints: Vec<String> = best
-            .config
-            .materialized_ops()
-            .into_iter()
-            .map(|id| plan.op(id).name.clone())
-            .collect();
+        let checkpoints: Vec<String> =
+            best.config.materialized_ops().into_iter().map(|id| plan.op(id).name.clone()).collect();
         println!("{label}");
         println!("  P(one attempt succeeds) = {:.1} %", p_success * 100.0);
         println!(
             "  cost-based choice: {}",
-            if checkpoints.is_empty() { "pipeline everything".to_string() } else {
+            if checkpoints.is_empty() {
+                "pipeline everything".to_string()
+            } else {
                 format!("materialize {}", checkpoints.join(", "))
             }
         );

@@ -20,7 +20,9 @@ fn main() {
         db.lineitem.len()
     );
     let catalog = load_catalog(&db, NODES);
-    println!("sharded over {NODES} worker nodes (lineitem/orders hash-partitioned, rest replicated)\n");
+    println!(
+        "sharded over {NODES} worker nodes (lineitem/orders hash-partitioned, rest replicated)\n"
+    );
 
     let plan = q5_engine_plan();
     let dag = plan.to_plan_dag();

@@ -37,33 +37,16 @@ fn main() {
 
     println!("--- fine-grained recovery (cost-based config) ---");
     let mut log = SimLog::collecting();
-    let r = simulate_logged(
-        &plan,
-        &config,
-        Recovery::FineGrained,
-        &cluster,
-        &trace,
-        &opts,
-        &mut log,
-    );
+    let r =
+        simulate_logged(&plan, &config, Recovery::FineGrained, &cluster, &trace, &opts, &mut log);
     print!("{}", log.render());
-    println!(
-        "=> completed in {:.0} s after {} node-level retries\n",
-        r.completion, r.node_retries
-    );
+    println!("=> completed in {:.0} s after {} node-level retries\n", r.completion, r.node_retries);
 
     println!("--- coarse restart (no-mat), same trace ---");
     let none = MatConfig::none(&plan);
     let mut log = SimLog::collecting();
-    let r2 = simulate_logged(
-        &plan,
-        &none,
-        Recovery::CoarseRestart,
-        &cluster,
-        &trace,
-        &opts,
-        &mut log,
-    );
+    let r2 =
+        simulate_logged(&plan, &none, Recovery::CoarseRestart, &cluster, &trace, &opts, &mut log);
     // The restart log can be long; show the first and last few events.
     let rendered = log.render();
     let lines: Vec<&str> = rendered.lines().collect();
@@ -81,7 +64,10 @@ fn main() {
     if r2.aborted {
         println!("=> ABORTED after {} restarts", r2.restarts);
     } else {
-        println!("=> completed in {:.0} s after {} whole-query restarts", r2.completion, r2.restarts);
+        println!(
+            "=> completed in {:.0} s after {} whole-query restarts",
+            r2.completion, r2.restarts
+        );
     }
     println!(
         "\nSame failures, same query: fine-grained recovery with cost-based \

@@ -41,11 +41,8 @@ fn main() {
             })
             .collect();
         let chosen = &runs[3].config; // cost-based
-        let checkpoints: Vec<String> = chosen
-            .materialized_ops()
-            .into_iter()
-            .map(|id| plan.op(id).name.clone())
-            .collect();
+        let checkpoints: Vec<String> =
+            chosen.materialized_ops().into_iter().map(|id| plan.op(id).name.clone()).collect();
         println!(
             "{:<22} {:>8.0}s  {} {} {} {}   {}",
             label,

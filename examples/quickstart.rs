@@ -16,7 +16,10 @@ fn main() {
     let cost_model = CostModel::xdb_calibrated();
     let plan = Query::Q5.plan(100.0, &cost_model);
     println!("Q5 @ SF 100: {} operators, {} free", plan.len(), plan.free_count());
-    println!("baseline runtime (no failures, no checkpoints): {:.0} s\n", ftpde::tpch::costing::baseline_runtime(&plan));
+    println!(
+        "baseline runtime (no failures, no checkpoints): {:.0} s\n",
+        ftpde::tpch::costing::baseline_runtime(&plan)
+    );
 
     // 2. Describe the cluster: 10 nodes, each failing on average once an
     //    hour, 1 s to redeploy a failed sub-plan.

@@ -170,7 +170,10 @@ fn cmd_success(flags: &HashMap<String, String>) -> CliResult<()> {
         cluster.mtbf,
         p * 100.0
     );
-    println!("expected failures during the query: {:.2}", expected_failures(&cluster, runtime_min * 60.0));
+    println!(
+        "expected failures during the query: {:.2}",
+        expected_failures(&cluster, runtime_min * 60.0)
+    );
     Ok(())
 }
 

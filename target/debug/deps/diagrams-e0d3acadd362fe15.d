@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/diagrams-e0d3acadd362fe15.d: crates/bench/benches/diagrams.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdiagrams-e0d3acadd362fe15.rmeta: crates/bench/benches/diagrams.rs Cargo.toml
+
+crates/bench/benches/diagrams.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

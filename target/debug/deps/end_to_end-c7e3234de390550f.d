@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-c7e3234de390550f.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-c7e3234de390550f: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig01_success_probability-9612eac0218790d6.d: crates/bench/benches/fig01_success_probability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig01_success_probability-9612eac0218790d6.rmeta: crates/bench/benches/fig01_success_probability.rs Cargo.toml
+
+crates/bench/benches/fig01_success_probability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

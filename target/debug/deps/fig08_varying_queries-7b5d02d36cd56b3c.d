@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig08_varying_queries-7b5d02d36cd56b3c.d: crates/bench/benches/fig08_varying_queries.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig08_varying_queries-7b5d02d36cd56b3c.rmeta: crates/bench/benches/fig08_varying_queries.rs Cargo.toml
+
+crates/bench/benches/fig08_varying_queries.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_varying_runtime-f8e549c4bcab6257.d: crates/bench/benches/fig10_varying_runtime.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_varying_runtime-f8e549c4bcab6257.rmeta: crates/bench/benches/fig10_varying_runtime.rs Cargo.toml
+
+crates/bench/benches/fig10_varying_runtime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

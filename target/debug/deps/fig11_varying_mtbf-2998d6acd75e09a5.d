@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_varying_mtbf-2998d6acd75e09a5.d: crates/bench/benches/fig11_varying_mtbf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_varying_mtbf-2998d6acd75e09a5.rmeta: crates/bench/benches/fig11_varying_mtbf.rs Cargo.toml
+
+crates/bench/benches/fig11_varying_mtbf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_accuracy-07ca660dcfddbcaf.d: crates/bench/benches/fig12_accuracy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_accuracy-07ca660dcfddbcaf.rmeta: crates/bench/benches/fig12_accuracy.rs Cargo.toml
+
+crates/bench/benches/fig12_accuracy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_pruning-039b180786aa0a83.d: crates/bench/benches/fig13_pruning.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_pruning-039b180786aa0a83.rmeta: crates/bench/benches/fig13_pruning.rs Cargo.toml
+
+crates/bench/benches/fig13_pruning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ftpde-0363e23aa408c808.d: src/bin/ftpde.rs
+
+/root/repo/target/debug/deps/ftpde-0363e23aa408c808: src/bin/ftpde.rs
+
+src/bin/ftpde.rs:

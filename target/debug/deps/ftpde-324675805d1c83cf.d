@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ftpde-324675805d1c83cf.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libftpde-324675805d1c83cf.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

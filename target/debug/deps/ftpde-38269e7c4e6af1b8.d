@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ftpde-38269e7c4e6af1b8.d: src/bin/ftpde.rs Cargo.toml
+
+/root/repo/target/debug/deps/libftpde-38269e7c4e6af1b8.rmeta: src/bin/ftpde.rs Cargo.toml
+
+src/bin/ftpde.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ftpde-411dbce5d922c29a.d: src/bin/ftpde.rs Cargo.toml
+
+/root/repo/target/debug/deps/libftpde-411dbce5d922c29a.rmeta: src/bin/ftpde.rs Cargo.toml
+
+src/bin/ftpde.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ftpde-6a801819375a04b1.d: src/lib.rs
+
+/root/repo/target/debug/deps/libftpde-6a801819375a04b1.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libftpde-6a801819375a04b1.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ftpde-793268954ec0ffc4.d: src/lib.rs
+
+/root/repo/target/debug/deps/libftpde-793268954ec0ffc4.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libftpde-793268954ec0ffc4.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ftpde-875e2f5e8f891304.d: src/bin/ftpde.rs
+
+/root/repo/target/debug/deps/ftpde-875e2f5e8f891304: src/bin/ftpde.rs
+
+src/bin/ftpde.rs:

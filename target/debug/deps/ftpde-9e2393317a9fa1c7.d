@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ftpde-9e2393317a9fa1c7.d: src/lib.rs
+
+/root/repo/target/debug/deps/ftpde-9e2393317a9fa1c7: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ftpde-af932f2b13af4929.d: src/lib.rs
+
+/root/repo/target/debug/deps/ftpde-af932f2b13af4929: src/lib.rs
+
+src/lib.rs:

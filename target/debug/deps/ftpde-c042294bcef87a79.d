@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ftpde-c042294bcef87a79.d: src/bin/ftpde.rs
+
+/root/repo/target/debug/deps/ftpde-c042294bcef87a79: src/bin/ftpde.rs
+
+src/bin/ftpde.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ftpde-c35b572a6e682154.d: src/bin/ftpde.rs
+
+/root/repo/target/debug/deps/ftpde-c35b572a6e682154: src/bin/ftpde.rs
+
+src/bin/ftpde.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ftpde-dfa9b1ea94637036.d: src/bin/ftpde.rs
+
+/root/repo/target/debug/deps/ftpde-dfa9b1ea94637036: src/bin/ftpde.rs
+
+src/bin/ftpde.rs:

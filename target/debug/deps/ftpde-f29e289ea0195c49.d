@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ftpde-f29e289ea0195c49.d: src/lib.rs
+
+/root/repo/target/debug/deps/libftpde-f29e289ea0195c49.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libftpde-f29e289ea0195c49.rmeta: src/lib.rs
+
+src/lib.rs:

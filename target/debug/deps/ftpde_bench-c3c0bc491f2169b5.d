@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/ftpde_bench-c3c0bc491f2169b5.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/common.rs crates/bench/src/diagrams.rs crates/bench/src/fig01.rs crates/bench/src/fig08.rs crates/bench/src/fig10.rs crates/bench/src/fig11.rs crates/bench/src/fig12.rs crates/bench/src/fig13.rs crates/bench/src/report.rs crates/bench/src/tab02.rs crates/bench/src/tab03.rs
+
+/root/repo/target/debug/deps/ftpde_bench-c3c0bc491f2169b5: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/common.rs crates/bench/src/diagrams.rs crates/bench/src/fig01.rs crates/bench/src/fig08.rs crates/bench/src/fig10.rs crates/bench/src/fig11.rs crates/bench/src/fig12.rs crates/bench/src/fig13.rs crates/bench/src/report.rs crates/bench/src/tab02.rs crates/bench/src/tab03.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/common.rs:
+crates/bench/src/diagrams.rs:
+crates/bench/src/fig01.rs:
+crates/bench/src/fig08.rs:
+crates/bench/src/fig10.rs:
+crates/bench/src/fig11.rs:
+crates/bench/src/fig12.rs:
+crates/bench/src/fig13.rs:
+crates/bench/src/report.rs:
+crates/bench/src/tab02.rs:
+crates/bench/src/tab03.rs:

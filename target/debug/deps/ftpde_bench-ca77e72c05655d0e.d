@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/ftpde_bench-ca77e72c05655d0e.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/common.rs crates/bench/src/diagrams.rs crates/bench/src/fig01.rs crates/bench/src/fig08.rs crates/bench/src/fig10.rs crates/bench/src/fig11.rs crates/bench/src/fig12.rs crates/bench/src/fig13.rs crates/bench/src/report.rs crates/bench/src/tab02.rs crates/bench/src/tab03.rs
+
+/root/repo/target/debug/deps/libftpde_bench-ca77e72c05655d0e.rlib: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/common.rs crates/bench/src/diagrams.rs crates/bench/src/fig01.rs crates/bench/src/fig08.rs crates/bench/src/fig10.rs crates/bench/src/fig11.rs crates/bench/src/fig12.rs crates/bench/src/fig13.rs crates/bench/src/report.rs crates/bench/src/tab02.rs crates/bench/src/tab03.rs
+
+/root/repo/target/debug/deps/libftpde_bench-ca77e72c05655d0e.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/common.rs crates/bench/src/diagrams.rs crates/bench/src/fig01.rs crates/bench/src/fig08.rs crates/bench/src/fig10.rs crates/bench/src/fig11.rs crates/bench/src/fig12.rs crates/bench/src/fig13.rs crates/bench/src/report.rs crates/bench/src/tab02.rs crates/bench/src/tab03.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/common.rs:
+crates/bench/src/diagrams.rs:
+crates/bench/src/fig01.rs:
+crates/bench/src/fig08.rs:
+crates/bench/src/fig10.rs:
+crates/bench/src/fig11.rs:
+crates/bench/src/fig12.rs:
+crates/bench/src/fig13.rs:
+crates/bench/src/report.rs:
+crates/bench/src/tab02.rs:
+crates/bench/src/tab03.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/ftpde_bench-dea0a1bcbc44d56e.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/common.rs crates/bench/src/diagrams.rs crates/bench/src/fig01.rs crates/bench/src/fig08.rs crates/bench/src/fig10.rs crates/bench/src/fig11.rs crates/bench/src/fig12.rs crates/bench/src/fig13.rs crates/bench/src/report.rs crates/bench/src/tab02.rs crates/bench/src/tab03.rs Cargo.toml
+
+/root/repo/target/debug/deps/libftpde_bench-dea0a1bcbc44d56e.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/common.rs crates/bench/src/diagrams.rs crates/bench/src/fig01.rs crates/bench/src/fig08.rs crates/bench/src/fig10.rs crates/bench/src/fig11.rs crates/bench/src/fig12.rs crates/bench/src/fig13.rs crates/bench/src/report.rs crates/bench/src/tab02.rs crates/bench/src/tab03.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/common.rs:
+crates/bench/src/diagrams.rs:
+crates/bench/src/fig01.rs:
+crates/bench/src/fig08.rs:
+crates/bench/src/fig10.rs:
+crates/bench/src/fig11.rs:
+crates/bench/src/fig12.rs:
+crates/bench/src/fig13.rs:
+crates/bench/src/report.rs:
+crates/bench/src/tab02.rs:
+crates/bench/src/tab03.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

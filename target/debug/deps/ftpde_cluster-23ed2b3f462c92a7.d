@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ftpde_cluster-23ed2b3f462c92a7.d: crates/cluster/src/lib.rs crates/cluster/src/analytics.rs crates/cluster/src/config.rs crates/cluster/src/trace.rs
+
+/root/repo/target/debug/deps/libftpde_cluster-23ed2b3f462c92a7.rlib: crates/cluster/src/lib.rs crates/cluster/src/analytics.rs crates/cluster/src/config.rs crates/cluster/src/trace.rs
+
+/root/repo/target/debug/deps/libftpde_cluster-23ed2b3f462c92a7.rmeta: crates/cluster/src/lib.rs crates/cluster/src/analytics.rs crates/cluster/src/config.rs crates/cluster/src/trace.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/analytics.rs:
+crates/cluster/src/config.rs:
+crates/cluster/src/trace.rs:

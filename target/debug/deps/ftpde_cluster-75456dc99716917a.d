@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ftpde_cluster-75456dc99716917a.d: crates/cluster/src/lib.rs crates/cluster/src/analytics.rs crates/cluster/src/config.rs crates/cluster/src/trace.rs
+
+/root/repo/target/debug/deps/ftpde_cluster-75456dc99716917a: crates/cluster/src/lib.rs crates/cluster/src/analytics.rs crates/cluster/src/config.rs crates/cluster/src/trace.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/analytics.rs:
+crates/cluster/src/config.rs:
+crates/cluster/src/trace.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ftpde_cluster-87c049902b25b3c3.d: crates/cluster/src/lib.rs crates/cluster/src/analytics.rs crates/cluster/src/config.rs crates/cluster/src/trace.rs
+
+/root/repo/target/debug/deps/libftpde_cluster-87c049902b25b3c3.rlib: crates/cluster/src/lib.rs crates/cluster/src/analytics.rs crates/cluster/src/config.rs crates/cluster/src/trace.rs
+
+/root/repo/target/debug/deps/libftpde_cluster-87c049902b25b3c3.rmeta: crates/cluster/src/lib.rs crates/cluster/src/analytics.rs crates/cluster/src/config.rs crates/cluster/src/trace.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/analytics.rs:
+crates/cluster/src/config.rs:
+crates/cluster/src/trace.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ftpde_cluster-b00f590f88b38996.d: crates/cluster/src/lib.rs crates/cluster/src/analytics.rs crates/cluster/src/config.rs crates/cluster/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libftpde_cluster-b00f590f88b38996.rmeta: crates/cluster/src/lib.rs crates/cluster/src/analytics.rs crates/cluster/src/config.rs crates/cluster/src/trace.rs Cargo.toml
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/analytics.rs:
+crates/cluster/src/config.rs:
+crates/cluster/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

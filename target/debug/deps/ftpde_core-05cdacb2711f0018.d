@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/ftpde_core-05cdacb2711f0018.d: crates/core/src/lib.rs crates/core/src/collapse.rs crates/core/src/config.rs crates/core/src/cost.rs crates/core/src/dag.rs crates/core/src/error.rs crates/core/src/explain.rs crates/core/src/operator.rs crates/core/src/paths.rs crates/core/src/prune.rs crates/core/src/search.rs crates/core/src/stats.rs
+
+/root/repo/target/debug/deps/ftpde_core-05cdacb2711f0018: crates/core/src/lib.rs crates/core/src/collapse.rs crates/core/src/config.rs crates/core/src/cost.rs crates/core/src/dag.rs crates/core/src/error.rs crates/core/src/explain.rs crates/core/src/operator.rs crates/core/src/paths.rs crates/core/src/prune.rs crates/core/src/search.rs crates/core/src/stats.rs
+
+crates/core/src/lib.rs:
+crates/core/src/collapse.rs:
+crates/core/src/config.rs:
+crates/core/src/cost.rs:
+crates/core/src/dag.rs:
+crates/core/src/error.rs:
+crates/core/src/explain.rs:
+crates/core/src/operator.rs:
+crates/core/src/paths.rs:
+crates/core/src/prune.rs:
+crates/core/src/search.rs:
+crates/core/src/stats.rs:

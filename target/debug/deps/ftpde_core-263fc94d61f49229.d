@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/ftpde_core-263fc94d61f49229.d: crates/core/src/lib.rs crates/core/src/collapse.rs crates/core/src/config.rs crates/core/src/cost.rs crates/core/src/dag.rs crates/core/src/error.rs crates/core/src/explain.rs crates/core/src/operator.rs crates/core/src/paths.rs crates/core/src/prune.rs crates/core/src/search.rs crates/core/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libftpde_core-263fc94d61f49229.rmeta: crates/core/src/lib.rs crates/core/src/collapse.rs crates/core/src/config.rs crates/core/src/cost.rs crates/core/src/dag.rs crates/core/src/error.rs crates/core/src/explain.rs crates/core/src/operator.rs crates/core/src/paths.rs crates/core/src/prune.rs crates/core/src/search.rs crates/core/src/stats.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/collapse.rs:
+crates/core/src/config.rs:
+crates/core/src/cost.rs:
+crates/core/src/dag.rs:
+crates/core/src/error.rs:
+crates/core/src/explain.rs:
+crates/core/src/operator.rs:
+crates/core/src/paths.rs:
+crates/core/src/prune.rs:
+crates/core/src/search.rs:
+crates/core/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

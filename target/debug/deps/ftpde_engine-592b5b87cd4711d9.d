@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/ftpde_engine-592b5b87cd4711d9.d: crates/engine/src/lib.rs crates/engine/src/coordinator.rs crates/engine/src/expr.rs crates/engine/src/failure.rs crates/engine/src/ops.rs crates/engine/src/plan.rs crates/engine/src/queries.rs crates/engine/src/store.rs crates/engine/src/table.rs crates/engine/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libftpde_engine-592b5b87cd4711d9.rmeta: crates/engine/src/lib.rs crates/engine/src/coordinator.rs crates/engine/src/expr.rs crates/engine/src/failure.rs crates/engine/src/ops.rs crates/engine/src/plan.rs crates/engine/src/queries.rs crates/engine/src/store.rs crates/engine/src/table.rs crates/engine/src/value.rs Cargo.toml
+
+crates/engine/src/lib.rs:
+crates/engine/src/coordinator.rs:
+crates/engine/src/expr.rs:
+crates/engine/src/failure.rs:
+crates/engine/src/ops.rs:
+crates/engine/src/plan.rs:
+crates/engine/src/queries.rs:
+crates/engine/src/store.rs:
+crates/engine/src/table.rs:
+crates/engine/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/ftpde_engine-949997c304295dfc.d: crates/engine/src/lib.rs crates/engine/src/coordinator.rs crates/engine/src/expr.rs crates/engine/src/failure.rs crates/engine/src/ops.rs crates/engine/src/plan.rs crates/engine/src/queries.rs crates/engine/src/store.rs crates/engine/src/table.rs crates/engine/src/value.rs
+
+/root/repo/target/debug/deps/libftpde_engine-949997c304295dfc.rlib: crates/engine/src/lib.rs crates/engine/src/coordinator.rs crates/engine/src/expr.rs crates/engine/src/failure.rs crates/engine/src/ops.rs crates/engine/src/plan.rs crates/engine/src/queries.rs crates/engine/src/store.rs crates/engine/src/table.rs crates/engine/src/value.rs
+
+/root/repo/target/debug/deps/libftpde_engine-949997c304295dfc.rmeta: crates/engine/src/lib.rs crates/engine/src/coordinator.rs crates/engine/src/expr.rs crates/engine/src/failure.rs crates/engine/src/ops.rs crates/engine/src/plan.rs crates/engine/src/queries.rs crates/engine/src/store.rs crates/engine/src/table.rs crates/engine/src/value.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/coordinator.rs:
+crates/engine/src/expr.rs:
+crates/engine/src/failure.rs:
+crates/engine/src/ops.rs:
+crates/engine/src/plan.rs:
+crates/engine/src/queries.rs:
+crates/engine/src/store.rs:
+crates/engine/src/table.rs:
+crates/engine/src/value.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/ftpde_engine-aa98f4cfb9961dbd.d: crates/engine/src/lib.rs crates/engine/src/coordinator.rs crates/engine/src/expr.rs crates/engine/src/failure.rs crates/engine/src/ops.rs crates/engine/src/plan.rs crates/engine/src/queries.rs crates/engine/src/store.rs crates/engine/src/table.rs crates/engine/src/value.rs
+
+/root/repo/target/debug/deps/libftpde_engine-aa98f4cfb9961dbd.rlib: crates/engine/src/lib.rs crates/engine/src/coordinator.rs crates/engine/src/expr.rs crates/engine/src/failure.rs crates/engine/src/ops.rs crates/engine/src/plan.rs crates/engine/src/queries.rs crates/engine/src/store.rs crates/engine/src/table.rs crates/engine/src/value.rs
+
+/root/repo/target/debug/deps/libftpde_engine-aa98f4cfb9961dbd.rmeta: crates/engine/src/lib.rs crates/engine/src/coordinator.rs crates/engine/src/expr.rs crates/engine/src/failure.rs crates/engine/src/ops.rs crates/engine/src/plan.rs crates/engine/src/queries.rs crates/engine/src/store.rs crates/engine/src/table.rs crates/engine/src/value.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/coordinator.rs:
+crates/engine/src/expr.rs:
+crates/engine/src/failure.rs:
+crates/engine/src/ops.rs:
+crates/engine/src/plan.rs:
+crates/engine/src/queries.rs:
+crates/engine/src/store.rs:
+crates/engine/src/table.rs:
+crates/engine/src/value.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ftpde_obs-5fa755e3387196bb.d: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/export.rs crates/obs/src/metrics.rs crates/obs/src/recorder.rs crates/obs/src/report.rs
+
+/root/repo/target/debug/deps/libftpde_obs-5fa755e3387196bb.rlib: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/export.rs crates/obs/src/metrics.rs crates/obs/src/recorder.rs crates/obs/src/report.rs
+
+/root/repo/target/debug/deps/libftpde_obs-5fa755e3387196bb.rmeta: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/export.rs crates/obs/src/metrics.rs crates/obs/src/recorder.rs crates/obs/src/report.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/event.rs:
+crates/obs/src/export.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/recorder.rs:
+crates/obs/src/report.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ftpde_obs-da18a82f1974b32c.d: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/export.rs crates/obs/src/metrics.rs crates/obs/src/recorder.rs crates/obs/src/report.rs
+
+/root/repo/target/debug/deps/ftpde_obs-da18a82f1974b32c: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/export.rs crates/obs/src/metrics.rs crates/obs/src/recorder.rs crates/obs/src/report.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/event.rs:
+crates/obs/src/export.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/recorder.rs:
+crates/obs/src/report.rs:

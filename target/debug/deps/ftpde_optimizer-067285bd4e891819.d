@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ftpde_optimizer-067285bd4e891819.d: crates/optimizer/src/lib.rs crates/optimizer/src/enumerate.rs crates/optimizer/src/greedy.rs crates/optimizer/src/logical.rs crates/optimizer/src/physical.rs
+
+/root/repo/target/debug/deps/ftpde_optimizer-067285bd4e891819: crates/optimizer/src/lib.rs crates/optimizer/src/enumerate.rs crates/optimizer/src/greedy.rs crates/optimizer/src/logical.rs crates/optimizer/src/physical.rs
+
+crates/optimizer/src/lib.rs:
+crates/optimizer/src/enumerate.rs:
+crates/optimizer/src/greedy.rs:
+crates/optimizer/src/logical.rs:
+crates/optimizer/src/physical.rs:

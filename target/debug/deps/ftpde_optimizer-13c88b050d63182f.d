@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ftpde_optimizer-13c88b050d63182f.d: crates/optimizer/src/lib.rs crates/optimizer/src/enumerate.rs crates/optimizer/src/greedy.rs crates/optimizer/src/logical.rs crates/optimizer/src/physical.rs
+
+/root/repo/target/debug/deps/libftpde_optimizer-13c88b050d63182f.rlib: crates/optimizer/src/lib.rs crates/optimizer/src/enumerate.rs crates/optimizer/src/greedy.rs crates/optimizer/src/logical.rs crates/optimizer/src/physical.rs
+
+/root/repo/target/debug/deps/libftpde_optimizer-13c88b050d63182f.rmeta: crates/optimizer/src/lib.rs crates/optimizer/src/enumerate.rs crates/optimizer/src/greedy.rs crates/optimizer/src/logical.rs crates/optimizer/src/physical.rs
+
+crates/optimizer/src/lib.rs:
+crates/optimizer/src/enumerate.rs:
+crates/optimizer/src/greedy.rs:
+crates/optimizer/src/logical.rs:
+crates/optimizer/src/physical.rs:

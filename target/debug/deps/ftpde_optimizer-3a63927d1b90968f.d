@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ftpde_optimizer-3a63927d1b90968f.d: crates/optimizer/src/lib.rs crates/optimizer/src/enumerate.rs crates/optimizer/src/greedy.rs crates/optimizer/src/logical.rs crates/optimizer/src/physical.rs
+
+/root/repo/target/debug/deps/ftpde_optimizer-3a63927d1b90968f: crates/optimizer/src/lib.rs crates/optimizer/src/enumerate.rs crates/optimizer/src/greedy.rs crates/optimizer/src/logical.rs crates/optimizer/src/physical.rs
+
+crates/optimizer/src/lib.rs:
+crates/optimizer/src/enumerate.rs:
+crates/optimizer/src/greedy.rs:
+crates/optimizer/src/logical.rs:
+crates/optimizer/src/physical.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ftpde_optimizer-ab90b8f104571c82.d: crates/optimizer/src/lib.rs crates/optimizer/src/enumerate.rs crates/optimizer/src/greedy.rs crates/optimizer/src/logical.rs crates/optimizer/src/physical.rs
+
+/root/repo/target/debug/deps/libftpde_optimizer-ab90b8f104571c82.rlib: crates/optimizer/src/lib.rs crates/optimizer/src/enumerate.rs crates/optimizer/src/greedy.rs crates/optimizer/src/logical.rs crates/optimizer/src/physical.rs
+
+/root/repo/target/debug/deps/libftpde_optimizer-ab90b8f104571c82.rmeta: crates/optimizer/src/lib.rs crates/optimizer/src/enumerate.rs crates/optimizer/src/greedy.rs crates/optimizer/src/logical.rs crates/optimizer/src/physical.rs
+
+crates/optimizer/src/lib.rs:
+crates/optimizer/src/enumerate.rs:
+crates/optimizer/src/greedy.rs:
+crates/optimizer/src/logical.rs:
+crates/optimizer/src/physical.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ftpde_sim-0718d3eb6495ff85.d: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/metrics.rs crates/sim/src/scheme.rs crates/sim/src/simulate.rs
+
+/root/repo/target/debug/deps/ftpde_sim-0718d3eb6495ff85: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/metrics.rs crates/sim/src/scheme.rs crates/sim/src/simulate.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/event.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/scheme.rs:
+crates/sim/src/simulate.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ftpde_sim-98a0c712cdd5090d.d: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/metrics.rs crates/sim/src/scheme.rs crates/sim/src/simulate.rs
+
+/root/repo/target/debug/deps/libftpde_sim-98a0c712cdd5090d.rlib: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/metrics.rs crates/sim/src/scheme.rs crates/sim/src/simulate.rs
+
+/root/repo/target/debug/deps/libftpde_sim-98a0c712cdd5090d.rmeta: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/metrics.rs crates/sim/src/scheme.rs crates/sim/src/simulate.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/event.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/scheme.rs:
+crates/sim/src/simulate.rs:

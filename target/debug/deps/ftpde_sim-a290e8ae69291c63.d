@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ftpde_sim-a290e8ae69291c63.d: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/metrics.rs crates/sim/src/scheme.rs crates/sim/src/simulate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libftpde_sim-a290e8ae69291c63.rmeta: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/metrics.rs crates/sim/src/scheme.rs crates/sim/src/simulate.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/event.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/scheme.rs:
+crates/sim/src/simulate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

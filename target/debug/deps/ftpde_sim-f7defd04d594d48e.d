@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ftpde_sim-f7defd04d594d48e.d: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/metrics.rs crates/sim/src/scheme.rs crates/sim/src/simulate.rs
+
+/root/repo/target/debug/deps/libftpde_sim-f7defd04d594d48e.rlib: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/metrics.rs crates/sim/src/scheme.rs crates/sim/src/simulate.rs
+
+/root/repo/target/debug/deps/libftpde_sim-f7defd04d594d48e.rmeta: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/metrics.rs crates/sim/src/scheme.rs crates/sim/src/simulate.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/event.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/scheme.rs:
+crates/sim/src/simulate.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ftpde_tpch-673f8f09b2794db8.d: crates/tpch/src/lib.rs crates/tpch/src/costing.rs crates/tpch/src/datagen.rs crates/tpch/src/partitioning.rs crates/tpch/src/queries.rs crates/tpch/src/rows.rs crates/tpch/src/schema.rs
+
+/root/repo/target/debug/deps/libftpde_tpch-673f8f09b2794db8.rlib: crates/tpch/src/lib.rs crates/tpch/src/costing.rs crates/tpch/src/datagen.rs crates/tpch/src/partitioning.rs crates/tpch/src/queries.rs crates/tpch/src/rows.rs crates/tpch/src/schema.rs
+
+/root/repo/target/debug/deps/libftpde_tpch-673f8f09b2794db8.rmeta: crates/tpch/src/lib.rs crates/tpch/src/costing.rs crates/tpch/src/datagen.rs crates/tpch/src/partitioning.rs crates/tpch/src/queries.rs crates/tpch/src/rows.rs crates/tpch/src/schema.rs
+
+crates/tpch/src/lib.rs:
+crates/tpch/src/costing.rs:
+crates/tpch/src/datagen.rs:
+crates/tpch/src/partitioning.rs:
+crates/tpch/src/queries.rs:
+crates/tpch/src/rows.rs:
+crates/tpch/src/schema.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ftpde_tpch-7cb4fef249313ff1.d: crates/tpch/src/lib.rs crates/tpch/src/costing.rs crates/tpch/src/datagen.rs crates/tpch/src/partitioning.rs crates/tpch/src/queries.rs crates/tpch/src/rows.rs crates/tpch/src/schema.rs
+
+/root/repo/target/debug/deps/ftpde_tpch-7cb4fef249313ff1: crates/tpch/src/lib.rs crates/tpch/src/costing.rs crates/tpch/src/datagen.rs crates/tpch/src/partitioning.rs crates/tpch/src/queries.rs crates/tpch/src/rows.rs crates/tpch/src/schema.rs
+
+crates/tpch/src/lib.rs:
+crates/tpch/src/costing.rs:
+crates/tpch/src/datagen.rs:
+crates/tpch/src/partitioning.rs:
+crates/tpch/src/queries.rs:
+crates/tpch/src/rows.rs:
+crates/tpch/src/schema.rs:

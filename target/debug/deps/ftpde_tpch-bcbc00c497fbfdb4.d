@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ftpde_tpch-bcbc00c497fbfdb4.d: crates/tpch/src/lib.rs crates/tpch/src/costing.rs crates/tpch/src/datagen.rs crates/tpch/src/partitioning.rs crates/tpch/src/queries.rs crates/tpch/src/rows.rs crates/tpch/src/schema.rs
+
+/root/repo/target/debug/deps/libftpde_tpch-bcbc00c497fbfdb4.rlib: crates/tpch/src/lib.rs crates/tpch/src/costing.rs crates/tpch/src/datagen.rs crates/tpch/src/partitioning.rs crates/tpch/src/queries.rs crates/tpch/src/rows.rs crates/tpch/src/schema.rs
+
+/root/repo/target/debug/deps/libftpde_tpch-bcbc00c497fbfdb4.rmeta: crates/tpch/src/lib.rs crates/tpch/src/costing.rs crates/tpch/src/datagen.rs crates/tpch/src/partitioning.rs crates/tpch/src/queries.rs crates/tpch/src/rows.rs crates/tpch/src/schema.rs
+
+crates/tpch/src/lib.rs:
+crates/tpch/src/costing.rs:
+crates/tpch/src/datagen.rs:
+crates/tpch/src/partitioning.rs:
+crates/tpch/src/queries.rs:
+crates/tpch/src/rows.rs:
+crates/tpch/src/schema.rs:

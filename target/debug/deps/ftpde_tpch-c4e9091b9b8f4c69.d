@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ftpde_tpch-c4e9091b9b8f4c69.d: crates/tpch/src/lib.rs crates/tpch/src/costing.rs crates/tpch/src/datagen.rs crates/tpch/src/partitioning.rs crates/tpch/src/queries.rs crates/tpch/src/rows.rs crates/tpch/src/schema.rs
+
+/root/repo/target/debug/deps/ftpde_tpch-c4e9091b9b8f4c69: crates/tpch/src/lib.rs crates/tpch/src/costing.rs crates/tpch/src/datagen.rs crates/tpch/src/partitioning.rs crates/tpch/src/queries.rs crates/tpch/src/rows.rs crates/tpch/src/schema.rs
+
+crates/tpch/src/lib.rs:
+crates/tpch/src/costing.rs:
+crates/tpch/src/datagen.rs:
+crates/tpch/src/partitioning.rs:
+crates/tpch/src/queries.rs:
+crates/tpch/src/rows.rs:
+crates/tpch/src/schema.rs:

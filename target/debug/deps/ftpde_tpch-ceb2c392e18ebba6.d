@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ftpde_tpch-ceb2c392e18ebba6.d: crates/tpch/src/lib.rs crates/tpch/src/costing.rs crates/tpch/src/datagen.rs crates/tpch/src/partitioning.rs crates/tpch/src/queries.rs crates/tpch/src/rows.rs crates/tpch/src/schema.rs Cargo.toml
+
+/root/repo/target/debug/deps/libftpde_tpch-ceb2c392e18ebba6.rmeta: crates/tpch/src/lib.rs crates/tpch/src/costing.rs crates/tpch/src/datagen.rs crates/tpch/src/partitioning.rs crates/tpch/src/queries.rs crates/tpch/src/rows.rs crates/tpch/src/schema.rs Cargo.toml
+
+crates/tpch/src/lib.rs:
+crates/tpch/src/costing.rs:
+crates/tpch/src/datagen.rs:
+crates/tpch/src/partitioning.rs:
+crates/tpch/src/queries.rs:
+crates/tpch/src/rows.rs:
+crates/tpch/src/schema.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/micro_criterion-40fa5844e20bf8e5.d: crates/bench/benches/micro_criterion.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicro_criterion-40fa5844e20bf8e5.rmeta: crates/bench/benches/micro_criterion.rs Cargo.toml
+
+crates/bench/benches/micro_criterion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-1a951d1785421e38.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-1a951d1785421e38: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

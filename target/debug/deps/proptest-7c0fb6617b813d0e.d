@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-7c0fb6617b813d0e.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-7c0fb6617b813d0e.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-7c0fb6617b813d0e.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-13a3c9403f66d4a2.d: crates/sim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-13a3c9403f66d4a2: crates/sim/tests/proptests.rs
+
+crates/sim/tests/proptests.rs:

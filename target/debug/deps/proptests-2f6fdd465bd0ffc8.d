@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-2f6fdd465bd0ffc8.d: crates/tpch/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-2f6fdd465bd0ffc8.rmeta: crates/tpch/tests/proptests.rs Cargo.toml
+
+crates/tpch/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-7daea4a99d5acad9.d: crates/sim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-7daea4a99d5acad9: crates/sim/tests/proptests.rs
+
+crates/sim/tests/proptests.rs:

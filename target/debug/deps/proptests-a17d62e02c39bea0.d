@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-a17d62e02c39bea0.d: crates/tpch/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-a17d62e02c39bea0: crates/tpch/tests/proptests.rs
+
+crates/tpch/tests/proptests.rs:

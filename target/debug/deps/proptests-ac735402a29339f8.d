@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-ac735402a29339f8.d: crates/optimizer/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-ac735402a29339f8: crates/optimizer/tests/proptests.rs
+
+crates/optimizer/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-bd9f018c2247e5b8.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-bd9f018c2247e5b8: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

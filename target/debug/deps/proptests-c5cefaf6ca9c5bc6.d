@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-c5cefaf6ca9c5bc6.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-c5cefaf6ca9c5bc6: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-db1df3de38b73b45.d: crates/tpch/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-db1df3de38b73b45: crates/tpch/tests/proptests.rs
+
+crates/tpch/tests/proptests.rs:

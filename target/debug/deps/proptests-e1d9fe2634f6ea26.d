@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-e1d9fe2634f6ea26.d: crates/optimizer/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-e1d9fe2634f6ea26.rmeta: crates/optimizer/tests/proptests.rs Cargo.toml
+
+crates/optimizer/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-f01729c065ab3ee0.d: crates/optimizer/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-f01729c065ab3ee0: crates/optimizer/tests/proptests.rs
+
+crates/optimizer/tests/proptests.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-1433a4c110a4b944.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-1433a4c110a4b944.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-1433a4c110a4b944.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-8a6fe83a3d2d1ae8.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-8a6fe83a3d2d1ae8.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-8a6fe83a3d2d1ae8.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

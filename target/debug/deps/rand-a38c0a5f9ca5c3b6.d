@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-a38c0a5f9ca5c3b6.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-a38c0a5f9ca5c3b6: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

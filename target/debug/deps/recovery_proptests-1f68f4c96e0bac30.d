@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/recovery_proptests-1f68f4c96e0bac30.d: crates/engine/tests/recovery_proptests.rs
+
+/root/repo/target/debug/deps/recovery_proptests-1f68f4c96e0bac30: crates/engine/tests/recovery_proptests.rs
+
+crates/engine/tests/recovery_proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/recovery_proptests-b56a1f7ae0f23e44.d: crates/engine/tests/recovery_proptests.rs
+
+/root/repo/target/debug/deps/recovery_proptests-b56a1f7ae0f23e44: crates/engine/tests/recovery_proptests.rs
+
+crates/engine/tests/recovery_proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/recovery_proptests-ba9d301b7bf823d9.d: crates/engine/tests/recovery_proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/librecovery_proptests-ba9d301b7bf823d9.rmeta: crates/engine/tests/recovery_proptests.rs Cargo.toml
+
+crates/engine/tests/recovery_proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/renewal_validation-202d49cfe749907f.d: crates/sim/tests/renewal_validation.rs
+
+/root/repo/target/debug/deps/renewal_validation-202d49cfe749907f: crates/sim/tests/renewal_validation.rs
+
+crates/sim/tests/renewal_validation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/renewal_validation-642a1a8c9da2412b.d: crates/sim/tests/renewal_validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/librenewal_validation-642a1a8c9da2412b.rmeta: crates/sim/tests/renewal_validation.rs Cargo.toml
+
+crates/sim/tests/renewal_validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

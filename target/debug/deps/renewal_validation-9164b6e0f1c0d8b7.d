@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/renewal_validation-9164b6e0f1c0d8b7.d: crates/sim/tests/renewal_validation.rs
+
+/root/repo/target/debug/deps/renewal_validation-9164b6e0f1c0d8b7: crates/sim/tests/renewal_validation.rs
+
+crates/sim/tests/renewal_validation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_roundtrip-10e80ef424349bd6.d: crates/core/tests/serde_roundtrip.rs
+
+/root/repo/target/debug/deps/serde_roundtrip-10e80ef424349bd6: crates/core/tests/serde_roundtrip.rs
+
+crates/core/tests/serde_roundtrip.rs:

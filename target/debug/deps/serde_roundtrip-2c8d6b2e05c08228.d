@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_roundtrip-2c8d6b2e05c08228.d: crates/obs/tests/serde_roundtrip.rs
+
+/root/repo/target/debug/deps/serde_roundtrip-2c8d6b2e05c08228: crates/obs/tests/serde_roundtrip.rs
+
+crates/obs/tests/serde_roundtrip.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_roundtrip-65b8978117c1bb71.d: crates/core/tests/serde_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_roundtrip-65b8978117c1bb71.rmeta: crates/core/tests/serde_roundtrip.rs Cargo.toml
+
+crates/core/tests/serde_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

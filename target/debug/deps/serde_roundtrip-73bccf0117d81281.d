@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_roundtrip-73bccf0117d81281.d: crates/obs/tests/serde_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_roundtrip-73bccf0117d81281.rmeta: crates/obs/tests/serde_roundtrip.rs Cargo.toml
+
+crates/obs/tests/serde_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

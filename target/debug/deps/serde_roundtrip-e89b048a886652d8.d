@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_roundtrip-e89b048a886652d8.d: crates/core/tests/serde_roundtrip.rs
+
+/root/repo/target/debug/deps/serde_roundtrip-e89b048a886652d8: crates/core/tests/serde_roundtrip.rs
+
+crates/core/tests/serde_roundtrip.rs:

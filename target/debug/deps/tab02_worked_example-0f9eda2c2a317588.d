@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab02_worked_example-0f9eda2c2a317588.d: crates/bench/benches/tab02_worked_example.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab02_worked_example-0f9eda2c2a317588.rmeta: crates/bench/benches/tab02_worked_example.rs Cargo.toml
+
+crates/bench/benches/tab02_worked_example.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab03_robustness-2148d59de1f07a4e.d: crates/bench/benches/tab03_robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab03_robustness-2148d59de1f07a4e.rmeta: crates/bench/benches/tab03_robustness.rs Cargo.toml
+
+crates/bench/benches/tab03_robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_export-172de527c872c31c.d: tests/trace_export.rs
+
+/root/repo/target/debug/deps/trace_export-172de527c872c31c: tests/trace_export.rs
+
+tests/trace_export.rs:

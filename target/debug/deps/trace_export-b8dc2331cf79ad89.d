@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace_export-b8dc2331cf79ad89.d: tests/trace_export.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_export-b8dc2331cf79ad89.rmeta: tests/trace_export.rs Cargo.toml
+
+tests/trace_export.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

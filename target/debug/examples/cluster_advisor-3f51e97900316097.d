@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cluster_advisor-3f51e97900316097.d: examples/cluster_advisor.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcluster_advisor-3f51e97900316097.rmeta: examples/cluster_advisor.rs Cargo.toml
+
+examples/cluster_advisor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

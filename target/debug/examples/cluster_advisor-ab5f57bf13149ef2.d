@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cluster_advisor-ab5f57bf13149ef2.d: examples/cluster_advisor.rs
+
+/root/repo/target/debug/examples/cluster_advisor-ab5f57bf13149ef2: examples/cluster_advisor.rs
+
+examples/cluster_advisor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cluster_advisor-ca099c6c3487e2ec.d: examples/cluster_advisor.rs
+
+/root/repo/target/debug/examples/cluster_advisor-ca099c6c3487e2ec: examples/cluster_advisor.rs
+
+examples/cluster_advisor.rs:

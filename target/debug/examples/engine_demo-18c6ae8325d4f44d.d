@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/engine_demo-18c6ae8325d4f44d.d: examples/engine_demo.rs Cargo.toml
+
+/root/repo/target/debug/examples/libengine_demo-18c6ae8325d4f44d.rmeta: examples/engine_demo.rs Cargo.toml
+
+examples/engine_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

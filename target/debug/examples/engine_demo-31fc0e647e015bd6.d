@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/engine_demo-31fc0e647e015bd6.d: examples/engine_demo.rs
+
+/root/repo/target/debug/examples/engine_demo-31fc0e647e015bd6: examples/engine_demo.rs
+
+examples/engine_demo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/engine_demo-359c2057981da7a6.d: examples/engine_demo.rs
+
+/root/repo/target/debug/examples/engine_demo-359c2057981da7a6: examples/engine_demo.rs
+
+examples/engine_demo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/failure_timeline-3704628400a0d4d3.d: examples/failure_timeline.rs
+
+/root/repo/target/debug/examples/failure_timeline-3704628400a0d4d3: examples/failure_timeline.rs
+
+examples/failure_timeline.rs:

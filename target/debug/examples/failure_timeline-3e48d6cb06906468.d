@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/failure_timeline-3e48d6cb06906468.d: examples/failure_timeline.rs
+
+/root/repo/target/debug/examples/failure_timeline-3e48d6cb06906468: examples/failure_timeline.rs
+
+examples/failure_timeline.rs:

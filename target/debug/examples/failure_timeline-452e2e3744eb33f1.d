@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/failure_timeline-452e2e3744eb33f1.d: examples/failure_timeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfailure_timeline-452e2e3744eb33f1.rmeta: examples/failure_timeline.rs Cargo.toml
+
+examples/failure_timeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mixed_workload-340981bbaccac7f8.d: examples/mixed_workload.rs
+
+/root/repo/target/debug/examples/mixed_workload-340981bbaccac7f8: examples/mixed_workload.rs
+
+examples/mixed_workload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mixed_workload-3e538c8a6fdd8818.d: examples/mixed_workload.rs
+
+/root/repo/target/debug/examples/mixed_workload-3e538c8a6fdd8818: examples/mixed_workload.rs
+
+examples/mixed_workload.rs:

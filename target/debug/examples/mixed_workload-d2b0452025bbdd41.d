@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mixed_workload-d2b0452025bbdd41.d: examples/mixed_workload.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmixed_workload-d2b0452025bbdd41.rmeta: examples/mixed_workload.rs Cargo.toml
+
+examples/mixed_workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/observability-398c04968a81edee.d: examples/observability.rs
+
+/root/repo/target/debug/examples/observability-398c04968a81edee: examples/observability.rs
+
+examples/observability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-3ef4a8ba6f82c2f4.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-3ef4a8ba6f82c2f4: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-57f0dd102617ecd5.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-57f0dd102617ecd5: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig01_success_probability-69c5cd789cf5dcbc.d: crates/bench/benches/fig01_success_probability.rs
+
+/root/repo/target/release/deps/fig01_success_probability-69c5cd789cf5dcbc: crates/bench/benches/fig01_success_probability.rs
+
+crates/bench/benches/fig01_success_probability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ftpde-11ac08b84bf3ed70.d: src/bin/ftpde.rs
+
+/root/repo/target/release/deps/ftpde-11ac08b84bf3ed70: src/bin/ftpde.rs
+
+src/bin/ftpde.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ftpde-24ac2c1bc0a99bfb.d: src/bin/ftpde.rs
+
+/root/repo/target/release/deps/ftpde-24ac2c1bc0a99bfb: src/bin/ftpde.rs
+
+src/bin/ftpde.rs:

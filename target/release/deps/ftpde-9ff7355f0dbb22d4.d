@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ftpde-9ff7355f0dbb22d4.d: src/lib.rs
+
+/root/repo/target/release/deps/libftpde-9ff7355f0dbb22d4.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libftpde-9ff7355f0dbb22d4.rmeta: src/lib.rs
+
+src/lib.rs:

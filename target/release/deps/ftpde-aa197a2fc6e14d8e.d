@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ftpde-aa197a2fc6e14d8e.d: src/lib.rs
+
+/root/repo/target/release/deps/libftpde-aa197a2fc6e14d8e.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libftpde-aa197a2fc6e14d8e.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ftpde-e67e0d4dda18e24f.d: src/lib.rs
+
+/root/repo/target/release/deps/libftpde-e67e0d4dda18e24f.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libftpde-e67e0d4dda18e24f.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/ftpde_bench-be0558b4f8db2031.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/common.rs crates/bench/src/diagrams.rs crates/bench/src/fig01.rs crates/bench/src/fig08.rs crates/bench/src/fig10.rs crates/bench/src/fig11.rs crates/bench/src/fig12.rs crates/bench/src/fig13.rs crates/bench/src/report.rs crates/bench/src/tab02.rs crates/bench/src/tab03.rs
+
+/root/repo/target/release/deps/libftpde_bench-be0558b4f8db2031.rlib: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/common.rs crates/bench/src/diagrams.rs crates/bench/src/fig01.rs crates/bench/src/fig08.rs crates/bench/src/fig10.rs crates/bench/src/fig11.rs crates/bench/src/fig12.rs crates/bench/src/fig13.rs crates/bench/src/report.rs crates/bench/src/tab02.rs crates/bench/src/tab03.rs
+
+/root/repo/target/release/deps/libftpde_bench-be0558b4f8db2031.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/common.rs crates/bench/src/diagrams.rs crates/bench/src/fig01.rs crates/bench/src/fig08.rs crates/bench/src/fig10.rs crates/bench/src/fig11.rs crates/bench/src/fig12.rs crates/bench/src/fig13.rs crates/bench/src/report.rs crates/bench/src/tab02.rs crates/bench/src/tab03.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/common.rs:
+crates/bench/src/diagrams.rs:
+crates/bench/src/fig01.rs:
+crates/bench/src/fig08.rs:
+crates/bench/src/fig10.rs:
+crates/bench/src/fig11.rs:
+crates/bench/src/fig12.rs:
+crates/bench/src/fig13.rs:
+crates/bench/src/report.rs:
+crates/bench/src/tab02.rs:
+crates/bench/src/tab03.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/ftpde_cluster-1a3535474ceb578c.d: crates/cluster/src/lib.rs crates/cluster/src/analytics.rs crates/cluster/src/config.rs crates/cluster/src/trace.rs
+
+/root/repo/target/release/deps/libftpde_cluster-1a3535474ceb578c.rlib: crates/cluster/src/lib.rs crates/cluster/src/analytics.rs crates/cluster/src/config.rs crates/cluster/src/trace.rs
+
+/root/repo/target/release/deps/libftpde_cluster-1a3535474ceb578c.rmeta: crates/cluster/src/lib.rs crates/cluster/src/analytics.rs crates/cluster/src/config.rs crates/cluster/src/trace.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/analytics.rs:
+crates/cluster/src/config.rs:
+crates/cluster/src/trace.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/ftpde_cluster-34dee0edc479e1d1.d: crates/cluster/src/lib.rs crates/cluster/src/analytics.rs crates/cluster/src/config.rs crates/cluster/src/trace.rs
+
+/root/repo/target/release/deps/libftpde_cluster-34dee0edc479e1d1.rlib: crates/cluster/src/lib.rs crates/cluster/src/analytics.rs crates/cluster/src/config.rs crates/cluster/src/trace.rs
+
+/root/repo/target/release/deps/libftpde_cluster-34dee0edc479e1d1.rmeta: crates/cluster/src/lib.rs crates/cluster/src/analytics.rs crates/cluster/src/config.rs crates/cluster/src/trace.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/analytics.rs:
+crates/cluster/src/config.rs:
+crates/cluster/src/trace.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/ftpde_core-f1105aef0c1becf2.d: crates/core/src/lib.rs crates/core/src/collapse.rs crates/core/src/config.rs crates/core/src/cost.rs crates/core/src/dag.rs crates/core/src/error.rs crates/core/src/explain.rs crates/core/src/operator.rs crates/core/src/paths.rs crates/core/src/prune.rs crates/core/src/search.rs crates/core/src/stats.rs
+
+/root/repo/target/release/deps/libftpde_core-f1105aef0c1becf2.rlib: crates/core/src/lib.rs crates/core/src/collapse.rs crates/core/src/config.rs crates/core/src/cost.rs crates/core/src/dag.rs crates/core/src/error.rs crates/core/src/explain.rs crates/core/src/operator.rs crates/core/src/paths.rs crates/core/src/prune.rs crates/core/src/search.rs crates/core/src/stats.rs
+
+/root/repo/target/release/deps/libftpde_core-f1105aef0c1becf2.rmeta: crates/core/src/lib.rs crates/core/src/collapse.rs crates/core/src/config.rs crates/core/src/cost.rs crates/core/src/dag.rs crates/core/src/error.rs crates/core/src/explain.rs crates/core/src/operator.rs crates/core/src/paths.rs crates/core/src/prune.rs crates/core/src/search.rs crates/core/src/stats.rs
+
+crates/core/src/lib.rs:
+crates/core/src/collapse.rs:
+crates/core/src/config.rs:
+crates/core/src/cost.rs:
+crates/core/src/dag.rs:
+crates/core/src/error.rs:
+crates/core/src/explain.rs:
+crates/core/src/operator.rs:
+crates/core/src/paths.rs:
+crates/core/src/prune.rs:
+crates/core/src/search.rs:
+crates/core/src/stats.rs:

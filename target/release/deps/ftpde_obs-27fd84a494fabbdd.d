@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ftpde_obs-27fd84a494fabbdd.d: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/export.rs crates/obs/src/metrics.rs crates/obs/src/recorder.rs crates/obs/src/report.rs
+
+/root/repo/target/release/deps/libftpde_obs-27fd84a494fabbdd.rlib: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/export.rs crates/obs/src/metrics.rs crates/obs/src/recorder.rs crates/obs/src/report.rs
+
+/root/repo/target/release/deps/libftpde_obs-27fd84a494fabbdd.rmeta: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/export.rs crates/obs/src/metrics.rs crates/obs/src/recorder.rs crates/obs/src/report.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/event.rs:
+crates/obs/src/export.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/recorder.rs:
+crates/obs/src/report.rs:

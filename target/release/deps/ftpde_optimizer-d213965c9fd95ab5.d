@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ftpde_optimizer-d213965c9fd95ab5.d: crates/optimizer/src/lib.rs crates/optimizer/src/enumerate.rs crates/optimizer/src/greedy.rs crates/optimizer/src/logical.rs crates/optimizer/src/physical.rs
+
+/root/repo/target/release/deps/libftpde_optimizer-d213965c9fd95ab5.rlib: crates/optimizer/src/lib.rs crates/optimizer/src/enumerate.rs crates/optimizer/src/greedy.rs crates/optimizer/src/logical.rs crates/optimizer/src/physical.rs
+
+/root/repo/target/release/deps/libftpde_optimizer-d213965c9fd95ab5.rmeta: crates/optimizer/src/lib.rs crates/optimizer/src/enumerate.rs crates/optimizer/src/greedy.rs crates/optimizer/src/logical.rs crates/optimizer/src/physical.rs
+
+crates/optimizer/src/lib.rs:
+crates/optimizer/src/enumerate.rs:
+crates/optimizer/src/greedy.rs:
+crates/optimizer/src/logical.rs:
+crates/optimizer/src/physical.rs:

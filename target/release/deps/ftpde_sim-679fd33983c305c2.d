@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ftpde_sim-679fd33983c305c2.d: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/metrics.rs crates/sim/src/scheme.rs crates/sim/src/simulate.rs
+
+/root/repo/target/release/deps/libftpde_sim-679fd33983c305c2.rlib: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/metrics.rs crates/sim/src/scheme.rs crates/sim/src/simulate.rs
+
+/root/repo/target/release/deps/libftpde_sim-679fd33983c305c2.rmeta: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/metrics.rs crates/sim/src/scheme.rs crates/sim/src/simulate.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/event.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/scheme.rs:
+crates/sim/src/simulate.rs:

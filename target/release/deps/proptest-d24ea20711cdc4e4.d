@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-d24ea20711cdc4e4.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-d24ea20711cdc4e4.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-d24ea20711cdc4e4.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-1295f7e0a1a5bbdf.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-1295f7e0a1a5bbdf.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-1295f7e0a1a5bbdf.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-a52c9e3b1c6045d5.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-a52c9e3b1c6045d5.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-a52c9e3b1c6045d5.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_probe-d4d2aabc0694aacb.d: examples/_probe.rs
+
+/root/repo/target/release/examples/_probe-d4d2aabc0694aacb: examples/_probe.rs
+
+examples/_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_triage-53859a5cb8ee1c7f.d: examples/_triage.rs
+
+/root/repo/target/release/examples/_triage-53859a5cb8ee1c7f: examples/_triage.rs
+
+examples/_triage.rs:

@@ -62,9 +62,7 @@ fn estimate_tracks_simulation() {
         let traces = TraceSet::generate(&cluster, horizon, 10, seed);
         let actual: f64 = traces
             .iter()
-            .map(|t| {
-                simulate(&plan, &config, Recovery::FineGrained, &cluster, t, &opts).completion
-            })
+            .map(|t| simulate(&plan, &config, Recovery::FineGrained, &cluster, t, &opts).completion)
             .sum::<f64>()
             / 10.0;
         let err = (actual - estimated) / actual;
@@ -139,9 +137,11 @@ fn engine_stage_structure_matches_collapsed_plan() {
     for config in MatConfig::enumerate(&dag) {
         let pc = ftpde::core::collapse::CollapsedPlan::collapse(&dag, &config, 1.0);
         // Kill the first attempt of every stage on node 1.
-        let injector = FailureInjector::with(
-            pc.iter().map(|(_, c)| Injection { stage: c.root.0, node: 1, attempt: 0 }),
-        );
+        let injector = FailureInjector::with(pc.iter().map(|(_, c)| Injection {
+            stage: c.root.0,
+            node: 1,
+            attempt: 0,
+        }));
         let report = run_query(&plan, &config, &catalog, &injector, &RunOptions::default());
         assert_eq!(report.results, reference.results, "config {:?}", config.materialized_ops());
         assert_eq!(
@@ -164,7 +164,8 @@ fn figure11_ordering_holds_end_to_end() {
     let horizon = suggested_horizon(&plan, &cluster, &opts);
     let traces = TraceSet::generate(&cluster, horizon, 10, 4242);
     let runs = run_all_schemes(&plan, &cluster, &traces, &opts).unwrap();
-    let oh: Vec<f64> = runs.iter().map(|r| r.mean_overhead_pct().unwrap_or(f64::INFINITY)).collect();
+    let oh: Vec<f64> =
+        runs.iter().map(|r| r.mean_overhead_pct().unwrap_or(f64::INFINITY)).collect();
     let (all_mat, lineage, restart, cost_based) = (oh[0], oh[1], oh[2], oh[3]);
     assert!(cost_based < restart, "cost-based beats restart");
     assert!(cost_based <= all_mat * 1.1, "cost-based ≤ all-mat");

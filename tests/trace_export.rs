@@ -1,0 +1,106 @@
+//! End-to-end observability: an engine `run_query` with an injected node
+//! failure, recorded through the obs layer and exported to both JSONL and
+//! Chrome trace-event JSON. Both artifacts must parse back and contain
+//! the per-stage spans, the failure instant, and the recovery
+//! re-execution of the killed sub-plan.
+
+use serde::Value;
+
+use ftpde::core::collapse::CollapsedPlan;
+use ftpde::core::config::MatConfig;
+use ftpde::engine::prelude::*;
+use ftpde::obs::{export, ArgValue, Event, MemoryRecorder, Phase};
+use ftpde::tpch::datagen::Database;
+
+/// One traced Q3 run, two stages (the first join materialized), with node
+/// 1's first attempt on the sink stage killed.
+fn traced_failure_run() -> (Vec<Event>, usize, u32) {
+    let plan = q3_engine_plan();
+    let dag = plan.to_plan_dag();
+    let config = MatConfig::from_free_bits(&dag, 0b01);
+    let stages = CollapsedPlan::collapse(&dag, &config, 1.0).len();
+    let sink = plan.sinks()[0];
+    let injector = FailureInjector::with([Injection { stage: sink.0, node: 1, attempt: 0 }]);
+    let catalog = load_catalog(&Database::generate(0.001, 42), 4);
+    let rec = MemoryRecorder::new();
+    let report =
+        run_query_traced(&plan, &config, &catalog, &injector, &RunOptions::default(), &rec);
+    assert_eq!(report.node_retries, 1, "exactly the injected failure");
+    assert!(!report.results.is_empty());
+    (rec.events(), stages, sink.0)
+}
+
+#[test]
+fn jsonl_export_of_a_failed_run_parses_back_with_recovery() {
+    let (events, stages, sink) = traced_failure_run();
+
+    let dir = std::env::temp_dir().join("ftpde_trace_export_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    let path = dir.join("run.jsonl");
+    export::write_file(&path, &export::to_jsonl(&events)).unwrap();
+    let parsed = export::from_jsonl(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(parsed, events, "JSONL round-trips the run losslessly");
+
+    // One coordinator stage span per collapsed stage, on track 0.
+    let stage_spans: Vec<&Event> =
+        parsed.iter().filter(|e| e.phase == Phase::Span && e.name.starts_with("stage ")).collect();
+    assert_eq!(stage_spans.len(), stages);
+    assert!(stage_spans.iter().all(|e| e.tid == 0 && e.cat == "engine"));
+
+    // The injected failure is an instant on node 1's track.
+    let failures: Vec<&Event> = parsed.iter().filter(|e| e.name == "node_failure").collect();
+    assert_eq!(failures.len(), 1);
+    let failure = failures[0];
+    assert_eq!(failure.phase, Phase::Instant);
+    assert_eq!(failure.tid, 2, "node 1 records on track node+1");
+    assert_eq!(failure.get_arg("stage"), Some(&ArgValue::U64(sink as u64)));
+    assert_eq!(failure.get_arg("attempt"), Some(&ArgValue::U64(0)));
+
+    // Recovery: a redeploy instant, then a successful re-execution of the
+    // killed sub-plan — an attempt span on the same stage and node with
+    // attempt 1 that starts no earlier than the failure.
+    assert_eq!(parsed.iter().filter(|e| e.name == "redeploy").count(), 1);
+    let retry = parsed
+        .iter()
+        .find(|e| {
+            e.name == "attempt"
+                && e.phase == Phase::Span
+                && e.tid == 2
+                && e.get_arg("attempt") == Some(&ArgValue::U64(1))
+        })
+        .expect("the killed sub-plan re-executes");
+    assert_eq!(retry.get_arg("stage"), Some(&ArgValue::U64(sink as u64)));
+    assert_eq!(retry.get_arg("ok"), Some(&ArgValue::Bool(true)));
+    assert!(retry.ts_us >= failure.ts_us, "recovery follows the failure");
+
+    // The run closes with a completion instant.
+    assert_eq!(parsed.last().unwrap().name, "query_completed");
+}
+
+#[test]
+fn chrome_trace_of_a_failed_run_has_spans_and_the_failure_instant() {
+    let (events, stages, _) = traced_failure_run();
+    let root: Value = serde_json::from_str(&export::to_chrome_trace(&events)).unwrap();
+    assert_eq!(root.get("displayTimeUnit").and_then(Value::as_str), Some("ms"));
+    let trace_events = root.get("traceEvents").and_then(Value::as_array).unwrap();
+    assert_eq!(trace_events.len(), events.len());
+
+    let name_of = |v: &Value| v.get("name").and_then(Value::as_str).map(str::to_owned);
+    let spans: Vec<&Value> =
+        trace_events.iter().filter(|v| v.get("ph").and_then(Value::as_str) == Some("X")).collect();
+    // Every span carries a duration; the stage spans are all present.
+    assert!(spans.iter().all(|v| v.get("dur").and_then(Value::as_u64).is_some()));
+    let stage_span_count =
+        spans.iter().filter(|v| name_of(v).is_some_and(|n| n.starts_with("stage "))).count();
+    assert_eq!(stage_span_count, stages);
+
+    // The failure renders as a thread-scoped instant on node 1's track.
+    let failure = trace_events
+        .iter()
+        .find(|v| name_of(v) == Some("node_failure".into()))
+        .expect("failure instant exported");
+    assert_eq!(failure.get("ph").and_then(Value::as_str), Some("i"));
+    assert_eq!(failure.get("s").and_then(Value::as_str), Some("t"));
+    assert_eq!(failure.get("tid").and_then(Value::as_u64), Some(2));
+}

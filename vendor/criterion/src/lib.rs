@@ -1,0 +1,228 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's benches use — [`Criterion`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`BatchSize`],
+//! benchmark groups, [`black_box`], and the `criterion_group!` /
+//! `criterion_main!` macros. Measurement is a simple wall-clock loop
+//! (short warm-up, then a fixed sampling window) reporting the mean
+//! time per iteration — adequate for relative comparisons, with none of
+//! upstream's statistical machinery.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How per-iteration setup output is batched. The stand-in runs one
+/// setup per iteration regardless, so the variants only document intent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small setup values; upstream batches many per allocation.
+    SmallInput,
+    /// Large setup values; upstream batches few.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Measures a single routine.
+pub struct Bencher {
+    warm_up: Duration,
+    window: Duration,
+    /// Mean wall-clock time per iteration, filled in by `iter*`.
+    mean: Option<Duration>,
+    iterations: u64,
+}
+
+impl Bencher {
+    fn new(warm_up: Duration, window: Duration) -> Self {
+        Bencher { warm_up, window, mean: None, iterations: 0 }
+    }
+
+    /// Benchmarks `routine` by calling it repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.run(|| {
+            black_box(routine());
+        });
+    }
+
+    /// Benchmarks `routine` on a fresh value from `setup` each iteration.
+    /// Setup time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_deadline = Instant::now() + self.warm_up;
+        while Instant::now() < warm_deadline {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let mut spent = Duration::ZERO;
+        let mut iters = 0u64;
+        let deadline = Instant::now() + self.window;
+        while Instant::now() < deadline {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            spent += start.elapsed();
+            iters += 1;
+        }
+        self.record(spent, iters);
+    }
+
+    fn run(&mut self, mut routine: impl FnMut()) {
+        let warm_deadline = Instant::now() + self.warm_up;
+        while Instant::now() < warm_deadline {
+            routine();
+        }
+        let mut iters = 0u64;
+        let start = Instant::now();
+        let deadline = start + self.window;
+        while Instant::now() < deadline {
+            routine();
+            iters += 1;
+        }
+        self.record(start.elapsed(), iters);
+    }
+
+    fn record(&mut self, spent: Duration, iters: u64) {
+        let iters = iters.max(1);
+        self.mean = Some(spent / iters as u32);
+        self.iterations = iters;
+    }
+}
+
+fn render(name: &str, b: &Bencher) {
+    let mean = b.mean.unwrap_or_default();
+    let pretty = if mean < Duration::from_micros(10) {
+        format!("{:.1} ns", mean.as_nanos() as f64)
+    } else if mean < Duration::from_millis(10) {
+        format!("{:.2} µs", mean.as_nanos() as f64 / 1e3)
+    } else {
+        format!("{:.2} ms", mean.as_nanos() as f64 / 1e6)
+    };
+    println!("{name:<48} time: {pretty}   ({} iterations)", b.iterations);
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    warm_up: Duration,
+    window: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { warm_up: Duration::from_millis(50), window: Duration::from_millis(200) }
+    }
+}
+
+impl Criterion {
+    /// Sets the per-benchmark sampling window.
+    pub fn measurement_time(mut self, window: Duration) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(mut self, warm_up: Duration) -> Self {
+        self.warm_up = warm_up;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.warm_up, self.window);
+        f(&mut b);
+        render(name, &b);
+        self
+    }
+
+    /// Starts a named group; members render as `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string() }
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.criterion.warm_up, self.criterion.window);
+        f(&mut b);
+        render(&format!("{}/{}", self.name, name), &b);
+        self
+    }
+
+    /// Finishes the group (no-op in the stand-in).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a runner, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast() -> Criterion {
+        Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = fast();
+        c.bench_function("t/iter", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        c.bench_function("t/batched", |b| {
+            b.iter_batched(|| vec![1u64; 16], |v| v.iter().sum::<u64>(), BatchSize::SmallInput)
+        });
+    }
+
+    #[test]
+    fn groups_render_and_finish() {
+        let mut c = fast();
+        let mut g = c.benchmark_group("g");
+        g.bench_function("a", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+
+    fn target_a(c: &mut Criterion) {
+        c.bench_function("macro/a", |b| b.iter(|| black_box(2 * 2)));
+    }
+
+    criterion_group!(benches, target_a);
+
+    #[test]
+    fn group_macro_produces_runner() {
+        // criterion_main! would define `main`; here just run the group fn.
+        benches();
+    }
+}

@@ -1,0 +1,364 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the vendored `serde` crate's value data model, parsing the item with
+//! hand-rolled token inspection (no `syn`/`quote` — the build environment
+//! has no registry access). Supports the shapes the workspace uses:
+//! non-generic structs (named, tuple, unit) and enums with unit, tuple and
+//! struct variants. `#[serde(...)]` attributes are not supported and any
+//! encountered attribute is ignored.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed field list.
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+/// A parsed item: struct or enum with variants.
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<(String, Fields)> },
+}
+
+fn is_punct(tt: &TokenTree, c: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+/// Skips `#[...]` attribute sequences starting at `i`.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len()
+        && is_punct(&tokens[i], '#')
+        && matches!(&tokens[i + 1], TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket)
+    {
+        i += 2;
+    }
+    i
+}
+
+/// Skips a visibility modifier (`pub`, `pub(crate)`, ...) starting at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        i += 1;
+        if i < tokens.len()
+            && matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Counts the comma-separated entries of a tuple field group, ignoring
+/// commas nested in `<...>` generics.
+fn tuple_arity(group: &[TokenTree]) -> usize {
+    if group.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut arity = 1;
+    let mut saw_tokens_since_comma = false;
+    for tt in group {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                arity += 1;
+                saw_tokens_since_comma = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens_since_comma = true;
+    }
+    if !saw_tokens_since_comma {
+        arity -= 1; // trailing comma
+    }
+    arity
+}
+
+/// Parses the names of named fields inside a brace group. Skips
+/// attributes, visibility, and the type after each `:` (tracking `<...>`
+/// depth so commas inside generics don't split fields).
+fn named_fields(group: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < group.len() {
+        i = skip_attrs(group, i);
+        if i >= group.len() {
+            break;
+        }
+        i = skip_vis(group, i);
+        let TokenTree::Ident(name) = &group[i] else {
+            panic!("serde derive: expected field name, got {:?}", group[i]);
+        };
+        fields.push(name.to_string());
+        i += 1;
+        assert!(is_punct(&group[i], ':'), "serde derive: expected `:` after field name");
+        i += 1;
+        // Skip the type: until a top-level comma or end of group.
+        let mut depth = 0i32;
+        while i < group.len() {
+            match &group[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn parse_fields_group(tt: &TokenTree) -> Option<Fields> {
+    match tt {
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            Some(Fields::Named(named_fields(&inner)))
+        }
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            Some(Fields::Tuple(tuple_arity(&inner)))
+        }
+        _ => None,
+    }
+}
+
+/// Parses enum variants from the enum's brace group.
+fn parse_variants(group: &[TokenTree]) -> Vec<(String, Fields)> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < group.len() {
+        i = skip_attrs(group, i);
+        if i >= group.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &group[i] else {
+            panic!("serde derive: expected variant name, got {:?}", group[i]);
+        };
+        let vname = name.to_string();
+        i += 1;
+        let fields = if i < group.len() {
+            match parse_fields_group(&group[i]) {
+                Some(f) => {
+                    i += 1;
+                    f
+                }
+                None => Fields::Unit,
+            }
+        } else {
+            Fields::Unit
+        };
+        // Skip an optional discriminant `= expr` up to the next top-level
+        // comma.
+        while i < group.len() && !is_punct(&group[i], ',') {
+            i += 1;
+        }
+        i += 1; // past the comma
+        variants.push((vname, fields));
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if i < tokens.len() && is_punct(&tokens[i], '<') {
+        panic!("serde derive (vendored): generic types are not supported");
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = if i < tokens.len() {
+                parse_fields_group(&tokens[i]).unwrap_or(Fields::Unit)
+            } else {
+                Fields::Unit
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let TokenTree::Group(g) = &tokens[i] else {
+                panic!("serde derive: expected enum body");
+            };
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            Item::Enum { name, variants: parse_variants(&inner) }
+        }
+        other => panic!("serde derive: cannot derive for `{other}` items"),
+    }
+}
+
+// --- code generation -----------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => {
+                    let mut s = String::from(
+                        "let mut __o: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
+                    );
+                    for f in names {
+                        s.push_str(&format!(
+                            "__o.push((\"{f}\".to_string(), ::serde::Serialize::serialize(&self.{f})));\n"
+                        ));
+                    }
+                    s.push_str("::serde::Value::Object(__o)");
+                    s
+                }
+                Fields::Tuple(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                }
+                Fields::Unit => "::serde::Value::Null".to_string(),
+            };
+            format!(
+                "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n fn serialize(&self) -> ::serde::Value {{\n {body}\n }}\n}}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (v, fields) in variants {
+                match fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),\n"
+                    )),
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{v}(__f0) => ::serde::Value::Object(vec![(\"{v}\".to_string(), ::serde::Serialize::serialize(__f0))]),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let sers: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v}({}) => ::serde::Value::Object(vec![(\"{v}\".to_string(), ::serde::Value::Array(vec![{}]))]),\n",
+                            binds.join(", "),
+                            sers.join(", ")
+                        ));
+                    }
+                    Fields::Named(names) => {
+                        let binds = names.join(", ");
+                        let pushes: Vec<String> = names
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{f}\".to_string(), ::serde::Serialize::serialize({f}))"
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Object(vec![(\"{v}\".to_string(), ::serde::Value::Object(vec![{}]))]),\n",
+                            pushes.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n fn serialize(&self) -> ::serde::Value {{\n match self {{\n {arms} }}\n }}\n}}\n"
+            )
+        }
+    }
+}
+
+fn gen_named_build(path: &str, names: &[String], obj_expr: &str) -> String {
+    let fields: Vec<String> = names
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::deserialize(::serde::__field({obj_expr}, \"{f}\")?)?"
+            )
+        })
+        .collect();
+    format!("{path} {{ {} }}", fields.join(", "))
+}
+
+fn gen_tuple_build(path: &str, n: usize, arr_expr: &str) -> String {
+    let fields: Vec<String> =
+        (0..n).map(|i| format!("::serde::Deserialize::deserialize(&{arr_expr}[{i}])?")).collect();
+    format!("{path}({})", fields.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => format!(
+                    "let __obj = __v.as_object_slice().ok_or_else(|| ::serde::Error::expected(\"object\", \"{name}\"))?;\nOk({})",
+                    gen_named_build(name, names, "__obj")
+                ),
+                Fields::Tuple(1) => {
+                    format!("Ok({name}(::serde::Deserialize::deserialize(__v)?))")
+                }
+                Fields::Tuple(n) => format!(
+                    "let __a = __v.as_array().ok_or_else(|| ::serde::Error::expected(\"array\", \"{name}\"))?;\nif __a.len() != {n} {{ return Err(::serde::Error::expected(\"array of length {n}\", \"{name}\")); }}\nOk({})",
+                    gen_tuple_build(name, *n, "__a")
+                ),
+                Fields::Unit => format!(
+                    "if __v.is_null() {{ Ok({name}) }} else {{ Err(::serde::Error::expected(\"null\", \"{name}\")) }}"
+                ),
+            };
+            format!(
+                "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n fn deserialize(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n {body}\n }}\n}}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for (v, fields) in variants {
+                match fields {
+                    Fields::Unit => {
+                        unit_arms.push_str(&format!("\"{v}\" => Ok({name}::{v}),\n"));
+                    }
+                    Fields::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{v}\" => Ok({name}::{v}(::serde::Deserialize::deserialize(__inner)?)),\n"
+                    )),
+                    Fields::Tuple(n) => data_arms.push_str(&format!(
+                        "\"{v}\" => {{ let __a = __inner.as_array().ok_or_else(|| ::serde::Error::expected(\"array\", \"{name}::{v}\"))?; if __a.len() != {n} {{ return Err(::serde::Error::expected(\"array of length {n}\", \"{name}::{v}\")); }} Ok({}) }}\n",
+                        gen_tuple_build(&format!("{name}::{v}"), *n, "__a")
+                    )),
+                    Fields::Named(names) => data_arms.push_str(&format!(
+                        "\"{v}\" => {{ let __obj = __inner.as_object_slice().ok_or_else(|| ::serde::Error::expected(\"object\", \"{name}::{v}\"))?; Ok({}) }}\n",
+                        gen_named_build(&format!("{name}::{v}"), names, "__obj")
+                    )),
+                }
+            }
+            format!(
+                "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n fn deserialize(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n match __v {{\n ::serde::Value::Str(__s) => match __s.as_str() {{\n {unit_arms} _ => Err(::serde::Error::msg(format!(\"unknown variant `{{__s}}` of {name}\"))),\n }},\n ::serde::Value::Object(__o) if __o.len() == 1 => {{\n let (__k, __inner) = &__o[0];\n match __k.as_str() {{\n {data_arms} _ => Err(::serde::Error::msg(format!(\"unknown variant `{{__k}}` of {name}\"))),\n }}\n }},\n _ => Err(::serde::Error::expected(\"string or single-key object\", \"{name}\")),\n }}\n }}\n}}\n"
+            )
+        }
+    }
+}
+
+/// Derives `serde::Serialize` (vendored value-model flavour).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (vendored value-model flavour).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
