@@ -3,7 +3,7 @@
 //! plain-text output is byte-identical to the original `println!` rows so
 //! `cargo bench` transcripts keep diffing cleanly against EXPERIMENTS.md.
 
-use ftpde_obs::Summary;
+use ftpde_obs::{CalibrationReport, Summary};
 
 /// Prints a title banner.
 pub fn banner(title: &str) {
@@ -31,6 +31,43 @@ pub fn overhead_cell(pct: Option<f64>) -> String {
 /// Formats seconds with one decimal.
 pub fn secs(v: f64) -> String {
     format!("{v:.1}s")
+}
+
+/// Builds the harness-style calibration table for a
+/// [`CalibrationReport`]: one row per prediction-tagged stage (predicted
+/// vs observed seconds, signed relative error, failures) and a footer
+/// row per query, ready for [`table`] / [`Summary::table`].
+pub fn calibration_table(report: &CalibrationReport) -> (Vec<&'static str>, Vec<Vec<String>>) {
+    let headers = vec!["scope", "stage", "predicted", "observed", "rel err", "failures"];
+    let pct = |v: Option<f64>| match v {
+        Some(v) => format!("{:+.1}%", v * 100.0),
+        None => "-".to_string(),
+    };
+    let mut rows: Vec<Vec<String>> = report
+        .stages
+        .iter()
+        .map(|s| {
+            vec![
+                s.cat.clone(),
+                s.stage.to_string(),
+                secs(s.predicted_s),
+                secs(s.observed_s),
+                pct(s.rel_error),
+                s.failures.to_string(),
+            ]
+        })
+        .collect();
+    for q in &report.queries {
+        rows.push(vec![
+            q.cat.clone(),
+            "query".to_string(),
+            secs(q.predicted_s),
+            secs(q.observed_s),
+            pct(q.rel_error),
+            if q.aborted { "Aborted".to_string() } else { "-".to_string() },
+        ]);
+    }
+    (headers, rows)
 }
 
 /// Pearson correlation coefficient of two equal-length series.
@@ -82,5 +119,32 @@ mod tests {
     #[test]
     fn secs_formatting() {
         assert_eq!(secs(905.329), "905.3s");
+    }
+
+    #[test]
+    fn calibration_table_has_stage_and_query_rows() {
+        use ftpde_obs::Event;
+
+        let events = vec![
+            Event::span("stage 0", "sim", 0, 2_200_000)
+                .arg("stage", 0u64)
+                .arg("pred_run_s", 1.5)
+                .arg("pred_mat_s", 0.5)
+                .arg("pred_rec_s", 0.0),
+            Event::instant("plan_estimate", "sim", 0).arg("pred_cost_s", 2.0),
+            Event::instant("query_completed", "sim", 2_200_000),
+        ];
+        let report = CalibrationReport::from_events(&events);
+        let (headers, rows) = calibration_table(&report);
+        assert_eq!(headers.len(), 6);
+        assert_eq!(rows.len(), 2, "one stage row + one query row");
+        assert_eq!(rows[0][1], "0");
+        assert_eq!(rows[0][4], "+10.0%");
+        assert_eq!(rows[1][1], "query");
+        assert_eq!(rows[1][5], "-");
+        // Renders through the shared Summary path without panicking.
+        let mut s = Summary::new();
+        s.table(&headers, &rows);
+        assert!(s.render().contains("+10.0%"));
     }
 }

@@ -188,7 +188,7 @@ pub fn path_runtime(plan: &CollapsedPlan, path: &[CId]) -> f64 {
 
 /// The cost estimate of one fault-tolerant plan `[P, M_P]`: the collapsed
 /// plan together with its dominant execution path.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FtEstimate {
     /// The collapsed plan the estimate was computed over.
     pub collapsed: CollapsedPlan,
@@ -201,6 +201,83 @@ pub struct FtEstimate {
     pub dominant_runtime: f64,
     /// Number of execution paths examined.
     pub paths_examined: u64,
+}
+
+/// Predicted cost decomposition of one collapsed stage under a
+/// [`CostParams`]: the terms of Eq. 8 spelled out so the observability
+/// layer can compare each one against what the simulator or engine
+/// actually observed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageEstimate {
+    /// Collapsed-operator index ([`CId`]) — the simulator's stage number.
+    pub stage: u32,
+    /// Plan operator id of the stage's root — the engine's stage number.
+    pub root: u32,
+    /// `tr(c)`: failure-free runtime of the stage.
+    pub run_cost: f64,
+    /// `tm(c)`: materialization penalty of the stage.
+    pub mat_cost: f64,
+    /// `a(c)`: additional attempts budgeted to reach the success target.
+    pub attempts: f64,
+    /// `a(c) · (w(c) + MTTR_cost)`: predicted time lost to failures.
+    pub recovery_cost: f64,
+    /// `T(c) = t(c) + recovery_cost`: total predicted stage cost (Eq. 8).
+    pub ft_cost: f64,
+    /// `true` iff the stage lies on the dominant execution path.
+    pub on_dominant_path: bool,
+}
+
+/// An [`FtEstimate`] decomposed per stage — the predicted side of the
+/// calibration join (serialize it, or feed it to `simulate_traced` /
+/// `run_query_traced`, which tag their stage spans with these numbers).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EstimateBreakdown {
+    /// `T_Pt` of the dominant path (the plan's headline prediction).
+    pub dominant_cost: f64,
+    /// `R_Pt` of the dominant path (prediction without failures).
+    pub dominant_runtime: f64,
+    /// One entry per collapsed stage, in [`CId`] order.
+    pub stages: Vec<StageEstimate>,
+}
+
+impl EstimateBreakdown {
+    /// The stage estimate whose root plan operator is `root`, if any —
+    /// the lookup the execution engine joins on.
+    pub fn by_root(&self, root: u32) -> Option<&StageEstimate> {
+        self.stages.iter().find(|s| s.root == root)
+    }
+}
+
+impl FtEstimate {
+    /// Decomposes the estimate into per-stage predicted costs under
+    /// `params` (which must be the parameters the estimate was computed
+    /// with, or the recovery terms will not match the search's).
+    pub fn breakdown(&self, params: &CostParams) -> EstimateBreakdown {
+        let stages = self
+            .collapsed
+            .iter()
+            .map(|(id, c)| {
+                let t = c.total_cost();
+                let attempts = params.attempts(t);
+                let recovery_cost = attempts * (params.wasted_runtime(t) + params.mttr_cost);
+                StageEstimate {
+                    stage: id.0,
+                    root: c.root.0,
+                    run_cost: c.run_cost,
+                    mat_cost: c.mat_cost,
+                    attempts,
+                    recovery_cost,
+                    ft_cost: params.op_cost(t),
+                    on_dominant_path: self.dominant_path.contains(&id),
+                }
+            })
+            .collect();
+        EstimateBreakdown {
+            dominant_cost: self.dominant_cost,
+            dominant_runtime: self.dominant_runtime,
+            stages,
+        }
+    }
 }
 
 /// Estimates the runtime of the fault-tolerant plan `[plan, config]` under
@@ -353,6 +430,62 @@ mod tests {
             let sum = p.success_probability(t) + p.failure_probability(t);
             assert!((sum - 1.0).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn breakdown_terms_sum_to_the_stage_cost() {
+        let (plan, cfg) = figure3_setup();
+        let params = table2_params();
+        let est = estimate_ft_plan(&plan, &cfg, &params);
+        let b = est.breakdown(&params);
+        assert_eq!(b.stages.len(), est.collapsed.len());
+        assert_eq!(b.dominant_cost, est.dominant_cost);
+        for s in &b.stages {
+            let t = s.run_cost + s.mat_cost;
+            assert!((s.ft_cost - (t + s.recovery_cost)).abs() < 1e-12, "Eq. 8 partition");
+            assert!(
+                (s.recovery_cost - s.attempts * (params.wasted_runtime(t) + params.mttr_cost))
+                    .abs()
+                    < 1e-12
+            );
+        }
+        // The dominant path flags match the estimate's path.
+        let on_path: Vec<u32> =
+            b.stages.iter().filter(|s| s.on_dominant_path).map(|s| s.stage).collect();
+        assert_eq!(on_path, est.dominant_path.iter().map(|c| c.0).collect::<Vec<_>>());
+        // The dominant cost is the sum of T(c) over the dominant path.
+        let path_sum: f64 = b.stages.iter().filter(|s| s.on_dominant_path).map(|s| s.ft_cost).sum();
+        assert!((path_sum - b.dominant_cost).abs() < 1e-9);
+        // Root-based lookup joins the engine's stage numbering.
+        let first = &b.stages[0];
+        assert_eq!(b.by_root(first.root), Some(first));
+        assert_eq!(b.by_root(9999), None);
+    }
+
+    #[test]
+    fn breakdown_without_failures_is_pure_runtime() {
+        let (plan, cfg) = figure3_setup();
+        let params = CostParams::new(1e12, 0.0);
+        let b = estimate_ft_plan(&plan, &cfg, &params).breakdown(&params);
+        for s in &b.stages {
+            assert_eq!(s.attempts, 0.0);
+            assert_eq!(s.recovery_cost, 0.0);
+            assert_eq!(s.ft_cost, s.run_cost + s.mat_cost);
+        }
+    }
+
+    #[test]
+    fn estimate_and_breakdown_round_trip_through_serde() {
+        let (plan, cfg) = figure3_setup();
+        let params = table2_params();
+        let est = estimate_ft_plan(&plan, &cfg, &params);
+        let est_back: FtEstimate =
+            serde_json::from_str(&serde_json::to_string(&est).unwrap()).unwrap();
+        assert_eq!(est_back, est);
+        let b = est.breakdown(&params);
+        let b_back: EstimateBreakdown =
+            serde_json::from_str(&serde_json::to_string(&b).unwrap()).unwrap();
+        assert_eq!(b_back, b);
     }
 
     #[test]

@@ -67,7 +67,8 @@ pub mod prelude {
     pub use crate::collapse::{CId, CollapsedOp, CollapsedPlan};
     pub use crate::config::MatConfig;
     pub use crate::cost::{
-        estimate_ft_plan, path_cost, path_runtime, CostParams, FtEstimate, WastedTimeModel,
+        estimate_ft_plan, path_cost, path_runtime, CostParams, EstimateBreakdown, FtEstimate,
+        StageEstimate, WastedTimeModel,
     };
     pub use crate::dag::{PlanDag, PlanDagBuilder};
     pub use crate::error::{CoreError, Result};

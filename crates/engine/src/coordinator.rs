@@ -17,6 +17,7 @@ use std::time::Instant;
 
 use ftpde_core::collapse::CollapsedPlan;
 use ftpde_core::config::MatConfig;
+use ftpde_core::cost::EstimateBreakdown;
 use ftpde_obs::{Event, NoopRecorder, Recorder};
 
 use crate::failure::FailureInjector;
@@ -112,12 +113,23 @@ pub fn run_query(
 /// completed node attempt (tid = node + 1), instants for injected node
 /// failures, redeploys, materialization writes, coarse restarts and query
 /// termination. With a [`NoopRecorder`] every site costs one branch.
+///
+/// When `pred` carries the cost model's estimate of this plan (see
+/// [`ftpde_core::cost::FtEstimate::breakdown`]), stage spans are tagged
+/// with their predicted costs (matched by root operator id) and a
+/// `plan_estimate` instant is emitted, making the trace self-contained
+/// for offline calibration ([`ftpde_obs::CalibrationReport`],
+/// `ftpde obs --trace`). Note the engine's observed side is wall-clock
+/// seconds while predictions are in cost units — calibration against
+/// engine runs measures the unit mismatch too, which is the point.
+#[allow(clippy::too_many_arguments)]
 pub fn run_query_traced(
     plan: &EnginePlan,
     config: &MatConfig,
     catalog: &Catalog,
     injector: &FailureInjector,
     opts: &RunOptions,
+    pred: Option<&EstimateBreakdown>,
     rec: &dyn Recorder,
 ) -> RunReport {
     run_query_resumable_traced(
@@ -127,6 +139,7 @@ pub fn run_query_traced(
         injector,
         opts,
         &IntermediateStore::new(),
+        pred,
         rec,
     )
 }
@@ -148,11 +161,11 @@ pub fn run_query_resumable(
     opts: &RunOptions,
     store: &IntermediateStore,
 ) -> RunReport {
-    run_query_resumable_traced(plan, config, catalog, injector, opts, store, &NoopRecorder)
+    run_query_resumable_traced(plan, config, catalog, injector, opts, store, None, &NoopRecorder)
 }
 
-/// [`run_query_resumable`] with the event mirroring of
-/// [`run_query_traced`].
+/// [`run_query_resumable`] with the event mirroring and prediction
+/// tagging of [`run_query_traced`].
 #[allow(clippy::too_many_arguments)]
 pub fn run_query_resumable_traced(
     plan: &EnginePlan,
@@ -161,6 +174,7 @@ pub fn run_query_resumable_traced(
     injector: &FailureInjector,
     opts: &RunOptions,
     store: &IntermediateStore,
+    pred: Option<&EstimateBreakdown>,
     rec: &dyn Recorder,
 ) -> RunReport {
     let dag = plan.to_plan_dag();
@@ -176,6 +190,14 @@ pub fn run_query_resumable_traced(
     let mut stage_timings: Vec<StageTiming> = Vec::new();
     let t0 = Instant::now();
     let now_us = move || t0.elapsed().as_micros() as u64;
+
+    if let Some(p) = pred {
+        rec.record_with(|| {
+            Event::instant("plan_estimate", "engine", now_us())
+                .arg("pred_cost_s", p.dominant_cost)
+                .arg("pred_runtime_s", p.dominant_runtime)
+        });
+    }
 
     'query: loop {
         // A resumed first attempt keeps the store's surviving state; any
@@ -243,7 +265,13 @@ pub fn run_query_resumable_traced(
                                         }
                                         Err(Interrupted) => {
                                             rec.record_with(|| {
-                                                failure_instant(now_us(), root, node, attempt)
+                                                failure_instant(
+                                                    now_us(),
+                                                    attempt_start,
+                                                    root,
+                                                    node,
+                                                    attempt,
+                                                )
                                             });
                                             node_retries.fetch_add(1, Ordering::Relaxed);
                                             attempt += 1;
@@ -293,7 +321,13 @@ pub fn run_query_resumable_traced(
                                     }
                                     Err(Interrupted) => {
                                         rec.record_with(|| {
-                                            failure_instant(now_us(), root, node, query_restarts)
+                                            failure_instant(
+                                                now_us(),
+                                                attempt_start,
+                                                root,
+                                                node,
+                                                query_restarts,
+                                            )
                                         });
                                         None
                                     }
@@ -313,7 +347,7 @@ pub fn run_query_resumable_traced(
                 skipped: false,
             });
             rec.record_with(|| {
-                Event::span(
+                let mut span = Event::span(
                     format!("stage {}", root.0),
                     "engine",
                     stage_start,
@@ -321,7 +355,16 @@ pub fn run_query_resumable_traced(
                 )
                 .arg("stage", root.0)
                 .arg("nodes", nodes)
-                .arg("failed", stage_failed)
+                .arg("failed", stage_failed);
+                if let Some(s) = pred.and_then(|p| p.by_root(root.0)) {
+                    span = span
+                        .arg("pred_run_s", s.run_cost)
+                        .arg("pred_mat_s", s.mat_cost)
+                        .arg("pred_rec_s", s.recovery_cost)
+                        .arg("pred_cost_s", s.ft_cost)
+                        .arg("dominant", s.on_dominant_path);
+                }
+                span
             });
 
             if stage_failed {
@@ -447,13 +490,17 @@ fn worker_span(
         .arg("ok", ok)
 }
 
-/// An injected-failure instant on the node's track.
-fn failure_instant(at_us: u64, root: EOpId, node: usize, attempt: u32) -> Event {
+/// An injected-failure instant on the node's track. `lost_s` is the
+/// wall-clock work discarded with the attempt — the engine redeploys
+/// immediately (no repair window), so it is also the failure's whole
+/// observed recovery cost.
+fn failure_instant(at_us: u64, start_us: u64, root: EOpId, node: usize, attempt: u32) -> Event {
     Event::instant("node_failure", "engine", at_us)
         .tid(node as u32 + 1)
         .arg("stage", root.0)
         .arg("node", node)
         .arg("attempt", attempt)
+        .arg("lost_s", at_us.saturating_sub(start_us) as f64 / 1e6)
 }
 
 /// Executes the sub-plan `members` (rooted at `root`) on one node,

@@ -735,8 +735,15 @@ mod tests {
         let injector = FailureInjector::with([Injection { stage: sink.0, node: 1, attempt: 0 }]);
         let catalog = load_catalog(&db(), 4);
         let rec = MemoryRecorder::new();
-        let got =
-            run_query_traced(&plan, &config, &catalog, &injector, &RunOptions::default(), &rec);
+        let got = run_query_traced(
+            &plan,
+            &config,
+            &catalog,
+            &injector,
+            &RunOptions::default(),
+            None,
+            &rec,
+        );
         assert_eq!(got.results, expected);
         assert_eq!(got.node_retries, 1);
 

@@ -1,13 +1,16 @@
 //! Event-log exporters: JSONL (machine-readable, one event per line,
-//! lossless round-trip) and Chrome trace-event JSON (loadable in
-//! `chrome://tracing` or Perfetto's legacy importer).
+//! lossless round-trip), Chrome trace-event JSON (loadable in
+//! `chrome://tracing` or Perfetto's legacy importer), and Prometheus
+//! text exposition format for [`MetricsSnapshot`]s.
 
+use std::fmt::Write as _;
 use std::io::Write;
 use std::path::Path;
 
 use serde::Value;
 
 use crate::event::{ArgValue, Event, Phase};
+use crate::metrics::MetricsSnapshot;
 
 /// Serializes events as JSONL: one self-contained JSON object per line.
 /// The format round-trips through [`from_jsonl`] losslessly.
@@ -79,6 +82,78 @@ pub fn to_chrome_trace(events: &[Event]) -> String {
     serde_json::to_string(&root).expect("trace always serializes")
 }
 
+/// Maps a metric name onto the Prometheus charset: `[a-zA-Z0-9_:]`, not
+/// starting with a digit. Everything else becomes `_`.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            if i == 0 && c.is_ascii_digit() {
+                out.push('_');
+            }
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Formats a float the way Prometheus expects (no exponent mangling;
+/// `+Inf`/`-Inf`/`NaN` spelled out).
+fn prom_f64(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".into()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".into()
+    } else if v.is_nan() {
+        "NaN".into()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Serializes a [`MetricsSnapshot`] in the Prometheus text exposition
+/// format (version 0.0.4).
+///
+/// Counters export as `counter`, gauges as `gauge`, histograms as
+/// `histogram` with cumulative `_bucket{le="..."}` series (bucket upper
+/// bounds are the log-bucket upper edges `2^(i-39)`), a `+Inf` bucket,
+/// `_sum` and `_count`. Each metric gets exactly one `# TYPE` line; names
+/// are sanitized to the Prometheus charset.
+pub fn to_prometheus(snapshot: &MetricsSnapshot) -> String {
+    use crate::metrics::HistogramSnapshot;
+
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let n = prom_name(name);
+        let _ = writeln!(out, "# TYPE {n} counter");
+        let _ = writeln!(out, "{n} {value}");
+    }
+    for (name, value) in &snapshot.gauges {
+        let n = prom_name(name);
+        let _ = writeln!(out, "# TYPE {n} gauge");
+        let _ = writeln!(out, "{n} {}", prom_f64(*value));
+    }
+    for (name, h) in &snapshot.histograms {
+        let n = prom_name(name);
+        let _ = writeln!(out, "# TYPE {n} histogram");
+        let mut cum = 0u64;
+        for &(i, c) in &h.buckets {
+            cum += c;
+            let (_, hi) = HistogramSnapshot::bucket_bounds(i);
+            let _ = writeln!(out, "{n}_bucket{{le=\"{}\"}} {cum}", prom_f64(hi));
+        }
+        let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
+        let _ = writeln!(out, "{n}_sum {}", prom_f64(h.sum));
+        let _ = writeln!(out, "{n}_count {}", h.count);
+    }
+    out
+}
+
 /// Writes `contents` to `path`, creating parent directories as needed.
 ///
 /// # Errors
@@ -143,6 +218,60 @@ mod tests {
         assert_eq!(instant.get("s").and_then(Value::as_str), Some("t"));
         let f = &events[2];
         assert_eq!(f.get("args").unwrap().get("cost").and_then(Value::as_f64), Some(123.5));
+    }
+
+    #[test]
+    fn prometheus_export_passes_format_sanity() {
+        use crate::metrics::MetricsRegistry;
+
+        let reg = MetricsRegistry::new();
+        reg.counter_add("search.memo_hits", 42);
+        reg.gauge_set("sim.overhead_pct", 12.5);
+        for v in [0.25, 1.0, 1.5, 3.0, 250.0] {
+            reg.observe("engine.stage_seconds", v);
+        }
+        let text = to_prometheus(&reg.snapshot());
+
+        // Exactly one `# TYPE` line per metric, with sanitized names.
+        let type_lines: Vec<&str> = text.lines().filter(|l| l.starts_with("# TYPE ")).collect();
+        assert_eq!(
+            type_lines,
+            vec![
+                "# TYPE search_memo_hits counter",
+                "# TYPE sim_overhead_pct gauge",
+                "# TYPE engine_stage_seconds histogram",
+            ]
+        );
+        assert!(text.contains("search_memo_hits 42\n"));
+        assert!(text.contains("sim_overhead_pct 12.5\n"));
+
+        // Histogram buckets are cumulative and monotone, ending at +Inf
+        // with the total count; _sum and _count close the family.
+        let cums: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("engine_stage_seconds_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(cums.len() >= 2);
+        assert!(cums.windows(2).all(|w| w[0] <= w[1]), "buckets not monotone: {cums:?}");
+        assert_eq!(*cums.last().unwrap(), 5);
+        assert!(text.contains("engine_stage_seconds_bucket{le=\"+Inf\"} 5\n"));
+        assert!(text.contains("engine_stage_seconds_sum 255.75\n"));
+        assert!(text.contains("engine_stage_seconds_count 5\n"));
+    }
+
+    #[test]
+    fn prometheus_name_sanitization() {
+        assert_eq!(prom_name("engine.stage_seconds"), "engine_stage_seconds");
+        assert_eq!(prom_name("9lives"), "_9lives");
+        assert_eq!(prom_name("a:b-c d"), "a:b_c_d");
+        assert_eq!(prom_name(""), "_");
+    }
+
+    #[test]
+    fn prometheus_export_of_empty_snapshot_is_empty() {
+        let snap = MetricsSnapshot::default();
+        assert_eq!(to_prometheus(&snap), "");
     }
 
     #[test]

@@ -12,8 +12,13 @@
 //!   log-bucketed histograms whose [`metrics::MetricsSnapshot`] is
 //!   serde-serializable for export and assertion in tests.
 //! - **Exporters** ([`export`]): JSONL event logs (one JSON object per
-//!   line) and Chrome trace-event JSON loadable in `chrome://tracing` /
-//!   Perfetto.
+//!   line), Chrome trace-event JSON loadable in `chrome://tracing` /
+//!   Perfetto, and the Prometheus text exposition format for metric
+//!   snapshots.
+//! - **Calibration** ([`calibrate`]): joins prediction-tagged stage spans
+//!   against observed durations and failure instants, producing
+//!   per-stage / per-query error distributions and a blame breakdown of
+//!   the cost model's terms.
 //!
 //! The intended pattern at an instrumentation site:
 //!
@@ -30,13 +35,17 @@
 //! assert_eq!(rec.events().len(), 1);
 //! ```
 
+pub mod calibrate;
 pub mod event;
 pub mod export;
 pub mod metrics;
 pub mod recorder;
 pub mod report;
 
+pub use calibrate::{
+    BlameBreakdown, CalibrationReport, ErrorStats, QueryCalibration, StageCalibration,
+};
 pub use event::{ArgValue, Event, Phase};
 pub use metrics::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use recorder::{MemoryRecorder, NoopRecorder, Recorder};
-pub use report::Summary;
+pub use report::{metrics_summary, Summary};

@@ -60,33 +60,75 @@ impl Histogram {
         HistogramSnapshot {
             count: self.count,
             sum: self.sum,
-            min: self.min,
-            max: self.max,
+            min: (self.count > 0).then_some(self.min),
+            max: (self.count > 0).then_some(self.max),
             buckets,
         }
     }
 }
 
 /// Frozen state of one histogram.
+///
+/// `min`/`max` are `None` when the histogram has no observations — the
+/// `±inf` sentinels of the live histogram would serialize to JSON `null`
+/// and fail to deserialize back as bare floats.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HistogramSnapshot {
     /// Number of observations.
     pub count: u64,
     /// Sum of all observations.
     pub sum: f64,
-    /// Smallest observation (`inf` when empty).
-    pub min: f64,
-    /// Largest observation (`-inf` when empty).
-    pub max: f64,
+    /// Smallest observation, `None` when empty.
+    pub min: Option<f64>,
+    /// Largest observation, `None` when empty.
+    pub max: Option<f64>,
     /// Sparse `(bucket_index, count)` pairs; bucket `i` covers
     /// `[2^(i-40), 2^(i-39))`.
     pub buckets: Vec<(u64, u64)>,
 }
 
 impl HistogramSnapshot {
+    /// An empty snapshot (no observations).
+    pub fn empty() -> Self {
+        HistogramSnapshot { count: 0, sum: 0.0, min: None, max: None, buckets: Vec::new() }
+    }
+
     /// Mean observation, `None` when empty.
     pub fn mean(&self) -> Option<f64> {
         (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// The `[lower, upper)` value range of bucket `index`.
+    pub fn bucket_bounds(index: u64) -> (f64, f64) {
+        let lo = 2f64.powi(index as i32 - OFFSET);
+        (lo, lo * 2.0)
+    }
+
+    /// Quantile `q ∈ [0, 1]` interpolated from the log-bucketed counts,
+    /// `None` when empty.
+    ///
+    /// The cumulative rank `q·count` is located in the sparse buckets and
+    /// interpolated linearly within the containing bucket's `[lo, hi)`
+    /// range, then clamped to the exact observed `[min, max]` — so
+    /// `quantile(0.0) == min` and `quantile(1.0) == max` exactly, and a
+    /// constant distribution returns the constant at every `q`. Between
+    /// those anchors the resolution is one power-of-two bucket (≤ 2×).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let (min, max) = (self.min?, self.max?);
+        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cum = 0u64;
+        for &(i, c) in &self.buckets {
+            if (cum + c) as f64 >= rank {
+                let (lo, hi) = Self::bucket_bounds(i);
+                let frac = if c == 0 { 0.0 } else { (rank - cum as f64) / c as f64 };
+                return Some((lo + frac * (hi - lo)).clamp(min, max));
+            }
+            cum += c;
+        }
+        Some(max)
     }
 }
 
@@ -200,13 +242,81 @@ mod tests {
         let h = s.histogram("stage_seconds").unwrap();
         assert_eq!(h.count, 5);
         assert!((h.sum - 105.0).abs() < 1e-12);
-        assert_eq!(h.min, 0.5);
-        assert_eq!(h.max, 100.0);
+        assert_eq!(h.min, Some(0.5));
+        assert_eq!(h.max, Some(100.0));
         assert_eq!(h.mean(), Some(21.0));
         // 0.5 → bucket 39; 1.0 and 1.5 → 40; 2.0 → 41; 100 → 46.
         let total: u64 = h.buckets.iter().map(|(_, c)| c).sum();
         assert_eq!(total, 5);
         assert!(h.buckets.iter().any(|&(i, c)| i == 40 && c == 2));
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_has_no_min_max() {
+        let m = MetricsRegistry::new();
+        m.observe("touched", 1.0); // force the histogram map to exist
+        let s = m.snapshot();
+        assert_eq!(s.histogram("absent"), None);
+        let empty = HistogramSnapshot::empty();
+        assert_eq!(empty.min, None);
+        assert_eq!(empty.max, None);
+        assert_eq!(empty.mean(), None);
+        assert_eq!(empty.quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantile_is_exact_on_constant_distributions() {
+        let m = MetricsRegistry::new();
+        for _ in 0..17 {
+            m.observe("c", 3.25);
+        }
+        let s = m.snapshot();
+        let h = s.histogram("c").unwrap();
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(3.25), "q = {q}");
+        }
+    }
+
+    #[test]
+    fn quantile_pins_extremes_and_bimodal_tail() {
+        // 50 × 1.0 and 50 × 1024.0: p50 lands in the low mode, p99 in the
+        // high mode; min/max clamping makes both exact.
+        let m = MetricsRegistry::new();
+        for _ in 0..50 {
+            m.observe("b", 1.0);
+            m.observe("b", 1024.0);
+        }
+        let s = m.snapshot();
+        let h = s.histogram("b").unwrap();
+        assert_eq!(h.quantile(0.0), Some(1.0));
+        assert_eq!(h.quantile(1.0), Some(1024.0));
+        // rank 50 is exactly the last observation of the low bucket.
+        assert_eq!(h.quantile(0.5), Some(2.0)); // bucket [1,2) upper edge, within 2× of 1.0
+        assert_eq!(h.quantile(0.99), Some(1024.0)); // clamped to max
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let m = MetricsRegistry::new();
+        for v in [0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0] {
+            m.observe("mono", v);
+        }
+        let s = m.snapshot();
+        let h = s.histogram("mono").unwrap();
+        let p50 = h.quantile(0.5).unwrap();
+        let p90 = h.quantile(0.9).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p50 <= p90 && p90 <= p99, "p50 = {p50}, p90 = {p90}, p99 = {p99}");
+        assert!(p99 <= h.max.unwrap());
+    }
+
+    #[test]
+    fn bucket_bounds_bracket_their_observations() {
+        for v in [0.0001, 0.7, 1.0, 1.9, 1000.0] {
+            let i = bucket_index(v) as u64;
+            let (lo, hi) = HistogramSnapshot::bucket_bounds(i);
+            assert!(lo <= v && v < hi, "value {v} outside bucket {i} = [{lo}, {hi})");
+        }
     }
 
     #[test]

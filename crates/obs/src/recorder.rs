@@ -1,7 +1,7 @@
 //! Event sinks.
 //!
 //! Instrumented code takes `&dyn Recorder` and calls
-//! [`Recorder::record_with`]: when recording is disabled that is a single
+//! `Recorder::record_with`: when recording is disabled that is a single
 //! virtual call returning a constant — the closure never runs, so the
 //! no-op path allocates nothing.
 

@@ -5,6 +5,7 @@
 //! events.
 
 use crate::event::Event;
+use crate::metrics::MetricsSnapshot;
 use crate::recorder::Recorder;
 
 #[derive(Debug, Clone)]
@@ -138,6 +139,48 @@ impl Summary {
     }
 }
 
+/// Renders a [`MetricsSnapshot`] as a [`Summary`]: one table per metric
+/// kind, histogram rows carrying interpolated p50/p90/p99 quantiles.
+pub fn metrics_summary(snap: &MetricsSnapshot) -> Summary {
+    let mut out = Summary::new();
+    out.banner("Metrics");
+    if !snap.counters.is_empty() {
+        let rows: Vec<Vec<String>> =
+            snap.counters.iter().map(|(n, v)| vec![n.clone(), v.to_string()]).collect();
+        out.table(&["counter", "value"], &rows);
+    }
+    if !snap.gauges.is_empty() {
+        let rows: Vec<Vec<String>> =
+            snap.gauges.iter().map(|(n, v)| vec![n.clone(), format!("{v:.4}")]).collect();
+        out.table(&["gauge", "value"], &rows);
+    }
+    if !snap.histograms.is_empty() {
+        let q = |h: &crate::metrics::HistogramSnapshot, q: f64| {
+            h.quantile(q).map_or_else(|| "-".into(), |v| format!("{v:.4}"))
+        };
+        let rows: Vec<Vec<String>> = snap
+            .histograms
+            .iter()
+            .map(|(n, h)| {
+                vec![
+                    n.clone(),
+                    h.count.to_string(),
+                    h.mean().map_or_else(|| "-".into(), |m| format!("{m:.4}")),
+                    q(h, 0.5),
+                    q(h, 0.9),
+                    q(h, 0.99),
+                    h.max.map_or_else(|| "-".into(), |m| format!("{m:.4}")),
+                ]
+            })
+            .collect();
+        out.table(&["histogram", "count", "mean", "p50", "p90", "p99", "max"], &rows);
+    }
+    if snap.counters.is_empty() && snap.gauges.is_empty() && snap.histograms.is_empty() {
+        out.line("no metrics recorded");
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,6 +218,26 @@ mod tests {
         assert_eq!(events[0].name, "section");
         assert_eq!(events[1].name, "table");
         assert_eq!(events[3].get_arg("section"), Some(&crate::event::ArgValue::Str("B".into())));
+    }
+
+    #[test]
+    fn metrics_summary_shows_quantiles() {
+        use crate::metrics::MetricsRegistry;
+        let reg = MetricsRegistry::new();
+        reg.counter_add("retries", 4);
+        reg.gauge_set("overhead_pct", 7.5);
+        for _ in 0..10 {
+            reg.observe("stage_seconds", 2.5);
+        }
+        let text = metrics_summary(&reg.snapshot()).render();
+        assert!(text.contains("==== Metrics ===="));
+        assert!(text.contains("retries"));
+        assert!(text.contains("7.5000"));
+        // Constant distribution: every quantile column shows the constant.
+        assert!(text.contains("2.5000"));
+
+        let empty = metrics_summary(&Default::default()).render();
+        assert!(empty.contains("no metrics recorded"));
     }
 
     #[test]

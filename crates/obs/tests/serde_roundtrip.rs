@@ -71,27 +71,27 @@ fn metrics_snapshot_round_trips_through_json() {
 
 #[test]
 fn registry_snapshots_are_always_json_safe() {
-    // JSON cannot represent ±inf, the sentinels of a never-observed
-    // histogram — but a registry only creates a histogram on its first
-    // observation, so every snapshot it produces has finite min/max and
-    // serializes cleanly.
     let reg = MetricsRegistry::new();
     reg.observe("h", 1.0);
     let snap = reg.snapshot();
     let (_, h) = &snap.histograms[0];
-    assert!(h.min.is_finite() && h.max.is_finite());
+    assert!(h.min.unwrap().is_finite() && h.max.unwrap().is_finite());
     let back: MetricsSnapshot =
         serde_json::from_str(&serde_json::to_string(&snap).unwrap()).unwrap();
     assert_eq!(back, snap);
+}
 
-    // The manual empty-histogram sentinel is the one value that cannot
-    // round-trip; constructing it is still fine, exporting it is not.
-    let empty = HistogramSnapshot {
-        count: 0,
-        sum: 0.0,
-        min: f64::INFINITY,
-        max: f64::NEG_INFINITY,
-        buckets: vec![],
-    };
+#[test]
+fn empty_histogram_snapshot_round_trips_through_json() {
+    // A never-observed histogram used to carry ±inf sentinels that became
+    // `null` under JSON and failed to deserialize; min/max are now
+    // `Option<f64>` so the empty state survives the round trip.
+    let empty = HistogramSnapshot::empty();
     assert_eq!(empty.mean(), None);
+    assert_eq!(empty.quantile(0.5), None);
+    let text = serde_json::to_string(&empty).unwrap();
+    let back: HistogramSnapshot = serde_json::from_str(&text).unwrap();
+    assert_eq!(back, empty);
+    assert_eq!(back.min, None);
+    assert_eq!(back.max, None);
 }

@@ -11,6 +11,7 @@ use serde::{Deserialize, Serialize};
 
 use ftpde_cluster::config::Seconds;
 use ftpde_core::collapse::CId;
+use ftpde_core::cost::EstimateBreakdown;
 
 /// One timeline event of a simulated query execution.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -102,6 +103,15 @@ impl SimLog {
     /// pairs become spans, failures / restarts / query termination become
     /// instants. Node failures use the node index as the track id.
     pub fn to_obs_events(&self) -> Vec<ftpde_obs::Event> {
+        self.to_obs_events_with(None)
+    }
+
+    /// Like [`SimLog::to_obs_events`], additionally tagging each stage
+    /// span with the cost model's per-stage prediction (matched by `CId`)
+    /// so the trace carries both sides of the predicted-vs-observed join
+    /// consumed by [`ftpde_obs::CalibrationReport`]: `pred_run_s` /
+    /// `pred_mat_s` / `pred_rec_s` / `pred_cost_s` / `dominant`.
+    pub fn to_obs_events_with(&self, pred: Option<&EstimateBreakdown>) -> Vec<ftpde_obs::Event> {
         use std::collections::HashMap;
 
         let mut out = Vec::new();
@@ -113,15 +123,23 @@ impl SimLog {
                 }
                 SimEvent::StageCompleted { stage, at } => {
                     let start = started.remove(&stage).unwrap_or(at);
-                    out.push(
-                        ftpde_obs::Event::span(
-                            format!("stage {}", stage.0),
-                            "sim",
-                            sim_us(start),
-                            sim_us(at) - sim_us(start),
-                        )
-                        .arg("stage", stage.0 as u64),
-                    );
+                    let mut span = ftpde_obs::Event::span(
+                        format!("stage {}", stage.0),
+                        "sim",
+                        sim_us(start),
+                        sim_us(at) - sim_us(start),
+                    )
+                    .arg("stage", stage.0 as u64);
+                    let est = pred.and_then(|p| p.stages.iter().find(|s| s.stage == stage.0));
+                    if let Some(s) = est {
+                        span = span
+                            .arg("pred_run_s", s.run_cost)
+                            .arg("pred_mat_s", s.mat_cost)
+                            .arg("pred_rec_s", s.recovery_cost)
+                            .arg("pred_cost_s", s.ft_cost)
+                            .arg("dominant", s.on_dominant_path);
+                    }
+                    out.push(span);
                 }
                 SimEvent::NodeFailed { stage, node, at, resumes_at, lost } => {
                     out.push(
@@ -152,10 +170,20 @@ impl SimLog {
 
     /// Records the converted timeline into `rec` (no-op when disabled).
     pub fn record_into(&self, rec: &dyn ftpde_obs::Recorder) {
+        self.record_into_with(rec, None);
+    }
+
+    /// [`SimLog::record_into`] with the prediction tagging of
+    /// [`SimLog::to_obs_events_with`].
+    pub fn record_into_with(
+        &self,
+        rec: &dyn ftpde_obs::Recorder,
+        pred: Option<&EstimateBreakdown>,
+    ) {
         if !rec.enabled() {
             return;
         }
-        for e in self.to_obs_events() {
+        for e in self.to_obs_events_with(pred) {
             rec.record(e);
         }
     }

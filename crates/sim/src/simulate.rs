@@ -20,6 +20,7 @@ use ftpde_cluster::config::{ClusterConfig, Seconds};
 use ftpde_cluster::trace::FailureTrace;
 use ftpde_core::collapse::CollapsedPlan;
 use ftpde_core::config::MatConfig;
+use ftpde_core::cost::EstimateBreakdown;
 use ftpde_core::dag::PlanDag;
 
 use crate::event::{SimEvent, SimLog};
@@ -164,6 +165,14 @@ pub fn simulate(
 /// events with *simulated* timestamps (stage spans, failure / restart /
 /// termination instants). With a disabled recorder no timeline is even
 /// collected.
+///
+/// When `pred` carries the cost model's estimate of this very plan
+/// (see [`ftpde_core::cost::FtEstimate::breakdown`]), stage spans are
+/// tagged with their predicted costs and a `plan_estimate` instant with
+/// the dominant-path prediction is emitted, making the trace
+/// self-contained for offline calibration
+/// ([`ftpde_obs::CalibrationReport`], `ftpde obs --trace`).
+#[allow(clippy::too_many_arguments)]
 pub fn simulate_traced(
     plan: &PlanDag,
     config: &MatConfig,
@@ -171,11 +180,19 @@ pub fn simulate_traced(
     cluster: &ClusterConfig,
     trace: &FailureTrace,
     opts: &SimOptions,
+    pred: Option<&EstimateBreakdown>,
     rec: &dyn ftpde_obs::Recorder,
 ) -> SimResult {
     let mut log = if rec.enabled() { SimLog::collecting() } else { SimLog::None };
     let result = simulate_logged(plan, config, recovery, cluster, trace, opts, &mut log);
-    log.record_into(rec);
+    if let Some(p) = pred {
+        rec.record_with(|| {
+            ftpde_obs::Event::instant("plan_estimate", "sim", 0)
+                .arg("pred_cost_s", p.dominant_cost)
+                .arg("pred_runtime_s", p.dominant_runtime)
+        });
+    }
+    log.record_into_with(rec, pred);
     result
 }
 
@@ -735,6 +752,7 @@ mod tests {
             &c,
             &trace,
             &SimOptions::default(),
+            None,
             &rec,
         );
         let events = rec.events();
@@ -758,9 +776,50 @@ mod tests {
             &c,
             &trace,
             &SimOptions::default(),
+            None,
             &NoopRecorder,
         );
         assert_eq!(r, r2);
+    }
+
+    #[test]
+    fn traced_simulation_with_predictions_calibrates_to_zero_error() {
+        use ftpde_core::cost::{estimate_ft_plan, CostParams};
+        use ftpde_obs::{CalibrationReport, MemoryRecorder};
+
+        // Self-consistency: feed the simulator the cost model's own
+        // parameters on a failure-free run — every stage's observed
+        // duration is exactly tr + tm, so calibration error is ~0.
+        let plan = chain_plan();
+        let c = cluster(2, 1e12, 0.5);
+        let all = MatConfig::all(&plan);
+        let params = CostParams::new(1e12, 0.5); // attempts ≈ 0
+        let breakdown = estimate_ft_plan(&plan, &all, &params).breakdown(&params);
+        let rec = MemoryRecorder::new();
+        simulate_traced(
+            &plan,
+            &all,
+            Recovery::FineGrained,
+            &c,
+            &no_failures(&c),
+            &SimOptions::default(),
+            Some(&breakdown),
+            &rec,
+        );
+        let report = CalibrationReport::from_events(&rec.events());
+        assert_eq!(report.stages.len(), 3);
+        for s in &report.stages {
+            assert!(
+                s.rel_error.unwrap().abs() < 1e-6,
+                "stage {} rel error {:?}",
+                s.stage,
+                s.rel_error
+            );
+            assert_eq!(s.failures, 0);
+        }
+        assert_eq!(report.queries.len(), 1);
+        assert!(report.queries[0].rel_error.unwrap().abs() < 1e-6);
+        assert!(report.stages.iter().all(|s| s.dominant), "a chain has one path");
     }
 
     #[test]

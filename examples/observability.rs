@@ -42,6 +42,9 @@ fn main() {
     let horizon = suggested_horizon(&plan, &cluster, &opts);
     let trace = FailureTrace::generate(&cluster, horizon, 2026);
     let sim_rec = MemoryRecorder::new();
+    // Tag the trace with the cost model's own per-stage predictions so it
+    // can be calibrated offline (`ftpde obs --trace ... --format calibration`).
+    let breakdown = estimate_ft_plan(&plan, &best.config, &params).breakdown(&params);
     let r = simulate_traced(
         &plan,
         &best.config,
@@ -49,6 +52,7 @@ fn main() {
         &cluster,
         &trace,
         &opts,
+        Some(&breakdown),
         &sim_rec,
     );
     println!(
@@ -74,6 +78,7 @@ fn main() {
         &catalog,
         &injector,
         &RunOptions::default(),
+        None,
         &engine_rec,
     );
     println!(
@@ -91,16 +96,24 @@ fn main() {
     }
     println!("metrics snapshot: {}", serde_json_snapshot(&metrics));
 
-    // ...and export the engine timeline in both formats.
+    // ...and export the engine timeline in both formats, plus the
+    // prediction-tagged simulator timeline for offline calibration.
     let events = engine_rec.events();
     let dir = std::path::Path::new("target/obs");
     let jsonl = dir.join("engine_run.jsonl");
     let chrome = dir.join("engine_trace.json");
+    let sim_jsonl = dir.join("sim_run.jsonl");
     export::write_file(&jsonl, &export::to_jsonl(&events)).expect("write JSONL");
     export::write_file(&chrome, &export::to_chrome_trace(&events)).expect("write trace");
-    println!("\nwrote {} events:", events.len());
+    export::write_file(&sim_jsonl, &export::to_jsonl(&sim_rec.events())).expect("write sim JSONL");
+    println!("\nwrote {} events:", events.len() + sim_rec.events().len());
     println!("  {}   (JSONL event log)", jsonl.display());
     println!("  {}   (Chrome trace — open in chrome://tracing or Perfetto)", chrome.display());
+    println!(
+        "  {}   (prediction-tagged sim trace — try `ftpde obs --trace {} --format calibration`)",
+        sim_jsonl.display(),
+        sim_jsonl.display()
+    );
 }
 
 fn serde_json_snapshot(metrics: &MetricsRegistry) -> String {

@@ -5,6 +5,7 @@
 //! ftpde simulate --query Q5 --sf 100 --nodes 10 --mtbf 3600 [--traces 10] [--seed 42]
 //! ftpde success  --runtime-min 30 --nodes 10 --mtbf 3600
 //! ftpde dot      --query Q5 --sf 100 --mtbf 3600 > plan.dot
+//! ftpde obs      --trace run.jsonl [--format summary|calibration|prom|json]
 //! ```
 //!
 //! * `plan` — run the cost-based search for a TPC-H query and explain the
@@ -15,12 +16,16 @@
 //!   without any mid-query failure (the paper's Figure 1 formula).
 //! * `dot` — emit the chosen fault-tolerant plan as Graphviz DOT (stages
 //!   as dashed clusters, checkpoints highlighted).
+//! * `obs` — replay a recorded JSONL trace offline and print a trace
+//!   summary, a predicted-vs-observed calibration report, Prometheus
+//!   text-format metrics, or the calibration report as JSON.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
 
 use ftpde::cluster::prelude::*;
 use ftpde::core::prelude::*;
+use ftpde::obs;
 use ftpde::sim::prelude::*;
 use ftpde::tpch::prelude::*;
 
@@ -39,6 +44,7 @@ fn main() -> ExitCode {
         "simulate" => cmd_simulate(&flags),
         "success" => cmd_success(&flags),
         "dot" => cmd_dot(&flags),
+        "obs" => cmd_obs(&flags),
         _ => Err(format!("unknown command {cmd:?}")),
     };
     match result {
@@ -54,7 +60,8 @@ const USAGE: &str = "usage:
   ftpde plan     --query <Q1|Q3|Q5|Q1C|Q2C> --sf <N> --nodes <N> --mtbf <secs> [--mttr <secs>]
   ftpde simulate --query <Q1|Q3|Q5|Q1C|Q2C> --sf <N> --nodes <N> --mtbf <secs> [--mttr <secs>] [--traces <N>] [--seed <N>]
   ftpde success  --runtime-min <N> --nodes <N> --mtbf <secs>
-  ftpde dot      --query <Q1|Q3|Q5|Q1C|Q2C> --sf <N> --nodes <N> --mtbf <secs>";
+  ftpde dot      --query <Q1|Q3|Q5|Q1C|Q2C> --sf <N> --nodes <N> --mtbf <secs>
+  ftpde obs      --trace <run.jsonl> [--format <summary|calibration|prom|json>]";
 
 /// Splits `["cmd", "--k", "v", ...]` into the command and a flag map.
 fn parse(args: &[String]) -> Option<(String, HashMap<String, String>)> {
@@ -191,6 +198,81 @@ fn cmd_dot(flags: &HashMap<String, String>) -> CliResult<()> {
     Ok(())
 }
 
+/// Folds a recorded trace into a metrics registry: per-category event
+/// counters, span-duration histograms, and failure counters.
+fn trace_registry(events: &[obs::Event]) -> obs::MetricsRegistry {
+    let reg = obs::MetricsRegistry::new();
+    for e in events {
+        reg.counter_add(&format!("trace.events.{}", e.cat), 1);
+        match e.phase {
+            obs::Phase::Span => {
+                reg.observe(&format!("trace.span_seconds.{}", e.cat), e.dur_us as f64 / 1e6);
+            }
+            obs::Phase::Instant => {
+                if e.name == "node_failure" {
+                    reg.counter_add(&format!("trace.failures.{}", e.cat), 1);
+                }
+            }
+        }
+    }
+    reg
+}
+
+/// Renders a replayed trace in the requested format.
+fn render_obs(events: &[obs::Event], format: &str) -> CliResult<String> {
+    let calibration = || obs::CalibrationReport::from_events(events);
+    match format {
+        "summary" => {
+            let mut head = obs::Summary::new();
+            head.banner("Trace summary");
+            head.kv("events", events.len());
+            let spans = events.iter().filter(|e| e.phase == obs::Phase::Span).count();
+            head.kv("spans", spans);
+            head.kv("instants", events.len() - spans);
+            if let Some(end) = events.iter().map(|e| e.ts_us + e.dur_us).max() {
+                head.kv("trace end", format!("{:.3} s", end as f64 / 1e6));
+            }
+            let report = calibration();
+            if !report.stages.is_empty() {
+                head.kv(
+                    "prediction-tagged stages",
+                    format!("{} (see --format calibration)", report.stages.len()),
+                );
+            }
+            Ok(format!(
+                "{}{}",
+                head.render(),
+                obs::metrics_summary(&trace_registry(events).snapshot()).render()
+            ))
+        }
+        "calibration" => Ok(calibration().to_summary().render()),
+        "prom" => {
+            let reg = trace_registry(events);
+            calibration().export_metrics(&reg);
+            Ok(obs::export::to_prometheus(&reg.snapshot()))
+        }
+        "json" => serde_json::to_string(&calibration())
+            .map(|mut s| {
+                s.push('\n');
+                s
+            })
+            .map_err(|e| format!("calibration report failed to serialize: {e:?}")),
+        other => {
+            Err(format!("unknown format {other:?} (expected summary, calibration, prom or json)"))
+        }
+    }
+}
+
+fn cmd_obs(flags: &HashMap<String, String>) -> CliResult<()> {
+    let path = flags.get("trace").ok_or("missing required flag --trace")?;
+    let format = flags.get("format").map_or("summary", String::as_str);
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let events = obs::export::from_jsonl(&text)
+        .map_err(|e| format!("{path} is not a JSONL event log: {e:?}"))?;
+    print!("{}", render_obs(&events, format)?);
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -241,5 +323,70 @@ mod tests {
         cmd_success(&f).unwrap();
         let f = flags(&[("query", "Q5"), ("sf", "1"), ("mtbf", "600")]);
         cmd_dot(&f).unwrap();
+    }
+
+    /// A small prediction-tagged trace, as `simulate_traced` would emit.
+    fn calibratable_events() -> Vec<obs::Event> {
+        vec![
+            obs::Event::instant("plan_estimate", "sim", 0)
+                .arg("pred_cost_s", 5.0)
+                .arg("pred_runtime_s", 4.0),
+            obs::Event::span("stage 0", "sim", 0, 2_000_000)
+                .arg("stage", 0u64)
+                .arg("pred_run_s", 1.5)
+                .arg("pred_mat_s", 0.5)
+                .arg("pred_rec_s", 0.0)
+                .arg("pred_cost_s", 2.0)
+                .arg("dominant", true),
+            obs::Event::instant("node_failure", "sim", 500_000)
+                .arg("stage", 0u64)
+                .arg("node", 1u64)
+                .arg("lost_s", 0.5)
+                .arg("resumes_at_s", 0.75),
+            obs::Event::instant("query_completed", "sim", 5_500_000),
+        ]
+    }
+
+    #[test]
+    fn obs_renders_every_format() {
+        let events = calibratable_events();
+        let summary = render_obs(&events, "summary").unwrap();
+        assert!(summary.contains("Trace summary"));
+        assert!(summary.contains("prediction-tagged stages"));
+        assert!(summary.contains("trace.span_seconds.sim"));
+
+        let cal = render_obs(&events, "calibration").unwrap();
+        assert!(cal.contains("Calibration: predicted vs observed"));
+        assert!(cal.contains("rel err"));
+        assert!(cal.contains("T_Pt"));
+
+        let prom = render_obs(&events, "prom").unwrap();
+        assert!(prom.contains("# TYPE trace_events_sim counter"));
+        assert!(prom.contains("calibration_stage_count 1"));
+
+        let json = render_obs(&events, "json").unwrap();
+        assert!(json.contains("\"stages\""));
+        assert!(json.contains("\"queries\""));
+
+        assert!(render_obs(&events, "nope").is_err());
+    }
+
+    #[test]
+    fn obs_command_replays_a_jsonl_file() {
+        let dir = std::env::temp_dir().join("ftpde_cli_obs_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("run.jsonl");
+        obs::export::write_file(&path, &obs::export::to_jsonl(&calibratable_events())).unwrap();
+        let p = path.to_string_lossy().to_string();
+        for format in ["summary", "calibration", "prom", "json"] {
+            cmd_obs(&flags(&[("trace", p.as_str()), ("format", format)])).unwrap();
+        }
+        // Default format is the summary; missing/garbage traces error.
+        cmd_obs(&flags(&[("trace", p.as_str())])).unwrap();
+        assert!(cmd_obs(&flags(&[])).is_err());
+        assert!(cmd_obs(&flags(&[("trace", "/nonexistent/x.jsonl")])).is_err());
+        std::fs::write(&path, "not json\n").unwrap();
+        assert!(cmd_obs(&flags(&[("trace", p.as_str())])).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

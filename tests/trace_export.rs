@@ -9,7 +9,7 @@ use serde::Value;
 use ftpde::core::collapse::CollapsedPlan;
 use ftpde::core::config::MatConfig;
 use ftpde::engine::prelude::*;
-use ftpde::obs::{export, ArgValue, Event, MemoryRecorder, Phase};
+use ftpde::obs::{export, ArgValue, Event, MemoryRecorder, MetricsRegistry, Phase};
 use ftpde::tpch::datagen::Database;
 
 /// One traced Q3 run, two stages (the first join materialized), with node
@@ -24,7 +24,7 @@ fn traced_failure_run() -> (Vec<Event>, usize, u32) {
     let catalog = load_catalog(&Database::generate(0.001, 42), 4);
     let rec = MemoryRecorder::new();
     let report =
-        run_query_traced(&plan, &config, &catalog, &injector, &RunOptions::default(), &rec);
+        run_query_traced(&plan, &config, &catalog, &injector, &RunOptions::default(), None, &rec);
     assert_eq!(report.node_retries, 1, "exactly the injected failure");
     assert!(!report.results.is_empty());
     (rec.events(), stages, sink.0)
@@ -103,4 +103,109 @@ fn chrome_trace_of_a_failed_run_has_spans_and_the_failure_instant() {
     assert_eq!(failure.get("ph").and_then(Value::as_str), Some("i"));
     assert_eq!(failure.get("s").and_then(Value::as_str), Some("t"));
     assert_eq!(failure.get("tid").and_then(Value::as_u64), Some(2));
+}
+
+// --- exporter edge cases -------------------------------------------------
+
+#[test]
+fn exporters_handle_an_empty_recorder() {
+    let rec = MemoryRecorder::new();
+    let events = rec.events();
+    assert!(events.is_empty());
+
+    // JSONL: empty in, empty out, round-trips to no events.
+    assert_eq!(export::to_jsonl(&events), "");
+    assert_eq!(export::from_jsonl("").unwrap(), Vec::<Event>::new());
+
+    // Chrome trace: valid JSON with an empty traceEvents array.
+    let root: Value = serde_json::from_str(&export::to_chrome_trace(&events)).unwrap();
+    assert_eq!(root.get("traceEvents").and_then(Value::as_array).map(<[_]>::len), Some(0));
+
+    // Prometheus: an empty registry exports an empty document — no stray
+    // `# TYPE` headers for metrics that were never recorded.
+    assert_eq!(export::to_prometheus(&MetricsRegistry::new().snapshot()), "");
+
+    // Calibration over no events: empty report, no quantiles, no drift.
+    let report = ftpde::obs::CalibrationReport::from_events(&events);
+    assert!(report.stages.is_empty() && report.queries.is_empty());
+    assert!(report.stage_error_stats().is_none());
+    assert!(report.drift_score().is_none());
+}
+
+#[test]
+fn a_span_opened_but_never_closed_is_dropped_not_corrupted() {
+    use ftpde::core::collapse::CId;
+    use ftpde::sim::event::{SimEvent, SimLog};
+
+    // A simulation timeline that dies mid-stage: stage 0 completes, stage 1
+    // starts but never finishes, and no query terminator is recorded.
+    let mut log = SimLog::collecting();
+    log.push(SimEvent::StageStarted { stage: CId(0), at: 0.0 });
+    log.push(SimEvent::StageCompleted { stage: CId(0), at: 1.0 });
+    log.push(SimEvent::StageStarted { stage: CId(1), at: 1.0 });
+    let events = log.to_obs_events();
+
+    // The unclosed stage contributes no span — only the closed one does —
+    // and every exporter stays well-formed on the truncated timeline.
+    let spans: Vec<&Event> = events.iter().filter(|e| e.phase == Phase::Span).collect();
+    assert_eq!(spans.len(), 1);
+    assert_eq!(spans[0].name, "stage 0");
+
+    let parsed = export::from_jsonl(&export::to_jsonl(&events)).unwrap();
+    assert_eq!(parsed, events);
+    let root: Value = serde_json::from_str(&export::to_chrome_trace(&events)).unwrap();
+    let trace_events = root.get("traceEvents").and_then(Value::as_array).unwrap();
+    assert!(trace_events.iter().all(|v| v.get("ph").and_then(Value::as_str) != Some("X")
+        || v.get("dur").and_then(Value::as_u64).is_some()));
+
+    // Calibration sees no terminator: no query row, and the one closed
+    // stage has no prediction tags, so no stage rows either.
+    let report = ftpde::obs::CalibrationReport::from_events(&events);
+    assert!(report.queries.is_empty());
+    assert!(report.stages.is_empty());
+}
+
+#[test]
+fn out_of_order_timestamps_survive_every_exporter() {
+    // A hand-built trace whose events arrive out of timestamp order (a
+    // late-flushed failure instant), with prediction tags so the
+    // calibration join has to place the failure inside the span interval.
+    let events = vec![
+        Event::span("stage 0", "sim", 0, 3_000_000)
+            .arg("stage", 0u64)
+            .arg("pred_run_s", 1.0)
+            .arg("pred_mat_s", 0.5)
+            .arg("pred_rec_s", 0.0),
+        Event::instant("query_completed", "sim", 3_000_000),
+        // Flushed last, timestamped first: a failure 1 s into stage 0.
+        Event::instant("node_failure", "sim", 1_000_000)
+            .arg("stage", 0u64)
+            .arg("lost_s", 1.0)
+            .arg("resumes_at_s", 1.5),
+        Event::instant("plan_estimate", "sim", 0).arg("pred_cost_s", 1.5),
+    ];
+
+    // JSONL and Chrome both preserve the recorded order verbatim.
+    let parsed = export::from_jsonl(&export::to_jsonl(&events)).unwrap();
+    assert_eq!(parsed, events);
+    let root: Value = serde_json::from_str(&export::to_chrome_trace(&events)).unwrap();
+    let trace_events = root.get("traceEvents").and_then(Value::as_array).unwrap();
+    assert_eq!(trace_events.len(), events.len());
+    assert_eq!(trace_events[2].get("ts").and_then(Value::as_u64), Some(1_000_000));
+
+    // The calibration join is order-independent: the failure lands on
+    // stage 0 by (stage, interval), not by position in the stream.
+    let report = ftpde::obs::CalibrationReport::from_events(&events);
+    assert_eq!(report.stages.len(), 1);
+    assert_eq!(report.stages[0].failures, 1);
+    assert!((report.stages[0].observed_recovery_s - 1.5).abs() < 1e-9);
+    assert_eq!(report.queries.len(), 1);
+    assert!((report.queries[0].observed_s - 3.0).abs() < 1e-9);
+
+    // And the Prometheus side accepts metrics derived from that report.
+    let reg = MetricsRegistry::new();
+    report.export_metrics(&reg);
+    let prom = export::to_prometheus(&reg.snapshot());
+    assert!(prom.contains("# TYPE calibration_stage_count gauge"));
+    assert!(prom.contains("calibration_stage_count 1"));
 }

@@ -150,7 +150,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::{Range, RangeInclusive};
 
-    /// A length specification accepted by [`vec`].
+    /// A length specification accepted by [`vec()`](vec()).
     #[derive(Clone, Copy, Debug)]
     pub struct SizeRange {
         min: usize,
@@ -177,7 +177,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`](vec()).
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
