@@ -1,0 +1,324 @@
+//! Diagnostic model of the plan linter: coded findings with a severity,
+//! collected into a renderable, serializable [`Report`].
+//!
+//! Every check the linter performs has a stable code (`FT001`…): CI can
+//! gate on severities, dashboards can trend individual codes, and the
+//! diagnostic table in `DESIGN.md` §9 documents what each one asserts.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// How bad a finding is. Ordering is by increasing severity.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub enum Severity {
+    /// Style/hygiene hint; never fails a build.
+    #[default]
+    Lint,
+    /// Suspicious but not provably wrong.
+    Warn,
+    /// A violated invariant: the plan or the cost model is broken.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Lint => write!(f, "lint"),
+            Severity::Warn => write!(f, "warn"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Stable identifier of one linter check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Code {
+    /// DAG structural integrity: table shapes, edge endpoints in range,
+    /// topological edge order (acyclicity), inputs/consumers inverse.
+    FT001,
+    /// Connectedness: the plan forms a single weakly-connected component.
+    FT002,
+    /// Operator costs `tr(o)` / `tm(o)` finite and non-negative.
+    FT003,
+    /// Binding consistency: a configuration respects bound operators.
+    FT004,
+    /// Collapsed-plan partition: every operator in a collapsed group,
+    /// multi-membership only for shared non-materialized prefixes,
+    /// boundaries materializing or sinks (§3.3).
+    FT005,
+    /// Cost conservation: `tr(c)`/`tm(c)` match the dominant path modulo
+    /// `CONST_pipe` (Eq. 1).
+    FT006,
+    /// Probability domain: `φ`/`γ`/`η` in `[0, 1]`, attempts `a(c) ≥ 0`
+    /// (Eq. 5–7).
+    FT007,
+    /// Dominant-path supremacy: the dominant cost bounds every
+    /// source→sink path cost (§3.4).
+    FT008,
+    /// Failure-penalty monotonicity: the estimate never decreases as
+    /// `1/MTBF` grows, and never undercuts the failure-free runtime.
+    FT009,
+    /// Plan hygiene: zero-cost operators, duplicate names, free-operator
+    /// counts beyond exhaustive enumerability.
+    FT010,
+}
+
+impl Code {
+    /// The code as it appears in reports, e.g. `"FT005"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::FT001 => "FT001",
+            Code::FT002 => "FT002",
+            Code::FT003 => "FT003",
+            Code::FT004 => "FT004",
+            Code::FT005 => "FT005",
+            Code::FT006 => "FT006",
+            Code::FT007 => "FT007",
+            Code::FT008 => "FT008",
+            Code::FT009 => "FT009",
+            Code::FT010 => "FT010",
+        }
+    }
+
+    /// One-line description of what the check asserts.
+    pub fn description(self) -> &'static str {
+        match self {
+            Code::FT001 => "DAG structural integrity (shape, ranges, acyclicity, inverse edges)",
+            Code::FT002 => "plan is a single weakly-connected component",
+            Code::FT003 => "operator costs are finite and non-negative",
+            Code::FT004 => "materialization config respects operator bindings",
+            Code::FT005 => "collapsed plan partitions the operator DAG (§3.3)",
+            Code::FT006 => "collapsed costs conserve plan costs modulo CONST_pipe (Eq. 1)",
+            Code::FT007 => "success probabilities in [0,1], attempts non-negative (Eq. 5-7)",
+            Code::FT008 => "dominant path bounds every execution path (§3.4)",
+            Code::FT009 => "failure penalty is monotone in 1/MTBF and non-negative",
+            Code::FT010 => "plan hygiene (zero costs, duplicate names, enumerability)",
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding: a coded, located, human-readable message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// Which check fired.
+    pub code: Code,
+    /// How bad it is.
+    pub severity: Severity,
+    /// What went wrong, with the offending values spelled out.
+    pub message: String,
+    /// Plan operator the finding points at, if any.
+    pub op: Option<u32>,
+    /// Collapsed-operator (stage) the finding points at, if any.
+    pub stage: Option<u32>,
+}
+
+impl Diagnostic {
+    /// Creates a finding with no location.
+    pub fn new(code: Code, severity: Severity, message: impl Into<String>) -> Self {
+        Diagnostic { code, severity, message: message.into(), op: None, stage: None }
+    }
+
+    /// Attaches a plan operator location.
+    #[must_use]
+    pub fn at_op(mut self, op: u32) -> Self {
+        self.op = Some(op);
+        self
+    }
+
+    /// Attaches a collapsed-stage location.
+    #[must_use]
+    pub fn at_stage(mut self, stage: u32) -> Self {
+        self.stage = Some(stage);
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]", self.code, self.severity)?;
+        if let Some(op) = self.op {
+            write!(f, " op {op}")?;
+        }
+        if let Some(stage) = self.stage {
+            write!(f, " stage {stage}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// All findings of one linted subject (a plan, or a fault-tolerant plan).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// What was linted, e.g. `"figure2"` or `"Q5 @ SF 100"`.
+    pub subject: String,
+    /// The findings, in pass order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty report for `subject`.
+    pub fn new(subject: impl Into<String>) -> Self {
+        Report { subject: subject.into(), diagnostics: Vec::new() }
+    }
+
+    /// Adds a finding.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    /// Findings at exactly `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == severity).count()
+    }
+
+    /// `true` iff no Error-severity finding is present.
+    pub fn is_clean(&self) -> bool {
+        self.count(Severity::Error) == 0
+    }
+
+    /// The most severe finding present, if any.
+    pub fn worst(&self) -> Option<Severity> {
+        self.diagnostics.iter().map(|d| d.severity).max()
+    }
+
+    /// Renders the report as indented text, one finding per line.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let verdict = if self.diagnostics.is_empty() {
+            "clean".to_string()
+        } else {
+            format!(
+                "{} error(s), {} warning(s), {} lint(s)",
+                self.count(Severity::Error),
+                self.count(Severity::Warn),
+                self.count(Severity::Lint)
+            )
+        };
+        let _ = writeln!(out, "{}: {verdict}", self.subject);
+        for d in &self.diagnostics {
+            let _ = writeln!(out, "  {d}");
+        }
+        out
+    }
+}
+
+/// A batch of reports (one per linted subject) with roll-up counters —
+/// the JSON artifact the CI lint gate uploads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReportSet {
+    /// One report per subject.
+    pub reports: Vec<Report>,
+}
+
+impl ReportSet {
+    /// Wraps the given reports.
+    pub fn new(reports: Vec<Report>) -> Self {
+        ReportSet { reports }
+    }
+
+    /// Total findings at `severity` across all reports.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.reports.iter().map(|r| r.count(severity)).sum()
+    }
+
+    /// `true` iff no report carries an Error-severity finding.
+    pub fn is_clean(&self) -> bool {
+        self.reports.iter().all(Report::is_clean)
+    }
+
+    /// Renders all reports followed by a one-line roll-up.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for r in &self.reports {
+            out.push_str(&r.render());
+        }
+        let _ = writeln!(
+            out,
+            "total: {} subject(s), {} error(s), {} warning(s), {} lint(s)",
+            self.reports.len(),
+            self.count(Severity::Error),
+            self.count(Severity::Warn),
+            self.count(Severity::Lint)
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_by_badness() {
+        assert!(Severity::Lint < Severity::Warn);
+        assert!(Severity::Warn < Severity::Error);
+    }
+
+    #[test]
+    fn report_counters_and_verdict() {
+        let mut r = Report::new("test");
+        assert!(r.is_clean());
+        assert_eq!(r.worst(), None);
+        r.push(Diagnostic::new(Code::FT010, Severity::Lint, "zero-cost operator").at_op(3));
+        r.push(Diagnostic::new(Code::FT003, Severity::Error, "tr(o) is NaN").at_op(1));
+        assert!(!r.is_clean());
+        assert_eq!(r.worst(), Some(Severity::Error));
+        assert_eq!(r.count(Severity::Lint), 1);
+        let text = r.render();
+        assert!(text.contains("FT003 [error] op 1"));
+        assert!(text.contains("1 error(s), 0 warning(s), 1 lint(s)"));
+    }
+
+    #[test]
+    fn report_set_rolls_up() {
+        let mut a = Report::new("a");
+        a.push(Diagnostic::new(Code::FT001, Severity::Error, "broken"));
+        let b = Report::new("b");
+        let set = ReportSet::new(vec![a, b]);
+        assert!(!set.is_clean());
+        assert_eq!(set.count(Severity::Error), 1);
+        assert!(set.render().contains("total: 2 subject(s), 1 error(s)"));
+    }
+
+    #[test]
+    fn diagnostics_round_trip_through_serde() {
+        let mut r = Report::new("rt");
+        r.push(Diagnostic::new(Code::FT005, Severity::Error, "orphan").at_op(2).at_stage(1));
+        let set = ReportSet::new(vec![r]);
+        let json = serde_json::to_string(&set).unwrap();
+        assert!(json.contains("\"FT005\""));
+        let back: ReportSet = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, set);
+    }
+
+    #[test]
+    fn codes_have_stable_names_and_descriptions() {
+        for code in [
+            Code::FT001,
+            Code::FT002,
+            Code::FT003,
+            Code::FT004,
+            Code::FT005,
+            Code::FT006,
+            Code::FT007,
+            Code::FT008,
+            Code::FT009,
+            Code::FT010,
+        ] {
+            assert!(code.as_str().starts_with("FT"));
+            assert!(!code.description().is_empty());
+            assert_eq!(code.to_string(), code.as_str());
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! # ftpde-analysis — static analysis for fault-tolerant plans
+//!
+//! This crate is the reproduction's verification layer: it re-checks, from
+//! the outside, the invariants the rest of the workspace relies on.
+//!
+//! * [`passes::PlanValidator`] — a **plan linter** running diagnostic
+//!   passes over [`PlanDag`](ftpde_core::dag::PlanDag)s and fault-tolerant
+//!   plans: DAG structural integrity, cost domains, binding consistency,
+//!   the collapsed-plan partition property of §3.3, and cost-model sanity
+//!   (probability domains, dominant-path supremacy, failure-penalty
+//!   monotonicity). Every check has a stable code (`FT001`…`FT010`,
+//!   [`diag::Code`]) and a severity; reports render as text or serialize
+//!   to JSON for the CI lint gate.
+//! * [`oracle`] — a **pruning-soundness oracle** cross-checking
+//!   [`find_best_ft_plan`](ftpde_core::search::find_best_ft_plan) against
+//!   exhaustive enumeration: the rule-3 family must reproduce the optimum
+//!   exactly, the heuristic rules 1/2 must never beat it and stay within a
+//!   bounded slack, and the Eq. 9 path memo must never under-report
+//!   dominance ([`oracle::MemoMirror`]).
+//!
+//! The crate depends only on `ftpde-core` (plus serde): it can lint any
+//! plan regardless of where it came from — the `ftpde lint` CLI subcommand
+//! feeds it the built-in TPC-H plans and arbitrary serialized plans.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use ftpde_analysis::prelude::*;
+//! use ftpde_core::dag::figure2_plan;
+//! use ftpde_core::prelude::*;
+//!
+//! let plan = figure2_plan();
+//! let config = MatConfig::none(&plan);
+//! let validator = PlanValidator::new(CostParams::new(60.0, 0.0));
+//! let report = validator.validate_ft_plan("figure2", &plan, &config);
+//! assert!(report.is_clean());
+//!
+//! let oracle = check_pruning_soundness(&plan, &CostParams::new(60.0, 0.0));
+//! assert!(oracle.all_sound());
+//! ```
+
+pub mod diag;
+pub mod oracle;
+pub mod passes;
+
+/// Convenient glob-import of the crate's main types.
+pub mod prelude {
+    pub use crate::diag::{Code, Diagnostic, Report, ReportSet, Severity};
+    pub use crate::oracle::{
+        check_pruning_soundness, exhaustive_best, ExhaustiveBest, MemoMirror, OracleOutcome,
+        OracleReport, RULE12_SLACK,
+    };
+    pub use crate::passes::PlanValidator;
+}

@@ -28,14 +28,14 @@ fn bench_cost_model(c: &mut Criterion) {
     let params = Scheme::cost_params(&cluster);
     let config = MatConfig::from_free_bits(&plan, 0b01010);
     c.bench_function("core/estimate_ft_plan_q5", |b| {
-        b.iter(|| estimate_ft_plan(&plan, &config, &params))
+        b.iter(|| estimate_ft_plan(&plan, &config, &params));
     });
     c.bench_function("core/enumerate_32_configs_q5", |b| {
         b.iter(|| {
             MatConfig::enumerate(&plan)
                 .map(|cfg| estimate_ft_plan(&plan, &cfg, &params).dominant_cost)
                 .fold(f64::INFINITY, f64::min)
-        })
+        });
     });
 }
 
@@ -62,14 +62,14 @@ fn bench_search_pruning(c: &mut Criterion) {
             || plans.clone(),
             |p| find_best_ft_plan(&p, &params, &PruneOptions::none()).unwrap().1,
             BatchSize::SmallInput,
-        )
+        );
     });
     g.bench_function("all_rules", |b| {
         b.iter_batched(
             || plans.clone(),
             |p| find_best_ft_plan(&p, &params, &PruneOptions::default()).unwrap().1,
             BatchSize::SmallInput,
-        )
+        );
     });
     g.finish();
 }

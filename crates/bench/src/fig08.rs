@@ -64,7 +64,7 @@ pub fn print(fig: &Figure8) {
     ] {
         report::banner(&format!("Figure 8{label}: Varying Queries, SF=100, overhead in %"));
         let mut headers = vec!["query", "baseline"];
-        headers.extend(Scheme::ALL.iter().map(|s| s.name()));
+        headers.extend(Scheme::ALL.iter().map(Scheme::name));
         let table_rows: Vec<Vec<String>> = rows
             .iter()
             .map(|r| {

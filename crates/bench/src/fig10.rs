@@ -50,7 +50,7 @@ pub fn run() -> Vec<Point> {
 pub fn print(points: &[Point]) {
     report::banner("Figure 10: Varying Runtime (Q5, MTBF=1 day/node, overhead in %)");
     let mut headers = vec!["SF", "runtime (min)"];
-    headers.extend(Scheme::ALL.iter().map(|s| s.name()));
+    headers.extend(Scheme::ALL.iter().map(Scheme::name));
     let rows: Vec<Vec<String>> = points
         .iter()
         .map(|p| {

@@ -53,7 +53,7 @@ pub fn print(baseline: f64, rows: &[ClusterRow]) {
         report::secs(baseline)
     ));
     let mut headers = vec!["cluster"];
-    headers.extend(Scheme::ALL.iter().map(|s| s.name()));
+    headers.extend(Scheme::ALL.iter().map(Scheme::name));
     let table_rows: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {

@@ -187,8 +187,8 @@ mod tests {
         assert!(r > 0.75, "paper claims high correlation; got r = {r:.3}");
         // The runtimes span a real range (paper: 1358s to 2517s, a 1.85x
         // spread; our simulated spread is somewhat narrower).
-        let min = actual.iter().cloned().fold(f64::INFINITY, f64::min);
-        let max = actual.iter().cloned().fold(0.0, f64::max);
+        let min = actual.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = actual.iter().copied().fold(0.0, f64::max);
         assert!(max > min * 1.1, "configs must differ: {min:.0}..{max:.0}");
     }
 }

@@ -73,7 +73,7 @@ pub fn print(rows: &[RobustnessRow]) {
     table_rows.extend(rows.iter().map(|r| {
         vec![
             r.label.clone(),
-            r.top5_positions.iter().map(|p| p.to_string()).collect::<Vec<_>>().join(" "),
+            r.top5_positions.iter().map(ToString::to_string).collect::<Vec<_>>().join(" "),
             format!("{:.2}x", r.regret),
         ]
     }));

@@ -180,7 +180,10 @@ impl CollapsedPlan {
         for v in inputs.iter_mut().chain(consumers.iter_mut()) {
             v.sort_unstable();
         }
-        CollapsedPlan { ops, inputs, consumers }
+        let collapsed = CollapsedPlan { ops, inputs, consumers };
+        #[cfg(feature = "invariant-checks")]
+        crate::invariant::check_collapse(plan, config, &collapsed, pipe_const);
+        collapsed
     }
 
     /// Number of collapsed operators.
@@ -242,7 +245,7 @@ impl CollapsedPlan {
 
     /// Sum of `t(c)` over all collapsed operators.
     pub fn total_cost(&self) -> f64 {
-        self.ops.iter().map(|c| c.total_cost()).sum()
+        self.ops.iter().map(CollapsedOp::total_cost).sum()
     }
 }
 

@@ -154,7 +154,10 @@ impl PlanDagBuilder {
     /// Adds an operator consuming the outputs of `inputs` and returns its id.
     ///
     /// # Errors
-    /// * [`CoreError::UnknownOperator`] if an input id has not been added yet.
+    /// * [`CoreError::SelfLoop`] if the operator lists its own (not yet
+    ///   assigned) id as an input.
+    /// * [`CoreError::UnknownOperator`] if an input id has not been added
+    ///   yet (a dangling reference).
     /// * [`CoreError::DuplicateEdge`] if the same input is listed twice.
     /// * [`CoreError::InvalidCost`] if a cost is negative, NaN or infinite.
     pub fn add(&mut self, op: Operator, inputs: &[OpId]) -> Result<OpId> {
@@ -170,6 +173,9 @@ impl PlanDagBuilder {
             });
         }
         for (i, &inp) in inputs.iter().enumerate() {
+            if inp == id {
+                return Err(CoreError::SelfLoop(id));
+            }
             if inp.index() >= self.ops.len() {
                 return Err(CoreError::UnknownOperator(inp));
             }
@@ -306,6 +312,36 @@ mod tests {
         let mut b = PlanDag::builder();
         let err = b.free("x", 1.0, 1.0, &[OpId(5)]).unwrap_err();
         assert_eq!(err, CoreError::UnknownOperator(OpId(5)));
+    }
+
+    #[test]
+    fn self_loop_is_rejected() {
+        // The next operator would receive id 1; listing it as an input is
+        // a self-loop, not merely a dangling reference.
+        let mut b = PlanDag::builder();
+        let a = b.free("a", 1.0, 1.0, &[]).unwrap();
+        let err = b.free("x", 1.0, 1.0, &[OpId(1)]).unwrap_err();
+        assert_eq!(err, CoreError::SelfLoop(OpId(1)));
+        // The failed add must not have corrupted the builder.
+        let ok = b.free("y", 1.0, 1.0, &[a]).unwrap();
+        assert_eq!(ok, OpId(1));
+        let plan = b.build().unwrap();
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan.consumers(a), &[ok]);
+    }
+
+    #[test]
+    fn dangling_reference_does_not_corrupt_builder() {
+        let mut b = PlanDag::builder();
+        let a = b.free("a", 1.0, 1.0, &[]).unwrap();
+        // `a` is valid but OpId(7) dangles: the whole add is rejected and
+        // no half-registered consumer edge may remain on `a`.
+        assert_eq!(
+            b.free("x", 1.0, 1.0, &[a, OpId(7)]).unwrap_err(),
+            CoreError::UnknownOperator(OpId(7))
+        );
+        let plan = b.build().unwrap();
+        assert!(plan.consumers(a).is_empty());
     }
 
     #[test]

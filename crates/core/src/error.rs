@@ -11,6 +11,8 @@ pub enum CoreError {
     EmptyPlan,
     /// An operator id referenced an operator that does not exist in the plan.
     UnknownOperator(OpId),
+    /// An operator listed itself as one of its own inputs.
+    SelfLoop(OpId),
     /// An edge was declared twice between the same pair of operators.
     DuplicateEdge { from: OpId, to: OpId },
     /// A cost value was negative or not finite.
@@ -28,6 +30,9 @@ impl fmt::Display for CoreError {
         match self {
             CoreError::EmptyPlan => write!(f, "plan contains no operators"),
             CoreError::UnknownOperator(id) => write!(f, "unknown operator id {id:?}"),
+            CoreError::SelfLoop(id) => {
+                write!(f, "operator {id:?} lists itself as an input (self-loop)")
+            }
             CoreError::DuplicateEdge { from, to } => {
                 write!(f, "duplicate edge {from:?} -> {to:?}")
             }

@@ -263,11 +263,7 @@ mod tests {
 
     #[test]
     fn search_stats_summary_flags_inconsistent_counters() {
-        let stats = crate::search::SearchStats {
-            configs_unpruned: 10,
-            configs_explored: 3,
-            ..Default::default()
-        };
+        let stats = SearchStats { configs_unpruned: 10, configs_explored: 3, ..Default::default() };
         assert!(explain_search_stats(&stats).contains("WARNING"));
     }
 

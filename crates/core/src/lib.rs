@@ -56,6 +56,7 @@ pub mod cost;
 pub mod dag;
 pub mod error;
 pub mod explain;
+pub mod invariant;
 pub mod operator;
 pub mod paths;
 pub mod prune;
@@ -77,6 +78,9 @@ pub mod prelude {
     };
     pub use crate::operator::{Binding, OpId, Operator};
     pub use crate::prune::{apply_rule1, apply_rule2, PathMemo, PruneOptions};
-    pub use crate::search::{find_best_ft_plan, find_best_ft_plan_traced, BestFtPlan, SearchStats};
+    pub use crate::search::{
+        find_best_ft_plan, find_best_ft_plan_traced, record_partition_check, BestFtPlan,
+        SearchStats,
+    };
     pub use crate::stats::{baseline_positions, rank_configs, Perturbation, RankedConfig};
 }

@@ -413,3 +413,113 @@ mod tests {
         let _ = PruneOptions::only(4);
     }
 }
+
+/// Property tests for [`PathMemo::record`] / [`PathMemo::dominates`]:
+/// the Eq. 9 dominance check must be monotone in the (prefix-sorted) cost
+/// vector and must never fire on a path that is strictly cheaper in any
+/// coordinate without compensation — a false positive here would make the
+/// search discard competitive fault-tolerant plans.
+#[cfg(test)]
+mod memo_proptests {
+    use proptest::prelude::*;
+
+    use super::PathMemo;
+
+    /// Descending-sorted cost vector with 1..=6 entries in (0, 50].
+    fn arb_costs() -> impl Strategy<Value = Vec<f64>> {
+        collection::vec(0.01f64..50.0, 1..=6).prop_map(|mut v| {
+            v.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+            v
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// Reflexivity on ties: a recorded path dominates itself (Eq. 9
+        /// uses `>=`, so an exact tie cannot beat the memoized runtime and
+        /// is correctly skipped).
+        #[test]
+        #[cfg_attr(miri, ignore = "256-case proptests are too slow under Miri")]
+        fn recorded_path_dominates_itself(costs in arb_costs(), total in 0.1f64..1e3) {
+            let mut memo = PathMemo::new();
+            memo.record(&costs, total);
+            prop_assert!(memo.dominates(&costs));
+        }
+
+        /// Monotonicity: inflating any coordinates of a dominated path
+        /// keeps it dominated (prefix-sorted costs only grow pointwise).
+        #[test]
+        #[cfg_attr(miri, ignore = "256-case proptests are too slow under Miri")]
+        fn dominance_is_monotone_under_inflation(
+            costs in arb_costs(),
+            total in 0.1f64..1e3,
+            bumps in collection::vec(0.0f64..10.0, 6usize),
+        ) {
+            let mut memo = PathMemo::new();
+            memo.record(&costs, total);
+            let mut inflated: Vec<f64> =
+                costs.iter().zip(&bumps).map(|(c, b)| c + b).collect();
+            inflated.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+            prop_assert!(memo.dominates(&inflated));
+        }
+
+        /// No false dominance: deflating one coordinate of the only
+        /// memoized entry must not be reported as dominated (single-entry
+        /// memo, same length — nothing else could justify the skip).
+        #[test]
+        #[cfg_attr(miri, ignore = "256-case proptests are too slow under Miri")]
+        fn no_false_dominance_below_the_entry(
+            costs in arb_costs(),
+            total in 0.1f64..1e3,
+            pick in any::<u64>(),
+        ) {
+            let mut memo = PathMemo::new();
+            memo.record(&costs, total);
+            let i = (pick as usize) % costs.len();
+            let mut cheaper = costs.clone();
+            cheaper[i] *= 0.5;
+            cheaper.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+            prop_assert!(!memo.dominates(&cheaper));
+        }
+
+        /// Shorter paths are never compared against longer memo entries:
+        /// a k-operator path can only be dominated by entries with <= k
+        /// operators (missing operators count as zero cost, Eq. 9).
+        #[test]
+        #[cfg_attr(miri, ignore = "256-case proptests are too slow under Miri")]
+        fn shorter_paths_ignore_longer_entries(costs in arb_costs(), total in 0.1f64..1e3) {
+            prop_assume!(costs.len() >= 2);
+            let mut memo = PathMemo::new();
+            memo.record(&costs, total);
+            let shorter = &costs[..costs.len() - 1];
+            // All coordinates of `shorter` match the entry's prefix, but
+            // the entry has one more (positive-cost) operator: comparing
+            // would under-report, so it must not dominate.
+            prop_assert!(!memo.dominates(shorter));
+        }
+
+        /// `record` keeps only the cheapest entry per path length, so
+        /// dominance reflects the cheaper total's cost vector.
+        #[test]
+        #[cfg_attr(miri, ignore = "256-case proptests are too slow under Miri")]
+        fn record_keeps_cheapest_per_length(
+            a in arb_costs(),
+            b in arb_costs(),
+            t1 in 0.1f64..1e3,
+            dt in 0.1f64..1e3,
+        ) {
+            prop_assume!(a.len() == b.len());
+            let (cheap, expensive) = (&a, &b);
+            let mut memo = PathMemo::new();
+            memo.record(cheap, t1);
+            memo.record(expensive, t1 + dt); // more expensive: ignored
+            prop_assert_eq!(memo.len(), 1);
+            prop_assert!(memo.dominates(cheap));
+            let mut both = PathMemo::new();
+            both.record(expensive, t1 + dt);
+            both.record(cheap, t1); // cheaper: replaces
+            prop_assert!(both.dominates(cheap));
+        }
+    }
+}

@@ -102,6 +102,27 @@ impl SearchStats {
     }
 }
 
+/// Checks [`SearchStats::partition_holds`] and, on violation, mirrors a
+/// `partition_violation` instant (category `"search"`) carrying every
+/// counter of the partition into `rec`. Returns whether the invariant
+/// holds. [`find_best_ft_plan_traced`] calls this after every search so a
+/// counter regression shows up in traces instead of silently corrupting
+/// the Figure 13 accounting.
+pub fn record_partition_check(stats: &SearchStats, rec: &dyn Recorder, ts_us: u64) -> bool {
+    let holds = stats.partition_holds();
+    if !holds {
+        rec.record_with(|| {
+            Event::instant("partition_violation", "search", ts_us)
+                .arg("configs_unpruned", stats.configs_unpruned)
+                .arg("configs_explored", stats.configs_explored)
+                .arg("configs_pruned_rule1", stats.configs_pruned_rule1)
+                .arg("configs_pruned_rule2", stats.configs_pruned_rule2)
+                .arg("rule3_stops", stats.rule3_stops())
+        });
+    }
+    holds
+}
+
 /// Outcome of evaluating one fault-tolerant plan `[P, M_P]`.
 enum ConfigOutcome {
     /// All paths enumerated; the dominant path and its cost.
@@ -120,16 +141,16 @@ fn evaluate_config(
     memo: &mut PathMemo,
     stats: &mut SearchStats,
 ) -> ConfigOutcome {
-    let mut dominant: Vec<CId> = Vec::new();
-    let mut dominant_cost = f64::NEG_INFINITY;
-    let mut dominant_runtime = 0.0;
-    let mut sorted_scratch: Vec<f64> = Vec::new();
-
     enum Stop {
         Runtime,
         Estimate,
         Memo,
     }
+
+    let mut dominant: Vec<CId> = Vec::new();
+    let mut dominant_cost = f64::NEG_INFINITY;
+    let mut dominant_runtime = 0.0;
+    let mut sorted_scratch: Vec<f64> = Vec::new();
 
     let stop = for_each_path::<Stop>(collapsed, |path| {
         stats.paths_examined += 1;
@@ -291,6 +312,12 @@ pub fn find_best_ft_plan_traced(
             }
         }
     }
+
+    if !record_partition_check(&stats, rec, now_us()) {
+        debug_assert!(false, "pruning-counter partition invariant broke: {stats:?}");
+    }
+    #[cfg(feature = "invariant-checks")]
+    crate::invariant::check_search_stats(&stats);
 
     rec.record_with(|| {
         Event::span("find_best_ft_plan", "search", 0, now_us())
@@ -524,6 +551,35 @@ mod tests {
         assert_eq!(done.cat, "search");
         assert_eq!(done.get_arg("configs_explored"), Some(&ArgValue::U64(stats.configs_explored)));
         assert_eq!(done.get_arg("memo_hits"), Some(&ArgValue::U64(stats.rule3_memo_stops)));
+    }
+
+    #[test]
+    fn partition_check_is_silent_when_healthy_and_loud_when_broken() {
+        use ftpde_obs::MemoryRecorder;
+
+        // A healthy traced search must not emit a partition_violation.
+        let plan = figure2_plan();
+        let rec = MemoryRecorder::new();
+        let (_, stats) = find_best_ft_plan_traced(
+            std::slice::from_ref(&plan),
+            &params(60.0),
+            &PruneOptions::default(),
+            &rec,
+        )
+        .unwrap();
+        assert!(rec.events().iter().all(|e| e.name != "partition_violation"));
+        assert!(record_partition_check(&stats, &NoopRecorder, 0));
+
+        // A fabricated counter regression must be reported as an event.
+        let broken =
+            SearchStats { configs_unpruned: 16, configs_explored: 15, ..Default::default() };
+        let rec = MemoryRecorder::new();
+        assert!(!record_partition_check(&broken, &rec, 7));
+        let events = rec.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "partition_violation");
+        assert_eq!(events[0].cat, "search");
+        assert_eq!(events[0].get_arg("configs_unpruned"), Some(&ftpde_obs::ArgValue::U64(16)));
     }
 
     #[test]

@@ -1,0 +1,95 @@
+//! Golden test: the paper's Table 2 / Figure 3 worked example, pinned.
+//!
+//! `figure2_plan()` under the Figure 3 materialization configuration
+//! (operators 3, 5, 6, 7 materialize) must reproduce, step by step, the
+//! numbers the paper derives in §3.3–§3.5:
+//!
+//! * Eq. 1 — collapsed runtimes `tr(c)` (dominant path × `CONST_pipe`);
+//! * Table 2 — totals `t(c) = 4, 3, 1, 2` and success probabilities
+//!   `γ(c)` under `MTBF_cost = 60`;
+//! * Eq. 5/6 — attempts `a(c)` from the target percentile `S = 0.95`;
+//! * Eq. 7/8 — path costs `T_Pt1 ≈ 8.19`, `T_Pt2 ≈ 9.19` and the
+//!   dominant path `Pt2` of Figure 3 step 4.
+//!
+//! Any drift in these constants is a cost-model regression, not a
+//! tolerance issue — the assertions are tight on purpose.
+
+use ftpde_core::dag::figure2_plan;
+use ftpde_core::prelude::*;
+
+fn table2_setup() -> (PlanDag, MatConfig, CostParams) {
+    let plan = figure2_plan();
+    // Figure 3 step 1: operators 3, 5, 6, 7 (0-based 2, 4, 5, 6) materialize.
+    let cfg = MatConfig::from_materialized_free_ops(&plan, &[OpId(2), OpId(4), OpId(5), OpId(6)])
+        .unwrap();
+    // Table 2 uses MTBF_cost = 60, MTTR_cost = 0, S = 0.95, CONST_pipe = 1.
+    let params = CostParams::new(60.0, 0.0);
+    (plan, cfg, params)
+}
+
+#[test]
+fn table2_collapsed_totals_are_pinned() {
+    let (plan, cfg, params) = table2_setup();
+    let pc = CollapsedPlan::collapse(&plan, &cfg, params.pipe_const);
+
+    // Figure 3 step 2: P^c = { {1,2,3}, {4,5}, {6}, {7} }.
+    let members: Vec<Vec<u32>> =
+        pc.iter().map(|(_, c)| c.members.iter().map(|o| o.0).collect()).collect();
+    assert_eq!(members, vec![vec![0, 1, 2], vec![3, 4], vec![5], vec![6]]);
+
+    // Eq. 1 with CONST_pipe = 1: tr(c) is the dominant-path runtime sum.
+    // dom({1,2,3}) = 2 -> 3 (scan S then join): 1.6 + 2.0 = 3.6.
+    assert_eq!(pc.op(CId(0)).run_cost, 3.6);
+    assert_eq!(pc.op(CId(0)).mat_cost, 0.4); // tm({1,2,3}) = tm(3)
+    assert_eq!(pc.op(CId(1)).run_cost, 2.5); // 1.0 + 1.5
+    assert_eq!(pc.op(CId(1)).mat_cost, 0.5);
+
+    // Table 2 row t(c): 4, 3, 1, 2.
+    let totals: Vec<f64> = pc.iter().map(|(_, c)| c.total_cost()).collect();
+    assert_eq!(totals, vec![4.0, 3.0, 1.0, 2.0]);
+}
+
+#[test]
+fn table2_success_probabilities_and_attempts_are_pinned() {
+    let (_, _, params) = table2_setup();
+
+    // Table 2 row γ(c) = e^(-t/60) (Eq. 5): 0.94, 0.95, 0.98, 0.97
+    // (the paper rounds γ(2) down to 0.96).
+    let gammas: Vec<f64> =
+        [4.0, 3.0, 1.0, 2.0].iter().map(|&t| params.success_probability(t)).collect();
+    let expected = [0.935_506_98, 0.951_229_42, 0.983_471_45, 0.967_216_1];
+    for (g, e) in gammas.iter().zip(expected) {
+        assert!((g - e).abs() < 1e-6, "γ drifted: {g} vs {e}");
+    }
+
+    // Eq. 6: a(c) = max(ln(1-S)/ln(η(c)) - 1, 0). Only the first collapsed
+    // operator (t = 4, η ≈ 0.064) needs a fraction of an extra attempt.
+    assert!((params.attempts(4.0) - 0.092_854_98).abs() < 1e-6);
+    assert_eq!(params.attempts(3.0), 0.0);
+    assert_eq!(params.attempts(1.0), 0.0);
+    assert_eq!(params.attempts(2.0), 0.0);
+}
+
+#[test]
+fn table2_path_costs_and_dominant_path_are_pinned() {
+    let (plan, cfg, params) = table2_setup();
+    let est = estimate_ft_plan(&plan, &cfg, &params);
+
+    // Figure 3 step 3: two execution paths through P^c.
+    assert_eq!(est.paths_examined, 2);
+
+    // Eq. 7/8 with exact (unrounded) η: T(c1) = 4 + a·(w + MTTR)
+    // = 4 + 0.0929·2 = 4.1857; Pt1 = c1+c2+c3 = 8.1857, Pt2 = 9.1857.
+    // (The paper's 8.13/9.13 comes from rounding η to 0.06 first.)
+    let t_c1 = params.op_cost(4.0);
+    assert!((t_c1 - 4.185_709_96).abs() < 1e-6, "T(c1) drifted: {t_c1}");
+    let t1 = path_cost(&est.collapsed, &[CId(0), CId(1), CId(2)], &params);
+    let t2 = path_cost(&est.collapsed, &[CId(0), CId(1), CId(3)], &params);
+    assert!((t1 - 8.185_709_96).abs() < 1e-6, "T_Pt1 drifted: {t1}");
+    assert!((t2 - 9.185_709_96).abs() < 1e-6, "T_Pt2 drifted: {t2}");
+
+    // Figure 3 step 4: Pt2 (through the expensive reduce UDF B) dominates.
+    assert_eq!(est.dominant_path, vec![CId(0), CId(1), CId(3)]);
+    assert!((est.dominant_cost - t2).abs() < 1e-12);
+    assert_eq!(est.dominant_runtime, 9.0); // R_Pt2 = 4 + 3 + 2 (Table 2)
+}

@@ -14,7 +14,7 @@ use ftpde_core::prelude::*;
 /// (possibly none → extra sources), random costs, and a random binding.
 fn arb_plan(max_ops: usize) -> impl Strategy<Value = PlanDag> {
     let op = (0.01f64..50.0, 0.0f64..20.0, 0u8..6, any::<u64>());
-    proptest::collection::vec(op, 1..=max_ops).prop_map(|specs| {
+    collection::vec(op, 1..=max_ops).prop_map(|specs| {
         let mut b = PlanDag::builder();
         let mut ids: Vec<OpId> = Vec::new();
         for (i, (tr, tm, bind, seed)) in specs.into_iter().enumerate() {
@@ -135,8 +135,8 @@ proptest! {
     /// evaluating the cost function confirms T_Pt >= T_Ptm.
     #[test]
     fn memo_dominance_is_sound(
-        memo_costs in proptest::collection::vec(0.1f64..50.0, 1..6),
-        probe_costs in proptest::collection::vec(0.1f64..50.0, 1..6),
+        memo_costs in collection::vec(0.1f64..50.0, 1..6),
+        probe_costs in collection::vec(0.1f64..50.0, 1..6),
         mtbf in 1.0f64..1e4,
     ) {
         let params = CostParams::new(mtbf, 1.0);

@@ -410,8 +410,7 @@ pub fn run_query_resumable_traced(
                                 .expect("coordinator-side merge cannot be interrupted")
                         }
                         OpKind::TopK { sort_col, ascending, k } => {
-                            let all: Vec<crate::value::Row> =
-                                partials.into_iter().flatten().collect();
+                            let all: Vec<Row> = partials.into_iter().flatten().collect();
                             crate::ops::top_k(&all, *sort_col, *ascending, *k, &merge_ctx)
                                 .expect("coordinator-side merge cannot be interrupted")
                         }
@@ -538,7 +537,7 @@ fn run_stage_on_node(
                     None
                 } else {
                     Some(store.get(p.0, node).unwrap_or_else(|| {
-                        panic!("producer {:?} must be materialized before {:?}", p, m)
+                        panic!("producer {p:?} must be materialized before {m:?}")
                     }))
                 }
             })

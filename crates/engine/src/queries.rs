@@ -508,7 +508,7 @@ mod tests {
                 assert!(w[0][1].as_int() <= w[1][1].as_int());
             }
             // Every surviving row matches its part's min cost.
-            for r in rows.iter() {
+            for r in rows {
                 assert_eq!(r[9].as_int(), r[1].as_int(), "ps_cost == cte min");
             }
         }

@@ -37,7 +37,7 @@ impl Summary {
     /// right-aligned per column at render time.
     pub fn table(&mut self, headers: &[&str], rows: &[Vec<String>]) -> &mut Self {
         self.items.push(Item::Table {
-            headers: headers.iter().map(|s| s.to_string()).collect(),
+            headers: headers.iter().map(ToString::to_string).collect(),
             rows: rows.to_vec(),
         });
         self

@@ -86,18 +86,18 @@ mod tests {
 
     #[test]
     fn greedy_covers_all_relations_without_cross_products() {
+        fn check(t: &JoinTree, g: &JoinGraph) {
+            if let JoinTree::Join { left, right } = t {
+                assert!(g.sets_connected(left.rel_set(), right.rel_set()));
+                check(left, g);
+                check(right, g);
+            }
+        }
         for n in 2..=8 {
             let g = chain(n);
             let t = greedy_plan(&g);
             assert_eq!(t.rel_set(), g.all_rels());
             assert_eq!(t.join_count(), n - 1);
-            fn check(t: &JoinTree, g: &JoinGraph) {
-                if let JoinTree::Join { left, right } = t {
-                    assert!(g.sets_connected(left.rel_set(), right.rel_set()));
-                    check(left, g);
-                    check(right, g);
-                }
-            }
             check(&t, &g);
         }
     }

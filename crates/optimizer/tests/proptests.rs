@@ -9,8 +9,8 @@ use ftpde_optimizer::physical::{tree_to_plan, AggSpec, CostModel};
 /// Strategy: a random connected join graph of 2..=6 relations. Starts
 /// from a random spanning chain and adds a few random extra edges.
 fn arb_graph() -> impl Strategy<Value = JoinGraph> {
-    let rels = proptest::collection::vec((10.0f64..1e6, 0.01f64..1.0, 8.0f64..128.0), 2..=6);
-    let extras = proptest::collection::vec((any::<u8>(), any::<u8>()), 0..4);
+    let rels = collection::vec((10.0f64..1e6, 0.01f64..1.0, 8.0f64..128.0), 2..=6);
+    let extras = collection::vec((any::<u8>(), any::<u8>()), 0..4);
     (rels, extras).prop_map(|(rels, extras)| {
         let mut g = JoinGraph::new();
         let ids: Vec<RelId> = rels

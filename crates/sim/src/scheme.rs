@@ -122,7 +122,7 @@ mod tests {
 
     #[test]
     fn names_match_the_paper() {
-        let names: Vec<_> = Scheme::ALL.iter().map(|s| s.name()).collect();
+        let names: Vec<_> = Scheme::ALL.iter().map(Scheme::name).collect();
         assert_eq!(names, vec!["all-mat", "no-mat (lineage)", "no-mat (restart)", "cost-based"]);
     }
 

@@ -313,7 +313,7 @@ fn simulate_coarse_restart(
     // attempt kills the whole query. Skew stretches the attempt to the
     // straggler node; mid-operator checkpoints cannot help a scheme that
     // discards all state on restart.
-    let skew_max = opts.skew.as_ref().map_or(1.0, |f| f.iter().cloned().fold(1.0, f64::max));
+    let skew_max = opts.skew.as_ref().map_or(1.0, |f| f.iter().copied().fold(1.0, f64::max));
     let duration = failure_free_makespan(plan, config, opts.pipe_const) * skew_max;
     // Merge all nodes' failure times; any failure kills the whole attempt.
     let mut all: Vec<f64> =

@@ -12,7 +12,7 @@ use ftpde_sim::simulate::{baseline_runtime, failure_free_makespan, simulate, Sim
 
 /// Strategy: a random chain plan of 1..=6 free operators.
 fn arb_chain() -> impl Strategy<Value = PlanDag> {
-    proptest::collection::vec((1.0f64..50.0, 0.0f64..20.0), 1..=6).prop_map(|ops| {
+    collection::vec((1.0f64..50.0, 0.0f64..20.0), 1..=6).prop_map(|ops| {
         let mut b = PlanDag::builder();
         let mut prev: Option<OpId> = None;
         for (i, (tr, tm)) in ops.into_iter().enumerate() {
@@ -26,7 +26,7 @@ fn arb_chain() -> impl Strategy<Value = PlanDag> {
 /// Strategy: a failure trace over `nodes` nodes with a handful of failure
 /// times below `horizon`.
 fn arb_trace(nodes: usize, horizon: f64) -> impl Strategy<Value = FailureTrace> {
-    proptest::collection::vec(proptest::collection::vec(1.0f64..horizon, 0..5), nodes..=nodes)
+    collection::vec(collection::vec(1.0f64..horizon, 0..5), nodes..=nodes)
         .prop_map(move |times| FailureTrace::from_times(times, 1e12))
 }
 

@@ -434,6 +434,7 @@ mod tests {
 
     #[test]
     fn low_selectivity_variant_is_slower_with_same_shape() {
+        use ftpde_optimizer::enumerate::count_join_orders;
         let sf = 100.0;
         let default = q5_plan(sf, &cm());
         let low_sel = q5_plan_low_selectivity(sf, &cm());
@@ -444,7 +445,6 @@ mod tests {
             "all orders qualify → much more join work"
         );
         // Order count is unchanged: both graphs are the same 6-chain.
-        use ftpde_optimizer::enumerate::count_join_orders;
         assert_eq!(count_join_orders(&q5_join_graph_with(sf, 1.0)), 1344);
     }
 

@@ -79,8 +79,7 @@ impl Table {
             Table::Part => 128.0,
             Table::Partsupp => 136.0,
             Table::Supplier => 144.0,
-            Table::Nation => 80.0,
-            Table::Region => 80.0,
+            Table::Nation | Table::Region => 80.0,
         }
     }
 
@@ -141,7 +140,7 @@ mod tests {
     fn names_and_display() {
         assert_eq!(Table::Lineitem.name(), "LINEITEM");
         assert_eq!(Table::Partsupp.to_string(), "PARTSUPP");
-        let names: std::collections::HashSet<_> = Table::ALL.iter().map(|t| t.name()).collect();
+        let names: std::collections::HashSet<_> = Table::ALL.iter().map(Table::name).collect();
         assert_eq!(names.len(), 8);
     }
 

@@ -37,7 +37,7 @@ fn main() {
     );
     let truth = &reference.results[0].1;
     println!("failure-free Q5 result ({} nations):", truth.len());
-    for row in truth.iter() {
+    for row in truth {
         println!("  nation {:>2}  revenue {}", row[0].as_int(), row[1].as_int());
     }
 

@@ -6,6 +6,7 @@
 //! ftpde success  --runtime-min 30 --nodes 10 --mtbf 3600
 //! ftpde dot      --query Q5 --sf 100 --mtbf 3600 > plan.dot
 //! ftpde obs      --trace run.jsonl [--format summary|calibration|prom|json]
+//! ftpde lint     --all | --query Q5 | --plan plan.json [--format text|json]
 //! ```
 //!
 //! * `plan` — run the cost-based search for a TPC-H query and explain the
@@ -19,10 +20,15 @@
 //! * `obs` — replay a recorded JSONL trace offline and print a trace
 //!   summary, a predicted-vs-observed calibration report, Prometheus
 //!   text-format metrics, or the calibration report as JSON.
+//! * `lint` — run the static-analysis passes (`FT001`…) of
+//!   `ftpde-analysis` over the built-in plans, one TPC-H query, or an
+//!   arbitrary serialized plan; exits nonzero on any Error-severity
+//!   diagnostic, so it can gate CI.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
 
+use ftpde::analysis::prelude::*;
 use ftpde::cluster::prelude::*;
 use ftpde::core::prelude::*;
 use ftpde::obs;
@@ -45,6 +51,7 @@ fn main() -> ExitCode {
         "success" => cmd_success(&flags),
         "dot" => cmd_dot(&flags),
         "obs" => cmd_obs(&flags),
+        "lint" => cmd_lint(&flags),
         _ => Err(format!("unknown command {cmd:?}")),
     };
     match result {
@@ -61,17 +68,24 @@ const USAGE: &str = "usage:
   ftpde simulate --query <Q1|Q3|Q5|Q1C|Q2C> --sf <N> --nodes <N> --mtbf <secs> [--mttr <secs>] [--traces <N>] [--seed <N>]
   ftpde success  --runtime-min <N> --nodes <N> --mtbf <secs>
   ftpde dot      --query <Q1|Q3|Q5|Q1C|Q2C> --sf <N> --nodes <N> --mtbf <secs>
-  ftpde obs      --trace <run.jsonl> [--format <summary|calibration|prom|json>]";
+  ftpde obs      --trace <run.jsonl> [--format <summary|calibration|prom|json>]
+  ftpde lint     --all | --query <Q1|Q3|Q5|Q1C|Q2C> | --plan <plan.json>
+                 [--sf <N>] [--nodes <N>] [--mtbf <secs>] [--mttr <secs>] [--format <text|json>]";
 
 /// Splits `["cmd", "--k", "v", ...]` into the command and a flag map.
+/// A flag followed by another flag (or nothing) is boolean, stored as
+/// `"true"` — that is how `lint --all` parses.
 fn parse(args: &[String]) -> Option<(String, HashMap<String, String>)> {
     let (cmd, rest) = args.split_first()?;
     let mut flags = HashMap::new();
-    let mut it = rest.iter();
+    let mut it = rest.iter().peekable();
     while let Some(k) = it.next() {
         let k = k.strip_prefix("--")?;
-        let v = it.next()?;
-        flags.insert(k.to_string(), v.clone());
+        let v = match it.peek() {
+            Some(next) if !next.starts_with("--") => it.next()?.clone(),
+            _ => "true".to_string(),
+        };
+        flags.insert(k.to_string(), v);
     }
     Some((cmd.clone(), flags))
 }
@@ -273,6 +287,68 @@ fn cmd_obs(flags: &HashMap<String, String>) -> CliResult<()> {
     Ok(())
 }
 
+/// Lints one plan: static passes first, and only when those find no
+/// Error does it run the search and lint the resulting fault-tolerant
+/// plan (searching a structurally broken plan could panic).
+fn lint_searched(validator: &PlanValidator, subject: &str, plan: &PlanDag) -> CliResult<Report> {
+    let static_report = validator.validate_plan(subject, plan);
+    if !static_report.is_clean() {
+        return Ok(static_report);
+    }
+    let (best, _) =
+        find_best_ft_plan(std::slice::from_ref(plan), validator.params(), &PruneOptions::default())
+            .map_err(|e| e.to_string())?;
+    Ok(validator.validate_ft_plan(subject, &best.plan, &best.config))
+}
+
+fn cmd_lint(flags: &HashMap<String, String>) -> CliResult<()> {
+    // Lint doesn't require --mtbf: default to the paper's 1-hour cluster.
+    let mut cluster_flags = flags.clone();
+    cluster_flags.entry("mtbf".to_string()).or_insert_with(|| "3600".to_string());
+    let cluster = get_cluster(&cluster_flags)?;
+    let params = Scheme::cost_params(&cluster);
+    let sf = get_f64(flags, "sf", Some(100.0))?;
+    let format = flags.get("format").map_or("text", String::as_str);
+    let validator = PlanValidator::new(params);
+    let cm = CostModel::xdb_calibrated();
+
+    let mut reports = Vec::new();
+    if flags.contains_key("all") {
+        reports.push(lint_searched(&validator, "figure2", &ftpde::core::dag::figure2_plan())?);
+        for query in Query::ALL {
+            let subject = format!("{query} @ SF {sf}");
+            reports.push(lint_searched(&validator, &subject, &query.plan(sf, &cm))?);
+        }
+    } else if flags.contains_key("query") {
+        let query = get_query(flags)?;
+        let subject = format!("{query} @ SF {sf}");
+        reports.push(lint_searched(&validator, &subject, &query.plan(sf, &cm))?);
+    } else if let Some(path) = flags.get("plan") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let plan: PlanDag = serde_json::from_str(&text)
+            .map_err(|e| format!("{path} is not a serialized plan: {e:?}"))?;
+        reports.push(lint_searched(&validator, path, &plan)?);
+    } else {
+        return Err("lint needs one of --all, --query or --plan".into());
+    }
+
+    let set = ReportSet::new(reports);
+    match format {
+        "text" => print!("{}", set.render()),
+        "json" => {
+            let json = serde_json::to_string(&set)
+                .map_err(|e| format!("report failed to serialize: {e:?}"))?;
+            println!("{json}");
+        }
+        other => return Err(format!("unknown format {other:?} (expected text or json)")),
+    }
+    if set.is_clean() {
+        Ok(())
+    } else {
+        Err(format!("lint found {} error(s)", set.count(Severity::Error)))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -284,7 +360,7 @@ mod tests {
     #[test]
     fn parse_splits_command_and_flags() {
         let args: Vec<String> =
-            ["plan", "--query", "Q5", "--sf", "10"].iter().map(|s| s.to_string()).collect();
+            ["plan", "--query", "Q5", "--sf", "10"].iter().map(ToString::to_string).collect();
         let (cmd, f) = parse(&args).unwrap();
         assert_eq!(cmd, "plan");
         assert_eq!(f["query"], "Q5");
@@ -293,9 +369,22 @@ mod tests {
 
     #[test]
     fn parse_rejects_malformed_flags() {
-        let args: Vec<String> = ["plan", "query"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["plan", "query"].iter().map(ToString::to_string).collect();
         assert!(parse(&args).is_none());
         assert!(parse(&[]).is_none());
+    }
+
+    #[test]
+    fn parse_accepts_boolean_flags() {
+        let args: Vec<String> =
+            ["lint", "--all", "--format", "json"].iter().map(ToString::to_string).collect();
+        let (cmd, f) = parse(&args).unwrap();
+        assert_eq!(cmd, "lint");
+        assert_eq!(f["all"], "true");
+        assert_eq!(f["format"], "json");
+        // A trailing valueless flag parses too.
+        let args: Vec<String> = ["lint", "--all"].iter().map(ToString::to_string).collect();
+        assert_eq!(parse(&args).unwrap().1["all"], "true");
     }
 
     #[test]
@@ -324,6 +413,47 @@ mod tests {
         let f = flags(&[("query", "Q5"), ("sf", "1"), ("mtbf", "600")]);
         cmd_dot(&f).unwrap();
     }
+
+    #[test]
+    fn lint_accepts_builtins_and_rejects_corruption() {
+        // Every built-in plan lints clean (Errors would return Err).
+        cmd_lint(&flags(&[("all", "true"), ("sf", "1")])).unwrap();
+        cmd_lint(&flags(&[("query", "Q3"), ("sf", "1"), ("format", "json")])).unwrap();
+        // Mode is mandatory, and formats are validated.
+        assert!(cmd_lint(&flags(&[])).is_err());
+        assert!(cmd_lint(&flags(&[("all", "true"), ("format", "yaml")])).is_err());
+        assert!(cmd_lint(&flags(&[("plan", "/nonexistent/plan.json")])).is_err());
+
+        // A valid serialized plan lints clean through --plan, while one
+        // whose edge tables are not mutual inverses fails FT001.
+        let dir = std::env::temp_dir().join("ftpde_cli_lint_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = dir.join("good.json");
+        let json = serde_json::to_string(&ftpde::core::dag::figure2_plan()).unwrap();
+        std::fs::write(&good, &json).unwrap();
+        let gp = good.to_string_lossy().to_string();
+        cmd_lint(&flags(&[("plan", gp.as_str())])).unwrap();
+
+        let broken = dir.join("broken.json");
+        std::fs::write(&broken, CORRUPTED_PLAN_JSON).unwrap();
+        let bp = broken.to_string_lossy().to_string();
+        let err = cmd_lint(&flags(&[("plan", bp.as_str())])).unwrap_err();
+        assert!(err.contains("error"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A plan whose input table claims a backward edge `1 -> 0` that the
+    /// consumer table does not mirror, plus a forward edge `0 -> 1` — the
+    /// FT001 structural pass must reject it.
+    const CORRUPTED_PLAN_JSON: &str = r#"{
+        "ops": [
+            {"name": "a", "run_cost": 1.0, "mat_cost": 0.1, "binding": "Free"},
+            {"name": "b", "run_cost": 1.0, "mat_cost": 0.1, "binding": "Free"}
+        ],
+        "inputs": [[1], []],
+        "consumers": [[], []]
+    }"#;
 
     /// A small prediction-tagged trace, as `simulate_traced` would emit.
     fn calibratable_events() -> Vec<obs::Event> {

@@ -20,6 +20,7 @@
 //! | [`sim`] | discrete-event cluster simulator executing fault-tolerant plans against failure traces under all four schemes |
 //! | [`engine`] | in-process partition-parallel execution engine with real tuples, failure injection and recovery |
 //! | [`obs`] | observability: event recorder, metrics registry, JSONL / Chrome-trace exporters used by the search, simulator and engine |
+//! | [`analysis`] | static analysis: the coded plan linter (`FT001`…), collapsed-plan and cost-model verifiers, pruning-soundness oracle |
 //!
 //! ## Quickstart
 //!
@@ -51,6 +52,7 @@
 //! `ftpde-bench` crate for the harnesses that regenerate every table and
 //! figure of the paper's evaluation.
 
+pub use ftpde_analysis as analysis;
 pub use ftpde_cluster as cluster;
 pub use ftpde_core as core;
 pub use ftpde_engine as engine;

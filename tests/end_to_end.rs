@@ -123,7 +123,7 @@ fn engine_stage_structure_matches_collapsed_plan() {
     use ftpde::engine::prelude::*;
     let plan = q3_engine_plan();
     let dag = plan.to_plan_dag();
-    let db = ftpde::tpch::datagen::Database::generate(0.0005, 11);
+    let db = Database::generate(0.0005, 11);
     let catalog = load_catalog(&db, 3);
 
     let reference = run_query(
@@ -135,7 +135,7 @@ fn engine_stage_structure_matches_collapsed_plan() {
     );
 
     for config in MatConfig::enumerate(&dag) {
-        let pc = ftpde::core::collapse::CollapsedPlan::collapse(&dag, &config, 1.0);
+        let pc = CollapsedPlan::collapse(&dag, &config, 1.0);
         // Kill the first attempt of every stage on node 1.
         let injector = FailureInjector::with(pc.iter().map(|(_, c)| Injection {
             stage: c.root.0,

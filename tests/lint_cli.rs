@@ -1,0 +1,84 @@
+//! End-to-end test of the `ftpde lint` CI gate: the built binary must
+//! exit 0 with a clean report on every built-in plan, emit parseable JSON
+//! diagnostics, and exit nonzero when fed a corrupted serialized plan.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use ftpde::analysis::prelude::*;
+
+fn ftpde(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_ftpde")).args(args).output().expect("binary runs")
+}
+
+fn tmp_file(name: &str, contents: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("ftpde_lint_cli_it");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, contents).unwrap();
+    path
+}
+
+#[test]
+fn lint_all_is_clean_and_exits_zero() {
+    let out = ftpde(&["lint", "--all", "--sf", "1"]);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(out.status.success(), "stdout:\n{stdout}");
+    // One report per built-in subject: figure2 + the five TPC-H queries.
+    assert!(stdout.contains("figure2: clean"), "{stdout}");
+    for q in ["Q1", "Q3", "Q5", "Q1C", "Q2C"] {
+        assert!(stdout.contains(&format!("{q} @ SF 1: clean")), "{stdout}");
+    }
+    assert!(stdout.contains("total: 6 subject(s), 0 error(s)"), "{stdout}");
+}
+
+#[test]
+fn lint_json_output_deserializes_into_a_report_set() {
+    let out = ftpde(&["lint", "--query", "Q5", "--sf", "1", "--format", "json"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let set: ReportSet = serde_json::from_str(stdout.trim()).unwrap();
+    assert_eq!(set.reports.len(), 1);
+    assert_eq!(set.reports[0].subject, "Q5 @ SF 1");
+    assert!(set.is_clean());
+}
+
+#[test]
+fn lint_rejects_a_corrupted_serialized_plan() {
+    // The input table claims a backward edge 1 -> 0 (stored as a forward
+    // edge on op 0) that the consumer table does not mirror: FT001.
+    let path = tmp_file(
+        "corrupted.json",
+        r#"{
+            "ops": [
+                {"name": "a", "run_cost": 1.0, "mat_cost": 0.1, "binding": "Free"},
+                {"name": "b", "run_cost": 1.0, "mat_cost": 0.1, "binding": "Free"}
+            ],
+            "inputs": [[1], []],
+            "consumers": [[], []]
+        }"#,
+    );
+    let out = ftpde(&["lint", "--plan", path.to_str().unwrap()]);
+    assert!(!out.status.success(), "a corrupted plan must fail the lint gate");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("FT001"), "{stdout}");
+
+    // The same corruption in JSON format still fails, and the diagnostics
+    // artifact still parses.
+    let out = ftpde(&["lint", "--plan", path.to_str().unwrap(), "--format", "json"]);
+    assert!(!out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let set: ReportSet = serde_json::from_str(stdout.trim()).unwrap();
+    assert!(!set.is_clean());
+    assert!(set.reports[0].diagnostics.iter().any(|d| d.code == Code::FT001));
+}
+
+#[test]
+fn lint_honours_cluster_flags_and_validates_them() {
+    let out = ftpde(&["lint", "--query", "Q1", "--sf", "1", "--mtbf", "600", "--mttr", "5"]);
+    assert!(out.status.success());
+    let out = ftpde(&["lint", "--query", "Q1", "--mtbf", "-3"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("mtbf"), "{stderr}");
+}
