@@ -1,0 +1,5 @@
+//! Checkpoint-store put/get throughput, Mem vs Disk, across row widths.
+//! Run with `cargo bench --bench store_micro`.
+fn main() {
+    ftpde_bench::store_micro::print();
+}

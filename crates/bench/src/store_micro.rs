@@ -1,0 +1,170 @@
+//! Micro-benchmark of the checkpoint-store backends: put/get throughput
+//! of [`MemBackend`] vs [`DiskBackend`] across several row widths.
+//!
+//! The disk numbers are the measured `tm(o)` of §5.1's fault-tolerant
+//! storage — the write throughput the calibration report
+//! (`obs::calibrate`) compares against the cost model's assumed
+//! materialization rate. Reads are measured against a *reopened* backend
+//! so they hit the medium (and re-verify checksums) instead of the warm
+//! segment cache.
+
+use ftpde_obs::Summary;
+use ftpde_store::{DiskBackend, MemBackend, Row, StoreBackend, Value};
+
+/// One backend × row-width measurement.
+#[derive(Debug, Clone)]
+pub struct StorePoint {
+    /// `"mem"` or `"disk"`.
+    pub backend: &'static str,
+    /// Values per row.
+    pub width: usize,
+    /// Rows written (all partitions together).
+    pub rows: u64,
+    /// Logical volume written, bytes.
+    pub bytes: u64,
+    /// Write throughput, bytes/s (`None` if the clock was too coarse).
+    pub write_bytes_per_s: Option<f64>,
+    /// Read throughput, bytes/s.
+    pub read_bytes_per_s: Option<f64>,
+}
+
+/// Partitions per workload.
+pub const PARTITIONS: usize = 16;
+/// Rows per partition.
+pub const ROWS_PER_PARTITION: usize = 2_000;
+/// Row widths measured.
+pub const WIDTHS: [usize; 3] = [2, 8, 32];
+
+/// A deterministic partition of `n` rows of `width` mixed Int/Float
+/// values.
+fn partition_rows(width: usize, part: usize, n: usize) -> Vec<Row> {
+    (0..n)
+        .map(|i| {
+            (0..width)
+                .map(|c| {
+                    let x = (part * n + i) as i64 * 31 + c as i64;
+                    if c % 2 == 0 {
+                        Value::Int(x)
+                    } else {
+                        Value::Float(x as f64 * 0.125)
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn write_workload(store: &dyn StoreBackend, width: usize) {
+    for part in 0..PARTITIONS {
+        store.put(0, part, partition_rows(width, part, ROWS_PER_PARTITION));
+    }
+}
+
+fn read_workload(store: &dyn StoreBackend, width: usize) {
+    for part in 0..PARTITIONS {
+        let rows = store.get(0, part).expect("benchmark segment present");
+        assert_eq!(rows.len(), ROWS_PER_PARTITION, "width {width} part {part}");
+    }
+}
+
+/// Measures both backends at every width in [`WIDTHS`].
+///
+/// # Panics
+/// Panics if the scratch directory for the disk backend cannot be
+/// created, or a written segment cannot be read back.
+pub fn run() -> Vec<StorePoint> {
+    let mut points = Vec::new();
+    for width in WIDTHS {
+        // In-memory: reads always come from the live map.
+        let mem = MemBackend::new();
+        write_workload(&mem, width);
+        read_workload(&mem, width);
+        let s = mem.stats();
+        points.push(StorePoint {
+            backend: "mem",
+            width,
+            rows: s.logical_rows_written,
+            bytes: s.logical_bytes_written,
+            write_bytes_per_s: s.write_bytes_per_s(),
+            read_bytes_per_s: s.read_bytes_per_s(),
+        });
+
+        // On disk: drop the writer and reopen so reads hit the files, not
+        // the warm cache. Lifetime stats persist in the manifest, so the
+        // reopened instance reports the full write+read history.
+        let dir =
+            std::env::temp_dir().join(format!("ftpde-bench-store-{}-w{width}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let disk = DiskBackend::open(&dir).expect("scratch dir");
+        write_workload(&disk, width);
+        drop(disk);
+        let disk = DiskBackend::open(&dir).expect("reopen scratch dir");
+        read_workload(&disk, width);
+        let s = disk.stats();
+        points.push(StorePoint {
+            backend: "disk",
+            width,
+            rows: s.logical_rows_written,
+            bytes: s.logical_bytes_written,
+            write_bytes_per_s: s.write_bytes_per_s(),
+            read_bytes_per_s: s.read_bytes_per_s(),
+        });
+        drop(disk);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    points
+}
+
+/// Renders the measurements as a summary table.
+pub fn summarize(points: &[StorePoint]) -> Summary {
+    let mb = |v: Option<f64>| v.map_or_else(|| "-".to_string(), |b| format!("{:.1}", b / 1e6));
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.backend.to_string(),
+                p.width.to_string(),
+                p.rows.to_string(),
+                format!("{:.2}", p.bytes as f64 / 1e6),
+                mb(p.write_bytes_per_s),
+                mb(p.read_bytes_per_s),
+            ]
+        })
+        .collect();
+    let mut s = Summary::new();
+    s.banner("Checkpoint store micro-benchmark: Mem vs Disk");
+    s.line(format!(
+        "{PARTITIONS} partitions x {ROWS_PER_PARTITION} rows, widths {WIDTHS:?}; disk reads on a reopened backend"
+    ));
+    s.table(&["backend", "width", "rows", "MB", "write MB/s", "read MB/s"], &rows);
+    s
+}
+
+/// Runs and prints the benchmark.
+pub fn print() {
+    print!("{}", summarize(&run()).render());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg_attr(miri, ignore = "touches the real filesystem")]
+    fn measures_both_backends_at_every_width() {
+        let points = run();
+        assert_eq!(points.len(), 2 * WIDTHS.len());
+        for p in &points {
+            assert_eq!(p.rows as usize, PARTITIONS * ROWS_PER_PARTITION);
+            assert!(p.bytes > 0);
+        }
+        // Same logical volume on both backends at equal width — the
+        // stats make the backends directly comparable.
+        for pair in points.chunks(2) {
+            assert_eq!(pair[0].bytes, pair[1].bytes);
+        }
+        let rendered = summarize(&points).render();
+        assert!(rendered.contains("disk"), "{rendered}");
+        assert!(rendered.contains("write MB/s"), "{rendered}");
+    }
+}

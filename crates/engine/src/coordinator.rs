@@ -9,6 +9,13 @@
 //! reuses [`ftpde_core::collapse::CollapsedPlan`] on a structural mirror
 //! of the engine plan, so the recovery granularity the cost model reasons
 //! about is the granularity the engine actually executes.
+//!
+//! Since the pluggable store ([`crate::store`]) the coordinator runs over
+//! any [`StoreBackend`] and treats storage-level corruption as a third
+//! failure class next to node failures: a stage whose materialized input
+//! turns out corrupt (checksum mismatch, torn write after a crash) is not
+//! an error — the coordinator emits a `segment_corrupt` event, walks back
+//! to the producing stage and re-executes forward from there.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -23,7 +30,7 @@ use ftpde_obs::{Event, NoopRecorder, Recorder};
 use crate::failure::FailureInjector;
 use crate::ops::{execute, merge_partials, ExecCtx, Interrupted};
 use crate::plan::{EOpId, EnginePlan, OpKind};
-use crate::store::IntermediateStore;
+use crate::store::{default_store, StoreBackend};
 use crate::table::{Catalog, Distribution};
 use crate::value::Row;
 
@@ -78,8 +85,14 @@ pub struct RunReport {
     pub query_restarts: u32,
     /// `true` iff the coarse restart limit was hit.
     pub aborted: bool,
-    /// Total rows written to the fault-tolerant store.
+    /// Logical rows written to the fault-tolerant store by this run
+    /// (counting each replica target, matching the cost model's view of
+    /// materialization volume).
     pub rows_materialized: u64,
+    /// Physical bytes this run committed to the store's backing medium.
+    pub bytes_materialized: u64,
+    /// Corrupt segments encountered (and recovered from) during this run.
+    pub segments_corrupt: u64,
     /// Stages skipped because their output was already materialized in the
     /// supplied store (only nonzero for [`run_query_resumable`]).
     pub stages_skipped: u64,
@@ -90,7 +103,8 @@ pub struct RunReport {
 }
 
 /// Runs `plan` under materialization configuration `config` on `catalog`'s
-/// sharded database, injecting failures from `injector`.
+/// sharded database, injecting failures from `injector`. Uses the backend
+/// selected by [`crate::store::BACKEND_ENV`] (in-memory by default).
 ///
 /// # Panics
 /// Panics if `config` does not match the plan shape or a fine-grained node
@@ -103,7 +117,7 @@ pub fn run_query(
     injector: &FailureInjector,
     opts: &RunOptions,
 ) -> RunReport {
-    run_query_resumable(plan, config, catalog, injector, opts, &IntermediateStore::new())
+    run_query_resumable(plan, config, catalog, injector, opts, &*default_store())
 }
 
 /// Like [`run_query`], additionally mirroring the execution into an
@@ -111,8 +125,10 @@ pub fn run_query(
 /// wall-clock microsecond timestamps measured from the call's start:
 /// a coordinator-track span per stage (tid 0), a worker-track span per
 /// completed node attempt (tid = node + 1), instants for injected node
-/// failures, redeploys, materialization writes, coarse restarts and query
-/// termination. With a [`NoopRecorder`] every site costs one branch.
+/// failures, redeploys, materialization writes, corrupt segments, coarse
+/// restarts and query termination (including a final `store_stats` instant
+/// carrying the backend's measured throughput — the observed `tm(o)`).
+/// With a [`NoopRecorder`] every site costs one branch.
 ///
 /// When `pred` carries the cost model's estimate of this plan (see
 /// [`ftpde_core::cost::FtEstimate::breakdown`]), stage spans are tagged
@@ -132,34 +148,29 @@ pub fn run_query_traced(
     pred: Option<&EstimateBreakdown>,
     rec: &dyn Recorder,
 ) -> RunReport {
-    run_query_resumable_traced(
-        plan,
-        config,
-        catalog,
-        injector,
-        opts,
-        &IntermediateStore::new(),
-        pred,
-        rec,
-    )
+    run_query_resumable_traced(plan, config, catalog, injector, opts, &*default_store(), pred, rec)
 }
 
 /// Like [`run_query`], but resuming from (and writing to) an external
 /// fault-tolerant `store` — the paper's §2.2 recovery contract across
 /// *coordinator* restarts: a re-submitted query skips every sub-plan whose
 /// output already survived in the store and re-executes only the rest.
+/// With a [`crate::store::DiskBackend`] reopened from its manifest this
+/// holds across a genuine process crash, not just a dropped coordinator.
 ///
 /// Stages are skipped only when **all** their partitions are present
 /// (non-sink stages with materializing roots); coarse restarts still clear
 /// the store, as the `no-mat (restart)` scheme keeps no state by
-/// definition.
+/// definition. A skipped stage whose surviving segment later fails its
+/// checksum on read is demoted and re-executed — corruption can delay
+/// recovery but never wrong the result.
 pub fn run_query_resumable(
     plan: &EnginePlan,
     config: &MatConfig,
     catalog: &Catalog,
     injector: &FailureInjector,
     opts: &RunOptions,
-    store: &IntermediateStore,
+    store: &dyn StoreBackend,
 ) -> RunReport {
     run_query_resumable_traced(plan, config, catalog, injector, opts, store, None, &NoopRecorder)
 }
@@ -173,7 +184,7 @@ pub fn run_query_resumable_traced(
     catalog: &Catalog,
     injector: &FailureInjector,
     opts: &RunOptions,
-    store: &IntermediateStore,
+    store: &dyn StoreBackend,
     pred: Option<&EstimateBreakdown>,
     rec: &dyn Recorder,
 ) -> RunReport {
@@ -186,8 +197,11 @@ pub fn run_query_resumable_traced(
     let node_retries = AtomicU64::new(0);
     let mut query_restarts = 0u32;
     let mut stages_skipped = 0u64;
+    let mut segments_corrupt = 0u64;
+    let mut input_recoveries = 0u64;
     let mut first_attempt = true;
     let mut stage_timings: Vec<StageTiming> = Vec::new();
+    let stats_at_start = store.stats();
     let t0 = Instant::now();
     let now_us = move || t0.elapsed().as_micros() as u64;
 
@@ -199,6 +213,36 @@ pub fn run_query_resumable_traced(
         });
     }
 
+    // Stages in execution (topological) order. The loop below walks this
+    // list by index rather than iterating directly so input corruption can
+    // *back up*: when a stage's materialized input fails its checksum, the
+    // cursor rewinds to the producing stage and re-executes forward.
+    let stage_list: Vec<_> = collapsed.op_ids().collect();
+    // Surface whatever a disk backend demoted while opening (crash debris).
+    segments_corrupt += emit_corruptions(store, rec, &now_us);
+
+    let report = |results: Vec<(EOpId, Vec<Row>)>,
+                  aborted: bool,
+                  query_restarts: u32,
+                  stages_skipped: u64,
+                  segments_corrupt: u64,
+                  stage_timings: Vec<StageTiming>,
+                  node_retries: u64| {
+        let stats = store.stats();
+        RunReport {
+            results,
+            node_retries,
+            query_restarts,
+            aborted,
+            rows_materialized: stats.logical_rows_written - stats_at_start.logical_rows_written,
+            bytes_materialized: stats.physical_bytes_written
+                - stats_at_start.physical_bytes_written,
+            segments_corrupt,
+            stages_skipped,
+            stage_timings,
+        }
+    };
+
     'query: loop {
         // A resumed first attempt keeps the store's surviving state; any
         // coarse restart discards everything (no-mat semantics).
@@ -207,14 +251,19 @@ pub fn run_query_resumable_traced(
         }
         first_attempt = false;
         let mut results: Vec<(EOpId, Vec<Row>)> = Vec::new();
+        let mut idx = 0usize;
 
-        for cid in collapsed.op_ids() {
+        while idx < stage_list.len() {
+            let cid = stage_list[idx];
             let c = collapsed.op(cid);
             let root = EOpId(c.root.0);
             let members: Vec<EOpId> = c.members.iter().map(|m| EOpId(m.0)).collect();
 
             // Resume: a non-sink stage whose output fully survived in the
-            // store needs no re-execution.
+            // store needs no re-execution. (`contains` is a metadata
+            // check; if the segment later fails its checksum on read, the
+            // consumer's input check below rewinds to this stage, by then
+            // demoted to absent.)
             let is_sink_stage = plan.consumers(root).is_empty();
             if !is_sink_stage && (0..nodes).all(|n| store.contains(root.0, n)) {
                 stages_skipped += 1;
@@ -227,6 +276,32 @@ pub fn run_query_resumable_traced(
                 rec.record_with(|| {
                     Event::instant("stage_skipped", "engine", now_us()).arg("stage", root.0)
                 });
+                idx += 1;
+                continue;
+            }
+
+            // Storage-level recovery: verify every cross-stage input is
+            // actually readable before deploying workers. A corrupt
+            // segment is demoted by the failed read; rewind to its
+            // producer and re-execute forward from there.
+            if let Some(producer) = first_unavailable_input(plan, &members, store, nodes) {
+                segments_corrupt += emit_corruptions(store, rec, &now_us);
+                let back = stage_list
+                    .iter()
+                    .position(|&pc| collapsed.op(pc).root.0 == producer)
+                    .expect("producer of a collapsed input is an earlier stage root");
+                debug_assert!(back <= idx, "inputs come from earlier stages");
+                rec.record_with(|| {
+                    Event::instant("input_rewind", "engine", now_us())
+                        .arg("stage", root.0)
+                        .arg("producer", producer)
+                });
+                input_recoveries += 1;
+                assert!(
+                    input_recoveries < 10_000,
+                    "storage keeps corrupting faster than stages re-execute"
+                );
+                idx = back;
                 continue;
             }
 
@@ -238,7 +313,6 @@ pub fn run_query_resumable_traced(
                 let handles: Vec<_> = (0..nodes)
                     .map(|node| {
                         let members = &members;
-                        let store = &store;
                         let node_retries = &node_retries;
                         s.spawn(move || match opts.recovery {
                             EngineRecovery::FineGrained => {
@@ -375,15 +449,15 @@ pub fn run_query_resumable_traced(
                         Event::instant("query_aborted", "engine", now_us())
                             .arg("restarts", query_restarts)
                     });
-                    return RunReport {
-                        results: Vec::new(),
-                        node_retries: node_retries.load(Ordering::Relaxed),
+                    return report(
+                        Vec::new(),
+                        true,
                         query_restarts,
-                        aborted: true,
-                        rows_materialized: store.rows_written(),
                         stages_skipped,
+                        segments_corrupt,
                         stage_timings,
-                    };
+                        node_retries.load(Ordering::Relaxed),
+                    );
                 }
                 rec.record_with(|| {
                     Event::instant("query_restart", "engine", now_us())
@@ -420,26 +494,32 @@ pub fn run_query_resumable_traced(
                 if is_sink {
                     results.push((root, global));
                 } else {
+                    let before = store.stats().physical_bytes_written;
+                    let rows_n = global.len();
+                    store.put_replicated(root.0, global, nodes);
                     rec.record_with(|| {
                         Event::instant("materialize", "engine", now_us())
                             .arg("stage", root.0)
-                            .arg("rows", global.len())
+                            .arg("rows", rows_n)
+                            .arg("bytes", store.stats().physical_bytes_written - before)
                             .arg("replicated", true)
                     });
-                    store.put_replicated(root.0, global, nodes);
                 }
             } else if config.materializes(c.root) {
                 // Sinks are non-materializable (EnginePlan::finish), so a
                 // materialized non-agg root keeps its per-node partitions.
                 for (node, rows) in partials.into_iter().enumerate() {
+                    let before = store.stats().physical_bytes_written;
+                    let rows_n = rows.len();
+                    store.put(root.0, node, rows);
                     rec.record_with(|| {
                         Event::instant("materialize", "engine", now_us())
                             .tid(node as u32 + 1)
                             .arg("stage", root.0)
                             .arg("node", node)
-                            .arg("rows", rows.len())
+                            .arg("rows", rows_n)
+                            .arg("bytes", store.stats().physical_bytes_written - before)
                     });
-                    store.put(root.0, node, rows);
                 }
             } else {
                 // Collapse boundaries are materialization points or sinks.
@@ -450,25 +530,97 @@ pub fn run_query_resumable_traced(
                 };
                 results.push((root, rows));
             }
+            idx += 1;
         }
 
+        segments_corrupt += emit_corruptions(store, rec, &now_us);
+        rec.record_with(|| store_stats_instant(store, now_us()));
         rec.record_with(|| {
             Event::instant("query_completed", "engine", now_us())
                 .arg("node_retries", node_retries.load(Ordering::Relaxed))
                 .arg("query_restarts", query_restarts)
-                .arg("rows_materialized", store.rows_written())
+                .arg(
+                    "rows_materialized",
+                    store.stats().logical_rows_written - stats_at_start.logical_rows_written,
+                )
                 .arg("stages_skipped", stages_skipped)
         });
-        return RunReport {
+        return report(
             results,
-            node_retries: node_retries.load(Ordering::Relaxed),
+            false,
             query_restarts,
-            aborted: false,
-            rows_materialized: store.rows_written(),
             stages_skipped,
+            segments_corrupt,
             stage_timings,
-        };
+            node_retries.load(Ordering::Relaxed),
+        );
     }
+}
+
+/// Checks that every cross-stage input the stage will read is actually
+/// available (readable, checksum-clean) on every node. Returns the
+/// producing operator id of the first unavailable input. Reads via
+/// `get`, which both verifies integrity and warms the backend's cache
+/// for the worker threads.
+fn first_unavailable_input(
+    plan: &EnginePlan,
+    members: &[EOpId],
+    store: &dyn StoreBackend,
+    nodes: usize,
+) -> Option<u32> {
+    for &m in members {
+        for p in &plan.op(m).inputs {
+            if members.contains(p) {
+                continue;
+            }
+            for node in 0..nodes {
+                if store.get(p.0, node).is_none() {
+                    return Some(p.0);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Drains the store's corruption log, emitting one `segment_corrupt`
+/// instant per entry. Returns how many were drained.
+fn emit_corruptions(store: &dyn StoreBackend, rec: &dyn Recorder, now_us: &dyn Fn() -> u64) -> u64 {
+    let corruptions = store.drain_corruptions();
+    for c in &corruptions {
+        rec.record_with(|| {
+            let mut ev = Event::instant("segment_corrupt", "engine", now_us())
+                .arg("op", c.op)
+                .arg("reason", c.reason.as_str());
+            if let Some(n) = c.node {
+                ev = ev.arg("node", n);
+            }
+            ev
+        });
+    }
+    corruptions.len() as u64
+}
+
+/// The final `store_stats` instant: the backend's lifetime accounting,
+/// including measured write throughput — the observed `tm(o)` that
+/// `ftpde_obs::calibrate` joins against the cost model's assumptions.
+fn store_stats_instant(store: &dyn StoreBackend, at_us: u64) -> Event {
+    let s = store.stats();
+    let mut ev = Event::instant("store_stats", "engine", at_us)
+        .arg("logical_rows_written", s.logical_rows_written)
+        .arg("physical_rows_written", s.physical_rows_written)
+        .arg("physical_bytes_written", s.physical_bytes_written)
+        .arg("bytes_read", s.bytes_read)
+        .arg("fsyncs", s.fsyncs)
+        .arg("segments_committed", s.segments_committed)
+        .arg("corrupt_segments", s.corrupt_segments);
+    if let Some(v) = s.write_bytes_per_s() {
+        ev = ev.arg("write_bytes_per_s", v);
+    }
+    if let Some(v) = s.read_bytes_per_s() {
+        ev = ev.arg("read_bytes_per_s", v);
+    }
+    ev
 }
 
 /// A completed worker-attempt span on the node's track (tid = node + 1;
@@ -512,7 +664,7 @@ fn run_stage_on_node(
     node: usize,
     attempt: u32,
     catalog: &Catalog,
-    store: &IntermediateStore,
+    store: &dyn StoreBackend,
     injector: &FailureInjector,
 ) -> Result<Vec<Row>, Interrupted> {
     let interrupted = || injector.should_fail(root.0, node, attempt);
@@ -528,7 +680,9 @@ fn run_stage_on_node(
     for &m in members {
         let op = plan.op(m);
         // Resolve inputs: in-stage producers from the memo, materialized
-        // producers from the fault-tolerant store.
+        // producers from the fault-tolerant store. The coordinator's
+        // input check ran `get` on every cross-stage input before
+        // deploying this worker, so the read cannot miss here.
         let stored: Vec<Option<Arc<Vec<Row>>>> = op
             .inputs
             .iter()

@@ -52,7 +52,9 @@ pub mod prelude {
         load_catalog, q1_engine_plan, q1c_engine_plan, q2c_engine_plan, q3_engine_plan,
         q5_engine_plan,
     };
-    pub use crate::store::IntermediateStore;
+    pub use crate::store::{
+        default_store, DiskBackend, IntermediateStore, MemBackend, StoreBackend, StoreStats,
+    };
     pub use crate::table::{hash_key, Catalog, Distribution, PartitionedTable};
     pub use crate::value::{int_row, row, Row, Value};
 }

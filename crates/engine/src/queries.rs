@@ -638,7 +638,7 @@ mod tests {
     #[test]
     fn resume_skips_surviving_stages() {
         use crate::coordinator::run_query_resumable;
-        use crate::store::IntermediateStore;
+        use crate::store::{IntermediateStore, StoreBackend};
         let plan = q5_engine_plan();
         let dag = plan.to_plan_dag();
         let config = MatConfig::all(&dag);
@@ -685,7 +685,7 @@ mod tests {
     #[test]
     fn resume_recomputes_missing_stages_only() {
         use crate::coordinator::run_query_resumable;
-        use crate::store::IntermediateStore;
+        use crate::store::{IntermediateStore, StoreBackend};
         let plan = q3_engine_plan();
         let dag = plan.to_plan_dag();
         let config = MatConfig::all(&dag);

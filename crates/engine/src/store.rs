@@ -1,79 +1,43 @@
 //! The fault-tolerant intermediate store.
 //!
-//! Models the paper's external iSCSI storage (§5.1): sub-plans write
-//! their output here, and the store **survives node failures** — the key
-//! assumption of the paper's failure model (§2.2). Recovery always
-//! restarts from the last materialized intermediate found here.
+//! Models the paper's external fault-tolerant storage (§5.1's iSCSI
+//! store): sub-plans write their output here, and the store **survives
+//! node failures** — the key assumption of the paper's failure model
+//! (§2.2). Recovery always restarts from the last materialized
+//! intermediate found here.
+//!
+//! Since the `ftpde-store` crate the storage layer is pluggable: the
+//! coordinator runs over any [`StoreBackend`] — the volatile
+//! [`MemBackend`] (the historical engine behavior, and still the
+//! default) or the durable [`DiskBackend`], whose manifest lets a
+//! brand-new process resume a query across a real crash. This module
+//! re-exports the backend types and keeps [`IntermediateStore`] as an
+//! alias for the in-memory backend so existing call sites read
+//! unchanged.
 
-use std::collections::HashMap;
-use std::sync::Arc;
+pub use ftpde_store::{
+    inspect, verify, CorruptSegment, DiskBackend, MemBackend, StoreBackend, StoreReport, StoreStats,
+};
 
-use parking_lot::Mutex;
+/// The engine's historical store type: the in-memory backend.
+pub type IntermediateStore = MemBackend;
 
-use crate::value::Row;
+/// Environment variable selecting the default backend for
+/// [`crate::coordinator::run_query`]: `mem` (default) or `disk`
+/// (an ephemeral [`DiskBackend`], removed on drop). CI uses this to run
+/// the engine suite against both backends.
+pub const BACKEND_ENV: &str = "FTPDE_STORE_BACKEND";
 
-/// Key: (producing operator id, node/partition index).
-type Key = (u32, usize);
-
-/// A shared, thread-safe intermediate-result store.
-#[derive(Debug, Default)]
-pub struct IntermediateStore {
-    inner: Mutex<HashMap<Key, Arc<Vec<Row>>>>,
-    rows_written: Mutex<u64>,
-}
-
-impl IntermediateStore {
-    /// Creates an empty store.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Stores a node-local partition of operator `op`'s output.
-    pub fn put(&self, op: u32, node: usize, rows: Vec<Row>) {
-        *self.rows_written.lock() += rows.len() as u64;
-        self.inner.lock().insert((op, node), Arc::new(rows));
-    }
-
-    /// Stores a globally merged (replicated) result of operator `op`: the
-    /// same data is visible on all `nodes` partitions.
-    pub fn put_replicated(&self, op: u32, rows: Vec<Row>, nodes: usize) {
-        *self.rows_written.lock() += rows.len() as u64;
-        let shared = Arc::new(rows);
-        let mut inner = self.inner.lock();
-        for node in 0..nodes {
-            inner.insert((op, node), Arc::clone(&shared));
-        }
-    }
-
-    /// Fetches operator `op`'s output for `node`, if materialized.
-    pub fn get(&self, op: u32, node: usize) -> Option<Arc<Vec<Row>>> {
-        self.inner.lock().get(&(op, node)).cloned()
-    }
-
-    /// `true` iff operator `op` has a materialized partition for `node`.
-    pub fn contains(&self, op: u32, node: usize) -> bool {
-        self.inner.lock().contains_key(&(op, node))
-    }
-
-    /// Drops everything (a coarse whole-query restart discards all
-    /// intermediate state).
-    pub fn clear(&self) {
-        self.inner.lock().clear();
-    }
-
-    /// Total rows ever written (materialization volume metric).
-    pub fn rows_written(&self) -> u64 {
-        *self.rows_written.lock()
-    }
-
-    /// Number of stored partitions.
-    pub fn len(&self) -> usize {
-        self.inner.lock().len()
-    }
-
-    /// `true` iff nothing is stored.
-    pub fn is_empty(&self) -> bool {
-        self.inner.lock().is_empty()
+/// Builds the default store backend according to [`BACKEND_ENV`].
+///
+/// # Panics
+/// Panics if the variable names an unknown backend or the ephemeral
+/// disk directory cannot be created.
+pub fn default_store() -> Box<dyn StoreBackend> {
+    match std::env::var(BACKEND_ENV).as_deref() {
+        Ok("disk") => Box::new(DiskBackend::ephemeral().expect("create ephemeral disk store")),
+        Ok("mem") | Err(_) => Box::new(MemBackend::new()),
+        Ok(other) => panic!("{BACKEND_ENV}={other}: unknown backend (use mem|disk)"),
     }
 }
 
@@ -99,8 +63,9 @@ mod tests {
         for n in 0..4 {
             assert_eq!(s.get(7, n).unwrap()[0], int_row(&[9]));
         }
-        // One logical write, shared storage.
-        assert_eq!(s.rows_written(), 1);
+        // One physical copy, four logical targets.
+        assert_eq!(s.stats().physical_rows_written, 1);
+        assert_eq!(s.stats().logical_rows_written, 4);
         assert_eq!(s.len(), 4);
     }
 
@@ -110,7 +75,7 @@ mod tests {
         s.put(1, 0, vec![int_row(&[1])]);
         s.clear();
         assert!(s.is_empty());
-        assert_eq!(s.rows_written(), 1, "write accounting is cumulative");
+        assert_eq!(s.stats().logical_rows_written, 1, "write accounting is cumulative");
     }
 
     #[test]
@@ -119,5 +84,16 @@ mod tests {
         s.put(1, 0, vec![int_row(&[1])]);
         s.put(1, 0, vec![int_row(&[2]), int_row(&[3])]);
         assert_eq!(s.get(1, 0).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn default_store_is_in_memory() {
+        // The env var is process-global; only assert the unset default.
+        if std::env::var(BACKEND_ENV).is_err() {
+            let s = default_store();
+            s.put(1, 0, vec![int_row(&[5])]);
+            assert!(s.contains(1, 0));
+            assert_eq!(s.stats().fsyncs, 0);
+        }
     }
 }

@@ -189,6 +189,12 @@ pub struct CalibrationReport {
     pub stages: Vec<StageCalibration>,
     /// Query-level comparisons, one per producing layer.
     pub queries: Vec<QueryCalibration>,
+    /// Measured materialization throughput (bytes/s to durable storage)
+    /// from the trace's last `store_stats` instant — the *observed*
+    /// `tm(o)` rate. When present, materialization blame can be grounded
+    /// against actual storage speed instead of the model's assumed
+    /// constant.
+    pub measured_tm_bytes_per_s: Option<f64>,
 }
 
 impl CalibrationReport {
@@ -208,6 +214,10 @@ impl CalibrationReport {
     /// - **`plan_estimate` instants** (`pred_cost_s`, `pred_runtime_s`)
     ///   paired with the category's `query_completed` / `query_aborted`
     ///   timestamp.
+    ///
+    /// Additionally, the last `store_stats` instant carrying a
+    /// `write_bytes_per_s` arg (emitted by the engine's store-backed
+    /// runs) supplies [`CalibrationReport::measured_tm_bytes_per_s`].
     pub fn from_events(events: &[Event]) -> CalibrationReport {
         let mut stages: Vec<StageCalibration> = Vec::new();
         // Span intervals for failure attribution, parallel to `stages`.
@@ -318,7 +328,14 @@ impl CalibrationReport {
             });
         }
 
-        CalibrationReport { stages, queries }
+        let measured_tm_bytes_per_s = events
+            .iter()
+            .rev()
+            .filter(|e| e.name == "store_stats")
+            .find_map(|e| arg_f64(e, "write_bytes_per_s"))
+            .filter(|v| *v > 0.0);
+
+        CalibrationReport { stages, queries, measured_tm_bytes_per_s }
     }
 
     /// Signed relative errors of all comparable stages.
@@ -380,6 +397,9 @@ impl CalibrationReport {
         reg.gauge_set("calibration.blame_runtime_s", blame.runtime_s);
         reg.gauge_set("calibration.blame_materialization_s", blame.materialization_s);
         reg.gauge_set("calibration.blame_recovery_s", blame.recovery_s);
+        if let Some(tm) = self.measured_tm_bytes_per_s {
+            reg.gauge_set("calibration.measured_tm_bytes_per_s", tm);
+        }
         for err in self.stage_rel_errors() {
             if err > 0.0 {
                 reg.observe("calibration.stage_rel_error_over", err);
@@ -447,6 +467,9 @@ impl CalibrationReport {
                 "blame: runtime {:+.3}s · materialization {:+.3}s · recovery {:+.3}s",
                 blame.runtime_s, blame.materialization_s, blame.recovery_s,
             ));
+        }
+        if let Some(tm) = self.measured_tm_bytes_per_s {
+            out.kv("measured tm (store write)", format!("{:.2} MB/s", tm / 1e6));
         }
         if !self.queries.is_empty() {
             let rows: Vec<Vec<String>> = self
@@ -630,6 +653,29 @@ mod tests {
 
         let empty = CalibrationReport::from_events(&[]);
         assert!(empty.to_summary().render().contains("no prediction-tagged events"));
+    }
+
+    #[test]
+    fn measured_tm_comes_from_the_last_store_stats_instant() {
+        let events = vec![
+            tagged_span("engine", 0, 0, 2_000_000, 1.5, 0.5, 0.0),
+            Event::instant("store_stats", "engine", 1_000_000).arg("write_bytes_per_s", 1e6),
+            Event::instant("store_stats", "engine", 2_000_000).arg("write_bytes_per_s", 2e6),
+        ];
+        let report = CalibrationReport::from_events(&events);
+        assert_eq!(report.measured_tm_bytes_per_s, Some(2e6));
+        assert!(report.to_summary().render().contains("2.00 MB/s"));
+
+        let reg = MetricsRegistry::new();
+        report.export_metrics(&reg);
+        assert_eq!(reg.snapshot().gauge("calibration.measured_tm_bytes_per_s"), Some(2e6));
+
+        // Absent (or zero-rate) store stats leave the hook empty.
+        let no_store =
+            CalibrationReport::from_events(&[
+                Event::instant("store_stats", "engine", 0).arg("write_bytes_per_s", 0.0)
+            ]);
+        assert_eq!(no_store.measured_tm_bytes_per_s, None);
     }
 
     #[test]

@@ -1,0 +1,427 @@
+//! The on-media byte format of a checkpoint segment.
+//!
+//! One segment holds one partition of one operator's materialized output:
+//!
+//! ```text
+//! [ 0.. 8)  magic  "FTPDSEG1"
+//! [ 8..12)  format version, u32 LE (currently 1)
+//! [12..16)  flags, u32 LE (bit 0: payload is LZ-compressed)
+//! [16..20)  producing operator id, u32 LE
+//! [20..28)  partition index, u64 LE (u64::MAX = replicated segment)
+//! [28..36)  row count, u64 LE
+//! [36..44)  stored payload length, u64 LE
+//! [44..48)  CRC-32 (IEEE) of the stored payload, u32 LE
+//! [48.. )   payload
+//! ```
+//!
+//! The payload is a sequence of length-prefixed row records (bincode
+//! style): a `u32` LE value count, then per value a 1-byte tag (`0` =
+//! `Int`, `1` = `Float`) and 8 LE bytes. Floats are encoded via
+//! `f64::to_bits`, so the round-trip is bit-exact — including negative
+//! zero and any NaN payload — which is what makes "results are
+//! bit-identical across backends" a checkable contract.
+//!
+//! Everything here is pure (no I/O): the disk backend, the verifier and
+//! the CLI all share these functions, and they run under Miri.
+
+use crate::value::{Row, Value};
+
+/// Magic bytes opening every segment file.
+pub const MAGIC: [u8; 8] = *b"FTPDSEG1";
+/// Current segment format version.
+pub const VERSION: u32 = 1;
+/// Size of the fixed segment header in bytes.
+pub const HEADER_LEN: usize = 48;
+/// Flag bit 0: the payload is compressed with [`crate::compress`].
+pub const FLAG_COMPRESSED: u32 = 1;
+/// The `node` encoding of a replicated (broadcast) segment.
+const NODE_REPLICATED: u64 = u64::MAX;
+
+/// Why a segment (or its payload) failed to decode. Every variant is a
+/// *corruption signal*: callers treat the segment as not materialized.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Fewer bytes than the fixed header (a torn write).
+    Truncated,
+    /// The first 8 bytes are not the segment magic.
+    BadMagic,
+    /// A format version this build does not understand.
+    BadVersion(u32),
+    /// An unknown flag bit is set.
+    BadFlags(u32),
+    /// The stored payload length disagrees with the file size.
+    LengthMismatch { declared: u64, actual: u64 },
+    /// The payload's CRC-32 does not match the header.
+    ChecksumMismatch { expected: u32, actual: u32 },
+    /// A row record ran off the end of the payload.
+    TruncatedRow,
+    /// An unknown value tag byte.
+    BadTag(u8),
+    /// Decoded row count disagrees with the header.
+    RowCountMismatch { declared: u64, actual: u64 },
+    /// The compressed payload is malformed.
+    BadCompression(&'static str),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "segment shorter than its header"),
+            CodecError::BadMagic => write!(f, "bad segment magic"),
+            CodecError::BadVersion(v) => write!(f, "unsupported segment version {v}"),
+            CodecError::BadFlags(fl) => write!(f, "unknown segment flags {fl:#x}"),
+            CodecError::LengthMismatch { declared, actual } => {
+                write!(f, "payload length mismatch: header says {declared}, file has {actual}")
+            }
+            CodecError::ChecksumMismatch { expected, actual } => {
+                write!(f, "checksum mismatch: header {expected:#010x}, payload {actual:#010x}")
+            }
+            CodecError::TruncatedRow => write!(f, "row record truncated"),
+            CodecError::BadTag(t) => write!(f, "unknown value tag {t}"),
+            CodecError::RowCountMismatch { declared, actual } => {
+                write!(f, "row count mismatch: header says {declared}, payload holds {actual}")
+            }
+            CodecError::BadCompression(why) => write!(f, "malformed compressed payload: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+// --- CRC-32 (IEEE 802.3, the one zlib/gzip use) --------------------------
+
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// --- row payload ---------------------------------------------------------
+
+const TAG_INT: u8 = 0;
+const TAG_FLOAT: u8 = 1;
+
+/// Exact encoded size of `rows` as an uncompressed payload, without
+/// materializing the bytes (the in-memory backend's accounting uses this
+/// so both backends report comparable byte volumes).
+pub fn encoded_rows_len(rows: &[Row]) -> u64 {
+    rows.iter().map(|r| 4 + 9 * r.len() as u64).sum()
+}
+
+/// Encodes `rows` as the uncompressed payload byte sequence.
+pub fn encode_rows(rows: &[Row]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(encoded_rows_len(rows) as usize);
+    for r in rows {
+        out.extend_from_slice(&(r.len() as u32).to_le_bytes());
+        for v in r {
+            match v {
+                Value::Int(i) => {
+                    out.push(TAG_INT);
+                    out.extend_from_slice(&i.to_le_bytes());
+                }
+                Value::Float(x) => {
+                    out.push(TAG_FLOAT);
+                    out.extend_from_slice(&x.to_bits().to_le_bytes());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Decodes an uncompressed payload back into rows.
+///
+/// # Errors
+/// Any structural violation ([`CodecError::TruncatedRow`] /
+/// [`CodecError::BadTag`]) — the caller treats the segment as corrupt.
+pub fn decode_rows(bytes: &[u8]) -> Result<Vec<Row>, CodecError> {
+    let mut rows = Vec::new();
+    let mut at = 0usize;
+    while at < bytes.len() {
+        let arity_bytes: [u8; 4] =
+            bytes.get(at..at + 4).ok_or(CodecError::TruncatedRow)?.try_into().unwrap();
+        let arity = u32::from_le_bytes(arity_bytes) as usize;
+        at += 4;
+        let mut row = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            let tag = *bytes.get(at).ok_or(CodecError::TruncatedRow)?;
+            let payload: [u8; 8] =
+                bytes.get(at + 1..at + 9).ok_or(CodecError::TruncatedRow)?.try_into().unwrap();
+            at += 9;
+            row.push(match tag {
+                TAG_INT => Value::Int(i64::from_le_bytes(payload)),
+                TAG_FLOAT => Value::Float(f64::from_bits(u64::from_le_bytes(payload))),
+                other => return Err(CodecError::BadTag(other)),
+            });
+        }
+        rows.push(row.into_boxed_slice());
+    }
+    Ok(rows)
+}
+
+// --- segment assembly ----------------------------------------------------
+
+/// The parsed fixed header of a segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentHeader {
+    /// Flag bits ([`FLAG_COMPRESSED`]).
+    pub flags: u32,
+    /// Producing operator id.
+    pub op: u32,
+    /// Partition index; `None` for a replicated segment.
+    pub node: Option<usize>,
+    /// Number of rows in the decoded payload.
+    pub rows: u64,
+    /// Stored (possibly compressed) payload length in bytes.
+    pub payload_len: u64,
+    /// CRC-32 of the stored payload.
+    pub crc32: u32,
+}
+
+/// Builds a complete segment file image for `rows`. With `compress` the
+/// payload is LZ-compressed *when that actually shrinks it* (stored
+/// uncompressed otherwise, so pathological inputs never grow).
+pub fn build_segment(op: u32, node: Option<usize>, rows: &[Row], compress: bool) -> Vec<u8> {
+    let raw = encode_rows(rows);
+    let (payload, flags) = if compress {
+        match crate::compress::compress(&raw) {
+            Some(c) if c.len() < raw.len() => (c, FLAG_COMPRESSED),
+            _ => (raw, 0),
+        }
+    } else {
+        (raw, 0)
+    };
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&flags.to_le_bytes());
+    out.extend_from_slice(&op.to_le_bytes());
+    out.extend_from_slice(&node.map_or(NODE_REPLICATED, |n| n as u64).to_le_bytes());
+    out.extend_from_slice(&(rows.len() as u64).to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Parses and *verifies* a segment file image: magic, version, flags,
+/// length and checksum. Returns the header and the verified payload
+/// slice (still compressed if the flag is set).
+///
+/// # Errors
+/// Every corruption class maps to a distinct [`CodecError`].
+pub fn parse_segment(bytes: &[u8]) -> Result<(SegmentHeader, &[u8]), CodecError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(CodecError::Truncated);
+    }
+    let word32 = |at: usize| u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
+    let word64 = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap());
+    if bytes[..8] != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = word32(8);
+    if version != VERSION {
+        return Err(CodecError::BadVersion(version));
+    }
+    let flags = word32(12);
+    if flags & !FLAG_COMPRESSED != 0 {
+        return Err(CodecError::BadFlags(flags));
+    }
+    let header = SegmentHeader {
+        flags,
+        op: word32(16),
+        node: match word64(20) {
+            NODE_REPLICATED => None,
+            n => Some(n as usize),
+        },
+        rows: word64(28),
+        payload_len: word64(36),
+        crc32: word32(44),
+    };
+    let actual = (bytes.len() - HEADER_LEN) as u64;
+    if header.payload_len != actual {
+        return Err(CodecError::LengthMismatch { declared: header.payload_len, actual });
+    }
+    let payload = &bytes[HEADER_LEN..];
+    let sum = crc32(payload);
+    if sum != header.crc32 {
+        return Err(CodecError::ChecksumMismatch { expected: header.crc32, actual: sum });
+    }
+    Ok((header, payload))
+}
+
+/// Decodes a verified payload into rows, decompressing when flagged and
+/// cross-checking the header's row count.
+///
+/// # Errors
+/// Structural payload corruption the checksum could not see (it can't —
+/// the checksum covers the stored bytes, so this only fires on a
+/// mis-built segment) or a row-count mismatch.
+pub fn decode_segment_rows(header: &SegmentHeader, payload: &[u8]) -> Result<Vec<Row>, CodecError> {
+    let raw;
+    let bytes = if header.flags & FLAG_COMPRESSED != 0 {
+        raw = crate::compress::decompress(payload).ok_or(CodecError::BadCompression("lz"))?;
+        raw.as_slice()
+    } else {
+        payload
+    };
+    let rows = decode_rows(bytes)?;
+    if rows.len() as u64 != header.rows {
+        return Err(CodecError::RowCountMismatch {
+            declared: header.rows,
+            actual: rows.len() as u64,
+        });
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{int_row, row};
+
+    fn sample_rows() -> Vec<Row> {
+        vec![
+            int_row(&[1, -2, i64::MAX]),
+            row([Value::Float(0.5), Value::Float(-0.0)]),
+            row([Value::Float(f64::NAN), Value::Int(0)]),
+            int_row(&[]),
+        ]
+    }
+
+    /// Bitwise row equality — `PartialEq` on `Value` treats NaN != NaN and
+    /// -0.0 == 0.0, which is exactly what "bit-identical" must not do.
+    fn bits(rows: &[Row]) -> Vec<Vec<u64>> {
+        rows.iter()
+            .map(|r| {
+                r.iter()
+                    .map(|v| match v {
+                        Value::Int(i) => *i as u64,
+                        Value::Float(f) => f.to_bits(),
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The classic check value of CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn rows_round_trip_bit_exactly() {
+        let rows = sample_rows();
+        let bytes = encode_rows(&rows);
+        assert_eq!(bytes.len() as u64, encoded_rows_len(&rows));
+        let back = decode_rows(&bytes).unwrap();
+        assert_eq!(bits(&back), bits(&rows));
+    }
+
+    #[test]
+    fn segment_round_trips_with_and_without_compression() {
+        let rows = sample_rows();
+        for compress in [false, true] {
+            let seg = build_segment(7, Some(2), &rows, compress);
+            let (header, payload) = parse_segment(&seg).unwrap();
+            assert_eq!(header.op, 7);
+            assert_eq!(header.node, Some(2));
+            assert_eq!(header.rows, rows.len() as u64);
+            let back = decode_segment_rows(&header, payload).unwrap();
+            assert_eq!(bits(&back), bits(&rows));
+        }
+        // Replicated segments encode node = MAX.
+        let seg = build_segment(3, None, &rows, false);
+        assert_eq!(parse_segment(&seg).unwrap().0.node, None);
+    }
+
+    #[test]
+    fn compression_helps_on_repetitive_data() {
+        let rows: Vec<Row> = (0..512).map(|_| int_row(&[42, 42, 42, 42])).collect();
+        let plain = build_segment(0, Some(0), &rows, false);
+        let packed = build_segment(0, Some(0), &rows, true);
+        assert!(
+            packed.len() < plain.len() / 2,
+            "repetitive rows must compress well: {} vs {}",
+            packed.len(),
+            plain.len()
+        );
+        let (h, p) = parse_segment(&packed).unwrap();
+        assert_eq!(h.flags & FLAG_COMPRESSED, FLAG_COMPRESSED);
+        assert_eq!(bits(&decode_segment_rows(&h, p).unwrap()), bits(&rows));
+    }
+
+    #[test]
+    fn every_corruption_class_is_detected() {
+        let rows = sample_rows();
+        let seg = build_segment(1, Some(0), &rows, false);
+
+        // Truncated below the header.
+        assert_eq!(parse_segment(&seg[..HEADER_LEN - 1]), Err(CodecError::Truncated));
+        // Bad magic.
+        let mut bad = seg.clone();
+        bad[0] ^= 0xFF;
+        assert_eq!(parse_segment(&bad), Err(CodecError::BadMagic));
+        // Unsupported version.
+        let mut bad = seg.clone();
+        bad[8] = 99;
+        assert_eq!(parse_segment(&bad), Err(CodecError::BadVersion(99)));
+        // Unknown flags.
+        let mut bad = seg.clone();
+        bad[12] = 0x80;
+        assert_eq!(parse_segment(&bad), Err(CodecError::BadFlags(0x80)));
+        // Torn payload (length mismatch).
+        let torn = &seg[..seg.len() - 3];
+        assert!(matches!(parse_segment(torn), Err(CodecError::LengthMismatch { .. })));
+        // Flipped payload byte (checksum).
+        let mut bad = seg.clone();
+        *bad.last_mut().unwrap() ^= 0x01;
+        assert!(matches!(parse_segment(&bad), Err(CodecError::ChecksumMismatch { .. })));
+    }
+
+    #[test]
+    fn payload_decoder_rejects_structural_garbage() {
+        assert_eq!(decode_rows(&[1, 0]), Err(CodecError::TruncatedRow));
+        // Arity 1 but no value bytes.
+        assert_eq!(decode_rows(&1u32.to_le_bytes()), Err(CodecError::TruncatedRow));
+        // Unknown tag.
+        let mut bytes = 1u32.to_le_bytes().to_vec();
+        bytes.push(7);
+        bytes.extend_from_slice(&[0; 8]);
+        assert_eq!(decode_rows(&bytes), Err(CodecError::BadTag(7)));
+        // Row-count mismatch against the header.
+        let seg = build_segment(1, Some(0), &sample_rows(), false);
+        let (mut h, p) = parse_segment(&seg).unwrap();
+        h.rows += 1;
+        assert!(matches!(decode_segment_rows(&h, p), Err(CodecError::RowCountMismatch { .. })));
+    }
+
+    #[test]
+    fn errors_render_their_diagnosis() {
+        let e = CodecError::ChecksumMismatch { expected: 1, actual: 2 };
+        assert!(e.to_string().contains("checksum mismatch"));
+        assert!(CodecError::Truncated.to_string().contains("header"));
+    }
+}

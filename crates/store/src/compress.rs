@@ -1,0 +1,206 @@
+//! A small LZ77-family byte compressor for segment payloads.
+//!
+//! The workspace vendors no compression crate, so the disk backend ships
+//! its own LZ4-style scheme: greedy longest-match against a hash table of
+//! 4-byte windows, emitted as a token stream of literal runs and
+//! back-references. The stream grammar is one control byte per token:
+//!
+//! ```text
+//! 0xxxxxxx                  literal run of (x + 1) bytes, which follow
+//! 1xxxxxxx  oo oo           match of length (x + 4) at LE offset o >= 1
+//! ```
+//!
+//! Matches are 4..=131 bytes long and reach back up to 65 535 bytes —
+//! plenty for row payloads, where redundancy is dominated by repeated
+//! column prefixes within a segment. The decoder is always compiled (a
+//! store written with the `compress` feature on must remain readable with
+//! it off); the feature only flips the *write-side* default. The encoder
+//! never commits a stream larger than its input: [`crate::codec`] falls
+//! back to storing the payload raw when compression does not pay.
+
+/// Minimum back-reference length (shorter matches cost more than literals).
+const MIN_MATCH: usize = 4;
+/// Maximum back-reference length encodable in one token.
+const MAX_MATCH: usize = 127 + MIN_MATCH;
+/// Maximum literal run encodable in one token.
+const MAX_LITERAL_RUN: usize = 128;
+/// Maximum back-reference distance (2-byte offset, 0 is reserved).
+const MAX_OFFSET: usize = u16::MAX as usize;
+/// Hash-chain buckets (power of two).
+const HASH_BITS: u32 = 15;
+
+#[inline]
+fn hash4(bytes: &[u8]) -> usize {
+    let word = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    (word.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Compresses `input`, or returns `None` when the compressed form would
+/// not be strictly smaller (the caller then stores the input raw).
+pub fn compress(input: &[u8]) -> Option<Vec<u8>> {
+    if input.len() < MIN_MATCH {
+        return None;
+    }
+    let mut out = Vec::with_capacity(input.len() / 2);
+    // head[h] = most recent position whose 4-byte window hashed to h.
+    let mut head = vec![usize::MAX; 1 << HASH_BITS];
+    let mut literal_start = 0usize;
+    let mut at = 0usize;
+
+    let flush_literals = |out: &mut Vec<u8>, from: usize, to: usize| {
+        let mut run = from;
+        while run < to {
+            let n = (to - run).min(MAX_LITERAL_RUN);
+            out.push((n - 1) as u8);
+            out.extend_from_slice(&input[run..run + n]);
+            run += n;
+        }
+    };
+
+    while at + MIN_MATCH <= input.len() {
+        let h = hash4(&input[at..]);
+        let candidate = head[h];
+        head[h] = at;
+
+        let mut match_len = 0;
+        if candidate != usize::MAX && at - candidate <= MAX_OFFSET {
+            let limit = (input.len() - at).min(MAX_MATCH);
+            while match_len < limit && input[candidate + match_len] == input[at + match_len] {
+                match_len += 1;
+            }
+        }
+
+        if match_len >= MIN_MATCH {
+            flush_literals(&mut out, literal_start, at);
+            out.push(0x80 | (match_len - MIN_MATCH) as u8);
+            out.extend_from_slice(&((at - candidate) as u16).to_le_bytes());
+            // Seed the hash table across the matched span so later
+            // repetitions of this region are also found.
+            let end = at + match_len;
+            at += 1;
+            while at < end && at + MIN_MATCH <= input.len() {
+                head[hash4(&input[at..])] = at;
+                at += 1;
+            }
+            at = end;
+            literal_start = at;
+        } else {
+            at += 1;
+        }
+        if out.len() + (at - literal_start) >= input.len() {
+            return None;
+        }
+    }
+    flush_literals(&mut out, literal_start, input.len());
+    (out.len() < input.len()).then_some(out)
+}
+
+/// Decompresses a token stream produced by [`compress`]. Returns `None`
+/// on any malformed input (truncated token, zero or out-of-range offset) —
+/// the store surfaces that as segment corruption.
+pub fn decompress(input: &[u8]) -> Option<Vec<u8>> {
+    let mut out = Vec::with_capacity(input.len() * 3);
+    let mut at = 0usize;
+    while at < input.len() {
+        let control = input[at];
+        at += 1;
+        if control & 0x80 == 0 {
+            let n = control as usize + 1;
+            let run = input.get(at..at + n)?;
+            out.extend_from_slice(run);
+            at += n;
+        } else {
+            let len = (control & 0x7F) as usize + MIN_MATCH;
+            let off_bytes = input.get(at..at + 2)?;
+            let offset = u16::from_le_bytes([off_bytes[0], off_bytes[1]]) as usize;
+            at += 2;
+            if offset == 0 || offset > out.len() {
+                return None;
+            }
+            // Matches may overlap their own output (offset < len), so
+            // copy byte-wise from the back-reference.
+            let start = out.len() - offset;
+            for i in 0..len {
+                let b = out[start + i];
+                out.push(b);
+            }
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn round_trip(data: &[u8]) {
+        // Incompressible (`None`) is a valid outcome, never a wrong one.
+        if let Some(packed) = compress(data) {
+            assert!(packed.len() < data.len());
+            assert_eq!(decompress(&packed).as_deref(), Some(data));
+        }
+    }
+
+    #[test]
+    fn round_trips_structured_inputs() {
+        round_trip(b"");
+        round_trip(b"abc");
+        round_trip(b"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa");
+        round_trip(&b"rowrowrowyourboat".repeat(40));
+        let mut mixed = Vec::new();
+        for i in 0u32..600 {
+            mixed.extend_from_slice(&(i % 7).to_le_bytes());
+        }
+        round_trip(&mixed);
+    }
+
+    #[test]
+    fn repetitive_input_compresses_hard() {
+        let data = vec![0xABu8; 4096];
+        let packed = compress(&data).expect("constant bytes must compress");
+        assert!(packed.len() < data.len() / 20, "got {} bytes", packed.len());
+        assert_eq!(decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn incompressible_input_is_refused_not_grown() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let data: Vec<u8> = (0..2048).map(|_| rng.gen::<u8>()).collect();
+        // Random bytes have no 4-byte repeats to speak of; the encoder
+        // must decline rather than emit a larger stream.
+        assert!(compress(&data).is_none());
+    }
+
+    #[test]
+    fn overlapping_matches_decode_correctly() {
+        // "abcabcabc..." forces offset < length copies.
+        let data = b"abc".repeat(100);
+        let packed = compress(&data).unwrap();
+        assert_eq!(decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn malformed_streams_are_rejected() {
+        // Literal run that claims more bytes than remain.
+        assert_eq!(decompress(&[0x05, b'x']), None);
+        // Match token with a truncated offset.
+        assert_eq!(decompress(&[0x80, 0x01]), None);
+        // Zero offset.
+        assert_eq!(decompress(&[0x00, b'a', 0x80, 0x00, 0x00]), None);
+        // Offset reaching before the start of the output.
+        assert_eq!(decompress(&[0x00, b'a', 0x80, 0x09, 0x00]), None);
+    }
+
+    #[test]
+    fn random_round_trips() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for case in 0..200 {
+            let len = rng.gen_range(0usize..1500);
+            // Skewed alphabet so matches actually occur.
+            let alphabet = 1 + (case % 17) as u8;
+            let data: Vec<u8> = (0..len).map(|_| rng.gen_range(0u8..=alphabet)).collect();
+            round_trip(&data);
+        }
+    }
+}

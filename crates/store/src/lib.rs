@@ -1,0 +1,142 @@
+//! # ftpde-store — durable, pluggable checkpoint storage
+//!
+//! The paper's cost model prices every materialization decision against
+//! *fault-tolerant storage* (§2.2; the evaluation uses an iSCSI-backed
+//! store, §5.1): a materialized intermediate is only worth its `tm(o)`
+//! write cost if it still exists after the failure it insures against.
+//! This crate provides that storage layer behind one trait:
+//!
+//! * [`MemBackend`] — the engine's historical `Mutex<HashMap>` behavior,
+//!   extracted. Fast, volatile, the semantic baseline.
+//! * [`DiskBackend`] — per-(operator, partition) segment files with
+//!   CRC-32 checksums, optional LZ compression, an atomic
+//!   write-temp-then-rename commit protocol and a JSON manifest, so a
+//!   **brand-new process** can reopen the directory and resume a query
+//!   from its committed checkpoints ([`disk`] has the full contract).
+//!
+//! Corruption is a first-class, *recoverable* condition: a torn or
+//! bit-flipped segment is demoted to "not materialized" and reported via
+//! [`StoreBackend::drain_corruptions`]; the engine re-executes the
+//! producing stage and emits a `segment_corrupt` observability event.
+//! Backends also meter themselves ([`StoreStats`]) — the measured write
+//! throughput is the observed `tm(o)` that `ftpde-obs`'s calibration
+//! layer compares against the cost model's assumed constants.
+
+pub mod codec;
+pub mod compress;
+pub mod disk;
+pub mod mem;
+pub mod stats;
+pub mod value;
+
+use std::fmt;
+use std::sync::Arc;
+
+pub use disk::{inspect, verify, DiskBackend, Manifest, ManifestEntry, StoreReport};
+pub use mem::MemBackend;
+pub use stats::StoreStats;
+pub use value::{int_row, row, Row, Value};
+
+/// A segment the store found unusable (checksum mismatch, torn write,
+/// undecodable payload, unreadable manifest). To the engine this means
+/// "re-execute the producer", never "fail the query".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorruptSegment {
+    /// Producing operator id (`u32::MAX` when the manifest itself was
+    /// unreadable and the whole directory was reset).
+    pub op: u32,
+    /// Partition index; `None` for a replicated segment (or manifest).
+    pub node: Option<usize>,
+    /// Human-readable diagnosis.
+    pub reason: String,
+}
+
+/// Checkpoint storage for materialized operator outputs, keyed by
+/// `(operator id, node index)`.
+///
+/// Implementations are internally synchronized (`&self` methods callable
+/// from the engine's per-node worker threads) and must satisfy:
+///
+/// * **Read-your-writes**: after `put(op, n, rows)` returns, `get(op, n)`
+///   returns exactly those rows, bit-identically, until `clear` or a
+///   replacing put.
+/// * **All-or-nothing visibility**: a slot either holds a complete,
+///   checksum-clean segment or reads as absent. Partial writes must
+///   never surface.
+/// * **Corruption demotion**: integrity failures make the slot absent
+///   and are reported through [`drain_corruptions`]
+///   (never a panic or an `Err` on the read path).
+///
+/// [`drain_corruptions`]: StoreBackend::drain_corruptions
+pub trait StoreBackend: Send + Sync + fmt::Debug {
+    /// Stores one partition of an operator's output, replacing any
+    /// previous segment in that slot.
+    fn put(&self, op: u32, node: usize, rows: Vec<Row>);
+
+    /// Makes one row set visible on all `nodes` partitions (the gather
+    /// pattern). Counts `nodes` logical writes but backends may — and
+    /// both built-ins do — store a single physical copy.
+    fn put_replicated(&self, op: u32, rows: Vec<Row>, nodes: usize);
+
+    /// Reads a partition, or `None` if absent (including "was committed
+    /// but found corrupt", which also records a [`CorruptSegment`]).
+    fn get(&self, op: u32, node: usize) -> Option<Arc<Vec<Row>>>;
+
+    /// Whether a committed segment covers `(op, node)`. A cheap metadata
+    /// check: integrity is enforced on `get`.
+    fn contains(&self, op: u32, node: usize) -> bool;
+
+    /// Drops all segments (coarse query restart). Lifetime [`stats`]
+    /// survive.
+    ///
+    /// [`stats`]: StoreBackend::stats
+    fn clear(&self);
+
+    /// Number of visible `(op, node)` slots.
+    fn len(&self) -> usize;
+
+    /// Whether no slots are visible.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cumulative accounting (rows/bytes, fsyncs, measured throughput).
+    fn stats(&self) -> StoreStats;
+
+    /// Takes (and clears) the corruptions observed since the last drain,
+    /// so the engine can surface each exactly once as an obs event.
+    fn drain_corruptions(&self) -> Vec<CorruptSegment>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Both backends must expose identical trait-level behavior; the
+    /// engine only ever sees `&dyn StoreBackend`.
+    fn exercise(store: &dyn StoreBackend) {
+        assert!(store.is_empty());
+        store.put(1, 0, vec![int_row(&[1, 2])]);
+        store.put_replicated(2, vec![int_row(&[3])], 2);
+        assert_eq!(store.len(), 3);
+        assert!(store.contains(1, 0) && store.contains(2, 0) && store.contains(2, 1));
+        assert_eq!(store.get(2, 1).unwrap()[0][0], Value::Int(3));
+        let stats = store.stats();
+        assert_eq!(stats.logical_rows_written, 3);
+        assert_eq!(stats.physical_rows_written, 2);
+        store.clear();
+        assert!(store.is_empty());
+        assert!(store.drain_corruptions().is_empty());
+    }
+
+    #[test]
+    fn mem_backend_object_safety_and_contract() {
+        exercise(&MemBackend::new());
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore = "touches the real filesystem")]
+    fn disk_backend_object_safety_and_contract() {
+        exercise(&DiskBackend::ephemeral().unwrap());
+    }
+}

@@ -1,0 +1,114 @@
+//! Runtime values and rows of the execution engine.
+//!
+//! These types live in the *store* crate (not the engine) because the
+//! durable checkpoint backends own their on-media encoding: a [`Row`] is
+//! the unit the engine materializes, and [`crate::codec`] defines the
+//! bit-exact byte format it round-trips through. The engine re-exports
+//! this module unchanged.
+
+use std::cmp::Ordering;
+
+/// A scalar value. The simplified TPC-H schema only needs 64-bit integers
+/// (keys, dates, enums, prices in cents) and doubles (derived averages).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+}
+
+impl Value {
+    /// The value as an `i64`.
+    ///
+    /// # Panics
+    /// Panics on a float value — engine plans are statically typed by
+    /// construction, so a mismatch is a plan bug.
+    #[inline]
+    pub fn as_int(self) -> i64 {
+        match self {
+            Value::Int(v) => v,
+            Value::Float(v) => panic!("expected Int, found Float({v})"),
+        }
+    }
+
+    /// The value as an `f64` (integers widen losslessly for the magnitudes
+    /// the generator produces).
+    #[inline]
+    pub fn as_float(self) -> f64 {
+        match self {
+            Value::Int(v) => v as f64,
+            Value::Float(v) => v,
+        }
+    }
+
+    /// Total order across numeric values (comparing by numeric value;
+    /// NaN sorts last and is never produced by the generator).
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            _ => self.as_float().total_cmp(&other.as_float()),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+/// A row: a boxed slice of values (fixed arity per operator output).
+pub type Row = Box<[Value]>;
+
+/// Builds a row from anything convertible to values.
+pub fn row<const N: usize>(vals: [Value; N]) -> Row {
+    vals.to_vec().into_boxed_slice()
+}
+
+/// Builds a row of integers (the common case).
+pub fn int_row(vals: &[i64]) -> Row {
+    vals.iter().map(|&v| Value::Int(v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(2.5f64), Value::Float(2.5));
+        assert_eq!(Value::Int(7).as_int(), 7);
+        assert_eq!(Value::Int(7).as_float(), 7.0);
+        assert_eq!(Value::Float(1.5).as_float(), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected Int")]
+    fn float_as_int_panics() {
+        let _ = Value::Float(1.0).as_int();
+    }
+
+    #[test]
+    fn ordering_across_types() {
+        assert_eq!(Value::Int(2).total_cmp(&Value::Int(3)), Ordering::Less);
+        assert_eq!(Value::Float(2.5).total_cmp(&Value::Int(2)), Ordering::Greater);
+        assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.0)), Ordering::Equal);
+    }
+
+    #[test]
+    fn row_builders() {
+        let r = int_row(&[1, 2, 3]);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r[2], Value::Int(3));
+        let r2 = row([Value::Int(1), Value::Float(0.5)]);
+        assert_eq!(r2.len(), 2);
+    }
+}

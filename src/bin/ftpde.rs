@@ -7,6 +7,7 @@
 //! ftpde dot      --query Q5 --sf 100 --mtbf 3600 > plan.dot
 //! ftpde obs      --trace run.jsonl [--format summary|calibration|prom|json]
 //! ftpde lint     --all | --query Q5 | --plan plan.json [--format text|json]
+//! ftpde store    --inspect <dir> | --verify <dir> [--format text|json]
 //! ```
 //!
 //! * `plan` — run the cost-based search for a TPC-H query and explain the
@@ -24,6 +25,10 @@
 //!   `ftpde-analysis` over the built-in plans, one TPC-H query, or an
 //!   arbitrary serialized plan; exits nonzero on any Error-severity
 //!   diagnostic, so it can gate CI.
+//! * `store` — inspect a durable checkpoint-store directory (`--inspect`
+//!   prints the manifest: segments, sizes, checksums, throughput stats)
+//!   or re-checksum every committed segment (`--verify`), exiting nonzero
+//!   on corruption.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -52,6 +57,7 @@ fn main() -> ExitCode {
         "dot" => cmd_dot(&flags),
         "obs" => cmd_obs(&flags),
         "lint" => cmd_lint(&flags),
+        "store" => cmd_store(&flags),
         _ => Err(format!("unknown command {cmd:?}")),
     };
     match result {
@@ -70,7 +76,8 @@ const USAGE: &str = "usage:
   ftpde dot      --query <Q1|Q3|Q5|Q1C|Q2C> --sf <N> --nodes <N> --mtbf <secs>
   ftpde obs      --trace <run.jsonl> [--format <summary|calibration|prom|json>]
   ftpde lint     --all | --query <Q1|Q3|Q5|Q1C|Q2C> | --plan <plan.json>
-                 [--sf <N>] [--nodes <N>] [--mtbf <secs>] [--mttr <secs>] [--format <text|json>]";
+                 [--sf <N>] [--nodes <N>] [--mtbf <secs>] [--mttr <secs>] [--format <text|json>]
+  ftpde store    --inspect <dir> | --verify <dir> [--format <text|json>]";
 
 /// Splits `["cmd", "--k", "v", ...]` into the command and a flag map.
 /// A flag followed by another flag (or nothing) is boolean, stored as
@@ -225,11 +232,45 @@ fn trace_registry(events: &[obs::Event]) -> obs::MetricsRegistry {
             obs::Phase::Instant => {
                 if e.name == "node_failure" {
                     reg.counter_add(&format!("trace.failures.{}", e.cat), 1);
+                } else if e.name == "store_stats" {
+                    fold_store_stats(&reg, e);
                 }
             }
         }
     }
     reg
+}
+
+/// Folds an engine `store_stats` instant into the registry under the
+/// same `store.*` names `StoreStats::export_metrics` uses, so
+/// `--format prom` serves storage throughput from a replayed trace.
+/// The event carries the backend's *cumulative* counters, so every field
+/// is exposed as a gauge and later instants supersede earlier ones.
+fn fold_store_stats(reg: &obs::MetricsRegistry, e: &obs::Event) {
+    let num = |key: &str| match e.get_arg(key) {
+        Some(obs::ArgValue::U64(v)) => Some(*v as f64),
+        Some(obs::ArgValue::I64(v)) => Some(*v as f64),
+        Some(obs::ArgValue::F64(v)) => Some(*v),
+        _ => None,
+    };
+    for (arg, gauge) in [
+        ("logical_rows_written", "store.logical_rows_written"),
+        ("physical_rows_written", "store.physical_rows_written"),
+        ("physical_bytes_written", "store.physical_bytes_written"),
+        ("bytes_read", "store.bytes_read"),
+        ("fsyncs", "store.fsyncs"),
+        ("segments_committed", "store.segments_committed"),
+        ("corrupt_segments", "store.corrupt_segments"),
+        ("write_bytes_per_s", "store.write_bytes_per_s"),
+        ("read_bytes_per_s", "store.read_bytes_per_s"),
+    ] {
+        if let Some(v) = num(arg) {
+            reg.gauge_set(gauge, v);
+        }
+    }
+    if let Some(v) = num("write_bytes_per_s") {
+        reg.observe("store.write_throughput_bytes_per_s", v);
+    }
 }
 
 /// Renders a replayed trace in the requested format.
@@ -347,6 +388,35 @@ fn cmd_lint(flags: &HashMap<String, String>) -> CliResult<()> {
     } else {
         Err(format!("lint found {} error(s)", set.count(Severity::Error)))
     }
+}
+
+fn cmd_store(flags: &HashMap<String, String>) -> CliResult<()> {
+    let format = flags.get("format").map_or("text", String::as_str);
+    let (dir, check) = if let Some(d) = flags.get("verify") {
+        (d, true)
+    } else if let Some(d) = flags.get("inspect") {
+        (d, false)
+    } else {
+        return Err("store needs one of --inspect <dir> or --verify <dir>".into());
+    };
+    if dir == "true" {
+        return Err("store --inspect/--verify need a directory argument".into());
+    }
+    let report = if check { ftpde::store::verify(dir) } else { ftpde::store::inspect(dir) }
+        .map_err(|e| format!("cannot read store at {dir}: {e}"))?;
+    match format {
+        "text" => print!("{}", report.to_summary().render()),
+        "json" => {
+            let json = serde_json::to_string(&report)
+                .map_err(|e| format!("report failed to serialize: {e:?}"))?;
+            println!("{json}");
+        }
+        other => return Err(format!("unknown format {other:?} (expected text or json)")),
+    }
+    if check && report.corrupt > 0 {
+        return Err(format!("store verification failed: {} corrupt segment(s)", report.corrupt));
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -518,5 +588,60 @@ mod tests {
         std::fs::write(&path, "not json\n").unwrap();
         assert!(cmd_obs(&flags(&[("trace", p.as_str())])).is_err());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_command_inspects_and_verifies() {
+        use ftpde::store::{int_row, DiskBackend, StoreBackend};
+
+        let dir = std::env::temp_dir().join("ftpde_cli_store_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let disk = DiskBackend::open(&dir).unwrap();
+            disk.put(0, 0, vec![int_row(&[1, 2]), int_row(&[3, 4])]);
+            disk.put_replicated(1, vec![int_row(&[5, 6])], 4);
+        }
+        let d = dir.to_string_lossy().to_string();
+
+        // A healthy store inspects and verifies cleanly in both formats.
+        cmd_store(&flags(&[("inspect", d.as_str())])).unwrap();
+        cmd_store(&flags(&[("inspect", d.as_str()), ("format", "json")])).unwrap();
+        cmd_store(&flags(&[("verify", d.as_str())])).unwrap();
+
+        // Mode is mandatory, flags need a directory, formats are checked.
+        assert!(cmd_store(&flags(&[])).is_err());
+        assert!(cmd_store(&flags(&[("inspect", "true")])).is_err());
+        assert!(cmd_store(&flags(&[("inspect", d.as_str()), ("format", "yaml")])).is_err());
+        assert!(cmd_store(&flags(&[("inspect", "/nonexistent/store")])).is_err());
+
+        // Flip one payload byte: verify must exit nonzero, inspect still
+        // renders (it reports the segment but does not re-checksum it).
+        let seg = dir.join("seg-0-0.seg");
+        let mut bytes = std::fs::read(&seg).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&seg, &bytes).unwrap();
+        let err = cmd_store(&flags(&[("verify", d.as_str()), ("format", "json")])).unwrap_err();
+        assert!(err.contains("corrupt"), "{err}");
+        cmd_store(&flags(&[("inspect", d.as_str())])).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_stats_instants_surface_in_prom_output() {
+        let mut events = calibratable_events();
+        events.insert(
+            events.len() - 1,
+            obs::Event::instant("store_stats", "engine", 5_400_000)
+                .arg("logical_rows_written", 128u64)
+                .arg("physical_bytes_written", 4096u64)
+                .arg("segments_committed", 3u64)
+                .arg("corrupt_segments", 0u64)
+                .arg("write_bytes_per_s", 1.5e6),
+        );
+        let prom = render_obs(&events, "prom").unwrap();
+        assert!(prom.contains("store_write_bytes_per_s 1500000"), "{prom}");
+        assert!(prom.contains("store_segments_committed 3"), "{prom}");
+        assert!(prom.contains("store_logical_rows_written 128"), "{prom}");
     }
 }

@@ -19,6 +19,7 @@
 //! | [`tpch`] | the TPC-H workload: schema, partitioning, queries Q1/Q3/Q5/Q1C/Q2C, calibrated cost model, row generator |
 //! | [`sim`] | discrete-event cluster simulator executing fault-tolerant plans against failure traces under all four schemes |
 //! | [`engine`] | in-process partition-parallel execution engine with real tuples, failure injection and recovery |
+//! | [`store`] | durable, pluggable checkpoint storage: in-memory and on-disk backends with CRC-checked segments, an atomic manifest and crash recovery |
 //! | [`obs`] | observability: event recorder, metrics registry, JSONL / Chrome-trace exporters used by the search, simulator and engine |
 //! | [`analysis`] | static analysis: the coded plan linter (`FT001`…), collapsed-plan and cost-model verifiers, pruning-soundness oracle |
 //!
@@ -59,4 +60,5 @@ pub use ftpde_engine as engine;
 pub use ftpde_obs as obs;
 pub use ftpde_optimizer as optimizer;
 pub use ftpde_sim as sim;
+pub use ftpde_store as store;
 pub use ftpde_tpch as tpch;
