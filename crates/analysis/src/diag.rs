@@ -64,6 +64,36 @@ pub enum Code {
     /// Plan hygiene: zero-cost operators, duplicate names, free-operator
     /// counts beyond exhaustive enumerability.
     FT010,
+    /// Trace well-formedness: parseable events, sane timestamps and
+    /// durations, at most one terminal (`query_completed` /
+    /// `query_aborted`), nothing after the terminal.
+    FT101,
+    /// Span/track discipline: spans on one `(pid, tid)` track do not
+    /// partially overlap; worker `attempt` spans nest inside their
+    /// stage's span interval.
+    FT102,
+    /// Stage identity and completeness: every traced stage maps to a
+    /// collapsed-plan stage, and a completed query executed (or
+    /// legitimately skipped) every stage.
+    FT103,
+    /// Stage ordering: no stage completes before its collapsed-plan
+    /// producers have completed (or been skipped) in the same attempt.
+    FT104,
+    /// Re-execution justification (§2.2 recovery contract): a stage runs
+    /// again only after a query restart, an `input_rewind` naming it, or
+    /// a `segment_corrupt` demoting its output.
+    FT105,
+    /// Skip legitimacy: only materializing, non-sink stages may be
+    /// skipped, and a skip is backed by a prior materialization of that
+    /// stage (or pre-seeded store state).
+    FT106,
+    /// Store lifecycle: materializations only for config-materializing
+    /// operators, every cross-stage input available when its consumer
+    /// starts, corruption followed by a producer rewind.
+    FT107,
+    /// Observed-cost conservation (Eq. 1): stage wall-clock agrees with
+    /// the collapsed cost model / attempt accounting within tolerance.
+    FT108,
 }
 
 impl Code {
@@ -80,6 +110,14 @@ impl Code {
             Code::FT008 => "FT008",
             Code::FT009 => "FT009",
             Code::FT010 => "FT010",
+            Code::FT101 => "FT101",
+            Code::FT102 => "FT102",
+            Code::FT103 => "FT103",
+            Code::FT104 => "FT104",
+            Code::FT105 => "FT105",
+            Code::FT106 => "FT106",
+            Code::FT107 => "FT107",
+            Code::FT108 => "FT108",
         }
     }
 
@@ -96,6 +134,16 @@ impl Code {
             Code::FT008 => "dominant path bounds every execution path (§3.4)",
             Code::FT009 => "failure penalty is monotone in 1/MTBF and non-negative",
             Code::FT010 => "plan hygiene (zero costs, duplicate names, enumerability)",
+            Code::FT101 => "trace well-formedness (timestamps, durations, single terminal)",
+            Code::FT102 => "span/track discipline (no partial overlap, attempts nest in stages)",
+            Code::FT103 => "stage identity and completeness against the collapsed plan",
+            Code::FT104 => "stage ordering respects collapsed-plan dependencies",
+            Code::FT105 => "re-execution justified by restart, rewind or corruption (§2.2)",
+            Code::FT106 => "skips only for materialized non-sink stages, backed by a prior put",
+            Code::FT107 => {
+                "store lifecycle (puts match config, gets preceded by puts, corruption rewound)"
+            }
+            Code::FT108 => "observed stage timings conserve the collapsed cost model (Eq. 1)",
         }
     }
 }
@@ -315,6 +363,14 @@ mod tests {
             Code::FT008,
             Code::FT009,
             Code::FT010,
+            Code::FT101,
+            Code::FT102,
+            Code::FT103,
+            Code::FT104,
+            Code::FT105,
+            Code::FT106,
+            Code::FT107,
+            Code::FT108,
         ] {
             assert!(code.as_str().starts_with("FT"));
             assert!(!code.description().is_empty());

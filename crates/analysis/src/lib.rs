@@ -17,10 +17,19 @@
 //!   exactly, the heuristic rules 1/2 must never beat it and stay within a
 //!   bounded slack, and the Eq. 9 path memo must never under-report
 //!   dominance ([`oracle::MemoMirror`]).
+//! * [`conformance`] — a **trace-conformance verifier** replaying engine
+//!   and simulator observability traces against the collapsed plan and
+//!   materialization configuration: span/track discipline, stage identity
+//!   and ordering, the §2.2 recovery contract (re-execution only after a
+//!   rewind or corruption, materialized stages skipped on retry), store
+//!   lifecycle, and Eq. 1 conservation of observed timings. Findings use
+//!   the `FT101`…`FT108` codes and the same report machinery; the
+//!   `ftpde check` CLI subcommand is its command-line face.
 //!
-//! The crate depends only on `ftpde-core` (plus serde): it can lint any
-//! plan regardless of where it came from — the `ftpde lint` CLI subcommand
-//! feeds it the built-in TPC-H plans and arbitrary serialized plans.
+//! The crate depends only on `ftpde-core` and `ftpde-obs` (plus serde):
+//! it can lint any plan and audit any trace regardless of where they came
+//! from — the `ftpde lint` / `ftpde check` CLI subcommands feed it the
+//! built-in TPC-H plans and recorded JSONL traces.
 //!
 //! ## Quick example
 //!
@@ -39,12 +48,14 @@
 //! assert!(oracle.all_sound());
 //! ```
 
+pub mod conformance;
 pub mod diag;
 pub mod oracle;
 pub mod passes;
 
 /// Convenient glob-import of the crate's main types.
 pub mod prelude {
+    pub use crate::conformance::{check_trace, CheckOptions, IdSpace, StageInfo, StagePlan};
     pub use crate::diag::{Code, Diagnostic, Report, ReportSet, Severity};
     pub use crate::oracle::{
         check_pruning_soundness, exhaustive_best, ExhaustiveBest, MemoMirror, OracleOutcome,

@@ -18,7 +18,6 @@
 //! to the producing stage and re-executes forward from there.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -26,13 +25,15 @@ use ftpde_core::collapse::CollapsedPlan;
 use ftpde_core::config::MatConfig;
 use ftpde_core::cost::EstimateBreakdown;
 use ftpde_obs::{Event, NoopRecorder, Recorder};
+use ftpde_store::value::Row;
+use ftpde_store::StoreBackend;
 
 use crate::failure::FailureInjector;
 use crate::ops::{execute, merge_partials, ExecCtx, Interrupted};
 use crate::plan::{EOpId, EnginePlan, OpKind};
-use crate::store::{default_store, StoreBackend};
+use crate::store::default_store;
+use crate::sync::{AtomicU64, InterruptFlag, Ordering};
 use crate::table::{Catalog, Distribution};
-use crate::value::Row;
 
 /// How the coordinator recovers from node failures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,6 +59,39 @@ impl Default for RunOptions {
     fn default() -> Self {
         RunOptions { recovery: EngineRecovery::FineGrained, max_restarts: 100 }
     }
+}
+
+/// Why a worker attempt did not produce rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WorkerError {
+    /// The injector (or the stage's cancel flag) killed the node.
+    Interrupted,
+    /// A cross-stage input read as absent mid-run: the segment was
+    /// demoted (corruption found by a concurrent reader) after the
+    /// coordinator's pre-check passed. Carries the producing operator id.
+    InputLost(u32),
+}
+
+impl From<Interrupted> for WorkerError {
+    fn from(Interrupted: Interrupted) -> Self {
+        WorkerError::Interrupted
+    }
+}
+
+/// Outcome of one node's participation in a stage barrier.
+#[derive(Debug, Clone, PartialEq)]
+enum NodeOutcome {
+    /// The node finished its sub-plan.
+    Done(Vec<Row>),
+    /// An injected failure killed the node (coarse recovery: the stage is
+    /// doomed and the query restarts).
+    Failed,
+    /// A sibling's failure raised the stage's cancel flag; this node
+    /// aborted early instead of finishing work the restart will discard.
+    Cancelled,
+    /// A cross-stage input vanished mid-run; the coordinator must re-run
+    /// its input check (which rewinds to the producer).
+    InputLost(u32),
 }
 
 /// Wall-clock accounting for one stage execution (or resume-skip).
@@ -155,7 +189,7 @@ pub fn run_query_traced(
 /// fault-tolerant `store` — the paper's §2.2 recovery contract across
 /// *coordinator* restarts: a re-submitted query skips every sub-plan whose
 /// output already survived in the store and re-executes only the rest.
-/// With a [`crate::store::DiskBackend`] reopened from its manifest this
+/// With a [`ftpde_store::DiskBackend`] reopened from its manifest this
 /// holds across a genuine process crash, not just a dropped coordinator.
 ///
 /// Stages are skipped only when **all** their partitions are present
@@ -307,13 +341,19 @@ pub fn run_query_resumable_traced(
 
             let stage_start = now_us();
             let retries_before = node_retries.load(Ordering::Relaxed);
+            // Raised by the first coarse-recovery failure so sibling
+            // workers abort at their next batch boundary: the restart
+            // discards their output anyway. Fine-grained workers recover
+            // per-node and never consult it.
+            let cancel = InterruptFlag::new();
 
             // Execute the stage on every node.
-            let partials: Vec<Option<Vec<Row>>> = std::thread::scope(|s| {
+            let partials: Vec<NodeOutcome> = std::thread::scope(|s| {
                 let handles: Vec<_> = (0..nodes)
                     .map(|node| {
                         let members = &members;
                         let node_retries = &node_retries;
+                        let cancel = &cancel;
                         s.spawn(move || match opts.recovery {
                             EngineRecovery::FineGrained => {
                                 let mut attempt = 0u32;
@@ -321,7 +361,7 @@ pub fn run_query_resumable_traced(
                                     let attempt_start = now_us();
                                     match run_stage_on_node(
                                         plan, members, root, node, attempt, catalog, store,
-                                        injector,
+                                        injector, None,
                                     ) {
                                         Ok(rows) => {
                                             rec.record_with(|| {
@@ -335,9 +375,16 @@ pub fn run_query_resumable_traced(
                                                 )
                                                 .arg("rows", rows.len())
                                             });
-                                            break Some(rows);
+                                            break NodeOutcome::Done(rows);
                                         }
-                                        Err(Interrupted) => {
+                                        Err(WorkerError::InputLost(producer)) => {
+                                            // Retrying cannot help: the
+                                            // segment stays absent until
+                                            // the coordinator rewinds to
+                                            // its producer.
+                                            break NodeOutcome::InputLost(producer);
+                                        }
+                                        Err(WorkerError::Interrupted) => {
                                             rec.record_with(|| {
                                                 failure_instant(
                                                     now_us(),
@@ -378,6 +425,7 @@ pub fn run_query_resumable_traced(
                                     catalog,
                                     store,
                                     injector,
+                                    Some(cancel),
                                 ) {
                                     Ok(rows) => {
                                         rec.record_with(|| {
@@ -391,19 +439,42 @@ pub fn run_query_resumable_traced(
                                             )
                                             .arg("rows", rows.len())
                                         });
-                                        Some(rows)
+                                        NodeOutcome::Done(rows)
                                     }
-                                    Err(Interrupted) => {
-                                        rec.record_with(|| {
-                                            failure_instant(
-                                                now_us(),
-                                                attempt_start,
-                                                root,
-                                                node,
-                                                query_restarts,
-                                            )
-                                        });
-                                        None
+                                    Err(WorkerError::InputLost(producer)) => {
+                                        NodeOutcome::InputLost(producer)
+                                    }
+                                    Err(WorkerError::Interrupted) => {
+                                        // Distinguish a genuine injected
+                                        // kill from a cooperative abort
+                                        // after a sibling's kill
+                                        // (should_fail is idempotent).
+                                        if injector.should_fail(root.0, node, query_restarts) {
+                                            cancel.set();
+                                            rec.record_with(|| {
+                                                failure_instant(
+                                                    now_us(),
+                                                    attempt_start,
+                                                    root,
+                                                    node,
+                                                    query_restarts,
+                                                )
+                                            });
+                                            NodeOutcome::Failed
+                                        } else {
+                                            rec.record_with(|| {
+                                                Event::instant(
+                                                    "worker_cancelled",
+                                                    "engine",
+                                                    now_us(),
+                                                )
+                                                .tid(node as u32 + 1)
+                                                .arg("stage", root.0)
+                                                .arg("node", node)
+                                                .arg("attempt", query_restarts)
+                                            });
+                                            NodeOutcome::Cancelled
+                                        }
                                     }
                                 }
                             }
@@ -413,7 +484,9 @@ pub fn run_query_resumable_traced(
                 handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
             });
 
-            let stage_failed = partials.iter().any(Option::is_none);
+            let stage_failed =
+                partials.iter().any(|o| matches!(o, NodeOutcome::Failed | NodeOutcome::Cancelled));
+            let lost_input = partials.iter().any(|o| matches!(o, NodeOutcome::InputLost(_)));
             stage_timings.push(StageTiming {
                 stage: root.0,
                 wall_us: now_us() - stage_start,
@@ -429,7 +502,7 @@ pub fn run_query_resumable_traced(
                 )
                 .arg("stage", root.0)
                 .arg("nodes", nodes)
-                .arg("failed", stage_failed);
+                .arg("failed", stage_failed || lost_input);
                 if let Some(s) = pred.and_then(|p| p.by_root(root.0)) {
                     span = span
                         .arg("pred_run_s", s.run_cost)
@@ -441,6 +514,14 @@ pub fn run_query_resumable_traced(
                 span
             });
 
+            if !stage_failed && lost_input {
+                // A worker observed a pre-checked input vanish (a
+                // concurrent read demoted the segment). Surface the
+                // corruption and re-enter the same stage: the input check
+                // will find the slot absent and rewind to its producer.
+                segments_corrupt += emit_corruptions(store, rec, &now_us);
+                continue;
+            }
             if stage_failed {
                 // A node died under coarse recovery: restart the query.
                 query_restarts += 1;
@@ -465,7 +546,13 @@ pub fn run_query_resumable_traced(
                 });
                 continue 'query;
             }
-            let partials: Vec<Vec<Row>> = partials.into_iter().map(Option::unwrap).collect();
+            let partials: Vec<Vec<Row>> = partials
+                .into_iter()
+                .map(|o| match o {
+                    NodeOutcome::Done(rows) => rows,
+                    other => unreachable!("non-Done outcome {other:?} handled above"),
+                })
+                .collect();
 
             // Root output handling: gather points (aggregations, top-k)
             // merge globally and are broadcast; other roots stay
@@ -655,7 +742,8 @@ fn failure_instant(at_us: u64, start_us: u64, root: EOpId, node: usize, attempt:
 }
 
 /// Executes the sub-plan `members` (rooted at `root`) on one node,
-/// checking the failure injector at batch boundaries.
+/// checking the failure injector (and, under coarse recovery, the
+/// stage's shared [`InterruptFlag`]) at batch boundaries.
 #[allow(clippy::too_many_arguments)]
 fn run_stage_on_node(
     plan: &EnginePlan,
@@ -666,13 +754,15 @@ fn run_stage_on_node(
     catalog: &Catalog,
     store: &dyn StoreBackend,
     injector: &FailureInjector,
-) -> Result<Vec<Row>, Interrupted> {
-    let interrupted = || injector.should_fail(root.0, node, attempt);
+    cancel: Option<&InterruptFlag>,
+) -> Result<Vec<Row>, WorkerError> {
+    let interrupted =
+        || injector.should_fail(root.0, node, attempt) || cancel.is_some_and(InterruptFlag::is_set);
     // A planned kill takes the node down even when its partition holds no
     // rows — without this check an empty-input attempt would never reach a
     // batch boundary and the injection would silently not fire.
     if interrupted() {
-        return Err(Interrupted);
+        return Err(WorkerError::Interrupted);
     }
     let ctx = ExecCtx { catalog, node, interrupted: &interrupted };
     let mut memo: HashMap<EOpId, Vec<Row>> = HashMap::new();
@@ -682,20 +772,21 @@ fn run_stage_on_node(
         // Resolve inputs: in-stage producers from the memo, materialized
         // producers from the fault-tolerant store. The coordinator's
         // input check ran `get` on every cross-stage input before
-        // deploying this worker, so the read cannot miss here.
-        let stored: Vec<Option<Arc<Vec<Row>>>> = op
-            .inputs
-            .iter()
-            .map(|p| {
-                if members.contains(p) {
-                    None
-                } else {
-                    Some(store.get(p.0, node).unwrap_or_else(|| {
-                        panic!("producer {p:?} must be materialized before {m:?}")
-                    }))
+        // deploying this worker — but a concurrent reader can demote the
+        // segment between that check and this read (corruption discovered
+        // on `get`), so a miss here is a recoverable lost-input, not a
+        // bug.
+        let mut stored: Vec<Option<Arc<Vec<Row>>>> = Vec::with_capacity(op.inputs.len());
+        for p in &op.inputs {
+            if members.contains(p) {
+                stored.push(None);
+            } else {
+                match store.get(p.0, node) {
+                    Some(arc) => stored.push(Some(arc)),
+                    None => return Err(WorkerError::InputLost(p.0)),
                 }
-            })
-            .collect();
+            }
+        }
         let slices: Vec<&[Row]> = op
             .inputs
             .iter()

@@ -3,7 +3,7 @@
 //! predicates and derived values (e.g. `sum/count` averages, discounted
 //! prices).
 
-use crate::value::{Row, Value};
+use ftpde_store::value::{Row, Value};
 
 /// A scalar expression evaluated against a row.
 #[derive(Debug, Clone, PartialEq)]
@@ -171,7 +171,7 @@ impl Expr {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::value::int_row;
+    use ftpde_store::value::int_row;
 
     #[test]
     fn comparisons() {

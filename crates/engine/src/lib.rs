@@ -35,8 +35,8 @@ pub mod ops;
 pub mod plan;
 pub mod queries;
 pub mod store;
+pub mod sync;
 pub mod table;
-pub mod value;
 
 /// Convenient glob-import of the crate's main types.
 pub mod prelude {
@@ -52,9 +52,10 @@ pub mod prelude {
         load_catalog, q1_engine_plan, q1c_engine_plan, q2c_engine_plan, q3_engine_plan,
         q5_engine_plan,
     };
-    pub use crate::store::{
-        default_store, DiskBackend, IntermediateStore, MemBackend, StoreBackend, StoreStats,
-    };
+    pub use crate::store::{default_store, IntermediateStore};
+    pub use crate::sync::InterruptFlag;
     pub use crate::table::{hash_key, Catalog, Distribution, PartitionedTable};
-    pub use crate::value::{int_row, row, Row, Value};
+    pub use ftpde_store::{
+        int_row, row, DiskBackend, MemBackend, Row, StoreBackend, StoreStats, Value,
+    };
 }

@@ -9,7 +9,7 @@ use std::collections::HashMap;
 
 use crate::plan::{Agg, AggFunc, OpKind};
 use crate::table::Catalog;
-use crate::value::{Row, Value};
+use ftpde_store::value::{Row, Value};
 
 /// Execution failure: the node was killed while running the operator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -222,7 +222,7 @@ mod tests {
     use super::*;
     use crate::expr::Expr;
     use crate::table::PartitionedTable;
-    use crate::value::int_row;
+    use ftpde_store::value::int_row;
 
     fn ctx(catalog: &Catalog) -> ExecCtx<'_> {
         ExecCtx { catalog, node: 0, interrupted: &|| false }

@@ -278,7 +278,7 @@ impl EnginePlan {
 mod tests {
     use super::*;
     use crate::table::PartitionedTable;
-    use crate::value::int_row;
+    use ftpde_store::value::int_row;
 
     fn catalog() -> Catalog {
         let mut c = Catalog::new();

@@ -21,7 +21,7 @@ use ftpde_tpch::datagen::Database;
 use crate::expr::Expr;
 use crate::plan::{Agg, AggFunc, EnginePlan, OpKind};
 use crate::table::{Catalog, PartitionedTable};
-use crate::value::{int_row, Row};
+use ftpde_store::value::{int_row, Row};
 
 /// Shards `db` over `nodes` worker nodes per the paper's layout.
 pub fn load_catalog(db: &Database, nodes: usize) -> Catalog {
@@ -410,8 +410,8 @@ mod tests {
     use super::*;
     use crate::coordinator::{run_query, EngineRecovery, RunOptions, RunReport};
     use crate::failure::{FailureInjector, Injection};
-    use crate::value::Value;
     use ftpde_core::config::MatConfig;
+    use ftpde_store::value::Value;
 
     // Big enough that the selective Q5/Q2C predicates keep a few rows at
     // any generator seed; at 0.0005 some seeds leave them empty.
@@ -638,7 +638,8 @@ mod tests {
     #[test]
     fn resume_skips_surviving_stages() {
         use crate::coordinator::run_query_resumable;
-        use crate::store::{IntermediateStore, StoreBackend};
+        use crate::store::IntermediateStore;
+        use ftpde_store::StoreBackend;
         let plan = q5_engine_plan();
         let dag = plan.to_plan_dag();
         let config = MatConfig::all(&dag);
@@ -685,7 +686,8 @@ mod tests {
     #[test]
     fn resume_recomputes_missing_stages_only() {
         use crate::coordinator::run_query_resumable;
-        use crate::store::{IntermediateStore, StoreBackend};
+        use crate::store::IntermediateStore;
+        use ftpde_store::StoreBackend;
         let plan = q3_engine_plan();
         let dag = plan.to_plan_dag();
         let config = MatConfig::all(&dag);

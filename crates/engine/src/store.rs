@@ -10,16 +10,17 @@
 //! coordinator runs over any [`StoreBackend`] — the volatile
 //! [`MemBackend`] (the historical engine behavior, and still the
 //! default) or the durable [`DiskBackend`], whose manifest lets a
-//! brand-new process resume a query across a real crash. This module
-//! re-exports the backend types and keeps [`IntermediateStore`] as an
-//! alias for the in-memory backend so existing call sites read
-//! unchanged.
+//! brand-new process resume a query across a real crash. Call sites
+//! import the backend types from `ftpde_store` directly; this module
+//! only keeps the engine-side pieces — the [`IntermediateStore`] alias,
+//! the [`BACKEND_ENV`] selector and [`default_store`].
 
-pub use ftpde_store::{
-    inspect, verify, CorruptSegment, DiskBackend, MemBackend, StoreBackend, StoreReport, StoreStats,
-};
+use ftpde_store::{DiskBackend, MemBackend, StoreBackend};
 
-/// The engine's historical store type: the in-memory backend.
+/// The engine's historical store type: the in-memory backend. Kept as
+/// the one documented alias so long-standing call sites (and the paper
+/// mapping "intermediate store" = §5.1's fault-tolerant storage) read
+/// unchanged; everything else now names `ftpde_store` types directly.
 pub type IntermediateStore = MemBackend;
 
 /// Environment variable selecting the default backend for
@@ -44,7 +45,7 @@ pub fn default_store() -> Box<dyn StoreBackend> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::value::int_row;
+    use ftpde_store::value::int_row;
 
     #[test]
     fn put_get_roundtrip() {

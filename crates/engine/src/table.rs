@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 
-use crate::value::{Row, Value};
+use ftpde_store::value::{Row, Value};
 
 /// How a table's rows are distributed across nodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -141,7 +141,7 @@ impl Catalog {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::value::int_row;
+    use ftpde_store::value::int_row;
 
     fn rows(n: i64) -> Vec<Row> {
         (0..n).map(|k| int_row(&[k, k * 10])).collect()

@@ -13,7 +13,7 @@ use ftpde_engine::queries::{
     load_catalog, q1_engine_plan, q1c_engine_plan, q2c_engine_plan, q3_engine_plan, q5_engine_plan,
 };
 use ftpde_engine::table::Catalog;
-use ftpde_engine::value::Row;
+use ftpde_store::value::Row;
 use ftpde_tpch::datagen::Database;
 
 const NODES: usize = 3;

@@ -27,6 +27,7 @@ pub mod compress;
 pub mod disk;
 pub mod mem;
 pub mod stats;
+pub mod sync;
 pub mod value;
 
 use std::fmt;

@@ -11,10 +11,9 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
-use parking_lot::Mutex;
-
 use crate::codec::encoded_rows_len;
 use crate::stats::StoreStats;
+use crate::sync::Mutex;
 use crate::value::Row;
 use crate::{CorruptSegment, StoreBackend};
 

@@ -1,0 +1,46 @@
+//! Synchronization shim: `parking_lot` normally, `loom` under
+//! `--cfg loom`.
+//!
+//! [`MemBackend`](crate::MemBackend) guards its segment map with this
+//! module's [`Mutex`] so the loom job (`RUSTFLAGS="--cfg loom"`) can
+//! model-check the *real* backend under adversarial interleavings —
+//! concurrent partition writers, a reader racing a `clear`, replicated
+//! puts — instead of a re-implementation that could drift from the code
+//! under test. Normal builds compile to `parking_lot` with zero overhead.
+//!
+//! The API is the parking_lot shape (`lock()` returns the guard directly;
+//! no poisoning): the loom branch unwraps poison errors, which matches
+//! parking_lot's semantics of not poisoning at all.
+
+#[cfg(not(loom))]
+pub use parking_lot::{Mutex, MutexGuard};
+
+#[cfg(loom)]
+mod loom_impl {
+    /// Guard returned by [`Mutex::lock`].
+    pub type MutexGuard<'a, T> = loom::sync::MutexGuard<'a, T>;
+
+    /// A loom-instrumented mutex with parking_lot's non-poisoning API.
+    #[derive(Debug, Default)]
+    pub struct Mutex<T>(loom::sync::Mutex<T>);
+
+    impl<T> Mutex<T> {
+        /// Creates a new mutex.
+        pub fn new(value: T) -> Self {
+            Mutex(loom::sync::Mutex::new(value))
+        }
+
+        /// Acquires the lock. Every acquisition is a loom schedule point.
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            self.0.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+        }
+
+        /// Consumes the mutex, returning the inner value.
+        pub fn into_inner(self) -> T {
+            self.0.into_inner()
+        }
+    }
+}
+
+#[cfg(loom)]
+pub use loom_impl::{Mutex, MutexGuard};

@@ -1,0 +1,212 @@
+//! Conformance-gate driver: produce traced, failure-injected runs and a
+//! small engine benchmark for CI to audit.
+//!
+//! The example writes
+//!
+//! * `target/obs/engine_q3_all_fine.jsonl` — TPC-H Q3 on the engine,
+//!   everything materialized, fine-grained recovery, with injected
+//!   worker failures on every stage's first attempts;
+//! * `target/obs/engine_q1_none_coarse.jsonl` — Q1 with nothing
+//!   materialized under coarse restart, one injected failure forcing a
+//!   full query restart;
+//! * `target/obs/sim_q1_{allmat,nomat_lineage,nomat_restart}.jsonl` —
+//!   the simulator's three baseline schemes (§5.2) replaying a generated
+//!   failure trace;
+//! * `target/bench/BENCH_engine.json` — stage timings of the Q3 run plus
+//!   checkpoint-store write/read throughput (MB/s).
+//!
+//! CI replays every JSONL file through `ftpde check --trace`, so the
+//! recovery protocol the traces exhibit is verified by the FT101…FT108
+//! conformance passes — the example also runs the checker in-process and
+//! exits nonzero if any trace fails, keeping it useful standalone.
+//!
+//! Run with `cargo run --release --example conformance`.
+
+use ftpde::analysis::prelude::*;
+use ftpde::cluster::prelude::*;
+use ftpde::core::prelude::*;
+use ftpde::engine::prelude::*;
+use ftpde::obs::{export, Event, MemoryRecorder};
+use ftpde::sim::prelude::*;
+use ftpde::tpch::datagen::Database;
+use ftpde::tpch::prelude::*;
+use ftpde_bench::store_micro;
+use serde::Serialize;
+
+const NODES: usize = 3;
+
+/// One recorded trace plus the stage plan to audit it against.
+struct Traced {
+    file: &'static str,
+    events: Vec<Event>,
+    stage_plan: StagePlan,
+}
+
+#[derive(Serialize)]
+struct StageTiming {
+    stage: u64,
+    name: String,
+    dur_us: u64,
+    failed: bool,
+}
+
+#[derive(Serialize)]
+struct StoreThroughput {
+    backend: &'static str,
+    row_width: usize,
+    mb_written: f64,
+    write_mb_per_s: Option<f64>,
+    read_mb_per_s: Option<f64>,
+}
+
+#[derive(Serialize)]
+struct EngineBench {
+    query: &'static str,
+    nodes: usize,
+    wall_us: u64,
+    node_retries: u64,
+    query_restarts: u64,
+    stages: Vec<StageTiming>,
+    store: Vec<StoreThroughput>,
+}
+
+fn catalog() -> Catalog {
+    load_catalog(&Database::generate(0.002, 7), NODES)
+}
+
+/// Q3, everything materialized, fine-grained recovery, injected worker
+/// failures on first attempts of every collapsed stage.
+fn engine_fine() -> (Traced, RunReport) {
+    let plan = q3_engine_plan();
+    let dag = plan.to_plan_dag();
+    let config = MatConfig::all(&dag);
+    let sp = StagePlan::engine_ids(&dag, &config, 1.0);
+    let roots: Vec<u32> = sp.stages().iter().map(|s| s.id as u32).collect();
+    let injector = FailureInjector::random_first_attempts(&roots, NODES, 0.5, 11);
+    let rec = MemoryRecorder::new();
+    let report =
+        run_query_traced(&plan, &config, &catalog(), &injector, &RunOptions::default(), None, &rec);
+    (Traced { file: "engine_q3_all_fine.jsonl", events: rec.events(), stage_plan: sp }, report)
+}
+
+/// Q1, nothing materialized, coarse restart: one injected failure aborts
+/// the first query attempt, the second runs clean.
+fn engine_coarse() -> Traced {
+    let plan = q1_engine_plan();
+    let dag = plan.to_plan_dag();
+    let config = MatConfig::none(&dag);
+    let sp = StagePlan::engine_ids(&dag, &config, 1.0);
+    let first = sp.stages()[0].id as u32;
+    let injector = FailureInjector::with([Injection { stage: first, node: 0, attempt: 0 }]);
+    let opts = RunOptions { recovery: EngineRecovery::CoarseRestart, max_restarts: 10 };
+    let rec = MemoryRecorder::new();
+    run_query_traced(&plan, &config, &catalog(), &injector, &opts, None, &rec);
+    Traced { file: "engine_q1_none_coarse.jsonl", events: rec.events(), stage_plan: sp }
+}
+
+/// Q1 in the simulator under one baseline scheme against a generated
+/// failure trace.
+fn sim_baseline(scheme: Scheme, file: &'static str) -> Traced {
+    let cluster = ClusterConfig::new(10, 600.0, 1.0);
+    let plan = Query::Q1.plan(1.0, &CostModel::xdb_calibrated());
+    let opts = SimOptions::default();
+    let horizon = suggested_horizon(&plan, &cluster, &opts);
+    let failures = FailureTrace::generate(&cluster, horizon, 7);
+    let config = scheme.select_config(&plan, &cluster).expect("Q1 plan is valid");
+    let rec = MemoryRecorder::new();
+    simulate_traced(&plan, &config, scheme.recovery(), &cluster, &failures, &opts, None, &rec);
+    let sp = StagePlan::sim_ids(&plan, &config, opts.pipe_const);
+    Traced { file, events: rec.events(), stage_plan: sp }
+}
+
+fn bench(events: &[Event], run: &RunReport) -> EngineBench {
+    let stages = events
+        .iter()
+        .filter(|e| e.tid == 0 && e.name.starts_with("stage "))
+        .map(|e| {
+            let arg_u64 = |key: &str| {
+                e.args.iter().find_map(|(k, v)| match v {
+                    ftpde::obs::ArgValue::U64(n) if k == key => Some(*n),
+                    _ => None,
+                })
+            };
+            let failed = e
+                .args
+                .iter()
+                .any(|(k, v)| k == "failed" && matches!(v, ftpde::obs::ArgValue::Bool(true)));
+            StageTiming {
+                stage: arg_u64("stage").unwrap_or(u64::MAX),
+                name: e.name.clone(),
+                dur_us: e.dur_us,
+                failed,
+            }
+        })
+        .collect();
+    let wall_us = events
+        .iter()
+        .filter_map(|e| (e.name == "query_completed").then_some(e.ts_us))
+        .max()
+        .unwrap_or(0);
+    let store = store_micro::run()
+        .into_iter()
+        .map(|p| StoreThroughput {
+            backend: p.backend,
+            row_width: p.width,
+            mb_written: p.bytes as f64 / 1e6,
+            write_mb_per_s: p.write_bytes_per_s.map(|b| b / 1e6),
+            read_mb_per_s: p.read_bytes_per_s.map(|b| b / 1e6),
+        })
+        .collect();
+    EngineBench {
+        query: "Q3",
+        nodes: NODES,
+        wall_us,
+        node_retries: run.node_retries,
+        query_restarts: u64::from(run.query_restarts),
+        stages,
+        store,
+    }
+}
+
+fn main() {
+    let obs_dir = std::path::Path::new("target/obs");
+    let bench_dir = std::path::Path::new("target/bench");
+    std::fs::create_dir_all(obs_dir).expect("create target/obs");
+    std::fs::create_dir_all(bench_dir).expect("create target/bench");
+
+    let (fine, fine_report) = engine_fine();
+    let traces = vec![
+        fine,
+        engine_coarse(),
+        sim_baseline(Scheme::AllMat, "sim_q1_allmat.jsonl"),
+        sim_baseline(Scheme::NoMatLineage, "sim_q1_nomat_lineage.jsonl"),
+        sim_baseline(Scheme::NoMatRestart, "sim_q1_nomat_restart.jsonl"),
+    ];
+
+    let mut dirty = 0usize;
+    for t in &traces {
+        let path = obs_dir.join(t.file);
+        export::write_file(&path, &export::to_jsonl(&t.events)).expect("write trace");
+        let report = check_trace(t.file, &t.events, Some(&t.stage_plan), &CheckOptions::default());
+        if report.is_clean() {
+            println!("{}: {} events, conformant", path.display(), t.events.len());
+        } else {
+            dirty += 1;
+            print!("{}", report.render());
+        }
+    }
+
+    let bench = bench(&traces[0].events, &fine_report);
+    let json = serde_json::to_string_pretty(&bench).expect("serialize bench");
+    let bench_path = bench_dir.join("BENCH_engine.json");
+    std::fs::write(&bench_path, json).expect("write BENCH_engine.json");
+    println!(
+        "{}: wall {} us, {} stage spans, {} store points",
+        bench_path.display(),
+        bench.wall_us,
+        bench.stages.len(),
+        bench.store.len()
+    );
+
+    assert_eq!(dirty, 0, "{dirty} trace(s) failed conformance");
+}

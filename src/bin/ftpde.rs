@@ -8,6 +8,7 @@
 //! ftpde obs      --trace run.jsonl [--format summary|calibration|prom|json]
 //! ftpde lint     --all | --query Q5 | --plan plan.json [--format text|json]
 //! ftpde store    --inspect <dir> | --verify <dir> [--format text|json]
+//! ftpde check    --trace run.jsonl [--query Q5 --config best] [--format text|json]
 //! ```
 //!
 //! * `plan` — run the cost-based search for a TPC-H query and explain the
@@ -29,6 +30,13 @@
 //!   prints the manifest: segments, sizes, checksums, throughput stats)
 //!   or re-checksum every committed segment (`--verify`), exiting nonzero
 //!   on corruption.
+//! * `check` — replay a recorded JSONL trace through the
+//!   trace-conformance verifier (`FT101`…`FT108`): span/track discipline,
+//!   stage ordering, the recovery contract (re-execution only after a
+//!   rewind or corruption, materialized stages skipped on retry), store
+//!   lifecycle and Eq. 1 cost conservation. With `--query` (and
+//!   optionally `--config`) the trace is verified against the collapsed
+//!   plan it claims to execute; exits nonzero on any FT1xx Error.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -58,6 +66,7 @@ fn main() -> ExitCode {
         "obs" => cmd_obs(&flags),
         "lint" => cmd_lint(&flags),
         "store" => cmd_store(&flags),
+        "check" => cmd_check(&flags),
         _ => Err(format!("unknown command {cmd:?}")),
     };
     match result {
@@ -77,7 +86,9 @@ const USAGE: &str = "usage:
   ftpde obs      --trace <run.jsonl> [--format <summary|calibration|prom|json>]
   ftpde lint     --all | --query <Q1|Q3|Q5|Q1C|Q2C> | --plan <plan.json>
                  [--sf <N>] [--nodes <N>] [--mtbf <secs>] [--mttr <secs>] [--format <text|json>]
-  ftpde store    --inspect <dir> | --verify <dir> [--format <text|json>]";
+  ftpde store    --inspect <dir> | --verify <dir> [--format <text|json>]
+  ftpde check    --trace <run.jsonl> [--query <Q1|Q3|Q5|Q1C|Q2C>] [--config <none|all|best|ops:<csv>>]
+                 [--sf <N>] [--nodes <N>] [--mtbf <secs>] [--mttr <secs>] [--format <text|json>]";
 
 /// Splits `["cmd", "--k", "v", ...]` into the command and a flag map.
 /// A flag followed by another flag (or nothing) is boolean, stored as
@@ -110,6 +121,21 @@ fn get_query(flags: &HashMap<String, String>) -> CliResult<Query> {
         .into_iter()
         .find(|q| q.name().eq_ignore_ascii_case(name))
         .ok_or_else(|| format!("unknown query {name:?} (expected Q1, Q3, Q5, Q1C or Q2C)"))
+}
+
+/// Resolves the shared `--format` flag against a subcommand's accepted
+/// renderings — the one parser behind `obs`, `lint`, `store` and `check`.
+fn get_format<'a>(
+    flags: &'a HashMap<String, String>,
+    allowed: &[&str],
+    default: &'a str,
+) -> CliResult<&'a str> {
+    let format = flags.get("format").map_or(default, String::as_str);
+    if allowed.contains(&format) {
+        Ok(format)
+    } else {
+        Err(format!("unknown format {format:?} (expected {})", allowed.join(", ")))
+    }
 }
 
 fn get_cluster(flags: &HashMap<String, String>) -> CliResult<ClusterConfig> {
@@ -320,7 +346,7 @@ fn render_obs(events: &[obs::Event], format: &str) -> CliResult<String> {
 
 fn cmd_obs(flags: &HashMap<String, String>) -> CliResult<()> {
     let path = flags.get("trace").ok_or("missing required flag --trace")?;
-    let format = flags.get("format").map_or("summary", String::as_str);
+    let format = get_format(flags, &["summary", "calibration", "prom", "json"], "summary")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let events = obs::export::from_jsonl(&text)
         .map_err(|e| format!("{path} is not a JSONL event log: {e:?}"))?;
@@ -349,7 +375,7 @@ fn cmd_lint(flags: &HashMap<String, String>) -> CliResult<()> {
     let cluster = get_cluster(&cluster_flags)?;
     let params = Scheme::cost_params(&cluster);
     let sf = get_f64(flags, "sf", Some(100.0))?;
-    let format = flags.get("format").map_or("text", String::as_str);
+    let format = get_format(flags, &["text", "json"], "text")?;
     let validator = PlanValidator::new(params);
     let cm = CostModel::xdb_calibrated();
 
@@ -374,15 +400,7 @@ fn cmd_lint(flags: &HashMap<String, String>) -> CliResult<()> {
     }
 
     let set = ReportSet::new(reports);
-    match format {
-        "text" => print!("{}", set.render()),
-        "json" => {
-            let json = serde_json::to_string(&set)
-                .map_err(|e| format!("report failed to serialize: {e:?}"))?;
-            println!("{json}");
-        }
-        other => return Err(format!("unknown format {other:?} (expected text or json)")),
-    }
+    render_report_set(&set, format)?;
     if set.is_clean() {
         Ok(())
     } else {
@@ -390,8 +408,21 @@ fn cmd_lint(flags: &HashMap<String, String>) -> CliResult<()> {
     }
 }
 
+/// Renders a diagnostic report set in the shared `text`/`json` formats
+/// (`lint` and `check` both exit through here).
+fn render_report_set(set: &ReportSet, format: &str) -> CliResult<()> {
+    if format == "json" {
+        let json =
+            serde_json::to_string(set).map_err(|e| format!("report failed to serialize: {e:?}"))?;
+        println!("{json}");
+    } else {
+        print!("{}", set.render());
+    }
+    Ok(())
+}
+
 fn cmd_store(flags: &HashMap<String, String>) -> CliResult<()> {
-    let format = flags.get("format").map_or("text", String::as_str);
+    let format = get_format(flags, &["text", "json"], "text")?;
     let (dir, check) = if let Some(d) = flags.get("verify") {
         (d, true)
     } else if let Some(d) = flags.get("inspect") {
@@ -404,19 +435,116 @@ fn cmd_store(flags: &HashMap<String, String>) -> CliResult<()> {
     }
     let report = if check { ftpde::store::verify(dir) } else { ftpde::store::inspect(dir) }
         .map_err(|e| format!("cannot read store at {dir}: {e}"))?;
-    match format {
-        "text" => print!("{}", report.to_summary().render()),
-        "json" => {
-            let json = serde_json::to_string(&report)
-                .map_err(|e| format!("report failed to serialize: {e:?}"))?;
-            println!("{json}");
-        }
-        other => return Err(format!("unknown format {other:?} (expected text or json)")),
+    if format == "json" {
+        let json = serde_json::to_string(&report)
+            .map_err(|e| format!("report failed to serialize: {e:?}"))?;
+        println!("{json}");
+    } else {
+        print!("{}", report.to_summary().render());
     }
     if check && report.corrupt > 0 {
         return Err(format!("store verification failed: {} corrupt segment(s)", report.corrupt));
     }
     Ok(())
+}
+
+/// The engine-side plan mirror of a query: real topology, unit costs.
+/// Collapsing it yields the same stage boundaries the coordinator runs,
+/// which is all the conformance checker needs from an engine trace.
+fn engine_plan_dag(query: Query) -> PlanDag {
+    use ftpde::engine::prelude::{
+        q1_engine_plan, q1c_engine_plan, q2c_engine_plan, q3_engine_plan, q5_engine_plan,
+    };
+    match query {
+        Query::Q1 => q1_engine_plan(),
+        Query::Q3 => q3_engine_plan(),
+        Query::Q5 => q5_engine_plan(),
+        Query::Q1C => q1c_engine_plan(),
+        Query::Q2C => q2c_engine_plan(),
+    }
+    .to_plan_dag()
+}
+
+/// Resolves the `check --config` flag into a materialization
+/// configuration over `plan`: `none`, `all`, `best` (run the cost-based
+/// search under the cluster's failure parameters) or `ops:<csv>` (an
+/// explicit list of materialized operator ids).
+fn get_mat_config(spec: &str, plan: &PlanDag, cluster: &ClusterConfig) -> CliResult<MatConfig> {
+    match spec {
+        "none" => Ok(MatConfig::none(plan)),
+        "all" => Ok(MatConfig::all(plan)),
+        "best" => {
+            let params = Scheme::cost_params(cluster);
+            let (best, _) =
+                find_best_ft_plan(std::slice::from_ref(plan), &params, &PruneOptions::default())
+                    .map_err(|e| e.to_string())?;
+            Ok(best.config)
+        }
+        other => {
+            let csv = other.strip_prefix("ops:").ok_or_else(|| {
+                format!("unknown config {other:?} (expected none, all, best or ops:<csv>)")
+            })?;
+            let ids = csv
+                .split(',')
+                .filter(|s| !s.trim().is_empty())
+                .map(|s| {
+                    let s = s.trim();
+                    s.parse::<u32>()
+                        .map(OpId)
+                        .map_err(|_| format!("--config ops: not an operator id: {s:?}"))
+                })
+                .collect::<CliResult<Vec<OpId>>>()?;
+            MatConfig::from_materialized_free_ops(plan, &ids).map_err(|e| e.to_string())
+        }
+    }
+}
+
+fn cmd_check(flags: &HashMap<String, String>) -> CliResult<()> {
+    let path = flags.get("trace").ok_or("missing required flag --trace")?;
+    let format = get_format(flags, &["text", "json"], "text")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let events = obs::export::from_jsonl(&text)
+        .map_err(|e| format!("{path} is not a JSONL event log: {e:?}"))?;
+
+    // Without --query the trace is checked standalone (well-formedness,
+    // track discipline, recovery justification). With it the collapsed
+    // plan is rebuilt — against the engine-plan mirror when the trace
+    // came from the engine, against the TPC-H cost-model plan when it
+    // came from the simulator — so stage identity, ordering, skip
+    // legitimacy and Eq. 1 conservation are verified too.
+    let stage_plan = if flags.contains_key("query") {
+        let query = get_query(flags)?;
+        // Like lint, default to the paper's 1-hour cluster.
+        let mut cluster_flags = flags.clone();
+        cluster_flags.entry("mtbf".to_string()).or_insert_with(|| "3600".to_string());
+        let cluster = get_cluster(&cluster_flags)?;
+        let pipe_const = Scheme::cost_params(&cluster).pipe_const;
+        let spec = flags.get("config").map_or("best", String::as_str);
+        let is_engine = events.iter().any(|e| e.cat == "engine");
+        let plan = if is_engine {
+            engine_plan_dag(query)
+        } else {
+            let sf = get_f64(flags, "sf", Some(100.0))?;
+            query.plan(sf, &CostModel::xdb_calibrated())
+        };
+        let config = get_mat_config(spec, &plan, &cluster)?;
+        Some(if is_engine {
+            StagePlan::engine_ids(&plan, &config, pipe_const)
+        } else {
+            StagePlan::sim_ids(&plan, &config, pipe_const)
+        })
+    } else {
+        None
+    };
+
+    let report = check_trace(path, &events, stage_plan.as_ref(), &CheckOptions::default());
+    let set = ReportSet::new(vec![report]);
+    render_report_set(&set, format)?;
+    if set.is_clean() {
+        Ok(())
+    } else {
+        Err(format!("check found {} error(s)", set.count(Severity::Error)))
+    }
 }
 
 #[cfg(test)]
@@ -624,6 +752,81 @@ mod tests {
         let err = cmd_store(&flags(&[("verify", d.as_str()), ("format", "json")])).unwrap_err();
         assert!(err.contains("corrupt"), "{err}");
         cmd_store(&flags(&[("inspect", d.as_str())])).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn format_parser_accepts_listed_and_rejects_unknown() {
+        assert_eq!(get_format(&flags(&[]), &["text", "json"], "text").unwrap(), "text");
+        assert_eq!(
+            get_format(&flags(&[("format", "json")]), &["text", "json"], "text").unwrap(),
+            "json"
+        );
+        let err = get_format(&flags(&[("format", "yaml")]), &["text", "json"], "text").unwrap_err();
+        assert!(err.contains("yaml") && err.contains("text, json"), "{err}");
+    }
+
+    #[test]
+    fn mat_config_specs_resolve() {
+        let plan = ftpde::core::dag::figure2_plan();
+        let cluster = ClusterConfig::new(10, 3600.0, 1.0);
+        assert_eq!(get_mat_config("none", &plan, &cluster).unwrap().materialized_count(), 0);
+        assert!(get_mat_config("all", &plan, &cluster).unwrap().materialized_count() > 0);
+        let best = get_mat_config("best", &plan, &cluster).unwrap();
+        assert!(best.len() == plan.len());
+        let explicit = get_mat_config("ops:1, 2", &plan, &cluster).unwrap();
+        assert_eq!(explicit.materialized_count(), 2);
+        assert!(get_mat_config("ops:x", &plan, &cluster).is_err());
+        assert!(get_mat_config("nope", &plan, &cluster).is_err());
+    }
+
+    #[test]
+    fn check_command_verifies_traces() {
+        let dir = std::env::temp_dir().join("ftpde_cli_check_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // A real simulated run of Q1 @ SF 1 under the cost-based
+        // configuration, replayed against a generated failure trace,
+        // must check clean — standalone and against the rebuilt plan.
+        let cm = CostModel::xdb_calibrated();
+        let plan = Query::Q1.plan(1.0, &cm);
+        let cluster = ClusterConfig::new(10, 600.0, 1.0);
+        let config = get_mat_config("best", &plan, &cluster).unwrap();
+        let opts = SimOptions::default();
+        let horizon = suggested_horizon(&plan, &cluster, &opts);
+        let trace = FailureTrace::generate(&cluster, horizon, 7);
+        let rec = obs::MemoryRecorder::new();
+        simulate_traced(&plan, &config, Recovery::FineGrained, &cluster, &trace, &opts, None, &rec);
+        let clean = dir.join("clean.jsonl");
+        obs::export::write_file(&clean, &obs::export::to_jsonl(&rec.events())).unwrap();
+        let p = clean.to_string_lossy().to_string();
+        cmd_check(&flags(&[("trace", p.as_str())])).unwrap();
+        let planful = [
+            ("trace", p.as_str()),
+            ("query", "Q1"),
+            ("sf", "1"),
+            ("mtbf", "600"),
+            ("format", "json"),
+        ];
+        cmd_check(&flags(&planful)).unwrap();
+
+        // Damaging the trace (a duplicated terminal) must exit nonzero.
+        let mut damaged_events = rec.events();
+        damaged_events.push(obs::Event::instant("query_completed", "sim", u64::MAX / 2));
+        let damaged = dir.join("damaged.jsonl");
+        obs::export::write_file(&damaged, &obs::export::to_jsonl(&damaged_events)).unwrap();
+        let dp = damaged.to_string_lossy().to_string();
+        let err = cmd_check(&flags(&[("trace", dp.as_str())])).unwrap_err();
+        assert!(err.contains("error"), "{err}");
+
+        // Flag validation: --trace is required, formats and config specs
+        // are parsed by the shared helpers.
+        assert!(cmd_check(&flags(&[])).is_err());
+        assert!(cmd_check(&flags(&[("trace", p.as_str()), ("format", "yaml")])).is_err());
+        let bad = [("trace", p.as_str()), ("query", "Q1"), ("config", "nope"), ("mtbf", "600")];
+        assert!(cmd_check(&flags(&bad)).is_err());
+        assert!(cmd_check(&flags(&[("trace", "/nonexistent/x.jsonl")])).is_err());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,532 @@
+//! Offline stand-in for `loom`: cooperative randomized schedule
+//! exploration for concurrency models.
+//!
+//! The real `loom` exhaustively model-checks every interleaving of a
+//! bounded concurrent program with DPOR and a simulated weak-memory
+//! model. This stand-in keeps loom's *API shape* and *discipline* (all
+//! synchronization goes through `loom::sync` / `loom::thread`, the model
+//! body must be deterministic, [`model`] runs it many times) but explores
+//! schedules by **random sampling** instead of exhaustively:
+//!
+//! * exactly one model thread runs at a time; every instrumented
+//!   operation (atomic access, mutex acquisition, spawn, join,
+//!   [`thread::yield_now`]) is a *schedule point* where a seeded RNG
+//!   picks the next runnable thread;
+//! * [`model`] re-runs the closure `LOOM_MAX_ITERS` times (default 128),
+//!   each iteration with a different deterministic seed, so a failure
+//!   reproduces by re-running the same build;
+//! * atomic orderings are upgraded to `SeqCst` — the stand-in explores
+//!   *interleavings*, not weak-memory reorderings.
+//!
+//! Panics in any model thread (assertion failures — the way loom tests
+//! report a violated invariant) propagate out of [`model`]. Deadlocks
+//! (every live thread blocked on `join`) and runaway schedules are
+//! detected and panic with a diagnostic.
+//!
+//! The subset implemented is what the workspace's protocol models use:
+//! `loom::model`, `loom::thread::{spawn, yield_now, JoinHandle}`,
+//! `loom::sync::{Arc, Mutex, MutexGuard}` and
+//! `loom::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize,
+//! Ordering}`.
+
+use std::cell::RefCell;
+use std::sync::{Arc as StdArc, Condvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+/// Default number of randomized schedules explored per [`model`] call.
+const DEFAULT_ITERS: usize = 128;
+/// Schedule points allowed per iteration before declaring a livelock.
+const STEP_LIMIT: u64 = 1_000_000;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TState {
+    /// May be granted the execution token.
+    Runnable,
+    /// Blocked until the given thread finishes.
+    WaitingJoin(usize),
+    /// Ran to completion (or unwound).
+    Finished,
+}
+
+#[derive(Debug)]
+struct State {
+    rng: u64,
+    active: usize,
+    steps: u64,
+    threads: Vec<TState>,
+    /// First panic message observed in a model thread, until claimed by a
+    /// `join` that returns it as an `Err`.
+    first_panic: Option<String>,
+}
+
+#[derive(Debug)]
+struct Sched {
+    state: StdMutex<State>,
+    cv: Condvar,
+}
+
+impl Sched {
+    fn new(seed: u64) -> Self {
+        Sched {
+            state: StdMutex::new(State {
+                // SplitMix64 needs a non-zero-ish scramble; any seed works.
+                rng: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1),
+                active: 0,
+                steps: 0,
+                threads: Vec::new(),
+                first_panic: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> StdMutexGuard<'_, State> {
+        // A panicking model thread poisons the state lock while the other
+        // threads still need it to finish the iteration; poison carries no
+        // information here (the panic itself is recorded in the state).
+        self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn rng_next(st: &mut State) -> u64 {
+        // SplitMix64: deterministic, seedable, dependency-free.
+        st.rng = st.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = st.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Wakes joiners whose target has finished.
+    fn resolve_joins(st: &mut State) {
+        for i in 0..st.threads.len() {
+            if let TState::WaitingJoin(t) = st.threads[i] {
+                if st.threads[t] == TState::Finished {
+                    st.threads[i] = TState::Runnable;
+                }
+            }
+        }
+    }
+
+    /// Picks the next thread to run. Must be called with the lock held.
+    /// A join deadlock (no runnable thread while some still live) records
+    /// a diagnostic and collapses the iteration: every thread is marked
+    /// finished so blocked waiters unwind, and [`model`] re-raises the
+    /// recorded message.
+    fn pick_next(&self, st: &mut State) {
+        Self::resolve_joins(st);
+        let runnable: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| **t == TState::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            if !st.threads.iter().all(|t| *t == TState::Finished) {
+                st.first_panic.get_or_insert_with(|| {
+                    "loom stand-in: deadlock — every live thread is blocked on join".to_string()
+                });
+                for t in &mut st.threads {
+                    *t = TState::Finished;
+                }
+            }
+            self.cv.notify_all();
+            return;
+        }
+        let idx = (Self::rng_next(st) % runnable.len() as u64) as usize;
+        st.active = runnable[idx];
+        self.cv.notify_all();
+    }
+
+    /// A schedule point for thread `me`: yields the execution token to a
+    /// randomly chosen runnable thread (possibly `me` again) and blocks
+    /// until `me` is granted the token back.
+    fn schedule(&self, me: usize) {
+        let mut st = self.lock();
+        st.steps += 1;
+        assert!(
+            st.steps < STEP_LIMIT,
+            "loom stand-in: schedule exceeded {STEP_LIMIT} points (livelock in the model?)"
+        );
+        self.pick_next(&mut st);
+        self.wait_granted(me, st);
+    }
+
+    /// Blocks until `me` holds the token and is runnable.
+    fn wait_granted(&self, me: usize, mut st: StdMutexGuard<'_, State>) {
+        while !(st.active == me && st.threads[me] == TState::Runnable) {
+            if st.threads.iter().all(|t| *t == TState::Finished) {
+                return; // iteration collapsed under a panic; unwind quietly
+            }
+            st = self.cv.wait(st).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Marks `me` finished and hands the token to someone else.
+    fn finish(&self, me: usize) {
+        let mut st = self.lock();
+        st.threads[me] = TState::Finished;
+        if st.threads.iter().all(|t| *t == TState::Finished) {
+            self.cv.notify_all();
+            return;
+        }
+        self.pick_next(&mut st);
+    }
+
+    fn register(&self) -> usize {
+        let mut st = self.lock();
+        st.threads.push(TState::Runnable);
+        st.threads.len() - 1
+    }
+}
+
+#[derive(Clone)]
+struct Ctx {
+    sched: StdArc<Sched>,
+    tid: usize,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+fn ctx() -> Option<Ctx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// Inserts a schedule point when called from inside a model.
+fn schedule_point() {
+    if let Some(c) = ctx() {
+        c.sched.schedule(c.tid);
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "model thread panicked (opaque payload)".to_string())
+}
+
+/// Runs a model thread body on an OS thread under the scheduler's token
+/// discipline, recording panics.
+fn run_model_thread<T, F>(sched: &StdArc<Sched>, tid: usize, f: F) -> std::thread::Result<T>
+where
+    F: FnOnce() -> T,
+{
+    CTX.with(|c| *c.borrow_mut() = Some(Ctx { sched: StdArc::clone(sched), tid }));
+    {
+        let st = sched.lock();
+        sched.wait_granted(tid, st);
+    }
+    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+    if let Err(p) = &out {
+        let mut st = sched.lock();
+        let msg = panic_message(p.as_ref());
+        st.first_panic.get_or_insert(msg);
+    }
+    sched.finish(tid);
+    CTX.with(|c| *c.borrow_mut() = None);
+    out
+}
+
+/// Explores randomized interleavings of `f`: runs it once per iteration
+/// (default 128, override with the `LOOM_MAX_ITERS` environment variable),
+/// each under a differently-seeded cooperative scheduler. Panics if any
+/// iteration's model thread panics or deadlocks.
+///
+/// # Panics
+/// Propagates the first model-thread panic; also panics on nested
+/// `model` calls, join deadlocks and runaway (`> 10^6` point) schedules.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    assert!(ctx().is_none(), "loom stand-in: nested model() calls are not supported");
+    let iters = std::env::var("LOOM_MAX_ITERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_ITERS);
+    let f = StdArc::new(f);
+    for seed in 0..iters as u64 {
+        let sched = StdArc::new(Sched::new(seed));
+        let root = sched.register();
+        debug_assert_eq!(root, 0);
+        let (sched2, f2) = (StdArc::clone(&sched), StdArc::clone(&f));
+        let handle = std::thread::spawn(move || run_model_thread(&sched2, root, move || f2()));
+        // The root result also carries any panic; spawned-but-unjoined
+        // threads record theirs in the scheduler state.
+        let root_result = handle.join().expect("model root OS thread must not die");
+        // Wait until every model thread (joined or not) has finished.
+        {
+            let mut st = sched.lock();
+            while !st.threads.iter().all(|t| *t == TState::Finished) {
+                st = sched.cv.wait(st).unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        }
+        let recorded = sched.lock().first_panic.take();
+        if let Err(p) = root_result {
+            panic!("loom stand-in (seed {seed}/{iters}): {}", panic_message(p.as_ref()));
+        }
+        if let Some(msg) = recorded {
+            panic!("loom stand-in (seed {seed}/{iters}): {msg}");
+        }
+    }
+}
+
+pub mod thread {
+    //! Model-aware threads: one OS thread each, but only one runs at a
+    //! time, coordinated by the iteration's scheduler.
+
+    use std::sync::{Arc as StdArc, Mutex as StdMutex};
+
+    use super::{ctx, run_model_thread, schedule_point, Ctx, TState};
+
+    /// Handle to a model thread, joinable like `std::thread::JoinHandle`.
+    pub struct JoinHandle<T> {
+        tid: usize,
+        result: StdArc<StdMutex<Option<std::thread::Result<T>>>>,
+        os: std::thread::JoinHandle<()>,
+    }
+
+    /// Spawns a model thread.
+    ///
+    /// # Panics
+    /// Panics when called outside a [`crate::model`] body.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let c = ctx().expect("loom stand-in: thread::spawn outside model()");
+        let tid = c.sched.register();
+        let result = StdArc::new(StdMutex::new(None));
+        let slot = StdArc::clone(&result);
+        let sched = StdArc::clone(&c.sched);
+        let os = std::thread::spawn(move || {
+            let out = run_model_thread(&sched, tid, f);
+            *slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(out);
+        });
+        // Spawning is itself a schedule point: the child may run first.
+        schedule_point();
+        JoinHandle { tid, result, os }
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Waits for the thread to finish, returning its result (or the
+        /// panic payload, like `std`).
+        ///
+        /// # Panics
+        /// Panics if called outside the model the thread belongs to.
+        pub fn join(self) -> std::thread::Result<T> {
+            let Ctx { sched, tid: me } = ctx().expect("loom stand-in: join outside model()");
+            {
+                let mut st = sched.lock();
+                if st.threads[self.tid] != TState::Finished {
+                    st.threads[me] = TState::WaitingJoin(self.tid);
+                    sched.pick_next(&mut st);
+                    sched.wait_granted(me, st);
+                }
+            }
+            // The model thread has finished; reap its OS thread (quick)
+            // and take the stored result.
+            self.os.join().expect("model OS thread must not die outside its body");
+            let out = self
+                .result
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .take()
+                .expect("finished model thread stored a result");
+            if out.is_err() {
+                // The caller is observing this panic; don't re-raise it at
+                // the end of the iteration.
+                sched.lock().first_panic = None;
+            }
+            out
+        }
+    }
+
+    /// A pure schedule point.
+    pub fn yield_now() {
+        schedule_point();
+    }
+}
+
+pub mod sync {
+    //! Instrumented synchronization primitives.
+
+    pub use std::sync::Arc;
+    use std::sync::{LockResult, PoisonError, TryLockError};
+
+    use super::schedule_point;
+
+    /// Guard returned by [`Mutex::lock`].
+    #[derive(Debug)]
+    pub struct MutexGuard<'a, T: ?Sized>(std::sync::MutexGuard<'a, T>);
+
+    impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.0
+        }
+    }
+    impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.0
+        }
+    }
+
+    /// A mutex whose acquisition is a schedule point. Contention is
+    /// resolved by re-yielding until the holder releases — with random
+    /// scheduling the holder is eventually granted the token.
+    #[derive(Debug, Default)]
+    pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+    impl<T> Mutex<T> {
+        /// Creates a new instrumented mutex.
+        pub fn new(value: T) -> Self {
+            Mutex(std::sync::Mutex::new(value))
+        }
+
+        /// Consumes the mutex, returning the inner value.
+        pub fn into_inner(self) -> T {
+            self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    impl<T: ?Sized> Mutex<T> {
+        /// Acquires the lock; mirrors `std`'s poisoning API (the real
+        /// loom also returns a `LockResult`).
+        pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+            if super::ctx().is_none() {
+                // Outside a model: block like a plain mutex.
+                return match self.0.lock() {
+                    Ok(g) => Ok(MutexGuard(g)),
+                    Err(e) => Err(PoisonError::new(MutexGuard(e.into_inner()))),
+                };
+            }
+            loop {
+                schedule_point();
+                match self.0.try_lock() {
+                    Ok(g) => return Ok(MutexGuard(g)),
+                    Err(TryLockError::Poisoned(e)) => {
+                        return Err(PoisonError::new(MutexGuard(e.into_inner())));
+                    }
+                    Err(TryLockError::WouldBlock) => {}
+                }
+            }
+        }
+
+        /// Tries to acquire the lock without blocking.
+        pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+            schedule_point();
+            match self.0.try_lock() {
+                Ok(g) => Some(MutexGuard(g)),
+                Err(TryLockError::Poisoned(e)) => Some(MutexGuard(e.into_inner())),
+                Err(TryLockError::WouldBlock) => None,
+            }
+        }
+    }
+
+    pub mod atomic {
+        //! Atomics whose every access is a schedule point. Orderings are
+        //! accepted for API compatibility and upgraded to `SeqCst`: the
+        //! stand-in explores interleavings, not weak-memory reorderings.
+
+        pub use std::sync::atomic::Ordering;
+        use std::sync::atomic::Ordering::SeqCst;
+
+        use super::super::schedule_point;
+
+        macro_rules! int_atomic {
+            ($name:ident, $std:path, $int:ty) => {
+                /// An instrumented integer atomic.
+                #[derive(Debug, Default)]
+                pub struct $name($std);
+
+                #[allow(missing_docs)]
+                impl $name {
+                    pub fn new(v: $int) -> Self {
+                        Self(<$std>::new(v))
+                    }
+                    pub fn load(&self, _order: Ordering) -> $int {
+                        schedule_point();
+                        self.0.load(SeqCst)
+                    }
+                    pub fn store(&self, v: $int, _order: Ordering) {
+                        schedule_point();
+                        self.0.store(v, SeqCst);
+                    }
+                    pub fn swap(&self, v: $int, _order: Ordering) -> $int {
+                        schedule_point();
+                        self.0.swap(v, SeqCst)
+                    }
+                    pub fn fetch_add(&self, v: $int, _order: Ordering) -> $int {
+                        schedule_point();
+                        self.0.fetch_add(v, SeqCst)
+                    }
+                    pub fn fetch_sub(&self, v: $int, _order: Ordering) -> $int {
+                        schedule_point();
+                        self.0.fetch_sub(v, SeqCst)
+                    }
+                    pub fn fetch_max(&self, v: $int, _order: Ordering) -> $int {
+                        schedule_point();
+                        self.0.fetch_max(v, SeqCst)
+                    }
+                    pub fn compare_exchange(
+                        &self,
+                        current: $int,
+                        new: $int,
+                        _success: Ordering,
+                        _failure: Ordering,
+                    ) -> Result<$int, $int> {
+                        schedule_point();
+                        self.0.compare_exchange(current, new, SeqCst, SeqCst)
+                    }
+                }
+            };
+        }
+
+        int_atomic!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+        int_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+        int_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+
+        /// An instrumented boolean atomic.
+        #[derive(Debug, Default)]
+        pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+        #[allow(missing_docs)]
+        impl AtomicBool {
+            pub fn new(v: bool) -> Self {
+                Self(std::sync::atomic::AtomicBool::new(v))
+            }
+            pub fn load(&self, _order: Ordering) -> bool {
+                schedule_point();
+                self.0.load(SeqCst)
+            }
+            pub fn store(&self, v: bool, _order: Ordering) {
+                schedule_point();
+                self.0.store(v, SeqCst);
+            }
+            pub fn swap(&self, v: bool, _order: Ordering) -> bool {
+                schedule_point();
+                self.0.swap(v, SeqCst)
+            }
+            pub fn fetch_or(&self, v: bool, _order: Ordering) -> bool {
+                schedule_point();
+                self.0.fetch_or(v, SeqCst)
+            }
+            pub fn compare_exchange(
+                &self,
+                current: bool,
+                new: bool,
+                _success: Ordering,
+                _failure: Ordering,
+            ) -> Result<bool, bool> {
+                schedule_point();
+                self.0.compare_exchange(current, new, SeqCst, SeqCst)
+            }
+        }
+    }
+}
