@@ -1,0 +1,1041 @@
+//! The canonical `ftpde bench` suite: versioned, repeatable performance
+//! measurements with a regression comparator.
+//!
+//! Two documents, written as `BENCH_engine.json` and `BENCH_search.json`
+//! at the repo root and committed as the baseline every subsequent perf
+//! PR is judged against:
+//!
+//! - **Engine** ([`run_engine_suite`]): Q1/Q3/Q5 × {none, best, all}
+//!   materialization × {mem, disk} store backends × {clean,
+//!   failure-injected} runs — warmup plus N timed repeats each, exact
+//!   sample quantiles (p50/p90/p99) of whole-query wall time and of
+//!   per-stage wall time, store micro-benchmark throughput (MB/s, the
+//!   measured `tm(o)` of the paper's Eq. 5), and the instrumentation
+//!   `overhead_pct` measured by interleaved traced-vs-untraced pairs.
+//! - **Search** ([`run_search_suite`]): the cost-based optimizer on
+//!   Q1/Q3/Q5 with pruning on and off — wall-time quantiles plus the
+//!   deterministic [`SearchStats`] counters and the §5.5 pruning rate.
+//!
+//! Everything is seeded ([`SuiteOptions::seed`] drives the vendored
+//! RNG, the TPC-H generator and the failure injector), so counter-like
+//! results are bit-reproducible and timing results are statistically
+//! comparable across runs. Documents carry `schema_version`, suite
+//! name and host info, and deliberately no timestamp — committed
+//! baselines should not churn when regenerated unchanged.
+//!
+//! [`compare`] diffs two parsed documents under a tolerance and returns
+//! the regressions; the `ftpde bench --compare` CLI exits nonzero when
+//! any are found, which is the CI perf gate.
+
+use std::time::Instant;
+
+use ftpde_cluster::config::{mtbf, ClusterConfig};
+use ftpde_core::collapse::CollapsedPlan;
+use ftpde_core::config::MatConfig;
+use ftpde_core::dag::PlanDag;
+use ftpde_core::prune::PruneOptions;
+use ftpde_core::search::find_best_ft_plan;
+use ftpde_engine::prelude::{
+    load_catalog, q1_engine_plan, q3_engine_plan, q5_engine_plan, run_query_resumable_traced,
+    Catalog, DiskBackend, EnginePlan, FailureInjector, MemBackend, RunOptions, RunReport,
+    StoreBackend,
+};
+use ftpde_obs::{MemoryRecorder, NoopRecorder, Recorder};
+use ftpde_sim::scheme::Scheme;
+use ftpde_tpch::costing::CostModel;
+use ftpde_tpch::datagen::Database;
+use ftpde_tpch::queries::Query;
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::store_micro;
+
+/// Version of the BENCH document schema this build writes. Bump on any
+/// incompatible change; the comparator refuses to diff across versions.
+pub const SCHEMA_VERSION: u32 = 1;
+/// `suite` field of the engine document.
+pub const ENGINE_SUITE: &str = "ftpde-engine";
+/// `suite` field of the search document.
+pub const SEARCH_SUITE: &str = "ftpde-search";
+
+/// Knobs of one suite execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SuiteOptions {
+    /// Timed repeats per case.
+    pub repeats: usize,
+    /// Untimed warmup runs per case.
+    pub warmup: usize,
+    /// Master seed: drives data generation, per-case injector seeds and
+    /// every other random choice.
+    pub seed: u64,
+    /// Engine cluster width (worker threads per stage).
+    pub nodes: usize,
+    /// TPC-H scale factor of the generated engine database.
+    pub sf: f64,
+    /// Per-(stage, node) first-attempt failure probability of the
+    /// failure-injected cases.
+    pub failure_p: f64,
+    /// Scale factor of the search suite's costed plans (cost-model
+    /// units, not generated data).
+    pub search_sf: f64,
+    /// Traced-vs-untraced sample pairs for the overhead measurement.
+    pub overhead_pairs: usize,
+    /// Back-to-back runs folded into one overhead timing sample
+    /// (amortizes thread-spawn jitter on millisecond-scale runs).
+    pub overhead_batch: usize,
+}
+
+impl Default for SuiteOptions {
+    fn default() -> Self {
+        SuiteOptions {
+            repeats: 5,
+            warmup: 1,
+            seed: 42,
+            nodes: 3,
+            sf: 0.002,
+            failure_p: 0.5,
+            search_sf: 100.0,
+            overhead_pairs: 11,
+            overhead_batch: 20,
+        }
+    }
+}
+
+impl SuiteOptions {
+    /// Reduced-cost profile for CI smoke runs: fewer repeats, no warmup.
+    /// The matrix stays complete so the schema (and comparator coverage)
+    /// is identical to a full run. The overhead measurement keeps its
+    /// full sample count — it is cheap (~100 batched millisecond runs)
+    /// and cutting it makes the comparator's budget gate flake.
+    #[must_use]
+    pub fn quick() -> Self {
+        SuiteOptions { repeats: 2, warmup: 0, ..Self::default() }
+    }
+}
+
+/// Exact sample statistics: quantiles are interpolated between closest
+/// ranks of the sorted samples (no binning error, unlike the registry's
+/// log-bucketed histograms — fine here because repeats are few).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Stats {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl Stats {
+    /// Statistics of `samples`. Panics on an empty slice — every suite
+    /// case produces at least one repeat.
+    pub fn of(samples: &[f64]) -> Stats {
+        assert!(!samples.is_empty(), "stats of zero samples");
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let q = |p: f64| -> f64 {
+            let pos = p * (sorted.len() - 1) as f64;
+            let lo = pos.floor() as usize;
+            let hi = pos.ceil() as usize;
+            let frac = pos - lo as f64;
+            sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+        };
+        Stats {
+            count: sorted.len(),
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            min: sorted[0],
+            max: sorted[sorted.len() - 1],
+            p50: q(0.5),
+            p90: q(0.9),
+            p99: q(0.99),
+        }
+    }
+}
+
+/// The machine a document was measured on (context for humans reading a
+/// diff; the comparator ignores it).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HostInfo {
+    /// `std::env::consts::OS`.
+    pub os: String,
+    /// `std::env::consts::ARCH`.
+    pub arch: String,
+    /// Available parallelism.
+    pub cpus: usize,
+}
+
+impl HostInfo {
+    /// Probes the current machine.
+    pub fn current() -> HostInfo {
+        HostInfo {
+            os: std::env::consts::OS.to_string(),
+            arch: std::env::consts::ARCH.to_string(),
+            cpus: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        }
+    }
+}
+
+/// Wall-time statistics of one stage across a case's repeats (executions
+/// of the same stage within one repeat — e.g. after a coarse restart —
+/// are summed first).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageStat {
+    /// Root operator id of the stage.
+    pub stage: u32,
+    /// Per-repeat wall time spent in this stage, microseconds.
+    pub wall_us: Stats,
+    /// Mean fine-grained retries per repeat.
+    pub retries: f64,
+}
+
+/// One cell of the engine matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineCase {
+    /// `"Q1"`, `"Q3"` or `"Q5"`.
+    pub query: String,
+    /// `"none"`, `"best"` or `"all"`.
+    pub config: String,
+    /// `"mem"` or `"disk"`.
+    pub backend: String,
+    /// Whether first-attempt failures were injected.
+    pub failures: bool,
+    /// Whole-query wall time per repeat, microseconds.
+    pub wall_us: Stats,
+    /// Per-stage wall-time statistics, in stage id order.
+    pub stages: Vec<StageStat>,
+    /// Mean fine-grained node retries per repeat.
+    pub node_retries: f64,
+    /// Mean coarse query restarts per repeat.
+    pub query_restarts: f64,
+    /// Mean physical bytes committed to the store per repeat.
+    pub bytes_materialized: f64,
+}
+
+impl EngineCase {
+    /// Stable case identity the comparator matches on.
+    pub fn key(&self) -> String {
+        format!(
+            "{}/{}/{}/{}",
+            self.query,
+            self.config,
+            self.backend,
+            if self.failures { "failures" } else { "clean" }
+        )
+    }
+}
+
+/// Store micro-benchmark throughput (from [`store_micro`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoreCase {
+    /// `"mem"` or `"disk"`.
+    pub backend: String,
+    /// Values per row.
+    pub row_width: usize,
+    /// Logical megabytes written.
+    pub mb_written: f64,
+    /// Measured write throughput (the paper's `tm(o)`), MB/s.
+    pub write_mb_per_s: Option<f64>,
+    /// Measured read-back throughput, MB/s.
+    pub read_mb_per_s: Option<f64>,
+}
+
+impl StoreCase {
+    /// Stable case identity the comparator matches on.
+    pub fn key(&self) -> String {
+        format!("store/{}/w{}", self.backend, self.row_width)
+    }
+}
+
+/// The engine benchmark document (`BENCH_engine.json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineDoc {
+    /// [`SCHEMA_VERSION`] at write time.
+    pub schema_version: u32,
+    /// Always [`ENGINE_SUITE`].
+    pub suite: String,
+    /// Master seed the run used.
+    pub seed: u64,
+    /// Timed repeats per case.
+    pub repeats: usize,
+    /// Warmup runs per case.
+    pub warmup: usize,
+    /// Engine cluster width.
+    pub nodes: usize,
+    /// TPC-H scale factor of the generated database.
+    pub sf: f64,
+    /// Machine the document was measured on.
+    pub host: HostInfo,
+    /// Instrumentation overhead: relative p50 slowdown (percent) of
+    /// traced (in-memory recorder) over untraced (no-op recorder) runs
+    /// of Q3/all/mem/clean, interleaved pairs. The always-on metrics
+    /// layer is active on both sides — this isolates the recorder.
+    pub overhead_pct: f64,
+    /// The engine matrix.
+    pub cases: Vec<EngineCase>,
+    /// Store micro-benchmark points.
+    pub store: Vec<StoreCase>,
+}
+
+/// One search-suite case: a query's costed plan searched under one
+/// pruning profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchCase {
+    /// `"Q1"`, `"Q3"` or `"Q5"`.
+    pub query: String,
+    /// `"all"` (default rules) or `"none"`.
+    pub pruning: String,
+    /// Search wall time per repeat, microseconds.
+    pub wall_us: Stats,
+    /// Size of the unpruned configuration space.
+    pub configs_unpruned: u64,
+    /// Configurations fully explored.
+    pub configs_explored: u64,
+    /// Configurations eliminated by rule 1.
+    pub configs_pruned_rule1: u64,
+    /// Configurations eliminated by rule 2.
+    pub configs_pruned_rule2: u64,
+    /// Rule-3 early stops (runtime + estimate + memo).
+    pub rule3_stops: u64,
+    /// Rule-3 stops attributable to the path memo (Eq. 9).
+    pub memo_hits: u64,
+    /// Dominant-path candidates fully costed.
+    pub paths_costed: u64,
+    /// §5.5 pruning rate: outright-skipped configs plus half credit per
+    /// rule-3 early stop, as a percentage of the unpruned space.
+    pub pruning_rate_pct: f64,
+}
+
+impl SearchCase {
+    /// Stable case identity the comparator matches on.
+    pub fn key(&self) -> String {
+        format!("{}/prune={}", self.query, self.pruning)
+    }
+}
+
+/// The search benchmark document (`BENCH_search.json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchDoc {
+    /// [`SCHEMA_VERSION`] at write time.
+    pub schema_version: u32,
+    /// Always [`SEARCH_SUITE`].
+    pub suite: String,
+    /// Master seed the run used.
+    pub seed: u64,
+    /// Timed repeats per case.
+    pub repeats: usize,
+    /// Cost-model scale factor of the searched plans.
+    pub sf: f64,
+    /// Machine the document was measured on.
+    pub host: HostInfo,
+    /// The search cases.
+    pub cases: Vec<SearchCase>,
+}
+
+/// A parsed BENCH document of either kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BenchDoc {
+    /// `BENCH_engine.json`.
+    Engine(EngineDoc),
+    /// `BENCH_search.json`.
+    Search(SearchDoc),
+}
+
+/// Parses a BENCH document, dispatching on its `suite` field.
+///
+/// # Errors
+/// Returns a description when the text is not valid JSON for either
+/// document kind or names an unknown suite.
+pub fn parse_doc(text: &str) -> Result<BenchDoc, String> {
+    if let Ok(doc) = serde_json::from_str::<EngineDoc>(text) {
+        if doc.suite == ENGINE_SUITE {
+            return Ok(BenchDoc::Engine(doc));
+        }
+    }
+    if let Ok(doc) = serde_json::from_str::<SearchDoc>(text) {
+        if doc.suite == SEARCH_SUITE {
+            return Ok(BenchDoc::Search(doc));
+        }
+    }
+    Err("not a BENCH document (expected an ftpde-engine or ftpde-search suite JSON)".to_string())
+}
+
+/// The engine queries of the matrix.
+fn engine_queries() -> Vec<(&'static str, EnginePlan)> {
+    vec![("Q1", q1_engine_plan()), ("Q3", q3_engine_plan()), ("Q5", q5_engine_plan())]
+}
+
+/// Resolves a matrix config spec over `dag`. `best` runs the cost-based
+/// search under the paper's 1-hour-MTBF cluster.
+fn mat_config(spec: &str, dag: &PlanDag, nodes: usize) -> MatConfig {
+    match spec {
+        "none" => MatConfig::none(dag),
+        "all" => MatConfig::all(dag),
+        "best" => {
+            let cluster = ClusterConfig::new(nodes, mtbf::HOUR, 1.0);
+            let params = Scheme::cost_params(&cluster);
+            let (best, _) =
+                find_best_ft_plan(std::slice::from_ref(dag), &params, &PruneOptions::default())
+                    .expect("engine plans are valid candidates");
+            best.config
+        }
+        other => unreachable!("not a matrix config: {other}"),
+    }
+}
+
+/// Collapsed stage roots of `(dag, config)` — the injector's logical
+/// stage coordinates.
+fn stage_roots(dag: &PlanDag, config: &MatConfig) -> Vec<u32> {
+    let collapsed = CollapsedPlan::collapse(dag, config, 1.0);
+    collapsed.op_ids().map(|cid| collapsed.op(cid).root.0).collect()
+}
+
+/// One timed engine run on a fresh instance of `backend`.
+fn timed_run(
+    plan: &EnginePlan,
+    config: &MatConfig,
+    catalog: &Catalog,
+    injector: &FailureInjector,
+    backend: &str,
+    rec: &dyn Recorder,
+) -> (f64, RunReport) {
+    let store: Box<dyn StoreBackend> = match backend {
+        "mem" => Box::new(MemBackend::new()),
+        "disk" => Box::new(DiskBackend::ephemeral().expect("temp dir for ephemeral store")),
+        other => unreachable!("not a matrix backend: {other}"),
+    };
+    let t0 = Instant::now();
+    let report = run_query_resumable_traced(
+        plan,
+        config,
+        catalog,
+        injector,
+        &RunOptions::default(),
+        &*store,
+        None,
+        rec,
+    );
+    (t0.elapsed().as_micros() as f64, report)
+}
+
+/// Aggregates one case's repeats into an [`EngineCase`].
+#[allow(clippy::too_many_arguments)]
+fn run_engine_case(
+    query: &str,
+    spec: &str,
+    backend: &str,
+    failures: bool,
+    plan: &EnginePlan,
+    config: &MatConfig,
+    catalog: &Catalog,
+    roots: &[u32],
+    opts: &SuiteOptions,
+    seeds: &mut SmallRng,
+) -> EngineCase {
+    let injector = |seed: u64| {
+        if failures {
+            FailureInjector::random_first_attempts(roots, opts.nodes, opts.failure_p, seed)
+        } else {
+            FailureInjector::none()
+        }
+    };
+    for _ in 0..opts.warmup {
+        let _ =
+            timed_run(plan, config, catalog, &injector(seeds.next_u64()), backend, &NoopRecorder);
+    }
+    let mut walls = Vec::with_capacity(opts.repeats);
+    let mut retries = 0u64;
+    let mut restarts = 0u64;
+    let mut bytes = 0u64;
+    // stage id -> (per-repeat summed wall_us, total retries)
+    let mut stages: std::collections::BTreeMap<u32, (Vec<f64>, u64)> =
+        std::collections::BTreeMap::new();
+    for _ in 0..opts.repeats {
+        let (wall, report) =
+            timed_run(plan, config, catalog, &injector(seeds.next_u64()), backend, &NoopRecorder);
+        walls.push(wall);
+        retries += report.node_retries;
+        restarts += u64::from(report.query_restarts);
+        bytes += report.bytes_materialized;
+        let mut per_stage: std::collections::BTreeMap<u32, (f64, u64)> =
+            std::collections::BTreeMap::new();
+        for t in &report.stage_timings {
+            let e = per_stage.entry(t.stage).or_insert((0.0, 0));
+            e.0 += t.wall_us as f64;
+            e.1 += t.retries;
+        }
+        for (stage, (wall_us, r)) in per_stage {
+            let e = stages.entry(stage).or_insert_with(|| (Vec::new(), 0));
+            e.0.push(wall_us);
+            e.1 += r;
+        }
+    }
+    let n = opts.repeats as f64;
+    EngineCase {
+        query: query.to_string(),
+        config: spec.to_string(),
+        backend: backend.to_string(),
+        failures,
+        wall_us: Stats::of(&walls),
+        stages: stages
+            .into_iter()
+            .map(|(stage, (walls, r))| StageStat {
+                stage,
+                wall_us: Stats::of(&walls),
+                retries: r as f64 / n,
+            })
+            .collect(),
+        node_retries: retries as f64 / n,
+        query_restarts: restarts as f64 / n,
+        bytes_materialized: bytes as f64 / n,
+    }
+}
+
+/// Measures the recorder's overhead: interleaved batches of
+/// Q3/all/mem/clean runs with a [`NoopRecorder`] vs a live
+/// [`MemoryRecorder`], reported as the median of the per-pair relative
+/// slowdowns in percent. Batching [`SuiteOptions::overhead_batch`] runs
+/// per sample amortizes thread-spawn jitter (which dominates single
+/// millisecond-scale runs), and pairing cancels slow drift — each
+/// traced sample is compared against the untraced sample taken right
+/// next to it. Can come out negative on a noisy box; the comparator
+/// only gates the upper budget.
+fn measure_overhead(catalog: &Catalog, opts: &SuiteOptions) -> f64 {
+    let plan = q3_engine_plan();
+    let dag = plan.to_plan_dag();
+    let config = MatConfig::all(&dag);
+    let injector = FailureInjector::none();
+    let batch = |rec: &dyn Recorder| -> f64 {
+        let t0 = Instant::now();
+        for _ in 0..opts.overhead_batch {
+            let _ = run_query_resumable_traced(
+                &plan,
+                &config,
+                catalog,
+                &injector,
+                &RunOptions::default(),
+                &MemBackend::new(),
+                None,
+                rec,
+            );
+        }
+        t0.elapsed().as_micros() as f64
+    };
+    // One throwaway pair warms code and allocator paths.
+    let _ = (batch(&NoopRecorder), batch(&MemoryRecorder::new()));
+    let mut ratios = Vec::with_capacity(opts.overhead_pairs);
+    for i in 0..opts.overhead_pairs {
+        // Alternate which side of the pair runs first so systematic
+        // first-runner effects cancel over the pair set.
+        let (u, t) = if i % 2 == 0 {
+            let u = batch(&NoopRecorder);
+            (u, batch(&MemoryRecorder::new()))
+        } else {
+            let t = batch(&MemoryRecorder::new());
+            (batch(&NoopRecorder), t)
+        };
+        ratios.push((t - u) / u * 100.0);
+    }
+    Stats::of(&ratios).p50
+}
+
+/// Runs the full engine suite.
+pub fn run_engine_suite(opts: &SuiteOptions) -> EngineDoc {
+    let catalog = load_catalog(&Database::generate(opts.sf, opts.seed), opts.nodes);
+    let mut seeds = SmallRng::seed_from_u64(opts.seed);
+    let mut cases = Vec::new();
+    for (query, plan) in engine_queries() {
+        let dag = plan.to_plan_dag();
+        for spec in ["none", "best", "all"] {
+            let config = mat_config(spec, &dag, opts.nodes);
+            let roots = stage_roots(&dag, &config);
+            for backend in ["mem", "disk"] {
+                for failures in [false, true] {
+                    cases.push(run_engine_case(
+                        query, spec, backend, failures, &plan, &config, &catalog, &roots, opts,
+                        &mut seeds,
+                    ));
+                }
+            }
+        }
+    }
+    let store = store_micro::run()
+        .into_iter()
+        .map(|p| StoreCase {
+            backend: p.backend.to_string(),
+            row_width: p.width,
+            mb_written: p.bytes as f64 / 1e6,
+            write_mb_per_s: p.write_bytes_per_s.map(|b| b / 1e6),
+            read_mb_per_s: p.read_bytes_per_s.map(|b| b / 1e6),
+        })
+        .collect();
+    EngineDoc {
+        schema_version: SCHEMA_VERSION,
+        suite: ENGINE_SUITE.to_string(),
+        seed: opts.seed,
+        repeats: opts.repeats,
+        warmup: opts.warmup,
+        nodes: opts.nodes,
+        sf: opts.sf,
+        host: HostInfo::current(),
+        overhead_pct: measure_overhead(&catalog, opts),
+        cases,
+        store,
+    }
+}
+
+/// Runs the search suite.
+pub fn run_search_suite(opts: &SuiteOptions) -> SearchDoc {
+    let cm = CostModel::xdb_calibrated();
+    let cluster = ClusterConfig::paper_cluster(mtbf::HOUR);
+    let params = Scheme::cost_params(&cluster);
+    let mut cases = Vec::new();
+    for query in [Query::Q1, Query::Q3, Query::Q5] {
+        let plan = query.plan(opts.search_sf, &cm);
+        for (pruning, popts) in [("all", PruneOptions::default()), ("none", PruneOptions::none())] {
+            let mut walls = Vec::with_capacity(opts.repeats.max(1));
+            let mut stats = None;
+            for _ in 0..opts.warmup {
+                let _ = find_best_ft_plan(std::slice::from_ref(&plan), &params, &popts);
+            }
+            for _ in 0..opts.repeats.max(1) {
+                let t0 = Instant::now();
+                let (_, s) = find_best_ft_plan(std::slice::from_ref(&plan), &params, &popts)
+                    .expect("costed TPC-H plans are valid candidates");
+                walls.push(t0.elapsed().as_micros() as f64);
+                stats = Some(s);
+            }
+            let s = stats.expect("at least one repeat ran");
+            let pruned = s.configs_skipped() as f64 + 0.5 * s.rule3_stops() as f64;
+            cases.push(SearchCase {
+                query: format!("{query:?}"),
+                pruning: pruning.to_string(),
+                wall_us: Stats::of(&walls),
+                configs_unpruned: s.configs_unpruned,
+                configs_explored: s.configs_explored,
+                configs_pruned_rule1: s.configs_pruned_rule1,
+                configs_pruned_rule2: s.configs_pruned_rule2,
+                rule3_stops: s.rule3_stops(),
+                memo_hits: s.rule3_memo_stops,
+                paths_costed: s.paths_costed,
+                pruning_rate_pct: pruned / s.configs_unpruned as f64 * 100.0,
+            });
+        }
+    }
+    SearchDoc {
+        schema_version: SCHEMA_VERSION,
+        suite: SEARCH_SUITE.to_string(),
+        seed: opts.seed,
+        repeats: opts.repeats.max(1),
+        sf: opts.search_sf,
+        host: HostInfo::current(),
+        cases,
+    }
+}
+
+/// One detected regression.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Regression {
+    /// Case key (e.g. `Q3/all/disk/failures` or `Q5/prune=all`).
+    pub case: String,
+    /// The regressed metric.
+    pub metric: String,
+    /// Baseline value.
+    pub old: f64,
+    /// New value.
+    pub new: f64,
+    /// Relative change in percent (positive = worse).
+    pub change_pct: f64,
+}
+
+impl Regression {
+    /// One-line human rendering.
+    pub fn render(&self) -> String {
+        format!(
+            "REGRESSION {}: {} {:.3} -> {:.3} ({:+.1}%)",
+            self.case, self.metric, self.old, self.new, self.change_pct
+        )
+    }
+}
+
+/// Absolute slack added to wall-time gates, microseconds. The suite's
+/// engine cases run in single-digit milliseconds, where OS scheduler
+/// jitter alone swings samples by more than any sane relative tolerance;
+/// a couple of milliseconds of slack absorbs that without masking real
+/// regressions on runs long enough to measure.
+pub const WALL_SLACK_US: f64 = 2_000.0;
+
+/// Flags `new > old * (1 + tol) + slack` (for higher-is-worse metrics).
+fn worse_up(
+    case: &str,
+    metric: &str,
+    old: f64,
+    new: f64,
+    tol_pct: f64,
+    slack: f64,
+    out: &mut Vec<Regression>,
+) {
+    if old > 0.0 && new > old * (1.0 + tol_pct / 100.0) + slack {
+        out.push(Regression {
+            case: case.to_string(),
+            metric: metric.to_string(),
+            old,
+            new,
+            change_pct: (new - old) / old * 100.0,
+        });
+    }
+}
+
+/// Flags `new < old * (1 - tol)` (for higher-is-better metrics).
+fn worse_down(
+    case: &str,
+    metric: &str,
+    old: f64,
+    new: f64,
+    tol_pct: f64,
+    out: &mut Vec<Regression>,
+) {
+    if old > 0.0 && new < old * (1.0 - tol_pct / 100.0) {
+        out.push(Regression {
+            case: case.to_string(),
+            metric: metric.to_string(),
+            old,
+            new,
+            change_pct: (new - old) / old * 100.0,
+        });
+    }
+}
+
+/// Flags a case present in the baseline but absent from the new run —
+/// silently dropping coverage must fail the gate like a slowdown would.
+fn missing(case: &str, out: &mut Vec<Regression>) {
+    out.push(Regression {
+        case: case.to_string(),
+        metric: "case missing from new run".to_string(),
+        old: 1.0,
+        new: 0.0,
+        change_pct: -100.0,
+    });
+}
+
+/// Compares two engine documents; returns every regression beyond
+/// `tol_pct`.
+pub fn compare_engine(old: &EngineDoc, new: &EngineDoc, tol_pct: f64) -> Vec<Regression> {
+    let mut out = Vec::new();
+    if old.schema_version != new.schema_version {
+        out.push(Regression {
+            case: "document".to_string(),
+            metric: "schema_version mismatch".to_string(),
+            old: f64::from(old.schema_version),
+            new: f64::from(new.schema_version),
+            change_pct: 0.0,
+        });
+        return out;
+    }
+    for oc in &old.cases {
+        let key = oc.key();
+        let Some(nc) = new.cases.iter().find(|c| c.key() == key) else {
+            missing(&key, &mut out);
+            continue;
+        };
+        worse_up(
+            &key,
+            "wall_us.p50",
+            oc.wall_us.p50,
+            nc.wall_us.p50,
+            tol_pct,
+            WALL_SLACK_US,
+            &mut out,
+        );
+        // A p99 of fewer than five samples is just the max of a noisy
+        // handful — only gate it when both sides measured enough repeats.
+        if oc.wall_us.count >= 5 && nc.wall_us.count >= 5 {
+            worse_up(
+                &key,
+                "wall_us.p99",
+                oc.wall_us.p99,
+                nc.wall_us.p99,
+                tol_pct * 2.0,
+                WALL_SLACK_US,
+                &mut out,
+            );
+        }
+    }
+    for os in &old.store {
+        let key = os.key();
+        let Some(ns) = new.store.iter().find(|s| s.key() == key) else {
+            missing(&key, &mut out);
+            continue;
+        };
+        // Only the disk backend's throughput is gated: it is the measured
+        // `tm(o)` of the paper's cost model, and real I/O makes it a
+        // stable signal. The mem workload finishes in microseconds, where
+        // clock granularity swings the quotient by integer factors — it
+        // stays in the document as context but cannot gate.
+        if os.backend != "disk" {
+            continue;
+        }
+        if let (Some(o), Some(n)) = (os.write_mb_per_s, ns.write_mb_per_s) {
+            worse_down(&key, "write_mb_per_s", o, n, tol_pct, &mut out);
+        }
+        if let (Some(o), Some(n)) = (os.read_mb_per_s, ns.read_mb_per_s) {
+            worse_down(&key, "read_mb_per_s", o, n, tol_pct, &mut out);
+        }
+    }
+    // The instrumentation budget is an absolute gate (< 5% on the mem
+    // backend), scaled by the tolerance so smoke runs on noisy CI
+    // runners don't flake.
+    let budget = 5.0 * (1.0 + tol_pct / 100.0);
+    if new.overhead_pct > budget {
+        out.push(Regression {
+            case: "instrumentation".to_string(),
+            metric: format!("overhead_pct above budget {budget:.1}"),
+            old: old.overhead_pct,
+            new: new.overhead_pct,
+            change_pct: new.overhead_pct - old.overhead_pct,
+        });
+    }
+    out
+}
+
+/// Compares two search documents; returns every regression beyond
+/// `tol_pct`. Wall time is tolerance-gated; the deterministic counters
+/// (explored configs, costed paths) regress on *any* increase beyond
+/// tolerance, and the pruning rate on any drop beyond a tenth of it —
+/// those only move when the search itself changed.
+pub fn compare_search(old: &SearchDoc, new: &SearchDoc, tol_pct: f64) -> Vec<Regression> {
+    let mut out = Vec::new();
+    if old.schema_version != new.schema_version {
+        out.push(Regression {
+            case: "document".to_string(),
+            metric: "schema_version mismatch".to_string(),
+            old: f64::from(old.schema_version),
+            new: f64::from(new.schema_version),
+            change_pct: 0.0,
+        });
+        return out;
+    }
+    for oc in &old.cases {
+        let key = oc.key();
+        let Some(nc) = new.cases.iter().find(|c| c.key() == key) else {
+            missing(&key, &mut out);
+            continue;
+        };
+        worse_up(
+            &key,
+            "wall_us.p50",
+            oc.wall_us.p50,
+            nc.wall_us.p50,
+            tol_pct,
+            WALL_SLACK_US,
+            &mut out,
+        );
+        let counter_tol = (tol_pct / 10.0).max(1.0);
+        worse_up(
+            &key,
+            "configs_explored",
+            oc.configs_explored as f64,
+            nc.configs_explored as f64,
+            counter_tol,
+            0.0,
+            &mut out,
+        );
+        worse_up(
+            &key,
+            "paths_costed",
+            oc.paths_costed as f64,
+            nc.paths_costed as f64,
+            counter_tol,
+            0.0,
+            &mut out,
+        );
+        worse_down(
+            &key,
+            "pruning_rate_pct",
+            oc.pruning_rate_pct,
+            nc.pruning_rate_pct,
+            counter_tol,
+            &mut out,
+        );
+    }
+    out
+}
+
+/// Compares two parsed documents of the same kind.
+///
+/// # Errors
+/// Returns a description when the documents are of different kinds.
+pub fn compare(old: &BenchDoc, new: &BenchDoc, tol_pct: f64) -> Result<Vec<Regression>, String> {
+    match (old, new) {
+        (BenchDoc::Engine(o), BenchDoc::Engine(n)) => Ok(compare_engine(o, n, tol_pct)),
+        (BenchDoc::Search(o), BenchDoc::Search(n)) => Ok(compare_search(o, n, tol_pct)),
+        _ => Err("cannot compare an engine document against a search document".to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SuiteOptions {
+        SuiteOptions {
+            repeats: 1,
+            warmup: 0,
+            overhead_pairs: 1,
+            overhead_batch: 1,
+            ..SuiteOptions::default()
+        }
+    }
+
+    #[test]
+    fn stats_quantiles_are_exact_on_small_samples() {
+        let s = Stats::of(&[3.0, 1.0, 2.0]);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.p50, 2.0);
+        assert_eq!(s.mean, 2.0);
+        let one = Stats::of(&[7.0]);
+        assert_eq!(one.p50, 7.0);
+        assert_eq!(one.p99, 7.0);
+    }
+
+    #[test]
+    fn engine_suite_covers_the_full_matrix_and_round_trips() {
+        let doc = run_engine_suite(&tiny());
+        assert_eq!(doc.schema_version, SCHEMA_VERSION);
+        assert_eq!(doc.suite, ENGINE_SUITE);
+        // 3 queries × 3 configs × 2 backends × 2 failure modes.
+        assert_eq!(doc.cases.len(), 36);
+        let keys: std::collections::BTreeSet<String> =
+            doc.cases.iter().map(EngineCase::key).collect();
+        assert_eq!(keys.len(), 36, "case keys must be unique");
+        assert!(keys.contains("Q3/all/disk/failures"));
+        for c in &doc.cases {
+            assert!(c.wall_us.p50 > 0.0, "{}: no wall time", c.key());
+            assert!(!c.stages.is_empty(), "{}: no stage stats", c.key());
+            assert!(c.wall_us.p50 <= c.wall_us.p99, "{}: quantiles not monotone", c.key());
+        }
+        // Failure-injected fine-grained cases actually retried.
+        let faulty = doc.cases.iter().find(|c| c.key() == "Q3/all/mem/failures").unwrap();
+        assert!(faulty.node_retries > 0.0);
+        assert!(!doc.store.is_empty());
+        let json = serde_json::to_string_pretty(&doc).unwrap();
+        match parse_doc(&json).unwrap() {
+            BenchDoc::Engine(back) => assert_eq!(back, doc),
+            BenchDoc::Search(_) => panic!("round-tripped into the wrong kind"),
+        }
+    }
+
+    #[test]
+    fn search_suite_reports_pruning_effect_and_round_trips() {
+        let doc = run_search_suite(&tiny());
+        assert_eq!(doc.suite, SEARCH_SUITE);
+        assert_eq!(doc.cases.len(), 6);
+        for q in ["Q1", "Q3", "Q5"] {
+            let all = doc.cases.iter().find(|c| c.key() == format!("{q}/prune=all")).unwrap();
+            let none = doc.cases.iter().find(|c| c.key() == format!("{q}/prune=none")).unwrap();
+            // The unpruned space is pruning-invariant; exploration with
+            // rules enabled never exceeds exploration without them.
+            assert_eq!(all.configs_unpruned, none.configs_unpruned);
+            assert!(all.configs_explored <= none.configs_explored);
+            assert_eq!(none.pruning_rate_pct, 0.0);
+            assert!(all.pruning_rate_pct >= 0.0);
+        }
+        let json = serde_json::to_string_pretty(&doc).unwrap();
+        match parse_doc(&json).unwrap() {
+            BenchDoc::Search(back) => assert_eq!(back, doc),
+            BenchDoc::Engine(_) => panic!("round-tripped into the wrong kind"),
+        }
+    }
+
+    #[test]
+    fn comparator_flags_injected_regressions_and_passes_identity() {
+        let mut doc = run_engine_suite(&tiny());
+        // A single unwarmed pair measures overhead too noisily to trust
+        // the absolute budget gate in a unit test; pin it so the
+        // comparator checks below are deterministic.
+        doc.overhead_pct = 1.0;
+        // Scale wall times from the tiny run's milliseconds up to
+        // seconds so the jitter slack is negligible against the
+        // injected relative changes below.
+        for c in &mut doc.cases {
+            c.wall_us.mean *= 1e4;
+            c.wall_us.min *= 1e4;
+            c.wall_us.max *= 1e4;
+            c.wall_us.p50 *= 1e4;
+            c.wall_us.p90 *= 1e4;
+            c.wall_us.p99 *= 1e4;
+        }
+        assert!(compare_engine(&doc, &doc, 10.0).is_empty(), "identity must pass");
+
+        // Inject a 3x wall-time regression into one case.
+        let mut slower = doc.clone();
+        let c = &mut slower.cases[0];
+        let key = c.key();
+        c.wall_us.p50 *= 3.0;
+        c.wall_us.p99 *= 3.0;
+        let regs = compare_engine(&doc, &slower, 25.0);
+        assert!(
+            regs.iter().any(|r| r.case == key && r.metric == "wall_us.p50"),
+            "3x p50 must regress: {regs:?}"
+        );
+        // Within tolerance: a 3x change passes a 300% gate.
+        assert!(compare_engine(&doc, &slower, 300.0).is_empty());
+
+        // A dropped case is a regression.
+        let mut dropped = doc.clone();
+        dropped.cases.remove(0);
+        assert!(compare_engine(&doc, &dropped, 25.0).iter().any(|r| r.metric.contains("missing")));
+
+        // Store throughput collapse is a regression (gated on the disk
+        // backend only — mem intervals are too short to time reliably).
+        let mut slow_store = doc.clone();
+        if let Some(p) =
+            slow_store.store.iter_mut().find(|s| s.backend == "disk" && s.write_mb_per_s.is_some())
+        {
+            p.write_mb_per_s = p.write_mb_per_s.map(|v| v / 10.0);
+        }
+        assert!(compare_engine(&doc, &slow_store, 25.0)
+            .iter()
+            .any(|r| r.metric == "write_mb_per_s"));
+
+        // Blowing the instrumentation budget is a regression.
+        let mut heavy = doc.clone();
+        heavy.overhead_pct = 50.0;
+        assert!(compare_engine(&doc, &heavy, 25.0)
+            .iter()
+            .any(|r| r.metric.contains("overhead_pct")));
+    }
+
+    #[test]
+    fn search_comparator_flags_counter_increases() {
+        let doc = run_search_suite(&tiny());
+        assert!(compare_search(&doc, &doc, 10.0).is_empty());
+        let mut worse = doc.clone();
+        worse.cases[0].paths_costed *= 4;
+        worse.cases[0].pruning_rate_pct = 0.0;
+        let regs = compare_search(&doc, &worse, 25.0);
+        assert!(regs.iter().any(|r| r.metric == "paths_costed"), "{regs:?}");
+    }
+
+    #[test]
+    fn comparator_refuses_cross_kind_and_cross_schema() {
+        let old = run_engine_suite(&tiny());
+        let engine = BenchDoc::Engine(old.clone());
+        let search = BenchDoc::Search(run_search_suite(&tiny()));
+        assert!(compare(&engine, &search, 10.0).is_err());
+        let mut newer = old.clone();
+        newer.schema_version += 1;
+        let regs = compare_engine(&old, &newer, 10.0);
+        assert!(regs.iter().any(|r| r.metric.contains("schema_version")));
+    }
+}

@@ -319,6 +319,24 @@ pub fn find_best_ft_plan_traced(
     #[cfg(feature = "invariant-checks")]
     crate::invariant::check_search_stats(&stats);
 
+    // Always-on metrics: fold this search's counters into the
+    // process-global registry so optimizer activity (expansion, pruning,
+    // memo effectiveness) is visible even with a no-op recorder.
+    let g = ftpde_obs::global();
+    g.counter_add("search.runs_total", 1);
+    g.counter_add("search.plans_considered_total", stats.plans_considered);
+    g.counter_add("search.configs_unpruned_total", stats.configs_unpruned);
+    g.counter_add("search.configs_enumerated_total", stats.configs_enumerated);
+    g.counter_add("search.configs_explored_total", stats.configs_explored);
+    g.counter_add("search.configs_pruned_rule1_total", stats.configs_pruned_rule1);
+    g.counter_add("search.configs_pruned_rule2_total", stats.configs_pruned_rule2);
+    g.counter_add("search.rule3_stops_total", stats.rule3_stops());
+    g.counter_add("search.memo_hits_total", stats.rule3_memo_stops);
+    g.counter_add("search.paths_examined_total", stats.paths_examined);
+    g.counter_add("search.paths_costed_total", stats.paths_costed);
+    g.counter_add("search.best_updates_total", stats.best_updates);
+    g.observe("search.seconds", t0.elapsed().as_secs_f64());
+
     rec.record_with(|| {
         Event::span("find_best_ft_plan", "search", 0, now_us())
             .arg("plans", stats.plans_considered)

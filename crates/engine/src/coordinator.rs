@@ -238,6 +238,10 @@ pub fn run_query_resumable_traced(
     let stats_at_start = store.stats();
     let t0 = Instant::now();
     let now_us = move || t0.elapsed().as_micros() as u64;
+    // Always-on metrics: the run is visible in the process-global
+    // registry even when `rec` is a no-op. Per-query totals fold in at
+    // the single `report` choke point below.
+    ftpde_obs::global().counter_add("engine.queries_total", 1);
 
     if let Some(p) = pred {
         rec.record_with(|| {
@@ -263,6 +267,22 @@ pub fn run_query_resumable_traced(
                   stage_timings: Vec<StageTiming>,
                   node_retries: u64| {
         let stats = store.stats();
+        let g = ftpde_obs::global();
+        g.counter_add("engine.node_retries_total", node_retries);
+        g.counter_add("engine.query_restarts_total", u64::from(query_restarts));
+        g.counter_add("engine.stages_skipped_total", stages_skipped);
+        g.counter_add("engine.segments_corrupt_total", segments_corrupt);
+        if aborted {
+            g.counter_add("engine.queries_aborted_total", 1);
+        }
+        g.observe("engine.query_seconds", t0.elapsed().as_secs_f64());
+        let executed = stage_timings.iter().filter(|t| !t.skipped);
+        let mut stages_total = 0u64;
+        for t in executed {
+            stages_total += 1;
+            g.observe("engine.stage_seconds", t.wall_us as f64 / 1e6);
+        }
+        g.counter_add("engine.stages_total", stages_total);
         RunReport {
             results,
             node_retries,
@@ -331,6 +351,7 @@ pub fn run_query_resumable_traced(
                         .arg("producer", producer)
                 });
                 input_recoveries += 1;
+                ftpde_obs::global().counter_add("engine.input_rewinds_total", 1);
                 assert!(
                     input_recoveries < 10_000,
                     "storage keeps corrupting faster than stages re-execute"

@@ -116,40 +116,136 @@ fn prom_f64(v: f64) -> String {
     }
 }
 
+/// Escapes a Prometheus label value (backslash, double quote, newline).
+fn prom_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// The exported metric kinds, in emission order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum PromKind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl PromKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            PromKind::Counter => "counter",
+            PromKind::Gauge => "gauge",
+            PromKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// Groups one kind's metrics into families keyed by sanitized name. Each
+/// family keeps the original names of every metric that mapped onto it.
+fn prom_families<T>(
+    metrics: &[(String, T)],
+) -> std::collections::BTreeMap<String, Vec<(&str, &T)>> {
+    let mut families: std::collections::BTreeMap<String, Vec<(&str, &T)>> = Default::default();
+    for (name, value) in metrics {
+        families.entry(prom_name(name)).or_default().push((name.as_str(), value));
+    }
+    families
+}
+
 /// Serializes a [`MetricsSnapshot`] in the Prometheus text exposition
 /// format (version 0.0.4).
 ///
 /// Counters export as `counter`, gauges as `gauge`, histograms as
 /// `histogram` with cumulative `_bucket{le="..."}` series (bucket upper
 /// bounds are the log-bucket upper edges `2^(i-39)`), a `+Inf` bucket,
-/// `_sum` and `_count`. Each metric gets exactly one `# TYPE` line; names
-/// are sanitized to the Prometheus charset.
+/// `_sum` and `_count`. Every exported family gets exactly one `# HELP`
+/// line (naming the original, unsanitized metric) and one `# TYPE` line.
+///
+/// Sanitization can make distinct metric names collide (`a.b` and `a-b`
+/// both map to `a_b`). Collisions stay valid exposition text: within a
+/// kind, colliding metrics share one family and each sample carries a
+/// `name="<original>"` label so series remain distinct; across kinds,
+/// the family name gets a `_counter`/`_gauge`/`_histogram` suffix so no
+/// family is declared with two types.
 pub fn to_prometheus(snapshot: &MetricsSnapshot) -> String {
     use crate::metrics::HistogramSnapshot;
 
-    let mut out = String::new();
-    for (name, value) in &snapshot.counters {
-        let n = prom_name(name);
-        let _ = writeln!(out, "# TYPE {n} counter");
-        let _ = writeln!(out, "{n} {value}");
+    let counters = prom_families(&snapshot.counters);
+    let gauges = prom_families(&snapshot.gauges);
+    let histograms = prom_families(&snapshot.histograms);
+
+    // A sanitized name claimed by more than one kind must fork into
+    // per-kind families: one name cannot carry two `# TYPE`s.
+    let mut kinds: std::collections::BTreeMap<&str, u32> = Default::default();
+    for fam in counters.keys().chain(gauges.keys()).chain(histograms.keys()) {
+        *kinds.entry(fam).or_insert(0) += 1;
     }
-    for (name, value) in &snapshot.gauges {
-        let n = prom_name(name);
-        let _ = writeln!(out, "# TYPE {n} gauge");
-        let _ = writeln!(out, "{n} {}", prom_f64(*value));
-    }
-    for (name, h) in &snapshot.histograms {
-        let n = prom_name(name);
-        let _ = writeln!(out, "# TYPE {n} histogram");
-        let mut cum = 0u64;
-        for &(i, c) in &h.buckets {
-            cum += c;
-            let (_, hi) = HistogramSnapshot::bucket_bounds(i);
-            let _ = writeln!(out, "{n}_bucket{{le=\"{}\"}} {cum}", prom_f64(hi));
+    let family_name = |fam: &str, kind: PromKind| -> String {
+        if kinds.get(fam).copied().unwrap_or(0) > 1 {
+            format!("{fam}_{}", kind.as_str())
+        } else {
+            fam.to_owned()
         }
-        let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
-        let _ = writeln!(out, "{n}_sum {}", prom_f64(h.sum));
-        let _ = writeln!(out, "{n}_count {}", h.count);
+    };
+    // HELP text: the original name(s) the family aggregates.
+    let help = |originals: &[&str]| originals.join(", ");
+    // Sample label: empty for a one-metric family, `{name="orig"}` (or a
+    // `name="orig",` prefix inside an existing label set) otherwise.
+    let name_label = |orig: &str, solo: bool| -> String {
+        if solo {
+            String::new()
+        } else {
+            format!("name=\"{}\"", prom_label_value(orig))
+        }
+    };
+
+    let mut out = String::new();
+    for (fam, members) in &counters {
+        let n = family_name(fam, PromKind::Counter);
+        let originals: Vec<&str> = members.iter().map(|(o, _)| *o).collect();
+        let _ = writeln!(out, "# HELP {n} {}", help(&originals));
+        let _ = writeln!(out, "# TYPE {n} counter");
+        for (orig, value) in members {
+            let label = name_label(orig, members.len() == 1);
+            if label.is_empty() {
+                let _ = writeln!(out, "{n} {value}");
+            } else {
+                let _ = writeln!(out, "{n}{{{label}}} {value}");
+            }
+        }
+    }
+    for (fam, members) in &gauges {
+        let n = family_name(fam, PromKind::Gauge);
+        let originals: Vec<&str> = members.iter().map(|(o, _)| *o).collect();
+        let _ = writeln!(out, "# HELP {n} {}", help(&originals));
+        let _ = writeln!(out, "# TYPE {n} gauge");
+        for (orig, value) in members {
+            let label = name_label(orig, members.len() == 1);
+            if label.is_empty() {
+                let _ = writeln!(out, "{n} {}", prom_f64(**value));
+            } else {
+                let _ = writeln!(out, "{n}{{{label}}} {}", prom_f64(**value));
+            }
+        }
+    }
+    for (fam, members) in &histograms {
+        let n = family_name(fam, PromKind::Histogram);
+        let originals: Vec<&str> = members.iter().map(|(o, _)| *o).collect();
+        let _ = writeln!(out, "# HELP {n} {}", help(&originals));
+        let _ = writeln!(out, "# TYPE {n} histogram");
+        for (orig, h) in members {
+            let label = name_label(orig, members.len() == 1);
+            let prefix = if label.is_empty() { String::new() } else { format!("{label},") };
+            let suffix = if label.is_empty() { String::new() } else { format!("{{{label}}}") };
+            let mut cum = 0u64;
+            for &(i, c) in &h.buckets {
+                cum += c;
+                let (_, hi) = HistogramSnapshot::bucket_bounds(i);
+                let _ = writeln!(out, "{n}_bucket{{{prefix}le=\"{}\"}} {cum}", prom_f64(hi));
+            }
+            let _ = writeln!(out, "{n}_bucket{{{prefix}le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "{n}_sum{suffix} {}", prom_f64(h.sum));
+            let _ = writeln!(out, "{n}_count{suffix} {}", h.count);
+        }
     }
     out
 }
@@ -245,6 +341,24 @@ mod tests {
         assert!(text.contains("search_memo_hits 42\n"));
         assert!(text.contains("sim_overhead_pct 12.5\n"));
 
+        // Every exported family carries a HELP line naming the original
+        // (unsanitized) metric, immediately before its TYPE line.
+        let help_lines: Vec<&str> = text.lines().filter(|l| l.starts_with("# HELP ")).collect();
+        assert_eq!(
+            help_lines,
+            vec![
+                "# HELP search_memo_hits search.memo_hits",
+                "# HELP sim_overhead_pct sim.overhead_pct",
+                "# HELP engine_stage_seconds engine.stage_seconds",
+            ]
+        );
+        let lines: Vec<&str> = text.lines().collect();
+        for (i, l) in lines.iter().enumerate() {
+            if l.starts_with("# HELP ") {
+                assert!(lines[i + 1].starts_with("# TYPE "), "HELP not followed by TYPE: {l}");
+            }
+        }
+
         // Histogram buckets are cumulative and monotone, ending at +Inf
         // with the total count; _sum and _count close the family.
         let cums: Vec<u64> = text
@@ -272,6 +386,81 @@ mod tests {
     fn prometheus_export_of_empty_snapshot_is_empty() {
         let snap = MetricsSnapshot::default();
         assert_eq!(to_prometheus(&snap), "");
+    }
+
+    /// Distinct metric names that sanitize onto the same family must not
+    /// produce duplicate series: within a kind they share one
+    /// HELP/TYPE and are told apart by a `name` label.
+    #[test]
+    fn prometheus_within_kind_collisions_get_name_labels() {
+        use crate::metrics::MetricsRegistry;
+
+        let reg = MetricsRegistry::new();
+        reg.counter_add("store.put.bytes", 10);
+        reg.counter_add("store.put bytes", 32); // both sanitize to store_put_bytes
+        let text = to_prometheus(&reg.snapshot());
+
+        assert_eq!(text.matches("# TYPE store_put_bytes counter").count(), 1);
+        assert!(text.contains("# HELP store_put_bytes store.put bytes, store.put.bytes\n"));
+        assert!(text.contains("store_put_bytes{name=\"store.put bytes\"} 32\n"));
+        assert!(text.contains("store_put_bytes{name=\"store.put.bytes\"} 10\n"));
+        // No unlabeled (ambiguous) sample remains.
+        assert!(!text.contains("\nstore_put_bytes 1"));
+    }
+
+    /// A sanitized name claimed by two kinds cannot share one family
+    /// (one name, two `# TYPE`s is invalid exposition text): each kind
+    /// forks off with a kind suffix.
+    #[test]
+    fn prometheus_cross_kind_collisions_fork_families() {
+        use crate::metrics::MetricsRegistry;
+
+        let reg = MetricsRegistry::new();
+        reg.counter_add("engine.retries", 3);
+        reg.gauge_set("engine-retries", 1.5); // sanitizes to engine_retries too
+        reg.observe("engine retries", 0.5); // and so does this histogram
+        let text = to_prometheus(&reg.snapshot());
+
+        assert!(text.contains("# TYPE engine_retries_counter counter\n"));
+        assert!(text.contains("# TYPE engine_retries_gauge gauge\n"));
+        assert!(text.contains("# TYPE engine_retries_histogram histogram\n"));
+        assert!(!text.contains("# TYPE engine_retries counter"));
+        assert!(!text.contains("# TYPE engine_retries gauge"));
+        assert!(text.contains("engine_retries_counter 3\n"));
+        assert!(text.contains("engine_retries_gauge 1.5\n"));
+        assert!(text.contains("engine_retries_histogram_count 1\n"));
+        // No family name is declared with two types.
+        let mut families = std::collections::HashMap::new();
+        for l in text.lines().filter(|l| l.starts_with("# TYPE ")) {
+            let mut parts = l.split(' ').skip(2);
+            let fam = parts.next().unwrap();
+            let kind = parts.next().unwrap();
+            assert!(families.insert(fam, kind).is_none(), "family {fam} declared twice");
+        }
+    }
+
+    /// Histograms in a colliding family keep the `name` label on every
+    /// series (`_bucket`, `_sum`, `_count`) alongside `le`.
+    #[test]
+    fn prometheus_histogram_collisions_label_all_series() {
+        use crate::metrics::MetricsRegistry;
+
+        let reg = MetricsRegistry::new();
+        reg.observe("put.seconds", 1.0);
+        reg.observe("put-seconds", 4.0);
+        let text = to_prometheus(&reg.snapshot());
+
+        assert_eq!(text.matches("# TYPE put_seconds histogram").count(), 1);
+        assert!(text.contains("put_seconds_bucket{name=\"put-seconds\",le=\"8\"} 1\n"));
+        assert!(text.contains("put_seconds_bucket{name=\"put.seconds\",le=\"2\"} 1\n"));
+        assert!(text.contains("put_seconds_bucket{name=\"put-seconds\",le=\"+Inf\"} 1\n"));
+        assert!(text.contains("put_seconds_sum{name=\"put.seconds\"} 1\n"));
+        assert!(text.contains("put_seconds_count{name=\"put-seconds\"} 1\n"));
+    }
+
+    #[test]
+    fn prometheus_label_values_are_escaped() {
+        assert_eq!(prom_label_value("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
     }
 
     #[test]

@@ -10,7 +10,11 @@
 //!   discrete-event simulator) record through the same interface.
 //! - **Metrics** ([`metrics`]): a registry of named counters, gauges and
 //!   log-bucketed histograms whose [`metrics::MetricsSnapshot`] is
-//!   serde-serializable for export and assertion in tests.
+//!   serde-serializable for export and assertion in tests. Updates are
+//!   lock-free (sharded atomic counters, atomic histograms), cheap
+//!   enough that the process-global registry behind [`metrics::global`]
+//!   is always on — the engine, store, optimizer search and simulator
+//!   record into it even when no event recorder is attached.
 //! - **Exporters** ([`export`]): JSONL event logs (one JSON object per
 //!   line), Chrome trace-event JSON loadable in `chrome://tracing` /
 //!   Perfetto, and the Prometheus text exposition format for metric
@@ -46,6 +50,9 @@ pub use calibrate::{
     BlameBreakdown, CalibrationReport, ErrorStats, QueryCalibration, StageCalibration,
 };
 pub use event::{ArgValue, Event, Phase};
-pub use metrics::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use metrics::{
+    global, AtomicHistogram, Counter, Gauge, HistogramHandle, HistogramSnapshot, MetricsRegistry,
+    MetricsSnapshot, MutexHistogram, ShardedCounter,
+};
 pub use recorder::{MemoryRecorder, NoopRecorder, Recorder};
 pub use report::{metrics_summary, Summary};

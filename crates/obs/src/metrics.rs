@@ -1,10 +1,33 @@
-//! A small metrics registry: named counters, gauges and log-bucketed
-//! histograms, safe to update from worker threads, snapshot-able into a
-//! serde-serializable value for export or test assertions.
+//! Always-on metrics: named counters, gauges and log-bucketed histograms,
+//! cheap enough to leave enabled in every build.
+//!
+//! Two layers:
+//!
+//! - **Lock-free primitives** — [`ShardedCounter`] (per-thread striped
+//!   atomic counters so concurrent `add`s don't bounce one cache line),
+//!   [`AtomicF64`] (CAS on the bit pattern) and [`AtomicHistogram`]
+//!   (one relaxed `fetch_add` per observation into fixed power-of-two
+//!   buckets, plus CAS-maintained sum/min/max). A [`MutexHistogram`]
+//!   reference implementation with identical snapshots is kept for
+//!   differential tests.
+//! - **The registry** — [`MetricsRegistry`] maps names to primitives
+//!   behind a read-mostly `RwLock`: the first touch of a name takes the
+//!   write lock once; every later update is a read-lock + atomic op. Hot
+//!   paths should resolve a [`Counter`] / [`Gauge`] / [`HistogramHandle`]
+//!   once and update through it with no locking or lookup at all.
+//!
+//! The process-global registry behind [`global()`] is what the engine
+//! coordinator, the store backends, the optimizer search and the
+//! simulator instrument unconditionally — metrics exist even when no
+//! JSONL recorder is attached to a run. Snapshots
+//! ([`MetricsSnapshot`]) are serde-serializable for export
+//! (`export::to_prometheus`) or test assertions.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 
 /// Number of power-of-two histogram buckets. Bucket `i` covers values in
@@ -14,10 +37,189 @@ const BUCKETS: usize = 80;
 /// (down to ~1e-12, enough for microsecond fractions of a second) and
 /// forty above (up to ~1e12).
 const OFFSET: i32 = 40;
+/// Stripes per [`ShardedCounter`]; must be a power of two.
+const SHARDS: usize = 16;
 
 fn bucket_index(value: f64) -> usize {
     let v = value.max(1e-300);
     (v.log2().floor() as i32 + OFFSET).clamp(0, BUCKETS as i32 - 1) as usize
+}
+
+/// A small stable per-thread index, assigned on first use.
+fn shard_index() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static IDX: usize = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    IDX.with(|i| *i) & (SHARDS - 1)
+}
+
+/// An `f64` updated atomically via CAS on its bit pattern.
+#[derive(Debug)]
+pub struct AtomicF64(AtomicU64);
+
+impl AtomicF64 {
+    /// A new cell holding `v`.
+    pub fn new(v: f64) -> Self {
+        AtomicF64(AtomicU64::new(v.to_bits()))
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    /// Last-write-wins store.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Atomically adds `delta` (CAS loop).
+    pub fn add(&self, delta: f64) {
+        let _ = self.0.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+            Some((f64::from_bits(bits) + delta).to_bits())
+        });
+    }
+
+    /// Atomically lowers the cell to `min(current, v)`.
+    fn update_min(&self, v: f64) {
+        let _ = self.0.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+            (v < f64::from_bits(bits)).then(|| v.to_bits())
+        });
+    }
+
+    /// Atomically raises the cell to `max(current, v)`.
+    fn update_max(&self, v: f64) {
+        let _ = self.0.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+            (v > f64::from_bits(bits)).then(|| v.to_bits())
+        });
+    }
+}
+
+/// One cache line per stripe so concurrent writers don't false-share.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct Shard(AtomicU64);
+
+/// A monotonic counter striped across [`SHARDS`] cache lines: `add` is a
+/// single relaxed `fetch_add` on the calling thread's stripe; `get` sums
+/// the stripes.
+#[derive(Debug)]
+pub struct ShardedCounter {
+    shards: Vec<Shard>,
+}
+
+impl Default for ShardedCounter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ShardedCounter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        ShardedCounter { shards: (0..SHARDS).map(|_| Shard::default()).collect() }
+    }
+
+    /// Adds `delta` to the calling thread's stripe.
+    pub fn add(&self, delta: u64) {
+        self.shards[shard_index()].0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Sum over all stripes.
+    pub fn get(&self) -> u64 {
+        self.shards.iter().map(|s| s.0.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// A lock-free log-bucketed histogram: `observe` is one relaxed
+/// `fetch_add` into the value's bucket plus CAS updates of sum/min/max —
+/// no lock, no allocation.
+///
+/// Snapshots taken while writers are active are *per-field* consistent
+/// (each bucket, the sum, min and max are individually atomic) but not a
+/// point-in-time cut across fields; quiescent snapshots are exact and
+/// equal to [`MutexHistogram`]'s for the same observation stream.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    buckets: Vec<AtomicU64>,
+    sum: AtomicF64,
+    min: AtomicF64,
+    max: AtomicF64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AtomicHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        AtomicHistogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicF64::new(0.0),
+            min: AtomicF64::new(f64::INFINITY),
+            max: AtomicF64::new(f64::NEG_INFINITY),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: f64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.add(value);
+        self.min.update_min(value);
+        self.max.update_max(value);
+    }
+
+    /// Freezes the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut count = 0u64;
+        let buckets: Vec<(u64, u64)> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let c = b.load(Ordering::Relaxed);
+                count += c;
+                (c > 0).then_some((i as u64, c))
+            })
+            .collect();
+        HistogramSnapshot {
+            count,
+            sum: if count > 0 { self.sum.get() } else { 0.0 },
+            min: (count > 0).then(|| self.min.get()),
+            max: (count > 0).then(|| self.max.get()),
+            buckets,
+        }
+    }
+}
+
+/// The original mutex-guarded histogram, kept as the reference
+/// implementation the lock-free [`AtomicHistogram`] is differentially
+/// tested against: for any quiescent observation stream both produce
+/// identical [`HistogramSnapshot`]s.
+#[derive(Debug, Default)]
+pub struct MutexHistogram {
+    inner: Mutex<Histogram>,
+}
+
+impl MutexHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: f64) {
+        self.inner.lock().observe(value);
+    }
+
+    /// Freezes the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.inner.lock().snapshot()
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -29,8 +231,8 @@ struct Histogram {
     buckets: Vec<u64>,
 }
 
-impl Histogram {
-    fn new() -> Self {
+impl Default for Histogram {
+    fn default() -> Self {
         Histogram {
             count: 0,
             sum: 0.0,
@@ -39,7 +241,9 @@ impl Histogram {
             buckets: vec![0; BUCKETS],
         }
     }
+}
 
+impl Histogram {
     fn observe(&mut self, value: f64) {
         self.count += 1;
         self.sum += value;
@@ -104,6 +308,29 @@ impl HistogramSnapshot {
         (lo, lo * 2.0)
     }
 
+    /// The combined distribution of `self` and `other`: counts and sums
+    /// add, bucket counts add index-wise, min/max take the extremes.
+    /// Merging histograms recorded on different threads (or bench
+    /// repeats) is equivalent to having observed both streams into one.
+    #[must_use]
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets: BTreeMap<u64, u64> = self.buckets.iter().copied().collect();
+        for &(i, c) in &other.buckets {
+            *buckets.entry(i).or_insert(0) += c;
+        }
+        let opt = |a: Option<f64>, b: Option<f64>, pick: fn(f64, f64) -> f64| match (a, b) {
+            (Some(x), Some(y)) => Some(pick(x, y)),
+            (x, y) => x.or(y),
+        };
+        HistogramSnapshot {
+            count: self.count + other.count,
+            sum: self.sum + other.sum,
+            min: opt(self.min, other.min, f64::min),
+            max: opt(self.max, other.max, f64::max),
+            buckets: buckets.into_iter().collect(),
+        }
+    }
+
     /// Quantile `q ∈ [0, 1]` interpolated from the log-bucketed counts,
     /// `None` when empty.
     ///
@@ -160,17 +387,92 @@ impl MetricsSnapshot {
     }
 }
 
+/// A pre-resolved counter: updates are lock-free and lookup-free.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<ShardedCounter>);
+
+impl Counter {
+    /// Adds `delta`.
+    pub fn add(&self, delta: u64) {
+        self.0.add(delta);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.get()
+    }
+}
+
+/// A pre-resolved gauge.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicF64>);
+
+impl Gauge {
+    /// Last-write-wins store.
+    pub fn set(&self, value: f64) {
+        self.0.set(value);
+    }
+
+    /// Current value (`NaN` while never set).
+    pub fn get(&self) -> f64 {
+        self.0.get()
+    }
+}
+
+/// A pre-resolved histogram.
+#[derive(Debug, Clone)]
+pub struct HistogramHandle(Arc<AtomicHistogram>);
+
+impl HistogramHandle {
+    /// Records one observation.
+    pub fn observe(&self, value: f64) {
+        self.0.observe(value);
+    }
+
+    /// Freezes the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.0.snapshot()
+    }
+}
+
 #[derive(Debug, Default)]
-struct Inner {
-    counters: BTreeMap<String, u64>,
-    gauges: BTreeMap<String, f64>,
-    histograms: BTreeMap<String, Histogram>,
+struct Registered {
+    counters: BTreeMap<String, Arc<ShardedCounter>>,
+    gauges: BTreeMap<String, Arc<AtomicF64>>,
+    histograms: BTreeMap<String, Arc<AtomicHistogram>>,
 }
 
 /// Thread-safe registry of named metrics.
+///
+/// Name-based updates ([`counter_add`](Self::counter_add),
+/// [`gauge_set`](Self::gauge_set), [`observe`](Self::observe)) take a
+/// read lock for the lookup and update atomically; hot paths should
+/// resolve a handle once ([`counter`](Self::counter),
+/// [`gauge`](Self::gauge), [`histogram`](Self::histogram)) and skip the
+/// lookup entirely.
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
-    inner: Mutex<Inner>,
+    inner: RwLock<Registered>,
+}
+
+/// Resolves `name` in one of [`Registered`]'s maps, registering it (write
+/// lock, once per name) on first touch.
+fn resolve<T: Default>(
+    registry: &MetricsRegistry,
+    pick: impl Fn(&Registered) -> &BTreeMap<String, Arc<T>>,
+    pick_mut: impl Fn(&mut Registered) -> &mut BTreeMap<String, Arc<T>>,
+    name: &str,
+) -> Arc<T> {
+    if let Some(v) = pick(&registry.inner.read()).get(name) {
+        return Arc::clone(v);
+    }
+    let mut inner = registry.inner.write();
+    Arc::clone(pick_mut(&mut inner).entry(name.to_owned()).or_default())
 }
 
 impl MetricsRegistry {
@@ -179,32 +481,83 @@ impl MetricsRegistry {
         Self::default()
     }
 
+    /// Resolves (registering if needed) the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        Counter(resolve(self, |r| &r.counters, |r| &mut r.counters, name))
+    }
+
+    /// Resolves (registering if needed) the gauge `name`. A gauge that
+    /// was never `set` holds `NaN` and is omitted from snapshots.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        if let Some(v) = self.inner.read().gauges.get(name) {
+            return Gauge(Arc::clone(v));
+        }
+        let mut inner = self.inner.write();
+        Gauge(Arc::clone(
+            inner
+                .gauges
+                .entry(name.to_owned())
+                .or_insert_with(|| Arc::new(AtomicF64::new(f64::NAN))),
+        ))
+    }
+
+    /// Resolves (registering if needed) the histogram `name`.
+    pub fn histogram(&self, name: &str) -> HistogramHandle {
+        HistogramHandle(resolve(self, |r| &r.histograms, |r| &mut r.histograms, name))
+    }
+
     /// Adds `delta` to counter `name` (creating it at zero).
     pub fn counter_add(&self, name: &str, delta: u64) {
-        let mut inner = self.inner.lock();
-        *inner.counters.entry(name.to_owned()).or_insert(0) += delta;
+        if let Some(c) = self.inner.read().counters.get(name) {
+            c.add(delta);
+            return;
+        }
+        self.counter(name).add(delta);
     }
 
     /// Sets gauge `name` to `value`.
     pub fn gauge_set(&self, name: &str, value: f64) {
-        self.inner.lock().gauges.insert(name.to_owned(), value);
+        if let Some(g) = self.inner.read().gauges.get(name) {
+            g.set(value);
+            return;
+        }
+        self.gauge(name).set(value);
     }
 
     /// Records one observation into histogram `name`.
     pub fn observe(&self, name: &str, value: f64) {
-        let mut inner = self.inner.lock();
-        inner.histograms.entry(name.to_owned()).or_insert_with(Histogram::new).observe(value);
+        if let Some(h) = self.inner.read().histograms.get(name) {
+            h.observe(value);
+            return;
+        }
+        self.histogram(name).observe(value);
     }
 
-    /// Freezes the current state (sorted by metric name).
+    /// Freezes the current state (sorted by metric name). Gauges that
+    /// were registered but never set (still `NaN`) are omitted.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let inner = self.inner.lock();
+        let inner = self.inner.read();
         MetricsSnapshot {
-            counters: inner.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
-            gauges: inner.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            counters: inner.counters.iter().map(|(k, v)| (k.clone(), v.get())).collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .filter(|(_, v)| !v.get().is_nan())
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
             histograms: inner.histograms.iter().map(|(k, h)| (k.clone(), h.snapshot())).collect(),
         }
     }
+}
+
+/// The process-global registry: the always-on sink the engine
+/// coordinator, store backends, optimizer search and simulator
+/// instrument unconditionally, so operational metrics exist even when no
+/// event recorder is attached to a run. Export with
+/// [`crate::export::to_prometheus`]`(&global().snapshot())`.
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::default)
 }
 
 #[cfg(test)]
@@ -230,6 +583,32 @@ mod tests {
         m.gauge_set("overhead_pct", 7.5);
         assert_eq!(m.snapshot().gauge("overhead_pct"), Some(7.5));
         assert_eq!(m.snapshot().gauge("absent"), None);
+    }
+
+    #[test]
+    fn registered_but_unset_gauges_are_omitted() {
+        let m = MetricsRegistry::new();
+        let g = m.gauge("pending");
+        assert!(g.get().is_nan());
+        assert_eq!(m.snapshot().gauge("pending"), None);
+        g.set(0.0);
+        assert_eq!(m.snapshot().gauge("pending"), Some(0.0));
+    }
+
+    #[test]
+    fn handles_share_state_with_name_based_updates() {
+        let m = MetricsRegistry::new();
+        let c = m.counter("n");
+        c.add(2);
+        m.counter_add("n", 3);
+        assert_eq!(c.get(), 5);
+        assert_eq!(m.counter("n").get(), 5);
+
+        let h = m.histogram("lat");
+        h.observe(1.0);
+        m.observe("lat", 2.0);
+        assert_eq!(h.snapshot().count, 2);
+        assert_eq!(m.snapshot().histogram("lat").unwrap().count, 2);
     }
 
     #[test]
@@ -340,5 +719,131 @@ mod tests {
             }
         });
         assert_eq!(m.snapshot().counter("n"), 8000);
+    }
+
+    #[test]
+    fn sharded_counter_sums_across_threads() {
+        let c = ShardedCounter::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = &c;
+                s.spawn(|| {
+                    for _ in 0..10_000 {
+                        c.add(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 80_000);
+    }
+
+    #[test]
+    fn atomic_f64_add_min_max() {
+        let v = AtomicF64::new(1.5);
+        v.add(2.5);
+        assert_eq!(v.get(), 4.0);
+        v.update_min(3.0);
+        assert_eq!(v.get(), 3.0);
+        v.update_min(5.0);
+        assert_eq!(v.get(), 3.0);
+        v.update_max(7.0);
+        assert_eq!(v.get(), 7.0);
+        v.update_max(2.0);
+        assert_eq!(v.get(), 7.0);
+        v.set(-1.0);
+        assert_eq!(v.get(), -1.0);
+    }
+
+    /// The differential contract: for any quiescent observation stream
+    /// the lock-free histogram and the mutex-based reference produce
+    /// identical snapshots.
+    #[test]
+    fn atomic_histogram_matches_mutex_reference() {
+        let atomic = AtomicHistogram::new();
+        let mutex = MutexHistogram::new();
+        let values: Vec<f64> =
+            (0..500).map(|i| ((i * 2_654_435_761_u64 % 10_000) as f64).max(0.001) * 0.37).collect();
+        for &v in &values {
+            atomic.observe(v);
+            mutex.observe(v);
+        }
+        let a = atomic.snapshot();
+        let m = mutex.snapshot();
+        assert_eq!(a.count, m.count);
+        assert_eq!(a.min, m.min);
+        assert_eq!(a.max, m.max);
+        assert_eq!(a.buckets, m.buckets);
+        assert!((a.sum - m.sum).abs() < 1e-6 * m.sum.abs().max(1.0));
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), m.quantile(q), "q = {q}");
+        }
+    }
+
+    /// Concurrent observers into the atomic histogram must account every
+    /// observation exactly once, and merging per-thread mutex histograms
+    /// must reproduce the shared atomic one.
+    #[test]
+    fn concurrent_atomic_observes_match_merged_mutex_snapshots() {
+        const THREADS: usize = 8;
+        const PER_THREAD: usize = 2_000;
+        let atomic = AtomicHistogram::new();
+        let merged = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|t| {
+                    let atomic = &atomic;
+                    s.spawn(move || {
+                        let local = MutexHistogram::new();
+                        for i in 0..PER_THREAD {
+                            let v = (t * PER_THREAD + i + 1) as f64 * 0.125;
+                            atomic.observe(v);
+                            local.observe(v);
+                        }
+                        local.snapshot()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("observer thread"))
+                .fold(HistogramSnapshot::empty(), |acc, s| acc.merge(&s))
+        });
+        let a = atomic.snapshot();
+        assert_eq!(a.count, (THREADS * PER_THREAD) as u64);
+        assert_eq!(a.count, merged.count);
+        assert_eq!(a.min, merged.min);
+        assert_eq!(a.max, merged.max);
+        assert_eq!(a.buckets, merged.buckets);
+        assert!((a.sum - merged.sum).abs() < 1e-6 * merged.sum.abs().max(1.0));
+    }
+
+    #[test]
+    fn merge_combines_counts_sums_and_extremes() {
+        let a = MutexHistogram::new();
+        let b = MutexHistogram::new();
+        for v in [1.0, 2.0, 3.0] {
+            a.observe(v);
+        }
+        for v in [0.5, 10.0] {
+            b.observe(v);
+        }
+        let m = a.snapshot().merge(&b.snapshot());
+        assert_eq!(m.count, 5);
+        assert!((m.sum - 16.5).abs() < 1e-12);
+        assert_eq!(m.min, Some(0.5));
+        assert_eq!(m.max, Some(10.0));
+        // Merging with the empty snapshot is the identity.
+        assert_eq!(m.merge(&HistogramSnapshot::empty()), m);
+        assert_eq!(HistogramSnapshot::empty().merge(&m), m);
+    }
+
+    #[test]
+    fn global_registry_is_a_singleton() {
+        let a: *const MetricsRegistry = global();
+        let b: *const MetricsRegistry = global();
+        assert_eq!(a, b);
+        // Use a namespaced key so other tests touching the global
+        // registry cannot interfere.
+        global().counter_add("metrics_tests.global_singleton", 1);
+        assert!(global().snapshot().counter("metrics_tests.global_singleton") >= 1);
     }
 }

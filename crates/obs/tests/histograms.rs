@@ -1,0 +1,182 @@
+//! Integration coverage for the histogram layer through the public API:
+//! `HistogramSnapshot` quantile edge cases, `bucket_bounds` round-trips
+//! against `observe`, and differential consistency of the lock-free
+//! `AtomicHistogram` against the mutex-based reference implementation.
+
+use ftpde_obs::{AtomicHistogram, HistogramSnapshot, MetricsRegistry, MutexHistogram};
+
+fn snapshot_of(values: &[f64]) -> HistogramSnapshot {
+    let h = AtomicHistogram::new();
+    for &v in values {
+        h.observe(v);
+    }
+    h.snapshot()
+}
+
+#[test]
+fn quantile_of_empty_histogram_is_none() {
+    let empty = HistogramSnapshot::empty();
+    for q in [0.0, 0.5, 1.0] {
+        assert_eq!(empty.quantile(q), None);
+    }
+    assert_eq!(empty.mean(), None);
+    assert_eq!(empty.count, 0);
+    assert!(empty.buckets.is_empty());
+}
+
+#[test]
+fn quantile_extremes_return_exact_min_and_max() {
+    let h = snapshot_of(&[0.031, 7.0, 7.1, 900.0, 3.5]);
+    assert_eq!(h.quantile(0.0), Some(0.031));
+    assert_eq!(h.quantile(1.0), Some(900.0));
+    // Out-of-range q clamps rather than panicking or extrapolating.
+    assert_eq!(h.quantile(-3.0), Some(0.031));
+    assert_eq!(h.quantile(42.0), Some(900.0));
+}
+
+#[test]
+fn single_bucket_histogram_is_exact_at_every_quantile() {
+    // All values in [4, 8) land in one bucket; min/max clamping pins
+    // every quantile inside the observed range.
+    let h = snapshot_of(&[4.5, 5.0, 6.0, 7.5]);
+    assert_eq!(h.buckets.len(), 1);
+    for q in [0.0, 0.1, 0.5, 0.9, 1.0] {
+        let v = h.quantile(q).unwrap();
+        assert!((4.5..=7.5).contains(&v), "q = {q} escaped [min, max]: {v}");
+    }
+    assert_eq!(h.quantile(0.0), Some(4.5));
+    assert_eq!(h.quantile(1.0), Some(7.5));
+}
+
+#[test]
+fn single_observation_is_every_quantile() {
+    let h = snapshot_of(&[13.37]);
+    for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        assert_eq!(h.quantile(q), Some(13.37));
+    }
+    assert_eq!(h.mean(), Some(13.37));
+}
+
+#[test]
+fn bucket_bounds_round_trip_with_observe() {
+    // Every observed value must fall inside the [lo, hi) range of the
+    // bucket its observation incremented.
+    let values = [1e-9, 0.001, 0.25, 0.5, 0.99, 1.0, 1.5, 2.0, 3.0, 64.0, 1e6, 1e11];
+    for v in values {
+        let h = snapshot_of(&[v]);
+        assert_eq!(h.count, 1);
+        let (i, c) = h.buckets[0];
+        assert_eq!(c, 1);
+        let (lo, hi) = HistogramSnapshot::bucket_bounds(i);
+        assert!(lo <= v && v < hi, "{v} outside its bucket {i} = [{lo}, {hi})");
+        assert!((hi - 2.0 * lo).abs() < f64::EPSILON * hi, "buckets are one octave wide");
+    }
+}
+
+#[test]
+fn bucket_bounds_of_adjacent_indices_tile_the_axis() {
+    for i in 0..79u64 {
+        let (_, hi) = HistogramSnapshot::bucket_bounds(i);
+        let (next_lo, _) = HistogramSnapshot::bucket_bounds(i + 1);
+        assert_eq!(hi, next_lo, "gap between buckets {i} and {}", i + 1);
+    }
+}
+
+#[test]
+fn extreme_values_clamp_into_edge_buckets() {
+    // Values beyond the bucketed range clamp to the first/last bucket,
+    // so counts are never dropped; min/max still record exact values.
+    let h = snapshot_of(&[1e-300, 1e300]);
+    assert_eq!(h.count, 2);
+    assert_eq!(h.min, Some(1e-300));
+    assert_eq!(h.max, Some(1e300));
+    let indices: Vec<u64> = h.buckets.iter().map(|&(i, _)| i).collect();
+    assert_eq!(indices, vec![0, 79]);
+}
+
+#[test]
+fn atomic_and_mutex_histograms_agree_on_any_quiescent_stream() {
+    // Differential test: a deterministic pseudo-random value stream
+    // observed into both implementations yields identical snapshots.
+    let atomic = AtomicHistogram::new();
+    let mutex = MutexHistogram::new();
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    for _ in 0..10_000 {
+        state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+        let v = (state >> 11) as f64 / (1u64 << 53) as f64 * 1e4 + 1e-6;
+        atomic.observe(v);
+        mutex.observe(v);
+    }
+    let a = atomic.snapshot();
+    let m = mutex.snapshot();
+    assert_eq!(a.count, m.count);
+    assert_eq!(a.min, m.min);
+    assert_eq!(a.max, m.max);
+    assert_eq!(a.buckets, m.buckets);
+    assert!((a.sum - m.sum).abs() < 1e-6 * m.sum.abs().max(1.0));
+    for q in [0.0, 0.01, 0.1, 0.5, 0.9, 0.99, 1.0] {
+        assert_eq!(a.quantile(q), m.quantile(q), "quantile {q} diverged");
+    }
+}
+
+#[test]
+fn merged_per_thread_snapshots_match_one_shared_atomic_histogram() {
+    // Eight threads observe disjoint value ranges into (a) one shared
+    // atomic histogram and (b) a private mutex histogram each. Merging
+    // the per-thread snapshots must reproduce the shared histogram.
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 1_000;
+    let shared = AtomicHistogram::new();
+    let merged = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let shared = &shared;
+                s.spawn(move || {
+                    let local = MutexHistogram::new();
+                    for i in 0..PER_THREAD {
+                        let v = (t * PER_THREAD + i + 1) as f64 * 0.01;
+                        shared.observe(v);
+                        local.observe(v);
+                    }
+                    local.snapshot()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("observer thread"))
+            .fold(HistogramSnapshot::empty(), |acc, s| acc.merge(&s))
+    });
+    let a = shared.snapshot();
+    assert_eq!(a.count, (THREADS * PER_THREAD) as u64);
+    assert_eq!(a.count, merged.count);
+    assert_eq!(a.min, merged.min);
+    assert_eq!(a.max, merged.max);
+    assert_eq!(a.buckets, merged.buckets);
+    assert!((a.sum - merged.sum).abs() < 1e-6 * merged.sum.abs().max(1.0));
+}
+
+#[test]
+fn merge_is_commutative_and_has_empty_identity() {
+    let a = snapshot_of(&[1.0, 2.0, 3.0]);
+    let b = snapshot_of(&[0.125, 700.0]);
+    assert_eq!(a.merge(&b), b.merge(&a));
+    assert_eq!(a.merge(&HistogramSnapshot::empty()), a);
+    assert_eq!(HistogramSnapshot::empty().merge(&b), b);
+}
+
+#[test]
+fn registry_snapshots_round_trip_through_serde() {
+    // BENCH JSON embeds snapshots; they must survive serialization.
+    let reg = MetricsRegistry::new();
+    reg.counter_add("engine.node_retries_total", 4);
+    reg.gauge_set("bench.overhead_pct", 2.5);
+    for v in [0.002, 0.004, 0.1] {
+        reg.observe("engine.stage_seconds", v);
+    }
+    let snap = reg.snapshot();
+    let json = serde_json::to_string(&snap).unwrap();
+    let back: ftpde_obs::MetricsSnapshot = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, snap);
+    assert_eq!(back.histogram("engine.stage_seconds").unwrap().count, 3);
+}

@@ -42,7 +42,7 @@ use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 use crate::codec::{self, encoded_rows_len};
-use crate::stats::StoreStats;
+use crate::stats::{record_corrupt_segments, record_fsyncs, record_get, record_put, StoreStats};
 use crate::value::Row;
 use crate::{CorruptSegment, StoreBackend};
 
@@ -240,6 +240,7 @@ impl DiskBackend {
         // engine cannot re-execute around; fail fast like an allocator.
         write().unwrap_or_else(|e| panic!("store: failed to commit {name}: {e}"));
         stats.fsyncs += 2;
+        record_fsyncs(2);
         bytes.len() as u64
     }
 
@@ -254,6 +255,7 @@ impl DiskBackend {
         fs::rename(&tmp, self.dir.join(MANIFEST_FILE))?;
         sync_dir(&self.dir)?;
         inner.manifest.stats.fsyncs += 2;
+        record_fsyncs(2);
         Ok(())
     }
 
@@ -297,13 +299,15 @@ impl DiskBackend {
                 }
             }
         }
+        let elapsed = started.elapsed().as_secs_f64();
         let stats = &mut inner.manifest.stats;
         stats.logical_rows_written += row_count * logical_copies;
         stats.logical_bytes_written += raw_bytes * logical_copies;
         stats.physical_rows_written += row_count;
         stats.physical_bytes_written += physical;
         stats.segments_committed += 1;
-        stats.write_seconds += started.elapsed().as_secs_f64();
+        stats.write_seconds += elapsed;
+        record_put(physical, elapsed);
         self.write_manifest(&mut inner)
             .unwrap_or_else(|e| panic!("store: failed to commit manifest: {e}"));
     }
@@ -314,6 +318,7 @@ impl DiskBackend {
         let _ = fs::remove_file(self.dir.join(&entry.file));
         inner.manifest.segments.retain(|e| e.file != entry.file);
         inner.manifest.stats.corrupt_segments += 1;
+        record_corrupt_segments(1);
         inner.corruptions.push(CorruptSegment { op: entry.op, node: entry.node, reason });
         let _ = self.write_manifest(inner);
     }
@@ -341,9 +346,12 @@ impl StoreBackend for DiskBackend {
         let mut inner = self.inner.lock();
         if let Some(rows) = inner.cache.get(&(op, node)) {
             let rows = Arc::clone(rows);
+            let bytes = encoded_rows_len(&rows);
+            let elapsed = started.elapsed().as_secs_f64();
             inner.manifest.stats.rows_read += rows.len() as u64;
-            inner.manifest.stats.bytes_read += encoded_rows_len(&rows);
-            inner.manifest.stats.read_seconds += started.elapsed().as_secs_f64();
+            inner.manifest.stats.bytes_read += bytes;
+            inner.manifest.stats.read_seconds += elapsed;
+            record_get(bytes, elapsed);
             return Some(rows);
         }
         let entry = inner.manifest.segments.iter().find(|e| e.covers(op, node))?.clone();
@@ -360,10 +368,12 @@ impl StoreBackend for DiskBackend {
                         }
                     }
                 }
+                let elapsed = started.elapsed().as_secs_f64();
                 let stats = &mut inner.manifest.stats;
                 stats.rows_read += shared.len() as u64;
                 stats.bytes_read += entry.payload_bytes;
-                stats.read_seconds += started.elapsed().as_secs_f64();
+                stats.read_seconds += elapsed;
+                record_get(entry.payload_bytes, elapsed);
                 Some(shared)
             }
             Err(reason) => {

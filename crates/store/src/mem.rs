@@ -12,7 +12,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use crate::codec::encoded_rows_len;
-use crate::stats::StoreStats;
+use crate::stats::{record_get, record_put, StoreStats};
 use crate::sync::Mutex;
 use crate::value::Row;
 use crate::{CorruptSegment, StoreBackend};
@@ -43,12 +43,15 @@ impl StoreBackend for MemBackend {
         let n = rows.len() as u64;
         let mut inner = self.inner.lock();
         inner.segments.insert((op, node), Arc::new(rows));
+        let elapsed = started.elapsed().as_secs_f64();
         inner.stats.logical_rows_written += n;
         inner.stats.physical_rows_written += n;
         inner.stats.logical_bytes_written += bytes;
         inner.stats.physical_bytes_written += bytes;
         inner.stats.segments_committed += 1;
-        inner.stats.write_seconds += started.elapsed().as_secs_f64();
+        inner.stats.write_seconds += elapsed;
+        drop(inner);
+        record_put(bytes, elapsed);
     }
 
     fn put_replicated(&self, op: u32, rows: Vec<Row>, nodes: usize) {
@@ -61,12 +64,15 @@ impl StoreBackend for MemBackend {
             inner.segments.insert((op, node), Arc::clone(&shared));
         }
         // One physical copy made visible on `nodes` targets.
+        let elapsed = started.elapsed().as_secs_f64();
         inner.stats.logical_rows_written += n * nodes as u64;
         inner.stats.logical_bytes_written += bytes * nodes as u64;
         inner.stats.physical_rows_written += n;
         inner.stats.physical_bytes_written += bytes;
         inner.stats.segments_committed += 1;
-        inner.stats.write_seconds += started.elapsed().as_secs_f64();
+        inner.stats.write_seconds += elapsed;
+        drop(inner);
+        record_put(bytes, elapsed);
     }
 
     fn get(&self, op: u32, node: usize) -> Option<Arc<Vec<Row>>> {
@@ -74,9 +80,13 @@ impl StoreBackend for MemBackend {
         let mut inner = self.inner.lock();
         let hit = inner.segments.get(&(op, node)).cloned();
         if let Some(rows) = &hit {
+            let bytes = encoded_rows_len(rows);
+            let elapsed = started.elapsed().as_secs_f64();
             inner.stats.rows_read += rows.len() as u64;
-            inner.stats.bytes_read += encoded_rows_len(rows);
-            inner.stats.read_seconds += started.elapsed().as_secs_f64();
+            inner.stats.bytes_read += bytes;
+            inner.stats.read_seconds += elapsed;
+            drop(inner);
+            record_get(bytes, elapsed);
         }
         hit
     }
@@ -147,6 +157,32 @@ mod tests {
         assert!(store.is_empty());
         assert!(!store.contains(1, 0));
         assert_eq!(store.stats().logical_rows_written, 1);
+    }
+
+    /// Always-on instrumentation: backend traffic lands in the global
+    /// registry even with no recorder attached. Delta-based because the
+    /// registry is shared across concurrently running tests.
+    #[cfg(not(loom))]
+    #[test]
+    fn traffic_lands_in_the_global_registry() {
+        let before = ftpde_obs::global().snapshot();
+        let store = MemBackend::new();
+        store.put(77, 0, vec![int_row(&[1, 2, 3])]);
+        let _ = store.get(77, 0);
+        let after = ftpde_obs::global().snapshot();
+        let bytes = store.stats().physical_bytes_written;
+        assert!(after.counter("store.puts_total") > before.counter("store.puts_total"));
+        assert!(after.counter("store.gets_total") > before.counter("store.gets_total"));
+        assert!(
+            after.counter("store.put_bytes_total")
+                >= before.counter("store.put_bytes_total") + bytes
+        );
+        assert!(
+            after.counter("store.get_bytes_total")
+                >= before.counter("store.get_bytes_total") + bytes
+        );
+        let puts_before = before.histogram("store.put_seconds").map_or(0, |h| h.count);
+        assert!(after.histogram("store.put_seconds").unwrap().count > puts_before);
     }
 
     #[test]

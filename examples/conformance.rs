@@ -13,7 +13,10 @@
 //!   the simulator's three baseline schemes (§5.2) replaying a generated
 //!   failure trace;
 //! * `target/bench/BENCH_engine.json` — stage timings of the Q3 run plus
-//!   checkpoint-store write/read throughput (MB/s).
+//!   checkpoint-store write/read throughput (MB/s), as a one-case
+//!   document in the canonical `ftpde bench` suite schema
+//!   (`ftpde_bench::suite::EngineDoc`), so the same tooling parses both
+//!   this artifact and the committed repo baselines.
 //!
 //! CI replays every JSONL file through `ftpde check --trace`, so the
 //! recovery protocol the traces exhibit is verified by the FT101…FT108
@@ -30,8 +33,7 @@ use ftpde::obs::{export, Event, MemoryRecorder};
 use ftpde::sim::prelude::*;
 use ftpde::tpch::datagen::Database;
 use ftpde::tpch::prelude::*;
-use ftpde_bench::store_micro;
-use serde::Serialize;
+use ftpde_bench::{store_micro, suite};
 
 const NODES: usize = 3;
 
@@ -40,34 +42,6 @@ struct Traced {
     file: &'static str,
     events: Vec<Event>,
     stage_plan: StagePlan,
-}
-
-#[derive(Serialize)]
-struct StageTiming {
-    stage: u64,
-    name: String,
-    dur_us: u64,
-    failed: bool,
-}
-
-#[derive(Serialize)]
-struct StoreThroughput {
-    backend: &'static str,
-    row_width: usize,
-    mb_written: f64,
-    write_mb_per_s: Option<f64>,
-    read_mb_per_s: Option<f64>,
-}
-
-#[derive(Serialize)]
-struct EngineBench {
-    query: &'static str,
-    nodes: usize,
-    wall_us: u64,
-    node_retries: u64,
-    query_restarts: u64,
-    stages: Vec<StageTiming>,
-    store: Vec<StoreThroughput>,
 }
 
 fn catalog() -> Catalog {
@@ -119,51 +93,66 @@ fn sim_baseline(scheme: Scheme, file: &'static str) -> Traced {
     Traced { file, events: rec.events(), stage_plan: sp }
 }
 
-fn bench(events: &[Event], run: &RunReport) -> EngineBench {
-    let stages = events
-        .iter()
-        .filter(|e| e.tid == 0 && e.name.starts_with("stage "))
-        .map(|e| {
-            let arg_u64 = |key: &str| {
-                e.args.iter().find_map(|(k, v)| match v {
-                    ftpde::obs::ArgValue::U64(n) if k == key => Some(*n),
-                    _ => None,
-                })
-            };
-            let failed = e
-                .args
-                .iter()
-                .any(|(k, v)| k == "failed" && matches!(v, ftpde::obs::ArgValue::Bool(true)));
-            StageTiming {
-                stage: arg_u64("stage").unwrap_or(u64::MAX),
-                name: e.name.clone(),
-                dur_us: e.dur_us,
-                failed,
-            }
-        })
-        .collect();
+/// Shapes the traced Q3 run as a one-case [`suite::EngineDoc`]: the same
+/// schema the canonical `ftpde bench` suite writes, so `ftpde bench
+/// --compare` and any other consumer of BENCH documents parses this
+/// artifact too. A single traced run gives single-sample statistics;
+/// `overhead_pct` is not measured here (the recorder was attached for
+/// the whole run) and is reported as 0.
+fn bench(events: &[Event], run: &RunReport) -> suite::EngineDoc {
     let wall_us = events
         .iter()
         .filter_map(|e| (e.name == "query_completed").then_some(e.ts_us))
         .max()
         .unwrap_or(0);
+    // Executions of the same stage are summed per the suite convention
+    // (the report's stage_timings is a timeline, not a per-stage map).
+    let mut per_stage: std::collections::BTreeMap<u32, (f64, u64)> =
+        std::collections::BTreeMap::new();
+    for t in &run.stage_timings {
+        let e = per_stage.entry(t.stage).or_insert((0.0, 0));
+        e.0 += t.wall_us as f64;
+        e.1 += t.retries;
+    }
+    let case = suite::EngineCase {
+        query: "Q3".to_string(),
+        config: "all".to_string(),
+        backend: "mem".to_string(),
+        failures: true,
+        wall_us: suite::Stats::of(&[wall_us as f64]),
+        stages: per_stage
+            .into_iter()
+            .map(|(stage, (wall, retries))| suite::StageStat {
+                stage,
+                wall_us: suite::Stats::of(&[wall]),
+                retries: retries as f64,
+            })
+            .collect(),
+        node_retries: run.node_retries as f64,
+        query_restarts: f64::from(run.query_restarts),
+        bytes_materialized: run.bytes_materialized as f64,
+    };
     let store = store_micro::run()
         .into_iter()
-        .map(|p| StoreThroughput {
-            backend: p.backend,
+        .map(|p| suite::StoreCase {
+            backend: p.backend.to_string(),
             row_width: p.width,
             mb_written: p.bytes as f64 / 1e6,
             write_mb_per_s: p.write_bytes_per_s.map(|b| b / 1e6),
             read_mb_per_s: p.read_bytes_per_s.map(|b| b / 1e6),
         })
         .collect();
-    EngineBench {
-        query: "Q3",
+    suite::EngineDoc {
+        schema_version: suite::SCHEMA_VERSION,
+        suite: suite::ENGINE_SUITE.to_string(),
+        seed: 7,
+        repeats: 1,
+        warmup: 0,
         nodes: NODES,
-        wall_us,
-        node_retries: run.node_retries,
-        query_restarts: u64::from(run.query_restarts),
-        stages,
+        sf: 0.002,
+        host: suite::HostInfo::current(),
+        overhead_pct: 0.0,
+        cases: vec![case],
         store,
     }
 }
@@ -198,13 +187,16 @@ fn main() {
 
     let bench = bench(&traces[0].events, &fine_report);
     let json = serde_json::to_string_pretty(&bench).expect("serialize bench");
+    // The artifact must stay parseable by the suite tooling.
+    suite::parse_doc(&json).expect("artifact parses as a BENCH document");
     let bench_path = bench_dir.join("BENCH_engine.json");
     std::fs::write(&bench_path, json).expect("write BENCH_engine.json");
+    let case = &bench.cases[0];
     println!(
-        "{}: wall {} us, {} stage spans, {} store points",
+        "{}: wall {} us, {} stages, {} store points",
         bench_path.display(),
-        bench.wall_us,
-        bench.stages.len(),
+        case.wall_us.p50,
+        case.stages.len(),
         bench.store.len()
     );
 

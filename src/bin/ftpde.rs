@@ -9,6 +9,8 @@
 //! ftpde lint     --all | --query Q5 | --plan plan.json [--format text|json]
 //! ftpde store    --inspect <dir> | --verify <dir> [--format text|json]
 //! ftpde check    --trace run.jsonl [--query Q5 --config best] [--format text|json]
+//! ftpde bench    [--quick] [--repeats N] [--warmup N] [--seed N] [--out <dir>]
+//! ftpde bench    --compare <old.json> <new.json> [--tolerance <pct>]
 //! ```
 //!
 //! * `plan` — run the cost-based search for a TPC-H query and explain the
@@ -37,11 +39,19 @@
 //!   lifecycle and Eq. 1 cost conservation. With `--query` (and
 //!   optionally `--config`) the trace is verified against the collapsed
 //!   plan it claims to execute; exits nonzero on any FT1xx Error.
+//! * `bench` — run the canonical benchmark suite (Q1/Q3/Q5 × {none,
+//!   best, all} materialization × mem/disk store backends × clean and
+//!   failure-injected runs, plus the optimizer search with pruning on
+//!   and off) and write versioned `BENCH_engine.json` /
+//!   `BENCH_search.json` documents; or, with `--compare`, diff two such
+//!   documents under a tolerance and exit nonzero on any perf
+//!   regression — the CI perf gate.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
 
 use ftpde::analysis::prelude::*;
+use ftpde::bench::suite;
 use ftpde::cluster::prelude::*;
 use ftpde::core::prelude::*;
 use ftpde::obs;
@@ -54,20 +64,27 @@ type CliResult<T> = std::result::Result<T, String>;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some((cmd, flags)) = parse(&args) else {
-        eprintln!("{USAGE}");
-        return ExitCode::FAILURE;
-    };
-    let result = match cmd.as_str() {
-        "plan" => cmd_plan(&flags),
-        "simulate" => cmd_simulate(&flags),
-        "success" => cmd_success(&flags),
-        "dot" => cmd_dot(&flags),
-        "obs" => cmd_obs(&flags),
-        "lint" => cmd_lint(&flags),
-        "store" => cmd_store(&flags),
-        "check" => cmd_check(&flags),
-        _ => Err(format!("unknown command {cmd:?}")),
+    // `bench --compare <old> <new>` takes two positional paths, which the
+    // uniform `--flag value` grammar cannot express — dispatch it on the
+    // raw arguments.
+    let result = if args.first().map(String::as_str) == Some("bench") {
+        cmd_bench(&args[1..])
+    } else {
+        let Some((cmd, flags)) = parse(&args) else {
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        };
+        match cmd.as_str() {
+            "plan" => cmd_plan(&flags),
+            "simulate" => cmd_simulate(&flags),
+            "success" => cmd_success(&flags),
+            "dot" => cmd_dot(&flags),
+            "obs" => cmd_obs(&flags),
+            "lint" => cmd_lint(&flags),
+            "store" => cmd_store(&flags),
+            "check" => cmd_check(&flags),
+            _ => Err(format!("unknown command {cmd:?}")),
+        }
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -88,7 +105,9 @@ const USAGE: &str = "usage:
                  [--sf <N>] [--nodes <N>] [--mtbf <secs>] [--mttr <secs>] [--format <text|json>]
   ftpde store    --inspect <dir> | --verify <dir> [--format <text|json>]
   ftpde check    --trace <run.jsonl> [--query <Q1|Q3|Q5|Q1C|Q2C>] [--config <none|all|best|ops:<csv>>]
-                 [--sf <N>] [--nodes <N>] [--mtbf <secs>] [--mttr <secs>] [--format <text|json>]";
+                 [--sf <N>] [--nodes <N>] [--mtbf <secs>] [--mttr <secs>] [--format <text|json>]
+  ftpde bench    [--quick] [--repeats <N>] [--warmup <N>] [--seed <N>] [--out <dir>]
+  ftpde bench    --compare <old.json> <new.json> [--tolerance <pct>]";
 
 /// Splits `["cmd", "--k", "v", ...]` into the command and a flag map.
 /// A flag followed by another flag (or nothing) is boolean, stored as
@@ -547,6 +566,98 @@ fn cmd_check(flags: &HashMap<String, String>) -> CliResult<()> {
     }
 }
 
+/// `ftpde bench` — run the canonical suite or compare two result
+/// documents. Receives the raw arguments after `bench` (not the flag
+/// map) because `--compare` takes two positional paths.
+fn cmd_bench(rest: &[String]) -> CliResult<()> {
+    if rest.first().map(String::as_str) == Some("--compare") {
+        let take_path = |i: usize, which: &str| -> CliResult<&String> {
+            rest.get(i)
+                .filter(|p| !p.starts_with("--"))
+                .ok_or_else(|| format!("--compare needs <old.json> <new.json>; missing {which}"))
+        };
+        let old_path = take_path(1, "the old (baseline) document")?;
+        let new_path = take_path(2, "the new document")?;
+        let mut tail = vec!["bench".to_string()];
+        tail.extend_from_slice(&rest[3..]);
+        let (_, flags) = parse(&tail).ok_or("malformed flags after --compare")?;
+        let tolerance = get_f64(&flags, "tolerance", Some(25.0))?;
+        return bench_compare(old_path, new_path, tolerance);
+    }
+    let mut full = vec!["bench".to_string()];
+    full.extend_from_slice(rest);
+    let (_, flags) = parse(&full).ok_or("malformed bench flags")?;
+    let mut opts = if flags.contains_key("quick") {
+        suite::SuiteOptions::quick()
+    } else {
+        suite::SuiteOptions::default()
+    };
+    if flags.contains_key("repeats") {
+        opts.repeats = get_f64(&flags, "repeats", None)? as usize;
+    }
+    if flags.contains_key("warmup") {
+        opts.warmup = get_f64(&flags, "warmup", None)? as usize;
+    }
+    if flags.contains_key("seed") {
+        opts.seed = get_f64(&flags, "seed", None)? as u64;
+    }
+    if opts.repeats == 0 {
+        return Err("--repeats must be ≥ 1".into());
+    }
+    let out = std::path::Path::new(flags.get("out").map_or(".", String::as_str));
+    std::fs::create_dir_all(out).map_err(|e| format!("cannot create {}: {e}", out.display()))?;
+
+    let engine = suite::run_engine_suite(&opts);
+    let path = out.join("BENCH_engine.json");
+    write_json(&path, &engine)?;
+    println!(
+        "wrote {} ({} cases, {} store points, instrumentation overhead {:.2}%)",
+        path.display(),
+        engine.cases.len(),
+        engine.store.len(),
+        engine.overhead_pct
+    );
+
+    let search = suite::run_search_suite(&opts);
+    let path = out.join("BENCH_search.json");
+    write_json(&path, &search)?;
+    println!("wrote {} ({} cases)", path.display(), search.cases.len());
+    Ok(())
+}
+
+/// Serializes `doc` as pretty JSON with a trailing newline (so committed
+/// baselines are diff- and editor-friendly).
+fn write_json<T: serde::Serialize>(path: &std::path::Path, doc: &T) -> CliResult<()> {
+    let mut text = serde_json::to_string_pretty(doc)
+        .map_err(|e| format!("cannot serialize {}: {e}", path.display()))?;
+    text.push('\n');
+    std::fs::write(path, text).map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+/// `ftpde bench --compare`: diff two BENCH documents, print every
+/// regression, and fail when any exceed the tolerance.
+fn bench_compare(old_path: &str, new_path: &str, tolerance: f64) -> CliResult<()> {
+    let read = |path: &str| -> CliResult<suite::BenchDoc> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        suite::parse_doc(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let old = read(old_path)?;
+    let new = read(new_path)?;
+    let regressions = suite::compare(&old, &new, tolerance)?;
+    if regressions.is_empty() {
+        println!("OK: no regressions beyond {tolerance}% tolerance ({old_path} -> {new_path})");
+        Ok(())
+    } else {
+        for r in &regressions {
+            println!("{}", r.render());
+        }
+        Err(format!(
+            "{} regression(s) beyond {tolerance}% tolerance ({old_path} -> {new_path})",
+            regressions.len()
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -846,5 +957,88 @@ mod tests {
         assert!(prom.contains("store_write_bytes_per_s 1500000"), "{prom}");
         assert!(prom.contains("store_segments_committed 3"), "{prom}");
         assert!(prom.contains("store_logical_rows_written 128"), "{prom}");
+    }
+
+    /// A hand-built one-case engine document: lets the `--compare` CLI
+    /// path be tested without paying for a real suite run.
+    fn synthetic_engine_doc(p50_us: f64) -> suite::EngineDoc {
+        let wall = suite::Stats::of(&[p50_us * 0.9, p50_us, p50_us * 1.1]);
+        suite::EngineDoc {
+            schema_version: suite::SCHEMA_VERSION,
+            suite: suite::ENGINE_SUITE.to_string(),
+            seed: 42,
+            repeats: 3,
+            warmup: 1,
+            nodes: 3,
+            sf: 0.002,
+            host: suite::HostInfo::current(),
+            overhead_pct: 1.0,
+            cases: vec![suite::EngineCase {
+                query: "Q3".to_string(),
+                config: "all".to_string(),
+                backend: "mem".to_string(),
+                failures: false,
+                wall_us: wall,
+                stages: vec![suite::StageStat { stage: 0, wall_us: wall, retries: 0.0 }],
+                node_retries: 0.0,
+                query_restarts: 0.0,
+                bytes_materialized: 1e6,
+            }],
+            store: vec![suite::StoreCase {
+                backend: "mem".to_string(),
+                row_width: 8,
+                mb_written: 4.0,
+                write_mb_per_s: Some(800.0),
+                read_mb_per_s: Some(1200.0),
+            }],
+        }
+    }
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn bench_compare_exits_nonzero_on_an_injected_regression() {
+        let dir = std::env::temp_dir().join(format!("ftpde-cli-bench-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let baseline = synthetic_engine_doc(1_000_000.0);
+        let old = dir.join("old.json");
+        write_json(&old, &baseline).unwrap();
+        let op = old.to_string_lossy().to_string();
+
+        // Identity passes.
+        let new = dir.join("same.json");
+        write_json(&new, &baseline).unwrap();
+        let np = new.to_string_lossy().to_string();
+        cmd_bench(&strings(&["--compare", &op, &np, "--tolerance", "10"])).unwrap();
+
+        // A 2x wall-time slowdown beyond a 25% tolerance fails...
+        let slow = dir.join("slow.json");
+        write_json(&slow, &synthetic_engine_doc(2_000_000.0)).unwrap();
+        let sp = slow.to_string_lossy().to_string();
+        let err = cmd_bench(&strings(&["--compare", &op, &sp, "--tolerance", "25"])).unwrap_err();
+        assert!(err.contains("regression"), "{err}");
+        // ...but passes a tolerance wider than the injected change.
+        cmd_bench(&strings(&["--compare", &op, &sp, "--tolerance", "150"])).unwrap();
+
+        // Malformed invocations are flag errors, not panics.
+        assert!(cmd_bench(&strings(&["--compare", &op])).is_err());
+        assert!(cmd_bench(&strings(&["--compare", &op, "--tolerance"])).is_err());
+        assert!(cmd_bench(&strings(&["--compare", &op, &np, "--tolerance", "x"])).is_err());
+        assert!(cmd_bench(&strings(&["--compare", "/nonexistent.json", &np])).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bench_compare_rejects_non_bench_documents() {
+        let dir = std::env::temp_dir().join(format!("ftpde-cli-bench-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, "{\"suite\": \"something-else\"}\n").unwrap();
+        let bp = bad.to_string_lossy().to_string();
+        let err = cmd_bench(&strings(&["--compare", &bp, &bp])).unwrap_err();
+        assert!(err.contains("not a BENCH document"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -22,6 +22,7 @@
 //! | [`store`] | durable, pluggable checkpoint storage: in-memory and on-disk backends with CRC-checked segments, an atomic manifest and crash recovery |
 //! | [`obs`] | observability: event recorder, metrics registry, JSONL / Chrome-trace exporters used by the search, simulator and engine |
 //! | [`analysis`] | static analysis: the coded plan linter (`FT001`…), collapsed-plan and cost-model verifiers, pruning-soundness oracle |
+//! | [`bench`] | experiment harnesses reproducing the paper's tables and figures, plus the canonical `ftpde bench` suite and its regression comparator |
 //!
 //! ## Quickstart
 //!
@@ -54,6 +55,7 @@
 //! figure of the paper's evaluation.
 
 pub use ftpde_analysis as analysis;
+pub use ftpde_bench as bench;
 pub use ftpde_cluster as cluster;
 pub use ftpde_core as core;
 pub use ftpde_engine as engine;
