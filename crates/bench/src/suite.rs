@@ -277,7 +277,8 @@ pub struct EngineDoc {
     /// Instrumentation overhead: relative p50 slowdown (percent) of
     /// traced (in-memory recorder) over untraced (no-op recorder) runs
     /// of Q3/all/mem/clean, interleaved pairs. The always-on metrics
-    /// layer is active on both sides — this isolates the recorder.
+    /// layer and the flight-recorder ring are active on both sides —
+    /// this isolates the recorder.
     pub overhead_pct: f64,
     /// The engine matrix.
     pub cases: Vec<EngineCase>,

@@ -61,6 +61,39 @@ impl Default for RunOptions {
     }
 }
 
+/// Tees every event the run records into the process-global flight
+/// recorder ([`ftpde_obs::flight::global`]) on top of the caller's
+/// recorder — the engine's feed into the live telemetry plane. The ring
+/// is always on, so `enabled()` is unconditionally `true`; the caller's
+/// sink still gates its own copy, and with a [`NoopRecorder`] attached
+/// the event is moved (not cloned) into the ring. Under `--cfg loom`
+/// the global ring's primitives are loom types unusable outside a
+/// model, so the tee degrades to a plain pass-through.
+struct FlightTee<'a> {
+    inner: &'a dyn Recorder,
+}
+
+impl Recorder for FlightTee<'_> {
+    fn enabled(&self) -> bool {
+        cfg!(not(loom)) || self.inner.enabled()
+    }
+
+    fn record(&self, event: Event) {
+        #[cfg(not(loom))]
+        {
+            let flight = ftpde_obs::flight::global();
+            if self.inner.enabled() {
+                flight.record(event.clone());
+                self.inner.record(event);
+            } else {
+                flight.record(event);
+            }
+        }
+        #[cfg(loom)]
+        self.inner.record(event);
+    }
+}
+
 /// Why a worker attempt did not produce rows.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum WorkerError {
@@ -222,6 +255,10 @@ pub fn run_query_resumable_traced(
     pred: Option<&EstimateBreakdown>,
     rec: &dyn Recorder,
 ) -> RunReport {
+    // Every event this run records — including those below with a no-op
+    // caller sink — is mirrored into the always-on flight recorder.
+    let tee = FlightTee { inner: rec };
+    let rec: &dyn Recorder = &tee;
     let dag = plan.to_plan_dag();
     config.validate(&dag).expect("config matches plan");
     let collapsed = CollapsedPlan::collapse(&dag, config, 1.0);
@@ -256,8 +293,22 @@ pub fn run_query_resumable_traced(
     // *back up*: when a stage's materialized input fails its checksum, the
     // cursor rewinds to the producing stage and re-executes forward.
     let stage_list: Vec<_> = collapsed.op_ids().collect();
+    // Live per-query progress for `/queries` and `ftpde top`, labelled
+    // with the query's sink operator. Stage/retry/restart updates below
+    // are single atomic RMWs on the run's handle; the `report` choke
+    // point finishes the entry.
+    let progress = ftpde_obs::progress::global().start(
+        stage_list.last().map_or_else(
+            || "query".to_owned(),
+            |&cid| plan.op(EOpId(collapsed.op(cid).root.0)).name.clone(),
+        ),
+        stage_list.len() as u64,
+        pred.map(|p| p.dominant_runtime),
+    );
     // Surface whatever a disk backend demoted while opening (crash debris).
-    segments_corrupt += emit_corruptions(store, rec, &now_us);
+    let drained = emit_corruptions(store, rec, &now_us);
+    segments_corrupt += drained;
+    progress.add_corrupt(drained);
 
     let report = |results: Vec<(EOpId, Vec<Row>)>,
                   aborted: bool,
@@ -283,6 +334,11 @@ pub fn run_query_resumable_traced(
             g.observe("engine.stage_seconds", t.wall_us as f64 / 1e6);
         }
         g.counter_add("engine.stages_total", stages_total);
+        progress.set_materialized(
+            stats.physical_bytes_written - stats_at_start.physical_bytes_written,
+            stats.logical_rows_written - stats_at_start.logical_rows_written,
+        );
+        progress.complete(aborted);
         RunReport {
             results,
             node_retries,
@@ -330,6 +386,7 @@ pub fn run_query_resumable_traced(
                 rec.record_with(|| {
                     Event::instant("stage_skipped", "engine", now_us()).arg("stage", root.0)
                 });
+                progress.stage_done();
                 idx += 1;
                 continue;
             }
@@ -339,7 +396,9 @@ pub fn run_query_resumable_traced(
             // segment is demoted by the failed read; rewind to its
             // producer and re-execute forward from there.
             if let Some(producer) = first_unavailable_input(plan, &members, store, nodes) {
-                segments_corrupt += emit_corruptions(store, rec, &now_us);
+                let drained = emit_corruptions(store, rec, &now_us);
+                segments_corrupt += drained;
+                progress.add_corrupt(drained);
                 let back = stage_list
                     .iter()
                     .position(|&pc| collapsed.op(pc).root.0 == producer)
@@ -514,6 +573,7 @@ pub fn run_query_resumable_traced(
                 retries: node_retries.load(Ordering::Relaxed) - retries_before,
                 skipped: false,
             });
+            progress.add_retries(node_retries.load(Ordering::Relaxed) - retries_before);
             rec.record_with(|| {
                 let mut span = Event::span(
                     format!("stage {}", root.0),
@@ -540,7 +600,9 @@ pub fn run_query_resumable_traced(
                 // concurrent read demoted the segment). Surface the
                 // corruption and re-enter the same stage: the input check
                 // will find the slot absent and rewind to its producer.
-                segments_corrupt += emit_corruptions(store, rec, &now_us);
+                let drained = emit_corruptions(store, rec, &now_us);
+                segments_corrupt += drained;
+                progress.add_corrupt(drained);
                 continue;
             }
             if stage_failed {
@@ -565,6 +627,7 @@ pub fn run_query_resumable_traced(
                     Event::instant("query_restart", "engine", now_us())
                         .arg("attempt", query_restarts)
                 });
+                progress.restart();
                 continue 'query;
             }
             let partials: Vec<Vec<Row>> = partials
@@ -638,6 +701,12 @@ pub fn run_query_resumable_traced(
                 };
                 results.push((root, rows));
             }
+            progress.stage_done();
+            let s = store.stats();
+            progress.set_materialized(
+                s.physical_bytes_written - stats_at_start.physical_bytes_written,
+                s.logical_rows_written - stats_at_start.logical_rows_written,
+            );
             idx += 1;
         }
 

@@ -154,7 +154,9 @@ fn prom_families<T>(
 /// Serializes a [`MetricsSnapshot`] in the Prometheus text exposition
 /// format (version 0.0.4).
 ///
-/// Counters export as `counter`, gauges as `gauge`, histograms as
+/// Counters export as `counter`, gauges as `gauge` — except unset
+/// gauges still holding the registry's NaN sentinel, which are skipped
+/// (Prometheus scrapers reject a `NaN` sample) — histograms as
 /// `histogram` with cumulative `_bucket{le="..."}` series (bucket upper
 /// bounds are the log-bucket upper edges `2^(i-39)`), a `+Inf` bucket,
 /// `_sum` and `_count`. Every exported family gets exactly one `# HELP`
@@ -169,8 +171,16 @@ fn prom_families<T>(
 pub fn to_prometheus(snapshot: &MetricsSnapshot) -> String {
     use crate::metrics::HistogramSnapshot;
 
+    // Unset gauges carry the registry's NaN sentinel; a `NaN` sample is
+    // rejected by Prometheus text-format 0.0.4 scrapers, so they are
+    // dropped before family grouping (a family whose every gauge is
+    // unset vanishes entirely rather than emitting HELP/TYPE with no
+    // samples).
+    let set_gauges: Vec<(String, f64)> =
+        snapshot.gauges.iter().filter(|(_, v)| !v.is_nan()).cloned().collect();
+
     let counters = prom_families(&snapshot.counters);
-    let gauges = prom_families(&snapshot.gauges);
+    let gauges = prom_families(&set_gauges);
     let histograms = prom_families(&snapshot.histograms);
 
     // A sanitized name claimed by more than one kind must fork into
@@ -386,6 +396,32 @@ mod tests {
     fn prometheus_export_of_empty_snapshot_is_empty() {
         let snap = MetricsSnapshot::default();
         assert_eq!(to_prometheus(&snap), "");
+    }
+
+    /// An unset gauge (the registry's NaN sentinel, reachable in
+    /// hand-built or deserialized snapshots) must not serialize as a
+    /// `NaN` sample: text-format 0.0.4 scrapers reject it.
+    #[test]
+    fn prometheus_skips_nan_sentinel_gauges() {
+        let mut snap = MetricsSnapshot::default();
+        snap.gauges.push(("engine.unset".into(), f64::NAN));
+        snap.gauges.push(("engine.set".into(), 2.5));
+        let text = to_prometheus(&snap);
+
+        assert!(!text.contains("NaN"), "NaN sample leaked: {text}");
+        assert!(text.contains("engine_set 2.5\n"));
+        // The all-unset family vanishes entirely — no HELP/TYPE for it.
+        assert!(!text.contains("engine_unset"), "unset gauge family leaked: {text}");
+
+        // All-NaN snapshot exports nothing at all.
+        let mut snap = MetricsSnapshot::default();
+        snap.gauges.push(("only.unset".into(), f64::NAN));
+        assert_eq!(to_prometheus(&snap), "");
+
+        // Infinities are representable in the exposition format and stay.
+        let mut snap = MetricsSnapshot::default();
+        snap.gauges.push(("inf.gauge".into(), f64::INFINITY));
+        assert!(to_prometheus(&snap).contains("inf_gauge +Inf\n"));
     }
 
     /// Distinct metric names that sanitize onto the same family must not

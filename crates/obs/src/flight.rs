@@ -1,0 +1,409 @@
+//! The flight recorder: an always-on, bounded ring of recent events with
+//! anomaly-triggered dumps.
+//!
+//! Post-hoc traces ([`crate::export::to_jsonl`]) answer "what happened"
+//! only if someone was recording *before* the interesting run. The flight
+//! recorder closes that gap the way an aircraft recorder does: a
+//! fixed-capacity ring of the most recent events is always being written,
+//! cheap enough to leave on (one atomic ticket fetch plus one
+//! uncontended per-slot lock per event), and when an anomaly occurs —
+//! a `segment_corrupt`, a producer rewind (`input_rewind`), a coarse
+//! `query_restart`, or a span breaching the configured latency budget —
+//! the ring is snapshotted to a JSONL file that `ftpde check` and
+//! `ftpde obs` replay like any other trace. Triggered dumps require a
+//! configured dump directory; without one the trigger path costs
+//! nothing, keeping failure-heavy workloads inside the instrumentation
+//! budget.
+//!
+//! ## Ring protocol
+//!
+//! Writers claim a monotonically increasing *ticket* from an atomic
+//! counter, then store `(ticket, event)` into slot `ticket % capacity`
+//! behind that slot's own mutex. Two writers contend on a slot only a
+//! full ring apart (ticket distance ≥ capacity), so the hot path is one
+//! `fetch_add` plus an uncontended lock — writers to different slots
+//! never serialize. A snapshot locks each slot briefly, collects the
+//! occupied entries and orders them by ticket; the per-slot mutex makes
+//! torn events impossible, and loss is bounded by construction: a
+//! quiescent snapshot holds exactly the newest `min(total, capacity)`
+//! events, while a snapshot racing active writers sees a ticket-ordered
+//! subsequence of them (it may miss an event whose slot it visited
+//! before the store landed — never a reorder, duplicate or torn entry).
+//! The protocol is model-checked under loom in
+//! `crates/obs/tests/loom.rs`.
+//!
+//! Synchronization goes through [`crate::sync`] so the loom CI job
+//! checks the exact ring the production build runs.
+
+use std::path::{Path, PathBuf};
+
+use crate::event::{Event, Phase};
+use crate::export;
+use crate::recorder::Recorder;
+use crate::sync::{AtomicU64, Mutex, Ordering};
+
+/// Event names that trigger an anomaly dump when they enter the ring.
+pub const DUMP_TRIGGERS: [&str; 3] = ["segment_corrupt", "input_rewind", "query_restart"];
+
+/// Environment variable overriding the global ring capacity.
+pub const CAPACITY_ENV: &str = "FTPDE_FLIGHT_CAPACITY";
+/// Environment variable selecting the anomaly-dump directory. Unset
+/// disables anomaly-*triggered* dumps entirely — a trigger with nowhere
+/// to write would otherwise pay a full ring snapshot per anomaly, which
+/// failure-heavy workloads (the benchmark suite's injected-failure
+/// matrix) cannot afford. Explicit [`FlightRecorder::dump_now`] calls
+/// still capture in memory ([`FlightRecorder::last_dump`]).
+pub const DUMP_DIR_ENV: &str = "FTPDE_FLIGHT_DIR";
+/// Environment variable setting the span latency budget, milliseconds.
+pub const BUDGET_ENV: &str = "FTPDE_FLIGHT_BUDGET_MS";
+
+/// Default ring capacity of the process-global recorder.
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+/// One anomaly dump: the ring contents at trigger time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightDump {
+    /// What fired the dump (an entry of [`DUMP_TRIGGERS`], or
+    /// `"latency_budget"` / `"manual"`).
+    pub trigger: String,
+    /// Where the JSONL snapshot was written, when a dump directory is
+    /// configured.
+    pub path: Option<PathBuf>,
+    /// The ring contents, oldest first.
+    pub events: Vec<Event>,
+}
+
+/// Mutable dump-side state, touched only on the (rare) anomaly path.
+#[derive(Debug, Default)]
+struct DumpState {
+    dir: Option<PathBuf>,
+    count: u64,
+    write_errors: u64,
+    last: Option<FlightDump>,
+}
+
+/// A bounded, always-on ring of recent events. See the module docs for
+/// the write/snapshot protocol.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    /// Ticket dispenser: total events ever recorded.
+    head: AtomicU64,
+    /// `slots[t % capacity]` holds the event with ticket `t` (or an
+    /// older lap's event until the writer for `t` completes its store).
+    slots: Vec<Mutex<Option<(u64, Event)>>>,
+    /// Span latency budget in microseconds; `0` disables the trigger.
+    latency_budget_us: AtomicU64,
+    dump: Mutex<DumpState>,
+}
+
+impl FlightRecorder {
+    /// A ring holding the last `capacity` events.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "flight recorder capacity must be positive");
+        FlightRecorder {
+            head: AtomicU64::new(0),
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            latency_budget_us: AtomicU64::new(0),
+            dump: Mutex::new(DumpState::default()),
+        }
+    }
+
+    /// Sets the directory anomaly dumps are written to (builder-style).
+    #[must_use]
+    pub fn with_dump_dir(self, dir: impl AsRef<Path>) -> Self {
+        self.set_dump_dir(Some(dir.as_ref().to_path_buf()));
+        self
+    }
+
+    /// Sets (or clears) the anomaly-dump directory.
+    pub fn set_dump_dir(&self, dir: Option<PathBuf>) {
+        self.dump.lock().dir = dir;
+    }
+
+    /// Sets the span latency budget in microseconds; a recorded span
+    /// whose duration exceeds it triggers a dump. `0` disables.
+    pub fn set_latency_budget_us(&self, budget_us: u64) {
+        self.latency_budget_us.store(budget_us, Ordering::Relaxed);
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total events ever recorded (including those since overwritten).
+    pub fn total_recorded(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Number of anomaly dumps taken so far.
+    pub fn dump_count(&self) -> u64 {
+        self.dump.lock().count
+    }
+
+    /// Dump files that failed to write (dump directory unwritable).
+    pub fn dump_write_errors(&self) -> u64 {
+        self.dump.lock().write_errors
+    }
+
+    /// The most recent anomaly dump, if any.
+    pub fn last_dump(&self) -> Option<FlightDump> {
+        self.dump.lock().last.clone()
+    }
+
+    /// The ring contents, oldest ticket first. Never tears an event; see
+    /// the module docs for the loss bound.
+    pub fn snapshot(&self) -> Vec<Event> {
+        let mut entries: Vec<(u64, Event)> =
+            self.slots.iter().filter_map(|s| s.lock().clone()).collect();
+        entries.sort_by_key(|&(ticket, _)| ticket);
+        entries.into_iter().map(|(_, e)| e).collect()
+    }
+
+    /// Which dump trigger (if any) this event fires.
+    fn trigger_of(&self, event: &Event) -> Option<&'static str> {
+        if let Some(&t) = DUMP_TRIGGERS.iter().find(|&&t| t == event.name) {
+            return Some(t);
+        }
+        let budget = self.latency_budget_us.load(Ordering::Relaxed);
+        if budget > 0 && event.phase == Phase::Span && event.dur_us > budget {
+            return Some("latency_budget");
+        }
+        None
+    }
+
+    /// Snapshots the ring as an anomaly dump right now, independent of
+    /// any trigger. Returns the written file's path when a dump
+    /// directory is configured (write failures are counted, not
+    /// propagated — the recorder must never take down the recording
+    /// thread).
+    pub fn dump_now(&self, trigger: &str) -> Option<PathBuf> {
+        let events = self.snapshot();
+        let mut st = self.dump.lock();
+        st.count += 1;
+        let seq = st.count;
+        let path = st.dir.as_ref().map(|d| d.join(format!("flight-{seq:04}-{trigger}.jsonl")));
+        let path = match path {
+            Some(p) => {
+                if export::write_file(&p, &export::to_jsonl(&events)).is_ok() {
+                    Some(p)
+                } else {
+                    st.write_errors += 1;
+                    None
+                }
+            }
+            None => None,
+        };
+        st.last = Some(FlightDump { trigger: trigger.to_owned(), path: path.clone(), events });
+        drop(st);
+        #[cfg(not(loom))]
+        crate::metrics::global().counter_add("obs.flight_dumps_total", 1);
+        path
+    }
+}
+
+impl Recorder for FlightRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&self, event: Event) {
+        let trigger = self.trigger_of(&event);
+        let ticket = self.head.fetch_add(1, Ordering::Relaxed);
+        let idx = (ticket % self.slots.len() as u64) as usize;
+        *self.slots[idx].lock() = Some((ticket, event));
+        // The dump runs *after* the store so it includes the triggering
+        // event itself — and only when a dump directory is configured:
+        // a full ring snapshot per anomaly is far too expensive to pay
+        // with nowhere to write it (failure-injected benchmark runs
+        // trigger on every rewind/restart).
+        if let Some(t) = trigger {
+            if self.dump.lock().dir.is_some() {
+                self.dump_now(t);
+            }
+        }
+    }
+}
+
+/// The process-global flight recorder: always on, shared by every layer
+/// that mirrors events (the engine coordinator tees its trace here).
+///
+/// Configured once, lazily, from the environment: capacity from
+/// [`CAPACITY_ENV`] (default [`DEFAULT_CAPACITY`]), dump directory from
+/// [`DUMP_DIR_ENV`] (unset: dumps stay in memory), latency budget from
+/// [`BUDGET_ENV`] in milliseconds (unset: off).
+#[cfg(not(loom))]
+pub fn global() -> &'static FlightRecorder {
+    static GLOBAL: std::sync::OnceLock<FlightRecorder> = std::sync::OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        let capacity = std::env::var(CAPACITY_ENV)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&c| c > 0)
+            .unwrap_or(DEFAULT_CAPACITY);
+        let rec = FlightRecorder::new(capacity);
+        if let Ok(dir) = std::env::var(DUMP_DIR_ENV) {
+            if !dir.is_empty() {
+                rec.set_dump_dir(Some(PathBuf::from(dir)));
+            }
+        }
+        if let Some(ms) = std::env::var(BUDGET_ENV).ok().and_then(|v| v.parse::<u64>().ok()) {
+            rec.set_latency_budget_us(ms * 1000);
+        }
+        rec
+    })
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    fn ev(name: &str, ts: u64) -> Event {
+        Event::instant(name, "test", ts)
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_events_in_order() {
+        let fr = FlightRecorder::new(4);
+        for i in 0..10u64 {
+            fr.record(ev(&format!("e{i}"), i));
+        }
+        let snap = fr.snapshot();
+        let names: Vec<&str> = snap.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["e6", "e7", "e8", "e9"]);
+        assert_eq!(fr.total_recorded(), 10);
+        assert_eq!(fr.capacity(), 4);
+    }
+
+    #[test]
+    fn partially_filled_ring_snapshots_whats_there() {
+        let fr = FlightRecorder::new(8);
+        fr.record(ev("a", 1));
+        fr.record(ev("b", 2));
+        let snap = fr.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].name, "a");
+        assert_eq!(snap[1].name, "b");
+    }
+
+    #[test]
+    fn anomaly_event_triggers_dump_including_itself() {
+        let dir = std::env::temp_dir().join("ftpde_obs_flight_trigger");
+        let _ = std::fs::remove_dir_all(&dir);
+        let fr = FlightRecorder::new(16).with_dump_dir(&dir);
+        fr.record(ev("stage_skipped", 1));
+        fr.record(ev("segment_corrupt", 2));
+        assert_eq!(fr.dump_count(), 1);
+        let dump = fr.last_dump().expect("dump taken");
+        assert_eq!(dump.trigger, "segment_corrupt");
+        assert!(dump.path.is_some());
+        assert_eq!(dump.events.len(), 2);
+        assert_eq!(dump.events[1].name, "segment_corrupt");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn no_dump_dir_means_no_automatic_dumps() {
+        // Without a directory there is nowhere to write, and failure-heavy
+        // workloads can't afford a ring snapshot per anomaly — so the
+        // trigger path is a no-op.
+        let fr = FlightRecorder::new(16);
+        fr.record(ev("segment_corrupt", 1));
+        fr.record(ev("query_restart", 2));
+        assert_eq!(fr.dump_count(), 0);
+        assert!(fr.last_dump().is_none());
+        // Explicit dumps still capture in memory.
+        fr.dump_now("manual");
+        assert_eq!(fr.dump_count(), 1);
+        let dump = fr.last_dump().unwrap();
+        assert_eq!(dump.trigger, "manual");
+        assert_eq!(dump.path, None);
+        assert_eq!(dump.events.len(), 2);
+    }
+
+    #[test]
+    fn all_trigger_names_fire() {
+        let dir = std::env::temp_dir().join("ftpde_obs_flight_names");
+        let _ = std::fs::remove_dir_all(&dir);
+        for t in DUMP_TRIGGERS {
+            let fr = FlightRecorder::new(4).with_dump_dir(dir.join(t));
+            fr.record(ev(t, 0));
+            assert_eq!(fr.dump_count(), 1, "{t} must trigger a dump");
+            assert_eq!(fr.last_dump().unwrap().trigger, t);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn latency_budget_breach_triggers_dump() {
+        let dir = std::env::temp_dir().join("ftpde_obs_flight_budget");
+        let _ = std::fs::remove_dir_all(&dir);
+        let fr = FlightRecorder::new(8).with_dump_dir(&dir);
+        fr.set_latency_budget_us(1000);
+        fr.record(Event::span("stage 3", "engine", 0, 999));
+        assert_eq!(fr.dump_count(), 0, "within budget");
+        fr.record(Event::span("stage 3", "engine", 0, 1001));
+        assert_eq!(fr.dump_count(), 1, "over budget");
+        assert_eq!(fr.last_dump().unwrap().trigger, "latency_budget");
+        // Instants never breach the budget regardless of args.
+        fr.record(ev("some_instant", 5000));
+        assert_eq!(fr.dump_count(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dump_writes_replayable_jsonl_when_dir_configured() {
+        let dir = std::env::temp_dir().join("ftpde_obs_flight_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let fr = FlightRecorder::new(8).with_dump_dir(&dir);
+        fr.record(ev("materialize", 1));
+        fr.record(ev("input_rewind", 2));
+        let dump = fr.last_dump().unwrap();
+        let path = dump.path.expect("dump written to configured dir");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let replayed = export::from_jsonl(&text).unwrap();
+        assert_eq!(replayed, dump.events);
+        assert_eq!(fr.dump_write_errors(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unwritable_dump_dir_is_counted_not_fatal() {
+        let file = std::env::temp_dir().join("ftpde_obs_flight_notdir");
+        std::fs::write(&file, "x").unwrap();
+        // A file in place of the directory makes the write fail.
+        let fr = FlightRecorder::new(4).with_dump_dir(file.join("sub"));
+        fr.record(ev("query_restart", 1));
+        assert_eq!(fr.dump_count(), 1);
+        assert_eq!(fr.dump_write_errors(), 1);
+        assert!(fr.last_dump().unwrap().path.is_none());
+        let _ = std::fs::remove_file(&file);
+    }
+
+    #[test]
+    fn concurrent_writers_never_tear_and_loss_is_bounded() {
+        let fr = FlightRecorder::new(64);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let fr = &fr;
+                s.spawn(move || {
+                    for i in 0..100u64 {
+                        fr.record(ev("w", t * 1000 + i).tid(t as u32));
+                    }
+                });
+            }
+        });
+        assert_eq!(fr.total_recorded(), 400);
+        let snap = fr.snapshot();
+        assert_eq!(snap.len(), 64, "full ring after 400 writes");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = FlightRecorder::new(0);
+    }
+}

@@ -23,6 +23,12 @@
 //!   against observed durations and failure instants, producing
 //!   per-stage / per-query error distributions and a blame breakdown of
 //!   the cost model's terms.
+//! - **Live telemetry** ([`flight`], [`progress`], `serve`): an
+//!   always-on bounded flight recorder with anomaly-triggered JSONL
+//!   dumps, a per-query progress registry, and a dependency-free
+//!   embedded HTTP server exposing `/metrics`, `/healthz`, `/flight`
+//!   and `/queries` (`ftpde serve-metrics` wraps it; `ftpde top` polls
+//!   it).
 //!
 //! The intended pattern at an instrumentation site:
 //!
@@ -42,17 +48,28 @@
 pub mod calibrate;
 pub mod event;
 pub mod export;
+pub mod flight;
 pub mod metrics;
+pub mod progress;
 pub mod recorder;
 pub mod report;
+// The HTTP server serves the process-global flight recorder, which is
+// unavailable under the loom model checker.
+#[cfg(not(loom))]
+pub mod serve;
+pub mod sync;
 
 pub use calibrate::{
     BlameBreakdown, CalibrationReport, ErrorStats, QueryCalibration, StageCalibration,
 };
 pub use event::{ArgValue, Event, Phase};
+pub use flight::{FlightDump, FlightRecorder};
 pub use metrics::{
     global, AtomicHistogram, Counter, Gauge, HistogramHandle, HistogramSnapshot, MetricsRegistry,
     MetricsSnapshot, MutexHistogram, ShardedCounter,
 };
+pub use progress::{ProgressRegistry, ProgressSnapshot, QueryHandle, QuerySnapshot};
 pub use recorder::{MemoryRecorder, NoopRecorder, Recorder};
 pub use report::{metrics_summary, Summary};
+#[cfg(not(loom))]
+pub use serve::{serve, serve_with, ServeOptions, ServerHandle};

@@ -1,0 +1,379 @@
+//! Live per-query progress: the `/queries` data model.
+//!
+//! The engine coordinator registers every query run here (see
+//! `ftpde-engine`'s coordinator) and updates it on the hot path with the
+//! same discipline as the metrics registry: pre-resolved handles, one
+//! atomic RMW per update, no locks. A [`ProgressRegistry::snapshot`] is
+//! what the HTTP telemetry server serializes for `/queries` and what
+//! `ftpde top` renders — stages done/total, retries, restarts, bytes
+//! materialized, and predicted-vs-elapsed runtime (the prediction comes
+//! from the cost model's [`EstimateBreakdown`], so drift between the
+//! two columns is the live view of what `ftpde obs` calibrates offline).
+//!
+//! [`EstimateBreakdown`]: https://docs.rs/ftpde-core
+//!
+//! Completed queries are retained in a bounded recent-history list so a
+//! dashboard polling a few times per second still sees short queries.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Completed/aborted queries kept for `/queries` after they finish.
+pub const RECENT_KEEP: usize = 32;
+
+const STATE_RUNNING: u32 = 0;
+const STATE_COMPLETED: u32 = 1;
+const STATE_ABORTED: u32 = 2;
+
+/// Shared mutable state of one live query, all-atomic so worker threads
+/// and the coordinator update it without locks.
+#[derive(Debug)]
+struct QueryState {
+    id: u64,
+    label: String,
+    started: Instant,
+    /// Cost-model predicted runtime in seconds, when an estimate was
+    /// supplied at registration.
+    predicted_s: Option<f64>,
+    stages_total: AtomicU64,
+    stages_done: AtomicU64,
+    retries: AtomicU64,
+    restarts: AtomicU64,
+    bytes_materialized: AtomicU64,
+    rows_materialized: AtomicU64,
+    segments_corrupt: AtomicU64,
+    state: AtomicU32,
+    final_elapsed_us: AtomicU64,
+}
+
+impl QueryState {
+    fn snapshot(&self) -> QuerySnapshot {
+        let state = self.state.load(Ordering::Relaxed);
+        let elapsed_s = if state == STATE_RUNNING {
+            self.started.elapsed().as_secs_f64()
+        } else {
+            self.final_elapsed_us.load(Ordering::Relaxed) as f64 / 1e6
+        };
+        let stages_total = self.stages_total.load(Ordering::Relaxed);
+        let stages_done = self.stages_done.load(Ordering::Relaxed).min(stages_total);
+        QuerySnapshot {
+            id: self.id,
+            label: self.label.clone(),
+            state: match state {
+                STATE_COMPLETED => "completed",
+                STATE_ABORTED => "aborted",
+                _ => "running",
+            }
+            .to_owned(),
+            stages_done,
+            stages_total,
+            retries: self.retries.load(Ordering::Relaxed),
+            restarts: self.restarts.load(Ordering::Relaxed),
+            bytes_materialized: self.bytes_materialized.load(Ordering::Relaxed),
+            rows_materialized: self.rows_materialized.load(Ordering::Relaxed),
+            segments_corrupt: self.segments_corrupt.load(Ordering::Relaxed),
+            elapsed_s,
+            predicted_s: self.predicted_s,
+        }
+    }
+}
+
+/// One query's progress as serialized on `/queries`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuerySnapshot {
+    /// Registry-assigned id, unique within the process.
+    pub id: u64,
+    /// Human-readable label (the engine uses the sink operator's name).
+    pub label: String,
+    /// `"running"`, `"completed"` or `"aborted"`.
+    pub state: String,
+    /// Stages finished (executed or resumed from the store) this attempt.
+    /// A coarse restart resets this to zero.
+    pub stages_done: u64,
+    /// Stages in the collapsed plan.
+    pub stages_total: u64,
+    /// Fine-grained per-node sub-plan re-executions so far.
+    pub retries: u64,
+    /// Coarse whole-query restarts so far.
+    pub restarts: u64,
+    /// Physical bytes committed to the fault-tolerant store so far.
+    pub bytes_materialized: u64,
+    /// Logical rows written to the store so far.
+    pub rows_materialized: u64,
+    /// Corrupt segments encountered (and recovered from) so far.
+    pub segments_corrupt: u64,
+    /// Wall-clock seconds: still counting for running queries, final
+    /// otherwise.
+    pub elapsed_s: f64,
+    /// Cost-model predicted runtime in seconds, when known. Comparing it
+    /// against `elapsed_s` is the live calibration-drift view.
+    pub predicted_s: Option<f64>,
+}
+
+impl QuerySnapshot {
+    /// Fraction of stages done this attempt, in `[0, 1]`.
+    pub fn progress(&self) -> f64 {
+        if self.stages_total == 0 {
+            return 0.0;
+        }
+        self.stages_done as f64 / self.stages_total as f64
+    }
+}
+
+/// The `/queries` payload: every live query plus a bounded recent
+/// history, live first, each group in start order.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ProgressSnapshot {
+    /// Per-query progress rows.
+    pub queries: Vec<QuerySnapshot>,
+}
+
+impl ProgressSnapshot {
+    /// Number of queries currently running.
+    pub fn running(&self) -> usize {
+        self.queries.iter().filter(|q| q.state == "running").count()
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    live: Vec<Arc<QueryState>>,
+    recent: VecDeque<QuerySnapshot>,
+}
+
+/// Registry of live (and recently finished) query runs.
+#[derive(Debug, Default)]
+pub struct ProgressRegistry {
+    next_id: AtomicU64,
+    inner: Mutex<Inner>,
+}
+
+impl ProgressRegistry {
+    /// An empty registry. Most callers want [`global`] instead.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a starting query and returns its update handle.
+    /// `predicted_s` is the cost model's runtime estimate when available.
+    pub fn start(
+        self: &Arc<Self>,
+        label: impl Into<String>,
+        stages_total: u64,
+        predicted_s: Option<f64>,
+    ) -> QueryHandle {
+        let state = Arc::new(QueryState {
+            id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            label: label.into(),
+            started: Instant::now(),
+            predicted_s: predicted_s.filter(|p| p.is_finite()),
+            stages_total: AtomicU64::new(stages_total),
+            stages_done: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            restarts: AtomicU64::new(0),
+            bytes_materialized: AtomicU64::new(0),
+            rows_materialized: AtomicU64::new(0),
+            segments_corrupt: AtomicU64::new(0),
+            state: AtomicU32::new(STATE_RUNNING),
+            final_elapsed_us: AtomicU64::new(0),
+        });
+        self.inner.lock().live.push(Arc::clone(&state));
+        QueryHandle { state, registry: Arc::clone(self) }
+    }
+
+    /// Everything the registry knows right now.
+    pub fn snapshot(&self) -> ProgressSnapshot {
+        let inner = self.inner.lock();
+        let mut queries: Vec<QuerySnapshot> = inner.live.iter().map(|s| s.snapshot()).collect();
+        queries.extend(inner.recent.iter().cloned());
+        ProgressSnapshot { queries }
+    }
+
+    fn finish(&self, state: &Arc<QueryState>) {
+        let mut inner = self.inner.lock();
+        inner.live.retain(|s| s.id != state.id);
+        inner.recent.push_back(state.snapshot());
+        while inner.recent.len() > RECENT_KEEP {
+            inner.recent.pop_front();
+        }
+    }
+}
+
+/// Update handle for one registered query. All methods are single atomic
+/// RMWs, safe to call from worker threads. Dropping a handle that was
+/// never [`complete`](QueryHandle::complete)d marks the query aborted —
+/// a panicking run must not linger as "running" forever.
+#[derive(Debug)]
+pub struct QueryHandle {
+    state: Arc<QueryState>,
+    registry: Arc<ProgressRegistry>,
+}
+
+impl QueryHandle {
+    /// Registry-assigned query id.
+    pub fn id(&self) -> u64 {
+        self.state.id
+    }
+
+    /// One more stage finished (executed or resume-skipped).
+    pub fn stage_done(&self) {
+        self.state.stages_done.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds fine-grained node retries.
+    pub fn add_retries(&self, n: u64) {
+        if n > 0 {
+            self.state.retries.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// A coarse whole-query restart: progress rewinds to zero stages.
+    pub fn restart(&self) {
+        self.state.restarts.fetch_add(1, Ordering::Relaxed);
+        self.state.stages_done.store(0, Ordering::Relaxed);
+    }
+
+    /// Adds recovered corrupt-segment encounters.
+    pub fn add_corrupt(&self, n: u64) {
+        if n > 0 {
+            self.state.segments_corrupt.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Sets the run's materialized-volume counters (monotone totals,
+    /// typically the store-stats delta since the run began).
+    pub fn set_materialized(&self, bytes: u64, rows: u64) {
+        self.state.bytes_materialized.store(bytes, Ordering::Relaxed);
+        self.state.rows_materialized.store(rows, Ordering::Relaxed);
+    }
+
+    /// Marks the query finished and moves it to the recent list.
+    /// Idempotent; the handle's `Drop` calls this with `aborted = true`
+    /// if nobody did.
+    pub fn complete(&self, aborted: bool) {
+        let new = if aborted { STATE_ABORTED } else { STATE_COMPLETED };
+        if self
+            .state
+            .state
+            .compare_exchange(STATE_RUNNING, new, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            self.state
+                .final_elapsed_us
+                .store(self.state.started.elapsed().as_micros() as u64, Ordering::Relaxed);
+            self.registry.finish(&self.state);
+        }
+    }
+}
+
+impl Drop for QueryHandle {
+    fn drop(&mut self) {
+        self.complete(true);
+    }
+}
+
+/// The process-global progress registry the engine coordinator reports
+/// into and the telemetry server serves from.
+pub fn global() -> &'static Arc<ProgressRegistry> {
+    static GLOBAL: OnceLock<Arc<ProgressRegistry>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Arc::new(ProgressRegistry::new()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_running_to_completed() {
+        let reg = Arc::new(ProgressRegistry::new());
+        let h = reg.start("q3", 4, Some(2.5));
+        h.stage_done();
+        h.stage_done();
+        h.add_retries(3);
+        h.set_materialized(1024, 10);
+        let snap = reg.snapshot();
+        assert_eq!(snap.queries.len(), 1);
+        let q = &snap.queries[0];
+        assert_eq!(q.state, "running");
+        assert_eq!((q.stages_done, q.stages_total), (2, 4));
+        assert_eq!(q.retries, 3);
+        assert_eq!(q.bytes_materialized, 1024);
+        assert_eq!(q.predicted_s, Some(2.5));
+        assert!((q.progress() - 0.5).abs() < 1e-12);
+        assert_eq!(snap.running(), 1);
+
+        h.complete(false);
+        let snap = reg.snapshot();
+        assert_eq!(snap.queries.len(), 1, "finished query stays in recent history");
+        assert_eq!(snap.queries[0].state, "completed");
+        assert_eq!(snap.running(), 0);
+    }
+
+    #[test]
+    fn restart_rewinds_progress() {
+        let reg = Arc::new(ProgressRegistry::new());
+        let h = reg.start("coarse", 3, None);
+        h.stage_done();
+        h.restart();
+        let q = &reg.snapshot().queries[0];
+        assert_eq!(q.stages_done, 0);
+        assert_eq!(q.restarts, 1);
+        assert_eq!(q.predicted_s, None);
+    }
+
+    #[test]
+    fn drop_without_complete_marks_aborted() {
+        let reg = Arc::new(ProgressRegistry::new());
+        drop(reg.start("doomed", 2, None));
+        let snap = reg.snapshot();
+        assert_eq!(snap.queries[0].state, "aborted");
+    }
+
+    #[test]
+    fn complete_is_idempotent_and_recent_is_bounded() {
+        let reg = Arc::new(ProgressRegistry::new());
+        for i in 0..(RECENT_KEEP + 5) {
+            let h = reg.start(format!("q{i}"), 1, None);
+            h.stage_done();
+            h.complete(false);
+            h.complete(true); // second call must not double-insert or flip state
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.queries.len(), RECENT_KEEP);
+        assert!(snap.queries.iter().all(|q| q.state == "completed"));
+        // Oldest entries were evicted: the first surviving label is q5.
+        assert_eq!(snap.queries[0].label, "q5");
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let reg = Arc::new(ProgressRegistry::new());
+        let h = reg.start("q5", 6, Some(1.25));
+        h.stage_done();
+        let snap = reg.snapshot();
+        let text = serde_json::to_string(&snap).unwrap();
+        let back: ProgressSnapshot = serde_json::from_str(&text).unwrap();
+        // elapsed_s keeps ticking for running queries; compare the rest.
+        assert_eq!(back.queries.len(), 1);
+        assert_eq!(back.queries[0].label, snap.queries[0].label);
+        assert_eq!(back.queries[0].stages_done, 1);
+        assert_eq!(back.queries[0].predicted_s, Some(1.25));
+        drop(h);
+    }
+
+    #[test]
+    fn stages_done_never_exceeds_total_in_snapshot() {
+        let reg = Arc::new(ProgressRegistry::new());
+        let h = reg.start("overshoot", 2, None);
+        h.stage_done();
+        h.stage_done();
+        h.stage_done();
+        assert_eq!(reg.snapshot().queries[0].stages_done, 2);
+        h.complete(false);
+    }
+}

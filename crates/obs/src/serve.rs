@@ -1,0 +1,397 @@
+//! The embedded HTTP telemetry server: `/metrics`, `/healthz`,
+//! `/flight`, `/queries`.
+//!
+//! Dependency-free by construction — a blocking [`TcpListener`] accept
+//! loop on its own thread, hand-written HTTP/1.1 responses, one
+//! connection handled at a time (scrapes and dashboard polls are tiny) —
+//! so it can be embedded anywhere: `ftpde serve-metrics` wraps it, and
+//! any long-running process does `ftpde_obs::serve::serve(ftpde_obs::global())`.
+//!
+//! ## Endpoints
+//!
+//! | path | content | payload |
+//! |------|---------|---------|
+//! | `/metrics` | `text/plain; version=0.0.4` | the registry snapshot in Prometheus text exposition format ([`crate::export::to_prometheus`]) |
+//! | `/healthz` | `application/json` | `{status, uptime_s, queries_running, corrupt_segments, flight: {capacity, recorded, dumps}, store: <health source>}` — `status` is `"degraded"` when corruption counters are nonzero or the health source says so, `"ok"` otherwise (always HTTP 200; the field carries the verdict) |
+//! | `/flight` | `application/json` | `{capacity, recorded, dumps, events: [Event…]}` — the flight-recorder ring, oldest first, each event in the JSONL object schema |
+//! | `/queries` | `application/json` | a [`crate::progress::ProgressSnapshot`]: live queries plus bounded recent history |
+//!
+//! Unknown paths get 404, non-GET methods 405. Every response closes the
+//! connection (`Connection: close`).
+
+use std::io::{BufRead, BufReader, Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use serde::Value;
+
+use crate::export;
+use crate::metrics::MetricsRegistry;
+
+/// Default telemetry port: what `ftpde serve-metrics` binds when no
+/// `--port` is given and where `ftpde top` looks when no `--addr` is
+/// given. `0` remains available for an ephemeral port.
+pub const DEFAULT_PORT: u16 = 9188;
+
+/// Pluggable `/healthz` detail: returns `(healthy, detail)` where
+/// `detail` lands under the response's `"store"` key. The CLI wires a
+/// disk-store verify summary through this; embedded users can attach
+/// anything.
+pub type HealthSource = Box<dyn Fn() -> (bool, Value) + Send + Sync>;
+
+/// Server configuration.
+#[derive(Default)]
+pub struct ServeOptions {
+    /// Port to bind on 127.0.0.1; `0` picks an ephemeral port (read it
+    /// back from [`ServerHandle::addr`]).
+    pub port: u16,
+    /// Optional `/healthz` detail provider.
+    pub health: Option<HealthSource>,
+}
+
+impl std::fmt::Debug for ServeOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeOptions")
+            .field("port", &self.port)
+            .field("health", &self.health.as_ref().map(|_| "<fn>"))
+            .finish()
+    }
+}
+
+/// A running telemetry server. Dropping the handle stops it.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with `port: 0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the server thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.thread.is_some() {
+            self.shutdown();
+        }
+    }
+}
+
+/// Starts the telemetry server on an ephemeral localhost port, serving
+/// `registry` on `/metrics` and the process-global flight recorder and
+/// progress registry on `/flight` / `/queries`. The `obs::serve(global())`
+/// one-liner for embedded use; pick a port with [`serve_with`].
+///
+/// # Errors
+/// Propagates the bind failure.
+pub fn serve(registry: &'static MetricsRegistry) -> std::io::Result<ServerHandle> {
+    serve_with(registry, ServeOptions::default())
+}
+
+/// [`serve`] with explicit options.
+///
+/// # Errors
+/// Propagates the bind failure.
+pub fn serve_with(
+    registry: &'static MetricsRegistry,
+    opts: ServeOptions,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(("127.0.0.1", opts.port))?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let health = opts.health;
+    let started = Instant::now();
+    let thread = std::thread::Builder::new().name("ftpde-telemetry".into()).spawn(move || {
+        while !stop2.load(Ordering::SeqCst) {
+            let Ok((stream, _)) = listener.accept() else { continue };
+            if stop2.load(Ordering::SeqCst) {
+                break;
+            }
+            // A slow or stuck client must not wedge the telemetry plane.
+            let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+            let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+            handle_connection(stream, registry, health.as_ref(), started);
+        }
+    })?;
+    Ok(ServerHandle { addr, stop, thread: Some(thread) })
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    registry: &MetricsRegistry,
+    health: Option<&HealthSource>,
+    started: Instant,
+) {
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line).is_err() {
+        return;
+    }
+    // Drain the header block so the client sees a clean close.
+    let mut header = String::new();
+    while reader.read_line(&mut header).is_ok() {
+        if header == "\r\n" || header == "\n" || header.is_empty() {
+            break;
+        }
+        header.clear();
+    }
+    let mut stream = reader.into_inner();
+
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    if method != "GET" {
+        respond(&mut stream, 405, "text/plain; charset=utf-8", "method not allowed\n");
+        return;
+    }
+    // Ignore any query string: `/flight?n=10` routes like `/flight`.
+    let route = path.split('?').next().unwrap_or("");
+    match route {
+        "/" => respond(
+            &mut stream,
+            200,
+            "text/plain; charset=utf-8",
+            "ftpde telemetry: /metrics /healthz /flight /queries\n",
+        ),
+        "/metrics" => {
+            let body = export::to_prometheus(&registry.snapshot());
+            respond(&mut stream, 200, "text/plain; version=0.0.4; charset=utf-8", &body);
+        }
+        "/healthz" => {
+            let body = healthz_body(registry, health, started);
+            respond(&mut stream, 200, "application/json", &body);
+        }
+        "/flight" => {
+            respond(&mut stream, 200, "application/json", &flight_body());
+        }
+        "/queries" => {
+            let snap = crate::progress::global().snapshot();
+            let body = serde_json::to_string(&snap).expect("progress snapshot serializes");
+            respond(&mut stream, 200, "application/json", &body);
+        }
+        _ => respond(&mut stream, 404, "text/plain; charset=utf-8", "not found\n"),
+    }
+}
+
+/// Builds the `/healthz` JSON. Degraded when any `*corrupt*` counter in
+/// the registry is nonzero or the health source reports unhealthy.
+fn healthz_body(
+    registry: &MetricsRegistry,
+    health: Option<&HealthSource>,
+    started: Instant,
+) -> String {
+    let snap = registry.snapshot();
+    let corrupt: u64 =
+        snap.counters.iter().filter(|(name, _)| name.contains("corrupt")).map(|&(_, v)| v).sum();
+    let (source_healthy, store_detail) = match health {
+        Some(h) => h(),
+        None => (true, Value::Null),
+    };
+    let flight = crate::flight::global();
+    let status = if corrupt == 0 && source_healthy { "ok" } else { "degraded" };
+    let obj = Value::Object(vec![
+        ("status".into(), Value::Str(status.into())),
+        ("uptime_s".into(), Value::Float(started.elapsed().as_secs_f64())),
+        (
+            "queries_running".into(),
+            Value::UInt(crate::progress::global().snapshot().running() as u64),
+        ),
+        ("corrupt_segments".into(), Value::UInt(corrupt)),
+        (
+            "flight".into(),
+            Value::Object(vec![
+                ("capacity".into(), Value::UInt(flight.capacity() as u64)),
+                ("recorded".into(), Value::UInt(flight.total_recorded())),
+                ("dumps".into(), Value::UInt(flight.dump_count())),
+            ]),
+        ),
+        ("store".into(), store_detail),
+    ]);
+    serde_json::to_string(&obj).expect("healthz serializes")
+}
+
+/// Builds the `/flight` JSON: ring metadata plus the events themselves.
+fn flight_body() -> String {
+    let flight = crate::flight::global();
+    let events = flight.snapshot();
+    let events_json = serde_json::to_string(&events).expect("events serialize");
+    format!(
+        "{{\"capacity\":{},\"recorded\":{},\"dumps\":{},\"events\":{}}}",
+        flight.capacity(),
+        flight.total_recorded(),
+        flight.dump_count(),
+        events_json
+    )
+}
+
+fn respond(stream: &mut TcpStream, status: u16, content_type: &str, body: &str) {
+    let reason = match status {
+        200 => "OK",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Minimal HTTP/1.1 GET client for the telemetry endpoints — what
+/// `ftpde top` polls with and what the tests assert through. Returns
+/// `(status, body)`.
+///
+/// # Errors
+/// I/O errors connecting or reading, or a malformed status line.
+pub fn http_get(addr: SocketAddr, path: &str) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(2))?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let req = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream.write_all(req.as_bytes())?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "no header block"))?;
+    let status: u16 = head
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line"))?;
+    Ok((status, body.to_owned()))
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use crate::recorder::Recorder as _;
+
+    fn start() -> ServerHandle {
+        serve(crate::metrics::global()).expect("bind ephemeral port")
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_prometheus_text() {
+        crate::metrics::global().counter_add("serve_test.requests_total", 7);
+        let srv = start();
+        let (status, body) = http_get(srv.addr(), "/metrics").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("# TYPE serve_test_requests_total counter"), "{body}");
+        srv.stop();
+    }
+
+    #[test]
+    fn healthz_reports_status_and_flight_metadata() {
+        let srv = start();
+        let (status, body) = http_get(srv.addr(), "/healthz").unwrap();
+        assert_eq!(status, 200);
+        let v: Value = serde_json::from_str(&body).unwrap();
+        let s = v.get("status").and_then(Value::as_str).unwrap();
+        assert!(s == "ok" || s == "degraded");
+        assert!(v.get("uptime_s").and_then(Value::as_f64).unwrap() >= 0.0);
+        assert!(v.get("flight").and_then(|f| f.get("capacity")).is_some());
+        srv.stop();
+    }
+
+    #[test]
+    fn healthz_uses_the_health_source() {
+        let opts = ServeOptions {
+            port: 0,
+            health: Some(Box::new(|| {
+                (false, Value::Object(vec![("segments".into(), Value::UInt(3))]))
+            })),
+        };
+        let srv = serve_with(crate::metrics::global(), opts).unwrap();
+        let (_, body) = http_get(srv.addr(), "/healthz").unwrap();
+        let v: Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(v.get("status").and_then(Value::as_str), Some("degraded"));
+        assert_eq!(v.get("store").and_then(|s| s.get("segments")).and_then(Value::as_u64), Some(3));
+        srv.stop();
+    }
+
+    #[test]
+    fn flight_endpoint_returns_ring_as_json() {
+        crate::flight::global().record(Event::instant("serve_flight_probe", "test", 1));
+        let srv = start();
+        let (status, body) = http_get(srv.addr(), "/flight").unwrap();
+        assert_eq!(status, 200);
+        let v: Value = serde_json::from_str(&body).unwrap();
+        assert!(v.get("capacity").and_then(Value::as_u64).unwrap() > 0);
+        let events = v.get("events").and_then(Value::as_array).unwrap();
+        assert!(
+            events
+                .iter()
+                .any(|e| e.get("name").and_then(Value::as_str) == Some("serve_flight_probe")),
+            "probe event visible on /flight"
+        );
+        srv.stop();
+    }
+
+    #[test]
+    fn queries_endpoint_round_trips_progress_snapshot() {
+        let h = crate::progress::global().start("serve_test_query", 3, Some(0.5));
+        h.stage_done();
+        let srv = start();
+        let (status, body) = http_get(srv.addr(), "/queries").unwrap();
+        assert_eq!(status, 200);
+        let snap: crate::progress::ProgressSnapshot = serde_json::from_str(&body).unwrap();
+        let q = snap
+            .queries
+            .iter()
+            .find(|q| q.label == "serve_test_query")
+            .expect("registered query on /queries");
+        assert_eq!(q.stages_done, 1);
+        assert_eq!(q.predicted_s, Some(0.5));
+        h.complete(false);
+        srv.stop();
+    }
+
+    #[test]
+    fn unknown_path_404_and_post_405_and_root_index() {
+        let srv = start();
+        assert_eq!(http_get(srv.addr(), "/nope").unwrap().0, 404);
+        let (status, body) = http_get(srv.addr(), "/").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("/metrics"));
+        // Raw POST.
+        let mut s = TcpStream::connect(srv.addr()).unwrap();
+        s.write_all(b"POST /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n").unwrap();
+        let mut resp = String::new();
+        s.read_to_string(&mut resp).unwrap();
+        assert!(resp.starts_with("HTTP/1.1 405"), "{resp}");
+        srv.stop();
+    }
+
+    #[test]
+    fn query_strings_are_ignored_in_routing() {
+        let srv = start();
+        assert_eq!(http_get(srv.addr(), "/healthz?verbose=1").unwrap().0, 200);
+        srv.stop();
+    }
+}

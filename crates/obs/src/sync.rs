@@ -1,0 +1,51 @@
+//! Synchronization shim for the flight recorder: `std` + `parking_lot`
+//! normally, `loom` under `--cfg loom`.
+//!
+//! The flight recorder ([`crate::flight`]) is the one piece of this crate
+//! with a non-trivial concurrent protocol — a ticket-dispensing ring
+//! written by every worker thread and snapshotted concurrently — so its
+//! primitives cross this module and the loom CI job
+//! (`RUSTFLAGS="--cfg loom"`) model-checks the very ring the production
+//! build runs (`crates/obs/tests/loom.rs`). Everything else in the crate
+//! (metrics registry, progress registry, HTTP server) uses plain `std` /
+//! `parking_lot` directly: those paths are either lock-free single-word
+//! atomics or coarse mutexes with no ordering protocol worth modeling.
+
+#[cfg(not(loom))]
+pub use std::sync::atomic::{AtomicU64, Ordering};
+
+#[cfg(loom)]
+pub use loom::sync::atomic::{AtomicU64, Ordering};
+
+#[cfg(not(loom))]
+pub use parking_lot::{Mutex, MutexGuard};
+
+#[cfg(loom)]
+mod loom_impl {
+    /// Guard returned by [`Mutex::lock`].
+    pub type MutexGuard<'a, T> = loom::sync::MutexGuard<'a, T>;
+
+    /// A loom-instrumented mutex with parking_lot's non-poisoning API.
+    #[derive(Debug, Default)]
+    pub struct Mutex<T>(loom::sync::Mutex<T>);
+
+    impl<T> Mutex<T> {
+        /// Creates a new mutex.
+        pub fn new(value: T) -> Self {
+            Mutex(loom::sync::Mutex::new(value))
+        }
+
+        /// Acquires the lock. Every acquisition is a loom schedule point.
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            self.0.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+        }
+
+        /// Consumes the mutex, returning the inner value.
+        pub fn into_inner(self) -> T {
+            self.0.into_inner()
+        }
+    }
+}
+
+#[cfg(loom)]
+pub use loom_impl::{Mutex, MutexGuard};

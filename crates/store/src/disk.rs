@@ -122,6 +122,7 @@ impl DiskBackend {
     /// Only real I/O failures (permissions, disk full) — corruption is
     /// handled, not propagated.
     pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let open_start = Instant::now();
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
         let mut corruptions = Vec::new();
@@ -179,6 +180,11 @@ impl DiskBackend {
                 let _ = fs::remove_file(dirent.path());
             }
         }
+
+        // Cold-start cost, live on `/metrics`: how long the manifest
+        // load + segment verification took and how many segments it
+        // walked (kept or demoted).
+        crate::stats::record_reopen(open_start.elapsed().as_secs_f64(), before as u64);
 
         let store = DiskBackend {
             dir,
@@ -683,6 +689,35 @@ mod tests {
         let stats = store.stats();
         assert!(stats.fsyncs >= 4, "commit protocol fsyncs file+dir+manifest+dir");
         assert!(stats.write_bytes_per_s().is_some());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The reopen path must publish its cold-start cost to the global
+    /// registry: `store.reopen_seconds` observations and a
+    /// `store.segments_scanned` count covering every committed segment
+    /// the open verified.
+    #[test]
+    #[cfg_attr(miri, ignore = "touches the real filesystem")]
+    fn reopen_records_cold_start_metrics() {
+        let dir = tmp_dir("reopen-metrics");
+        {
+            let store = DiskBackend::open(&dir).unwrap();
+            store.put(1, 0, sample_rows());
+            store.put(2, 0, sample_rows());
+        }
+        let g = ftpde_obs::global();
+        let scanned_before = g.snapshot().counter("store.segments_scanned");
+        let reopens_before = g.snapshot().histogram("store.reopen_seconds").map_or(0, |h| h.count);
+        let _store = DiskBackend::open(&dir).unwrap();
+        let snap = g.snapshot();
+        // Lower bounds: sibling tests reopening stores in parallel also
+        // bump the global counters.
+        assert!(
+            snap.counter("store.segments_scanned") - scanned_before >= 2,
+            "both committed segments verified on reopen"
+        );
+        let h = snap.histogram("store.reopen_seconds").expect("reopen timing recorded");
+        assert!(h.count - reopens_before >= 1);
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -116,6 +116,24 @@ pub(crate) fn record_corrupt_segments(n: u64) {
     let _ = n;
 }
 
+/// Records one [`crate::DiskBackend`] reopen — manifest load plus
+/// end-to-end verification of every committed segment — into the global
+/// registry, so cold-start recovery cost is visible on `/metrics`:
+/// `store.reopen_seconds` (histogram) and `store.segments_scanned`
+/// (counter of segments verified, kept or demoted). Loom no-op. These
+/// are resolved ad hoc rather than through [`LiveStoreMetrics`]: reopen
+/// is a once-per-process-lifetime path, not a hot one.
+pub(crate) fn record_reopen(elapsed_s: f64, segments_scanned: u64) {
+    #[cfg(not(loom))]
+    {
+        let g = ftpde_obs::global();
+        g.observe("store.reopen_seconds", elapsed_s);
+        g.counter_add("store.segments_scanned", segments_scanned);
+    }
+    #[cfg(loom)]
+    let _ = (elapsed_s, segments_scanned);
+}
+
 /// Cumulative counters of one store backend (or of a store directory
 /// across process lifetimes — the disk backend persists its stats in the
 /// manifest, so throughput survives a reopen).

@@ -11,6 +11,8 @@
 //! ftpde check    --trace run.jsonl [--query Q5 --config best] [--format text|json]
 //! ftpde bench    [--quick] [--repeats N] [--warmup N] [--seed N] [--out <dir>]
 //! ftpde bench    --compare <old.json> <new.json> [--tolerance <pct>]
+//! ftpde serve-metrics [--port N] [--store <dir>] [--flight-dir <dir>] [--budget-ms N] [--duration-s N]
+//! ftpde top      [--addr host:port] [--interval-ms N] [--iterations N] [--no-clear]
 //! ```
 //!
 //! * `plan` — run the cost-based search for a TPC-H query and explain the
@@ -46,6 +48,16 @@
 //!   `BENCH_search.json` documents; or, with `--compare`, diff two such
 //!   documents under a tolerance and exit nonzero on any perf
 //!   regression — the CI perf gate.
+//! * `serve-metrics` — run the embedded HTTP telemetry server
+//!   (`/metrics`, `/healthz`, `/flight`, `/queries`) against the
+//!   process-global metrics registry, flight recorder and per-query
+//!   progress tracker. `--store <dir>` wires a disk-store verify into
+//!   `/healthz`; `--flight-dir` / `--budget-ms` configure where the
+//!   flight recorder dumps on anomalies and its latency budget.
+//! * `top` — a terminal dashboard polling a telemetry endpoint: live
+//!   query table (stages, retries, restarts, bytes materialized,
+//!   predicted-vs-elapsed drift), store throughput gauges, flight
+//!   recorder status and recent anomalies.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -83,6 +95,8 @@ fn main() -> ExitCode {
             "lint" => cmd_lint(&flags),
             "store" => cmd_store(&flags),
             "check" => cmd_check(&flags),
+            "serve-metrics" => cmd_serve_metrics(&flags),
+            "top" => cmd_top(&flags),
             _ => Err(format!("unknown command {cmd:?}")),
         }
     };
@@ -107,7 +121,9 @@ const USAGE: &str = "usage:
   ftpde check    --trace <run.jsonl> [--query <Q1|Q3|Q5|Q1C|Q2C>] [--config <none|all|best|ops:<csv>>]
                  [--sf <N>] [--nodes <N>] [--mtbf <secs>] [--mttr <secs>] [--format <text|json>]
   ftpde bench    [--quick] [--repeats <N>] [--warmup <N>] [--seed <N>] [--out <dir>]
-  ftpde bench    --compare <old.json> <new.json> [--tolerance <pct>]";
+  ftpde bench    --compare <old.json> <new.json> [--tolerance <pct>]
+  ftpde serve-metrics [--port <N>] [--store <dir>] [--flight-dir <dir>] [--budget-ms <N>] [--duration-s <N>]
+  ftpde top      [--addr <host:port>] [--interval-ms <N>] [--iterations <N>] [--no-clear]";
 
 /// Splits `["cmd", "--k", "v", ...]` into the command and a flag map.
 /// A flag followed by another flag (or nothing) is boolean, stored as
@@ -563,6 +579,217 @@ fn cmd_check(flags: &HashMap<String, String>) -> CliResult<()> {
         Ok(())
     } else {
         Err(format!("check found {} error(s)", set.count(Severity::Error)))
+    }
+}
+
+/// Builds and starts the telemetry server from `serve-metrics` flags:
+/// bind port, optional disk-store health source, flight-recorder dump
+/// directory and latency budget. Factored out of [`cmd_serve_metrics`]
+/// so tests can start (and drop) the server without parking.
+fn start_serve(flags: &HashMap<String, String>) -> CliResult<obs::ServerHandle> {
+    let port = get_f64(flags, "port", Some(f64::from(obs::serve::DEFAULT_PORT)))? as u16;
+    if let Some(dir) = flags.get("flight-dir") {
+        if dir == "true" {
+            return Err("--flight-dir needs a directory argument".into());
+        }
+        std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+        obs::flight::global().set_dump_dir(Some(dir.into()));
+    }
+    if flags.contains_key("budget-ms") {
+        let ms = get_f64(flags, "budget-ms", None)?;
+        if ms <= 0.0 {
+            return Err("--budget-ms must be > 0".into());
+        }
+        obs::flight::global().set_latency_budget_us((ms * 1000.0) as u64);
+    }
+    let health = match flags.get("store") {
+        Some(dir) if dir == "true" => return Err("--store needs a directory argument".into()),
+        Some(dir) => {
+            let dir = dir.clone();
+            // Re-verify on every /healthz hit so corruption that appears
+            // after startup flips the status without a restart.
+            let source: obs::serve::HealthSource =
+                Box::new(move || match ftpde::store::verify(&dir) {
+                    Ok(report) => {
+                        let detail = serde_json::to_string(&report)
+                            .ok()
+                            .and_then(|s| serde_json::from_str::<serde::Value>(&s).ok())
+                            .unwrap_or(serde::Value::Null);
+                        (report.corrupt == 0, detail)
+                    }
+                    Err(e) => {
+                        (false, serde::Value::Str(format!("cannot read store at {dir}: {e}")))
+                    }
+                });
+            Some(source)
+        }
+        None => None,
+    };
+    obs::serve_with(obs::global(), obs::ServeOptions { port, health })
+        .map_err(|e| format!("cannot bind telemetry server on port {port}: {e}"))
+}
+
+fn cmd_serve_metrics(flags: &HashMap<String, String>) -> CliResult<()> {
+    let duration_s = get_f64(flags, "duration-s", Some(0.0))?;
+    let srv = start_serve(flags)?;
+    println!("serving telemetry on http://{}/ — /metrics /healthz /flight /queries", srv.addr());
+    if duration_s > 0.0 {
+        std::thread::sleep(std::time::Duration::from_secs_f64(duration_s));
+        srv.stop();
+        Ok(())
+    } else {
+        // Park forever: the server thread does the work.
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
+}
+
+/// Reads one `ftpde top` frame's worth of endpoint payloads and renders
+/// the dashboard.
+fn top_frame(addr: std::net::SocketAddr) -> CliResult<String> {
+    let get = |path: &str| -> CliResult<String> {
+        let (status, body) = obs::serve::http_get(addr, path).map_err(|e| {
+            format!("cannot reach http://{addr}{path}: {e} (is `ftpde serve-metrics` running?)")
+        })?;
+        if status != 200 {
+            return Err(format!("http://{addr}{path}: HTTP {status}"));
+        }
+        Ok(body)
+    };
+    render_top(&addr.to_string(), &get("/healthz")?, &get("/queries")?, &get("/flight")?)
+}
+
+/// Renders one dashboard frame from the `/healthz`, `/queries` and
+/// `/flight` payloads. Pure so tests can feed synthetic JSON.
+fn render_top(addr: &str, healthz: &str, queries: &str, flight: &str) -> CliResult<String> {
+    let health: serde::Value =
+        serde_json::from_str(healthz).map_err(|e| format!("/healthz is not JSON: {e:?}"))?;
+    let snap: obs::ProgressSnapshot =
+        serde_json::from_str(queries).map_err(|e| format!("/queries is not JSON: {e:?}"))?;
+    let fl: serde::Value =
+        serde_json::from_str(flight).map_err(|e| format!("/flight is not JSON: {e:?}"))?;
+
+    let status = health.get("status").and_then(serde::Value::as_str).unwrap_or("?");
+    let uptime = health.get("uptime_s").and_then(serde::Value::as_f64).unwrap_or(0.0);
+    let corrupt = health.get("corrupt_segments").and_then(serde::Value::as_u64).unwrap_or(0);
+    let mut out = format!(
+        "ftpde top — {addr} — {status} — up {uptime:.0}s — {} running, {corrupt} corrupt\n\n",
+        snap.running()
+    );
+
+    out.push_str(&format!(
+        "{:>4}  {:<9} {:>7} {:>5} {:>5} {:>9} {:>8} {:>7} {:>6}  LABEL\n",
+        "ID", "STATE", "STAGES", "RETR", "RSTRT", "MAT MB", "ELAPSED", "PRED", "DRIFT"
+    ));
+    if snap.queries.is_empty() {
+        out.push_str("  (no queries yet)\n");
+    }
+    for q in &snap.queries {
+        let pred = q.predicted_s.map_or_else(|| "-".to_string(), |p| format!("{p:.1}s"));
+        let drift = match q.predicted_s {
+            Some(p) if p > 0.0 => format!("{:+.0}%", (q.elapsed_s - p) / p * 100.0),
+            _ => "-".to_string(),
+        };
+        out.push_str(&format!(
+            "{:>4}  {:<9} {:>7} {:>5} {:>5} {:>9.1} {:>7.1}s {:>7} {:>6}  {}\n",
+            q.id,
+            q.state,
+            format!("{}/{}", q.stages_done, q.stages_total),
+            q.retries,
+            q.restarts,
+            q.bytes_materialized as f64 / 1e6,
+            q.elapsed_s,
+            pred,
+            drift,
+            q.label
+        ));
+    }
+
+    // Store line: the /healthz store detail when `serve-metrics --store`
+    // is wired (a serialized verify report); omitted otherwise.
+    if let Some(store) = health.get("store") {
+        let segments = store.get("segments").and_then(serde::Value::as_array).map(<[_]>::len);
+        let stats = store.get("stats");
+        let bytes = stats
+            .and_then(|s| s.get("physical_bytes_written"))
+            .and_then(serde::Value::as_u64)
+            .unwrap_or(0);
+        let store_corrupt = store.get("corrupt").and_then(serde::Value::as_u64).unwrap_or(0);
+        if let Some(segments) = segments {
+            let mut line = format!(
+                "\nstore: {segments} segment(s), {:.1} MB written, {store_corrupt} corrupt",
+                bytes as f64 / 1e6
+            );
+            if let Some(w) = stats
+                .and_then(|s| s.get("write_bytes_per_s"))
+                .and_then(serde::Value::as_f64)
+                .filter(|w| w.is_finite() && *w > 0.0)
+            {
+                line.push_str(&format!(", write {:.1} MB/s", w / 1e6));
+            }
+            line.push('\n');
+            out.push_str(&line);
+        }
+    }
+
+    let cap = fl.get("capacity").and_then(serde::Value::as_u64).unwrap_or(0);
+    let recorded = fl.get("recorded").and_then(serde::Value::as_u64).unwrap_or(0);
+    let dumps = fl.get("dumps").and_then(serde::Value::as_u64).unwrap_or(0);
+    out.push_str(&format!(
+        "\nflight: {recorded} recorded (ring capacity {cap}), {dumps} dump(s)\n"
+    ));
+    let anomalies: Vec<String> = fl
+        .get("events")
+        .and_then(serde::Value::as_array)
+        .map(|events| {
+            events
+                .iter()
+                .filter_map(|e| {
+                    let name = e.get("name").and_then(serde::Value::as_str)?;
+                    if !obs::flight::DUMP_TRIGGERS.contains(&name) {
+                        return None;
+                    }
+                    let ts = e.get("ts_us").and_then(serde::Value::as_u64).unwrap_or(0);
+                    Some(format!("{name} @{:.3}s", ts as f64 / 1e6))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    if !anomalies.is_empty() {
+        let recent: Vec<&str> = anomalies.iter().rev().take(5).rev().map(String::as_str).collect();
+        out.push_str(&format!("  anomalies: {}\n", recent.join(", ")));
+    }
+    Ok(out)
+}
+
+fn cmd_top(flags: &HashMap<String, String>) -> CliResult<()> {
+    use std::io::Write as _;
+    let default_addr = format!("127.0.0.1:{}", obs::serve::DEFAULT_PORT);
+    let addr_s = flags.get("addr").map_or(default_addr.as_str(), String::as_str);
+    let addr: std::net::SocketAddr =
+        addr_s.parse().map_err(|_| format!("--addr: not a host:port address: {addr_s:?}"))?;
+    let interval_ms = get_f64(flags, "interval-ms", Some(1000.0))?;
+    if interval_ms <= 0.0 {
+        return Err("--interval-ms must be > 0".into());
+    }
+    // 0 = poll until interrupted; tests pass --iterations 1.
+    let iterations = get_f64(flags, "iterations", Some(0.0))? as u64;
+    let clear = !flags.contains_key("no-clear");
+    let mut shown = 0u64;
+    loop {
+        let frame = top_frame(addr)?;
+        if clear {
+            // ANSI: clear screen, home cursor.
+            print!("\x1b[2J\x1b[H");
+        }
+        print!("{frame}");
+        let _ = std::io::stdout().flush();
+        shown += 1;
+        if iterations > 0 && shown >= iterations {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms as u64));
     }
 }
 
@@ -1028,6 +1255,143 @@ mod tests {
         assert!(cmd_bench(&strings(&["--compare", &op, &np, "--tolerance", "x"])).is_err());
         assert!(cmd_bench(&strings(&["--compare", "/nonexistent.json", &np])).is_err());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_metrics_and_top_end_to_end() {
+        use ftpde::store::{int_row, DiskBackend, StoreBackend};
+
+        // A healthy disk store for the /healthz health source.
+        let dir = std::env::temp_dir().join(format!("ftpde-cli-serve-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let disk = DiskBackend::open(&dir).unwrap();
+            disk.put(0, 0, vec![int_row(&[1, 2]), int_row(&[3, 4])]);
+        }
+        let d = dir.to_string_lossy().to_string();
+        let flight_dir = dir.join("flight");
+        let fd = flight_dir.to_string_lossy().to_string();
+
+        // Ephemeral port so parallel test runs never collide.
+        let srv = start_serve(&flags(&[
+            ("port", "0"),
+            ("store", d.as_str()),
+            ("flight-dir", fd.as_str()),
+            ("budget-ms", "30000"),
+        ]))
+        .unwrap();
+        let addr = srv.addr();
+
+        let (status, body) = obs::serve::http_get(addr, "/healthz").unwrap();
+        assert_eq!(status, 200);
+        let v: serde::Value = serde_json::from_str(&body).unwrap();
+        // The wired store verifies clean and its report lands under "store".
+        assert!(v.get("store").and_then(|s| s.get("segments")).is_some(), "{body}");
+
+        // One dashboard frame through the real client path renders the
+        // banner, the query table header and the flight line.
+        let frame = top_frame(addr).unwrap();
+        assert!(frame.contains("ftpde top"), "{frame}");
+        assert!(frame.contains("STAGES"), "{frame}");
+        assert!(frame.contains("flight:"), "{frame}");
+        assert!(frame.contains("store:"), "{frame}");
+
+        // The polling command itself, bounded to one iteration.
+        let a = addr.to_string();
+        cmd_top(&flags(&[
+            ("addr", a.as_str()),
+            ("iterations", "1"),
+            ("no-clear", "true"),
+            ("interval-ms", "10"),
+        ]))
+        .unwrap();
+
+        drop(srv);
+
+        // Flag validation.
+        assert!(start_serve(&flags(&[("port", "0"), ("store", "true")])).is_err());
+        assert!(start_serve(&flags(&[("port", "0"), ("flight-dir", "true")])).is_err());
+        assert!(start_serve(&flags(&[("port", "0"), ("budget-ms", "-1")])).is_err());
+        assert!(cmd_top(&flags(&[("addr", "not-an-addr")])).is_err());
+        assert!(cmd_top(&flags(&[("addr", a.as_str()), ("interval-ms", "0")])).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn top_reports_unreachable_endpoints() {
+        // A bound-then-dropped listener yields a port nobody serves.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let a = addr.to_string();
+        let err = cmd_top(&flags(&[("addr", a.as_str()), ("iterations", "1")])).unwrap_err();
+        assert!(err.contains("serve-metrics"), "{err}");
+    }
+
+    #[test]
+    fn render_top_formats_synthetic_payloads() {
+        let healthz = r#"{
+            "status": "degraded", "uptime_s": 42.0, "queries_running": 1,
+            "corrupt_segments": 2,
+            "flight": {"capacity": 16, "recorded": 3, "dumps": 1},
+            "store": {
+                "dir": "/tmp/s", "corrupt": 2,
+                "stats": {"physical_bytes_written": 2500000, "write_bytes_per_s": 1500000.0},
+                "segments": [{}, {}, {}], "orphans": []
+            }
+        }"#;
+        let queries = r#"{"queries": [
+            {"id": 1, "label": "sink ⋈", "state": "running", "stages_done": 2,
+             "stages_total": 4, "retries": 1, "restarts": 0,
+             "bytes_materialized": 12500000, "rows_materialized": 100,
+             "segments_corrupt": 2, "elapsed_s": 3.2, "predicted_s": 4.0},
+            {"id": 2, "label": "agg", "state": "completed", "stages_done": 1,
+             "stages_total": 1, "retries": 0, "restarts": 0,
+             "bytes_materialized": 0, "rows_materialized": 0,
+             "segments_corrupt": 0, "elapsed_s": 0.5, "predicted_s": null}
+        ]}"#;
+        let flight = r#"{"capacity": 16, "recorded": 3, "dumps": 1, "events": [
+            {"name": "materialize", "cat": "engine", "phase": "Span",
+             "ts_us": 100, "dur_us": 50, "pid": 0, "tid": 0, "args": []},
+            {"name": "segment_corrupt", "cat": "engine", "phase": "Instant",
+             "ts_us": 12345678, "dur_us": 0, "pid": 0, "tid": 1, "args": []}
+        ]}"#;
+
+        let frame = render_top("127.0.0.1:9188", healthz, queries, flight).unwrap();
+        assert!(frame.contains("degraded"), "{frame}");
+        assert!(frame.contains("1 running, 2 corrupt"), "{frame}");
+        assert!(frame.contains("2/4"), "{frame}");
+        // 12.5 MB materialized, -20% prediction drift for query 1.
+        assert!(frame.contains("12.5"), "{frame}");
+        assert!(frame.contains("-20%"), "{frame}");
+        // No prediction for query 2 renders as dashes.
+        assert!(frame.contains("agg"), "{frame}");
+        // Store summary from the verify report.
+        assert!(frame.contains("store: 3 segment(s), 2.5 MB written, 2 corrupt"), "{frame}");
+        assert!(frame.contains("write 1.5 MB/s"), "{frame}");
+        // Flight ring and the anomaly tail (non-trigger events excluded).
+        assert!(frame.contains("flight: 3 recorded (ring capacity 16), 1 dump(s)"), "{frame}");
+        assert!(frame.contains("anomalies: segment_corrupt @12.346s"), "{frame}");
+        assert!(!frame.contains("materialize @"), "{frame}");
+
+        // Garbage payloads are errors, not panics.
+        assert!(render_top("a", "nope", queries, flight).is_err());
+        assert!(render_top("a", healthz, "nope", flight).is_err());
+        assert!(render_top("a", healthz, queries, "nope").is_err());
+
+        // An empty dashboard still renders.
+        let empty = render_top(
+            "a",
+            r#"{"status": "ok", "uptime_s": 0.0, "queries_running": 0,
+                "corrupt_segments": 0, "flight": {"capacity": 16, "recorded": 0, "dumps": 0},
+                "store": null}"#,
+            r#"{"queries": []}"#,
+            r#"{"capacity": 16, "recorded": 0, "dumps": 0, "events": []}"#,
+        )
+        .unwrap();
+        assert!(empty.contains("(no queries yet)"), "{empty}");
+        assert!(!empty.contains("anomalies"), "{empty}");
     }
 
     #[test]
