@@ -94,9 +94,59 @@ pub enum Code {
     /// Observed-cost conservation (Eq. 1): stage wall-clock agrees with
     /// the collapsed cost model / attempt accounting within tolerance.
     FT108,
+    /// Source discipline: `std::sync`/`std::thread`/`parking_lot`/`loom`
+    /// primitive outside a `sync` shim module (escapes loom/TSan
+    /// coverage).
+    FT201,
+    /// Source discipline: wall-clock nondeterminism (`Instant::now`,
+    /// `SystemTime`) outside shims and bench/CLI code.
+    FT202,
+    /// Source discipline: `HashMap`/`HashSet` in optimizer/core plan
+    /// paths where iteration order can reach output.
+    FT203,
+    /// Source discipline: `unwrap`/`expect`/`panic!` in library code.
+    FT204,
+    /// Source discipline: fsync pairing — a rename on the store commit
+    /// path without `sync_all`/`sync_data` in the same function.
+    FT205,
+    /// Source discipline: `unsafe` outside the workspace allowlist.
+    FT206,
+    /// Source discipline: unused or malformed `// ftpde-allow(...)`
+    /// suppression.
+    FT207,
 }
 
 impl Code {
+    /// Every code, ascending — the registry ([`crate::codes::REGISTRY`])
+    /// is kept in the same order.
+    pub const ALL: &'static [Code] = &[
+        Code::FT001,
+        Code::FT002,
+        Code::FT003,
+        Code::FT004,
+        Code::FT005,
+        Code::FT006,
+        Code::FT007,
+        Code::FT008,
+        Code::FT009,
+        Code::FT010,
+        Code::FT101,
+        Code::FT102,
+        Code::FT103,
+        Code::FT104,
+        Code::FT105,
+        Code::FT106,
+        Code::FT107,
+        Code::FT108,
+        Code::FT201,
+        Code::FT202,
+        Code::FT203,
+        Code::FT204,
+        Code::FT205,
+        Code::FT206,
+        Code::FT207,
+    ];
+
     /// The code as it appears in reports, e.g. `"FT005"`.
     pub fn as_str(self) -> &'static str {
         match self {
@@ -118,33 +168,26 @@ impl Code {
             Code::FT106 => "FT106",
             Code::FT107 => "FT107",
             Code::FT108 => "FT108",
+            Code::FT201 => "FT201",
+            Code::FT202 => "FT202",
+            Code::FT203 => "FT203",
+            Code::FT204 => "FT204",
+            Code::FT205 => "FT205",
+            Code::FT206 => "FT206",
+            Code::FT207 => "FT207",
         }
     }
 
-    /// One-line description of what the check asserts.
+    /// One-line description of what the check asserts, from the unified
+    /// registry ([`crate::codes`]).
     pub fn description(self) -> &'static str {
-        match self {
-            Code::FT001 => "DAG structural integrity (shape, ranges, acyclicity, inverse edges)",
-            Code::FT002 => "plan is a single weakly-connected component",
-            Code::FT003 => "operator costs are finite and non-negative",
-            Code::FT004 => "materialization config respects operator bindings",
-            Code::FT005 => "collapsed plan partitions the operator DAG (§3.3)",
-            Code::FT006 => "collapsed costs conserve plan costs modulo CONST_pipe (Eq. 1)",
-            Code::FT007 => "success probabilities in [0,1], attempts non-negative (Eq. 5-7)",
-            Code::FT008 => "dominant path bounds every execution path (§3.4)",
-            Code::FT009 => "failure penalty is monotone in 1/MTBF and non-negative",
-            Code::FT010 => "plan hygiene (zero costs, duplicate names, enumerability)",
-            Code::FT101 => "trace well-formedness (timestamps, durations, single terminal)",
-            Code::FT102 => "span/track discipline (no partial overlap, attempts nest in stages)",
-            Code::FT103 => "stage identity and completeness against the collapsed plan",
-            Code::FT104 => "stage ordering respects collapsed-plan dependencies",
-            Code::FT105 => "re-execution justified by restart, rewind or corruption (§2.2)",
-            Code::FT106 => "skips only for materialized non-sink stages, backed by a prior put",
-            Code::FT107 => {
-                "store lifecycle (puts match config, gets preceded by puts, corruption rewound)"
-            }
-            Code::FT108 => "observed stage timings conserve the collapsed cost model (Eq. 1)",
-        }
+        crate::codes::info(self).summary
+    }
+
+    /// The default severity of findings with this code, from the unified
+    /// registry ([`crate::codes`]). Passes may deviate per finding.
+    pub fn default_severity(self) -> Severity {
+        crate::codes::info(self).severity
     }
 }
 
@@ -167,12 +210,26 @@ pub struct Diagnostic {
     pub op: Option<u32>,
     /// Collapsed-operator (stage) the finding points at, if any.
     pub stage: Option<u32>,
+    /// Source file the finding points at (workspace-relative), if any —
+    /// used by the source-discipline passes. Serialized as `null` when
+    /// absent (the vendored serde derive has no optional-key support).
+    pub file: Option<String>,
+    /// 1-based source line within [`Self::file`], if any.
+    pub line: Option<u32>,
 }
 
 impl Diagnostic {
     /// Creates a finding with no location.
     pub fn new(code: Code, severity: Severity, message: impl Into<String>) -> Self {
-        Diagnostic { code, severity, message: message.into(), op: None, stage: None }
+        Diagnostic {
+            code,
+            severity,
+            message: message.into(),
+            op: None,
+            stage: None,
+            file: None,
+            line: None,
+        }
     }
 
     /// Attaches a plan operator location.
@@ -188,6 +245,15 @@ impl Diagnostic {
         self.stage = Some(stage);
         self
     }
+
+    /// Attaches a source-file location (workspace-relative path, 1-based
+    /// line).
+    #[must_use]
+    pub fn at_line(mut self, file: impl Into<String>, line: u32) -> Self {
+        self.file = Some(file.into());
+        self.line = Some(line);
+        self
+    }
 }
 
 impl fmt::Display for Diagnostic {
@@ -198,6 +264,9 @@ impl fmt::Display for Diagnostic {
         }
         if let Some(stage) = self.stage {
             write!(f, " stage {stage}")?;
+        }
+        if let (Some(file), Some(line)) = (&self.file, self.line) {
+            write!(f, " {file}:{line}")?;
         }
         write!(f, ": {}", self.message)
     }
@@ -352,29 +421,28 @@ mod tests {
 
     #[test]
     fn codes_have_stable_names_and_descriptions() {
-        for code in [
-            Code::FT001,
-            Code::FT002,
-            Code::FT003,
-            Code::FT004,
-            Code::FT005,
-            Code::FT006,
-            Code::FT007,
-            Code::FT008,
-            Code::FT009,
-            Code::FT010,
-            Code::FT101,
-            Code::FT102,
-            Code::FT103,
-            Code::FT104,
-            Code::FT105,
-            Code::FT106,
-            Code::FT107,
-            Code::FT108,
-        ] {
+        for &code in Code::ALL {
             assert!(code.as_str().starts_with("FT"));
             assert!(!code.description().is_empty());
             assert_eq!(code.to_string(), code.as_str());
         }
+    }
+
+    #[test]
+    fn source_located_diagnostics_render_and_round_trip() {
+        let d = Diagnostic::new(Code::FT201, Severity::Error, "std::sync outside shim")
+            .at_line("crates/engine/src/coordinator.rs", 21);
+        let text = d.to_string();
+        assert!(text.contains("FT201 [error] crates/engine/src/coordinator.rs:21:"), "{text}");
+        let json = serde_json::to_string(&d).unwrap();
+        let back: Diagnostic = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
+        // Unlocated diagnostics serialize the keys as explicit nulls and
+        // round-trip.
+        let plain = Diagnostic::new(Code::FT001, Severity::Error, "m");
+        let json = serde_json::to_string(&plain).unwrap();
+        assert!(json.contains(r#""file":null"#), "{json}");
+        let parsed: Diagnostic = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed.file, None);
     }
 }

@@ -25,6 +25,17 @@
 //!   lifecycle, and Eq. 1 conservation of observed timings. Findings use
 //!   the `FT101`…`FT108` codes and the same report machinery; the
 //!   `ftpde check` CLI subcommand is its command-line face.
+//! * [`source`] — a **source-discipline analyzer** linting the
+//!   workspace's own Rust sources with a dependency-free tokenizer:
+//!   synchronization primitives outside the `sync` shims, wall-clock
+//!   reads outside the clock seam, iteration-order hazards in plan
+//!   paths, panics in library code, unsynced renames on the store
+//!   commit path, and unused `ftpde-allow` suppressions
+//!   (`FT201`…`FT207`). `ftpde lint --source` is its CLI face.
+//! * [`codes`] — the **unified diagnostic registry**: every FT code's
+//!   default severity, summary and long-form explanation in one table,
+//!   backing `ftpde explain FT###` and the generated DESIGN.md code
+//!   table.
 //!
 //! The crate depends only on `ftpde-core` and `ftpde-obs` (plus serde):
 //! it can lint any plan and audit any trace regardless of where they came
@@ -48,10 +59,12 @@
 //! assert!(oracle.all_sound());
 //! ```
 
+pub mod codes;
 pub mod conformance;
 pub mod diag;
 pub mod oracle;
 pub mod passes;
+pub mod source;
 
 /// Convenient glob-import of the crate's main types.
 pub mod prelude {
@@ -62,4 +75,5 @@ pub mod prelude {
         OracleReport, RULE12_SLACK,
     };
     pub use crate::passes::PlanValidator;
+    pub use crate::source::{classify, lint_str, lint_workspace, FileClass, SourceScan};
 }

@@ -1,0 +1,27 @@
+//! FT201 golden fixture: every way of smuggling a raw synchronization
+//! primitive into library code, plus the shim-routed forms that must
+//! stay silent. This directory is excluded from the workspace self-scan
+//! (the walker skips `fixtures/`), so these violations are deliberate.
+
+use std::sync::atomic::{AtomicU64, Ordering}; // line 6: FT201
+use std::sync::Arc; // line 7: FT201
+
+use parking_lot::Mutex; // line 9: FT201
+
+fn smuggle() {
+    let _guard = std::sync::Mutex::new(0u32); // line 12: FT201
+    std::thread::spawn(|| {}); // line 13: FT201
+    let _model = loom::model(|| {}); // line 14: FT201
+}
+
+// The sanctioned routes are invisible to the pass: no `std::sync`,
+// `std::thread`, `parking_lot` or `loom` path appears.
+use crate::sync::plain::{thread, RwLock};
+use crate::sync::{InterruptFlag, MutexGuard};
+
+fn routed() {
+    thread::scope(|_s| {});
+}
+
+// Comments and strings never count: std::sync::Mutex, parking_lot::Mutex.
+const PROSE: &str = "std::thread::spawn(parking_lot::Mutex)";

@@ -1,0 +1,22 @@
+//! FT202 golden fixture: wall-clock reads outside the clock seam. The
+//! `Instant` *type* is fine — only `Instant::now()` and `SystemTime`
+//! are nondeterminism.
+
+use std::time::{Duration, Instant};
+
+struct Timed {
+    started: Instant,
+}
+
+fn leak_time() -> Instant {
+    let t0 = Instant::now(); // line 12: FT202
+    let _ = std::time::Instant::now(); // line 13: FT202
+    let _epoch = std::time::SystemTime::now(); // line 14: FT202 (SystemTime)
+    t0
+}
+
+// The seam is silent: `clock::now()` has no flagged path.
+fn routed() {
+    let t0 = crate::sync::clock::now();
+    let _d: Duration = crate::sync::clock::elapsed(t0);
+}

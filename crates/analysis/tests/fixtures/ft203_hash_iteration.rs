@@ -1,0 +1,13 @@
+//! FT203 golden fixture: randomized-iteration containers in a plan/cost
+//! path. Linted under the path `crates/core/src/fixture.rs`, where the
+//! pass is armed; the same text under `crates/engine/` is silent.
+
+use std::collections::{BTreeMap, HashMap, HashSet}; // line 5: FT203 (HashMap + HashSet, one line)
+
+fn plan_shape(n: usize) -> usize {
+    let m: HashMap<u32, u32> = HashMap::new(); // line 8: FT203
+    let s: HashSet<u32> = HashSet::new(); // line 9: FT203
+    // BTreeMap iterates in key order and is never flagged.
+    let b: BTreeMap<u32, u32> = BTreeMap::new();
+    m.len() + s.len() + b.len() + n
+}

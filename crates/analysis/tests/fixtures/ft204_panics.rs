@@ -1,0 +1,25 @@
+//! FT204 golden fixture: panicking shortcuts in library code. Lint
+//! severity — the hygiene ratchet never gates.
+
+fn shortcuts(x: Option<u32>, y: Result<u32, String>) -> u32 {
+    let a = x.unwrap(); // line 5: FT204
+    let b = y.expect("fixture"); // line 6: FT204
+    if a + b == 0 {
+        panic!("fixture"); // line 8: FT204
+    }
+    a + b
+}
+
+// `unwrap_or`, `expect_err`-style idents and test code are exempt.
+fn tolerated(x: Option<u32>) -> u32 {
+    x.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_panic() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,18 @@
+//! FT205 golden fixture: a rename on the store commit path with no
+//! fsync anywhere in the same function. Linted under
+//! `crates/store/src/fixture.rs`, where the pass is armed.
+
+use std::fs;
+use std::fs::File;
+
+fn torn_commit(tmp: &str, dst: &str) -> std::io::Result<()> {
+    fs::rename(tmp, dst) // FT205: no sync_all/sync_data in this fn
+}
+
+fn durable_commit(tmp: &str, dst: &str) -> std::io::Result<()> {
+    let f = File::open(tmp)?;
+    f.sync_all()?;
+    fs::rename(tmp, dst)?;
+    File::open(".")?.sync_data()?;
+    Ok(())
+}

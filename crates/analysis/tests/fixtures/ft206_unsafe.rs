@@ -1,0 +1,9 @@
+//! FT206 golden fixture: `unsafe` outside the (empty) workspace
+//! allowlist. Fires in every file class — even tests.
+
+fn raw(p: *const u32) -> u32 {
+    unsafe { *p } // line 5: FT206
+}
+
+// The word in a comment or string is not a keyword use: unsafe.
+const PROSE: &str = "unsafe { }";

@@ -1,0 +1,20 @@
+//! FT207 golden fixture: the suppression audit. A used, well-formed
+//! allow silences its finding; an unused one is rot; a malformed one is
+//! an error that silences nothing.
+
+fn excused() {
+    // ftpde-allow(FT202: fixture demonstrates a used suppression)
+    let _t = std::time::Instant::now(); // suppressed by line 6
+}
+
+fn stale() {
+    // ftpde-allow(FT202: nothing below reads a clock)
+    let x = 1 + 1; // the allow on line 11 is unused -> FT207
+    let _ = x;
+}
+
+fn broken() {
+    // ftpde-allow(FT999: no such code)
+    // ftpde-allow(FT201)
+    let _t = std::time::Instant::now(); // line 19: FT202 (nothing suppressed it)
+}

@@ -1,0 +1,178 @@
+//! Integration tests of the source-discipline analyzer: golden fixtures
+//! per FT2xx code, the workspace self-scan (the dogfooding gate), and
+//! the DESIGN.md code-table drift check.
+//!
+//! The fixtures live in `tests/fixtures/`, which the workspace walker
+//! skips — their violations are deliberate. Each fixture is linted under
+//! an explicit path/class so the path-scoped passes (FT203 store/core,
+//! FT205 store) are armed exactly as they would be in tree.
+
+use std::path::{Path, PathBuf};
+
+use ftpde_analysis::diag::{Code, Report, Severity};
+use ftpde_analysis::source::{classify, lint_str, lint_workspace, FileClass};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+/// Lints a fixture under an explicit workspace-relative identity.
+fn lint_fixture(name: &str, as_path: &str, class: FileClass) -> Report {
+    lint_str(as_path, class, &fixture(name))
+}
+
+/// `(code, line)` pairs of a report, in emission order.
+fn at(report: &Report) -> Vec<(Code, u32)> {
+    report.diagnostics.iter().map(|d| (d.code, d.line.unwrap_or(0))).collect()
+}
+
+#[test]
+fn ft201_fixture_catches_every_smuggling_route() {
+    let r =
+        lint_fixture("ft201_sync_primitives.rs", "crates/engine/src/fixture.rs", FileClass::Lib);
+    let want = [
+        (Code::FT201, 6),
+        (Code::FT201, 7),
+        (Code::FT201, 9),
+        (Code::FT201, 12),
+        (Code::FT201, 13),
+        (Code::FT201, 14),
+    ];
+    assert_eq!(at(&r), want, "{}", r.render());
+    assert!(!r.is_clean(), "FT201 is an Error and must gate");
+    // The same text inside a shim is the sanctioned home.
+    let shim =
+        lint_fixture("ft201_sync_primitives.rs", "crates/engine/src/sync.rs", FileClass::Shim);
+    assert!(shim.diagnostics.is_empty(), "{}", shim.render());
+}
+
+#[test]
+fn ft202_fixture_catches_clock_reads_but_not_the_type() {
+    let r = lint_fixture("ft202_wall_clock.rs", "crates/obs/src/fixture.rs", FileClass::Lib);
+    let want = [(Code::FT202, 12), (Code::FT202, 13), (Code::FT202, 14)];
+    assert_eq!(at(&r), want, "{}", r.render());
+    // Bench code measures wall time by design.
+    let bench =
+        lint_fixture("ft202_wall_clock.rs", "crates/bench/src/fixture.rs", FileClass::Bench);
+    assert!(bench.diagnostics.is_empty(), "{}", bench.render());
+}
+
+#[test]
+fn ft203_fixture_fires_only_in_plan_paths() {
+    let r = lint_fixture("ft203_hash_iteration.rs", "crates/core/src/fixture.rs", FileClass::Lib);
+    let want = [(Code::FT203, 5), (Code::FT203, 8), (Code::FT203, 9)];
+    assert_eq!(at(&r), want, "{}", r.render());
+    assert!(r.diagnostics.iter().all(|d| d.severity == Severity::Warn));
+    // Outside core/optimizer the pass is silent.
+    let engine =
+        lint_fixture("ft203_hash_iteration.rs", "crates/engine/src/fixture.rs", FileClass::Lib);
+    assert!(engine.diagnostics.is_empty(), "{}", engine.render());
+}
+
+#[test]
+fn ft204_fixture_is_lint_severity_and_spares_tests() {
+    let r = lint_fixture("ft204_panics.rs", "crates/engine/src/fixture.rs", FileClass::Lib);
+    let want = [(Code::FT204, 5), (Code::FT204, 6), (Code::FT204, 8)];
+    assert_eq!(at(&r), want, "{}", r.render());
+    assert!(r.is_clean(), "the hygiene ratchet must never gate");
+}
+
+#[test]
+fn ft205_fixture_requires_fsync_in_the_renaming_fn() {
+    let r = lint_fixture("ft205_unsynced_rename.rs", "crates/store/src/fixture.rs", FileClass::Lib);
+    assert_eq!(at(&r), [(Code::FT205, 8)], "{}", r.render());
+    assert!(r.diagnostics[0].message.contains("torn_commit"), "{}", r.render());
+}
+
+#[test]
+fn ft206_fixture_fires_in_every_file_class() {
+    for class in [FileClass::Lib, FileClass::Test, FileClass::Bin, FileClass::Bench] {
+        let r = lint_fixture("ft206_unsafe.rs", "crates/engine/src/fixture.rs", class);
+        assert_eq!(at(&r), [(Code::FT206, 5)], "{class:?}: {}", r.render());
+    }
+}
+
+#[test]
+fn ft207_fixture_audits_suppressions_both_ways() {
+    let r = lint_fixture("ft207_suppressions.rs", "crates/obs/src/fixture.rs", FileClass::Lib);
+    // Malformed allows (lines 17, 18) come first, then the unsuppressed
+    // FT202 (line 19), then the unused-but-well-formed allow (line 11).
+    // The used allow on line 6 produces nothing at all.
+    let want = [(Code::FT207, 17), (Code::FT207, 18), (Code::FT202, 19), (Code::FT207, 11)];
+    assert_eq!(at(&r), want, "{}", r.render());
+}
+
+/// The dogfooding gate: the workspace that ships this analyzer passes
+/// it. Any reintroduced raw primitive, clock read, unsynced rename or
+/// stale suppression — e.g. deleting a `sync` shim route — fails this
+/// test before CI even runs the CLI.
+#[test]
+fn workspace_self_scan_is_clean() {
+    let root = workspace_root();
+    let scan = lint_workspace(&root).expect("workspace scan");
+    assert!(
+        scan.files_scanned > 100,
+        "suspiciously few files ({}) — walker broken?",
+        scan.files_scanned
+    );
+    assert!(scan.is_clean(), "workspace has source-discipline errors:\n{}", scan.render());
+    assert_eq!(0, scan.set.count(Severity::Warn), "unresolved warnings:\n{}", scan.render());
+}
+
+/// A seeded violation in a scratch workspace is detected end to end via
+/// the directory walker (not just `lint_str`) — the fixture-level proof
+/// that the CI gate turns red when discipline regresses.
+#[test]
+fn seeded_violation_fails_a_workspace_scan() {
+    let dir = std::env::temp_dir().join("ftpde_source_seeded_it");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(dir.join("crates/x/src")).unwrap();
+    std::fs::write(dir.join("Cargo.toml"), "[workspace]\n").unwrap();
+    std::fs::write(
+        dir.join("crates/x/src/lib.rs"),
+        "use std::sync::Mutex;\npub fn t() -> std::time::Instant { std::time::Instant::now() }\n",
+    )
+    .unwrap();
+    let scan = lint_workspace(&dir).expect("scan");
+    assert_eq!(1, scan.files_scanned);
+    assert!(!scan.is_clean());
+    let codes: Vec<Code> =
+        scan.set.reports.iter().flat_map(|r| r.diagnostics.iter().map(|d| d.code)).collect();
+    assert_eq!(codes, [Code::FT201, Code::FT202], "{}", scan.render());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The FT2xx table in DESIGN.md §14 is generated from the registry; this
+/// test re-generates it and diffs, so the book cannot drift from the
+/// code.
+#[test]
+fn design_doc_ft2xx_table_matches_registry() {
+    let design = std::fs::read_to_string(workspace_root().join("DESIGN.md")).expect("DESIGN.md");
+    let begin =
+        "<!-- FT2XX-TABLE BEGIN (generated: ftpde_analysis::codes::ft2xx_markdown_table) -->";
+    let end = "<!-- FT2XX-TABLE END -->";
+    let start = design.find(begin).expect("DESIGN.md must carry the FT2XX-TABLE BEGIN marker");
+    let stop = design.find(end).expect("DESIGN.md must carry the FT2XX-TABLE END marker");
+    let embedded = design[start + begin.len()..stop].trim();
+    let generated = ftpde_analysis::codes::ft2xx_markdown_table();
+    assert_eq!(
+        embedded,
+        generated.trim(),
+        "DESIGN.md §14 table drifted from the registry — regenerate it"
+    );
+}
+
+/// Every classification the self-scan depends on, pinned against the
+/// real tree: shims are shims, fixtures are skipped, bench is bench.
+#[test]
+fn classification_matches_the_real_tree() {
+    assert_eq!(classify("crates/obs/src/sync.rs"), Some(FileClass::Shim));
+    assert_eq!(classify("crates/analysis/tests/fixtures/ft201_sync_primitives.rs"), None);
+    assert_eq!(classify("crates/bench/src/suite.rs"), Some(FileClass::Bench));
+    assert_eq!(classify("src/bin/ftpde.rs"), Some(FileClass::Bin));
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).ancestors().nth(2).expect("workspace root").to_path_buf()
+}

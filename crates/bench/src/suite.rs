@@ -179,6 +179,7 @@ impl HostInfo {
         HostInfo {
             os: std::env::consts::OS.to_string(),
             arch: std::env::consts::ARCH.to_string(),
+            // ftpde-allow(FT201: one-shot host CPU-count probe for the bench report header, not part of any synchronized protocol)
             cpus: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
         }
     }

@@ -98,15 +98,23 @@ impl CollapsedPlan {
         let is_root = |id: OpId| config.materializes(id) || plan.consumers(id).is_empty();
 
         let roots: Vec<OpId> = plan.op_ids().filter(|&id| is_root(id)).collect();
-        let root_cid: std::collections::HashMap<OpId, CId> =
-            roots.iter().enumerate().map(|(i, &r)| (r, CId(i as u32))).collect();
+        // Dense maps indexed by plan-operator index (FT203: this sits on
+        // the enumeration hot path, and operator ids are already dense).
+        let mut root_cid: Vec<Option<CId>> = vec![None; plan.len()];
+        for (i, &r) in roots.iter().enumerate() {
+            root_cid[r.index()] = Some(CId(i as u32));
+        }
 
         let mut ops = Vec::with_capacity(roots.len());
         let mut inputs: Vec<Vec<CId>> = vec![Vec::new(); roots.len()];
         let mut consumers: Vec<Vec<CId>> = vec![Vec::new(); roots.len()];
 
-        // Scratch buffers reused across roots.
+        // Scratch buffers reused across roots. `best`/`pred` carry stale
+        // values between roots, but every member is written before it is
+        // read (members are topological, reads go through `in_group`).
         let mut in_group = vec![false; plan.len()];
+        let mut best = vec![0.0f64; plan.len()];
+        let mut pred: Vec<Option<OpId>> = vec![None; plan.len()];
 
         for (ci, &root) in roots.iter().enumerate() {
             // Backward closure from `root` through non-materialized inputs.
@@ -126,33 +134,30 @@ impl CollapsedPlan {
 
             // Dominant path: longest tr-weighted path ending at root, using
             // only group members. Members are in topological order.
-            let mut best = std::collections::HashMap::with_capacity(members.len());
-            let mut pred: std::collections::HashMap<OpId, Option<OpId>> =
-                std::collections::HashMap::with_capacity(members.len());
             for &v in &members {
                 let mut best_in = 0.0f64;
                 let mut best_pred = None;
                 for &u in plan.inputs(v) {
                     if in_group[u.index()] {
-                        let b = best[&u];
+                        let b = best[u.index()];
                         if b > best_in {
                             best_in = b;
                             best_pred = Some(u);
                         }
                     }
                 }
-                best.insert(v, best_in + plan.op(v).run_cost);
-                pred.insert(v, best_pred);
+                best[v.index()] = best_in + plan.op(v).run_cost;
+                pred[v.index()] = best_pred;
             }
             let mut dominant_path = Vec::new();
             let mut cur = Some(root);
             while let Some(v) = cur {
                 dominant_path.push(v);
-                cur = pred[&v];
+                cur = pred[v.index()];
             }
             dominant_path.reverse();
 
-            let raw_run: f64 = best[&root];
+            let raw_run: f64 = best[root.index()];
             let run_cost = if dominant_path.len() >= 2 { raw_run * pipe_const } else { raw_run };
             let mat_cost = if config.materializes(root) { plan.op(root).mat_cost } else { 0.0 };
 
@@ -161,7 +166,8 @@ impl CollapsedPlan {
             for &v in &members {
                 for &u in plan.inputs(v) {
                     if config.materializes(u) {
-                        let from = root_cid[&u];
+                        let from = root_cid[u.index()]
+                            .expect("materialized operator is a collapse root by definition");
                         let to = CId(ci as u32);
                         if !inputs[to.index()].contains(&from) {
                             inputs[to.index()].push(from);

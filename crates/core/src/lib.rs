@@ -62,6 +62,7 @@ pub mod paths;
 pub mod prune;
 pub mod search;
 pub mod stats;
+pub mod sync;
 
 /// Convenient glob-import of the crate's main types.
 pub mod prelude {

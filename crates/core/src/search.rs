@@ -241,8 +241,8 @@ pub fn find_best_ft_plan_traced(
         return Err(CoreError::NoCandidatePlans);
     }
 
-    let t0 = std::time::Instant::now();
-    let now_us = || t0.elapsed().as_micros() as u64;
+    let t0 = crate::sync::clock::now();
+    let now_us = || crate::sync::clock::elapsed(t0).as_micros() as u64;
 
     let mut stats = SearchStats::default();
     let mut memo = PathMemo::new();
@@ -335,7 +335,7 @@ pub fn find_best_ft_plan_traced(
     g.counter_add("search.paths_examined_total", stats.paths_examined);
     g.counter_add("search.paths_costed_total", stats.paths_costed);
     g.counter_add("search.best_updates_total", stats.best_updates);
-    g.observe("search.seconds", t0.elapsed().as_secs_f64());
+    g.observe("search.seconds", crate::sync::clock::elapsed(t0).as_secs_f64());
 
     rec.record_with(|| {
         Event::span("find_best_ft_plan", "search", 0, now_us())

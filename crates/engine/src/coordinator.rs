@@ -18,8 +18,6 @@
 //! to the producing stage and re-executes forward from there.
 
 use std::collections::HashMap;
-use std::sync::Arc;
-use std::time::Instant;
 
 use ftpde_core::collapse::CollapsedPlan;
 use ftpde_core::config::MatConfig;
@@ -32,6 +30,8 @@ use crate::failure::FailureInjector;
 use crate::ops::{execute, merge_partials, ExecCtx, Interrupted};
 use crate::plan::{EOpId, EnginePlan, OpKind};
 use crate::store::default_store;
+use crate::sync::clock;
+use crate::sync::plain::{thread, Arc};
 use crate::sync::{AtomicU64, InterruptFlag, Ordering};
 use crate::table::{Catalog, Distribution};
 
@@ -273,8 +273,8 @@ pub fn run_query_resumable_traced(
     let mut first_attempt = true;
     let mut stage_timings: Vec<StageTiming> = Vec::new();
     let stats_at_start = store.stats();
-    let t0 = Instant::now();
-    let now_us = move || t0.elapsed().as_micros() as u64;
+    let t0 = clock::now();
+    let now_us = move || clock::elapsed(t0).as_micros() as u64;
     // Always-on metrics: the run is visible in the process-global
     // registry even when `rec` is a no-op. Per-query totals fold in at
     // the single `report` choke point below.
@@ -326,7 +326,7 @@ pub fn run_query_resumable_traced(
         if aborted {
             g.counter_add("engine.queries_aborted_total", 1);
         }
-        g.observe("engine.query_seconds", t0.elapsed().as_secs_f64());
+        g.observe("engine.query_seconds", clock::elapsed(t0).as_secs_f64());
         let executed = stage_timings.iter().filter(|t| !t.skipped);
         let mut stages_total = 0u64;
         for t in executed {
@@ -428,7 +428,7 @@ pub fn run_query_resumable_traced(
             let cancel = InterruptFlag::new();
 
             // Execute the stage on every node.
-            let partials: Vec<NodeOutcome> = std::thread::scope(|s| {
+            let partials: Vec<NodeOutcome> = thread::scope(|s| {
                 let handles: Vec<_> = (0..nodes)
                     .map(|node| {
                         let members = &members;

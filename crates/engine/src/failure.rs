@@ -12,9 +12,10 @@
 
 use std::collections::HashSet;
 
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+use crate::sync::plain::Mutex;
 
 /// A planned node kill.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

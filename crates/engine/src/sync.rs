@@ -24,6 +24,19 @@ pub use loom::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 pub use ftpde_store::sync::{Mutex, MutexGuard};
 
+pub use ftpde_obs::sync::clock;
+
+/// `std`/`parking_lot` primitives used identically in every build —
+/// synchronization documented as outside the loom-modeled protocol
+/// (worker scope handles, the failure injector's script lock). See
+/// [`ftpde_obs::sync::plain`] for the rationale.
+pub mod plain {
+    pub use std::sync::Arc;
+    pub use std::thread;
+
+    pub use parking_lot::Mutex;
+}
+
 /// A cooperative cancellation flag shared by one stage's worker threads.
 ///
 /// Under coarse-grained recovery the first injected node failure dooms the

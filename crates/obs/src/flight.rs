@@ -237,7 +237,8 @@ impl Recorder for FlightRecorder {
 /// [`BUDGET_ENV`] in milliseconds (unset: off).
 #[cfg(not(loom))]
 pub fn global() -> &'static FlightRecorder {
-    static GLOBAL: std::sync::OnceLock<FlightRecorder> = std::sync::OnceLock::new();
+    static GLOBAL: crate::sync::plain::OnceLock<FlightRecorder> =
+        crate::sync::plain::OnceLock::new();
     GLOBAL.get_or_init(|| {
         let capacity = std::env::var(CAPACITY_ENV)
             .ok()

@@ -24,11 +24,10 @@
 //! (`export::to_prometheus`) or test assertions.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
 
-use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
+
+use crate::sync::plain::{Arc, AtomicU64, AtomicUsize, Mutex, OnceLock, Ordering, RwLock};
 
 /// Number of power-of-two histogram buckets. Bucket `i` covers values in
 /// `[2^(i-OFFSET), 2^(i-OFFSET+1))`; the extremes clamp.

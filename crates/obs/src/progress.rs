@@ -16,12 +16,12 @@
 //! dashboard polling a few times per second still sees short queries.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+
+use crate::sync::clock;
+use crate::sync::plain::{Arc, AtomicU32, AtomicU64, Mutex, OnceLock, Ordering};
 
 /// Completed/aborted queries kept for `/queries` after they finish.
 pub const RECENT_KEEP: usize = 32;
@@ -55,7 +55,7 @@ impl QueryState {
     fn snapshot(&self) -> QuerySnapshot {
         let state = self.state.load(Ordering::Relaxed);
         let elapsed_s = if state == STATE_RUNNING {
-            self.started.elapsed().as_secs_f64()
+            clock::elapsed(self.started).as_secs_f64()
         } else {
             self.final_elapsed_us.load(Ordering::Relaxed) as f64 / 1e6
         };
@@ -170,7 +170,7 @@ impl ProgressRegistry {
         let state = Arc::new(QueryState {
             id: self.next_id.fetch_add(1, Ordering::Relaxed),
             label: label.into(),
-            started: Instant::now(),
+            started: clock::now(),
             predicted_s: predicted_s.filter(|p| p.is_finite()),
             stages_total: AtomicU64::new(stages_total),
             stages_done: AtomicU64::new(0),
@@ -265,7 +265,7 @@ impl QueryHandle {
         {
             self.state
                 .final_elapsed_us
-                .store(self.state.started.elapsed().as_micros() as u64, Ordering::Relaxed);
+                .store(clock::elapsed(self.state.started).as_micros() as u64, Ordering::Relaxed);
             self.registry.finish(&self.state);
         }
     }

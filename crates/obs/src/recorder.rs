@@ -7,9 +7,9 @@
 
 use std::time::Instant;
 
-use parking_lot::Mutex;
-
 use crate::event::Event;
+use crate::sync::clock;
+use crate::sync::plain::Mutex;
 
 /// An event sink shared across worker threads.
 pub trait Recorder: Sync {
@@ -61,13 +61,13 @@ impl Default for MemoryRecorder {
 impl MemoryRecorder {
     /// An empty recorder whose epoch is "now".
     pub fn new() -> Self {
-        MemoryRecorder { epoch: Instant::now(), events: Mutex::new(Vec::new()) }
+        MemoryRecorder { epoch: clock::now(), events: Mutex::new(Vec::new()) }
     }
 
     /// Microseconds elapsed since this recorder was created — the
     /// timestamp wall-clock producers should use.
     pub fn now_us(&self) -> u64 {
-        self.epoch.elapsed().as_micros() as u64
+        clock::elapsed(self.epoch).as_micros() as u64
     }
 
     /// A copy of everything recorded so far, in recording order.

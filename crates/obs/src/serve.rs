@@ -21,9 +21,10 @@
 
 use std::io::{BufRead, BufReader, Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use crate::sync::clock;
+use crate::sync::plain::{thread, Arc, AtomicBool, Ordering};
 
 use serde::Value;
 
@@ -65,7 +66,7 @@ impl std::fmt::Debug for ServeOptions {
 pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    thread: Option<std::thread::JoinHandle<()>>,
+    thread: Option<thread::JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -121,8 +122,8 @@ pub fn serve_with(
     let stop = Arc::new(AtomicBool::new(false));
     let stop2 = Arc::clone(&stop);
     let health = opts.health;
-    let started = Instant::now();
-    let thread = std::thread::Builder::new().name("ftpde-telemetry".into()).spawn(move || {
+    let started = clock::now();
+    let thread = thread::Builder::new().name("ftpde-telemetry".into()).spawn(move || {
         while !stop2.load(Ordering::SeqCst) {
             let Ok((stream, _)) = listener.accept() else { continue };
             if stop2.load(Ordering::SeqCst) {
@@ -211,7 +212,7 @@ fn healthz_body(
     let status = if corrupt == 0 && source_healthy { "ok" } else { "degraded" };
     let obj = Value::Object(vec![
         ("status".into(), Value::Str(status.into())),
-        ("uptime_s".into(), Value::Float(started.elapsed().as_secs_f64())),
+        ("uptime_s".into(), Value::Float(clock::elapsed(started).as_secs_f64())),
         (
             "queries_running".into(),
             Value::UInt(crate::progress::global().snapshot().running() as u64),

@@ -33,13 +33,12 @@ use std::collections::HashMap;
 use std::fs::{self, File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-use std::time::Instant;
 
 use ftpde_obs::Summary;
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+
+use crate::sync::clock;
+use crate::sync::plain::{Arc, AtomicU64, Mutex, Ordering};
 
 use crate::codec::{self, encoded_rows_len};
 use crate::stats::{record_corrupt_segments, record_fsyncs, record_get, record_put, StoreStats};
@@ -122,7 +121,7 @@ impl DiskBackend {
     /// Only real I/O failures (permissions, disk full) — corruption is
     /// handled, not propagated.
     pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
-        let open_start = Instant::now();
+        let open_start = clock::now();
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
         let mut corruptions = Vec::new();
@@ -184,7 +183,7 @@ impl DiskBackend {
         // Cold-start cost, live on `/metrics`: how long the manifest
         // load + segment verification took and how many segments it
         // walked (kept or demoted).
-        crate::stats::record_reopen(open_start.elapsed().as_secs_f64(), before as u64);
+        crate::stats::record_reopen(clock::elapsed(open_start).as_secs_f64(), before as u64);
 
         let store = DiskBackend {
             dir,
@@ -266,7 +265,7 @@ impl DiskBackend {
     }
 
     fn put_segment(&self, op: u32, node: Option<usize>, nodes: usize, rows: Vec<Row>) {
-        let started = Instant::now();
+        let started = clock::now();
         let image = codec::build_segment(op, node, &rows, self.compress);
         let (header, _) = codec::parse_segment(&image).expect("freshly built segment is valid");
         let file = segment_file_name(op, node);
@@ -305,7 +304,7 @@ impl DiskBackend {
                 }
             }
         }
-        let elapsed = started.elapsed().as_secs_f64();
+        let elapsed = clock::elapsed(started).as_secs_f64();
         let stats = &mut inner.manifest.stats;
         stats.logical_rows_written += row_count * logical_copies;
         stats.logical_bytes_written += raw_bytes * logical_copies;
@@ -348,12 +347,12 @@ impl StoreBackend for DiskBackend {
     }
 
     fn get(&self, op: u32, node: usize) -> Option<Arc<Vec<Row>>> {
-        let started = Instant::now();
+        let started = clock::now();
         let mut inner = self.inner.lock();
         if let Some(rows) = inner.cache.get(&(op, node)) {
             let rows = Arc::clone(rows);
             let bytes = encoded_rows_len(&rows);
-            let elapsed = started.elapsed().as_secs_f64();
+            let elapsed = clock::elapsed(started).as_secs_f64();
             inner.manifest.stats.rows_read += rows.len() as u64;
             inner.manifest.stats.bytes_read += bytes;
             inner.manifest.stats.read_seconds += elapsed;
@@ -374,7 +373,7 @@ impl StoreBackend for DiskBackend {
                         }
                     }
                 }
-                let elapsed = started.elapsed().as_secs_f64();
+                let elapsed = clock::elapsed(started).as_secs_f64();
                 let stats = &mut inner.manifest.stats;
                 stats.rows_read += shared.len() as u64;
                 stats.bytes_read += entry.payload_bytes;

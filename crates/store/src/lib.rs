@@ -31,7 +31,8 @@ pub mod sync;
 pub mod value;
 
 use std::fmt;
-use std::sync::Arc;
+
+use crate::sync::plain::Arc;
 
 pub use disk::{inspect, verify, DiskBackend, Manifest, ManifestEntry, StoreReport};
 pub use mem::MemBackend;

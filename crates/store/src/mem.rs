@@ -8,11 +8,11 @@
 //! semantic baseline the disk backend must be bit-identical to.
 
 use std::collections::HashMap;
-use std::sync::Arc;
-use std::time::Instant;
 
 use crate::codec::encoded_rows_len;
 use crate::stats::{record_get, record_put, StoreStats};
+use crate::sync::clock;
+use crate::sync::plain::Arc;
 use crate::sync::Mutex;
 use crate::value::Row;
 use crate::{CorruptSegment, StoreBackend};
@@ -38,12 +38,12 @@ impl MemBackend {
 
 impl StoreBackend for MemBackend {
     fn put(&self, op: u32, node: usize, rows: Vec<Row>) {
-        let started = Instant::now();
+        let started = clock::now();
         let bytes = encoded_rows_len(&rows);
         let n = rows.len() as u64;
         let mut inner = self.inner.lock();
         inner.segments.insert((op, node), Arc::new(rows));
-        let elapsed = started.elapsed().as_secs_f64();
+        let elapsed = clock::elapsed(started).as_secs_f64();
         inner.stats.logical_rows_written += n;
         inner.stats.physical_rows_written += n;
         inner.stats.logical_bytes_written += bytes;
@@ -55,7 +55,7 @@ impl StoreBackend for MemBackend {
     }
 
     fn put_replicated(&self, op: u32, rows: Vec<Row>, nodes: usize) {
-        let started = Instant::now();
+        let started = clock::now();
         let bytes = encoded_rows_len(&rows);
         let n = rows.len() as u64;
         let shared = Arc::new(rows);
@@ -64,7 +64,7 @@ impl StoreBackend for MemBackend {
             inner.segments.insert((op, node), Arc::clone(&shared));
         }
         // One physical copy made visible on `nodes` targets.
-        let elapsed = started.elapsed().as_secs_f64();
+        let elapsed = clock::elapsed(started).as_secs_f64();
         inner.stats.logical_rows_written += n * nodes as u64;
         inner.stats.logical_bytes_written += bytes * nodes as u64;
         inner.stats.physical_rows_written += n;
@@ -76,12 +76,12 @@ impl StoreBackend for MemBackend {
     }
 
     fn get(&self, op: u32, node: usize) -> Option<Arc<Vec<Row>>> {
-        let started = Instant::now();
+        let started = clock::now();
         let mut inner = self.inner.lock();
         let hit = inner.segments.get(&(op, node)).cloned();
         if let Some(rows) = &hit {
             let bytes = encoded_rows_len(rows);
-            let elapsed = started.elapsed().as_secs_f64();
+            let elapsed = clock::elapsed(started).as_secs_f64();
             inner.stats.rows_read += rows.len() as u64;
             inner.stats.bytes_read += bytes;
             inner.stats.read_seconds += elapsed;

@@ -52,7 +52,8 @@ struct LiveStoreMetrics {
 /// The singleton [`LiveStoreMetrics`].
 #[cfg(not(loom))]
 fn live() -> &'static LiveStoreMetrics {
-    static LIVE: std::sync::OnceLock<LiveStoreMetrics> = std::sync::OnceLock::new();
+    static LIVE: crate::sync::plain::OnceLock<LiveStoreMetrics> =
+        crate::sync::plain::OnceLock::new();
     LIVE.get_or_init(|| {
         let g = ftpde_obs::global();
         LiveStoreMetrics {

@@ -11,6 +11,14 @@
 //! The API is the parking_lot shape (`lock()` returns the guard directly;
 //! no poisoning): the loom branch unwraps poison errors, which matches
 //! parking_lot's semantics of not poisoning at all.
+//!
+//! [`plain`] re-exports the primitives that are *not* part of the
+//! loom-modeled protocol (refcounts, throughput counters, the disk
+//! backend's coarse manifest lock), and [`clock`] is the crate's view of
+//! the workspace wall-clock seam — see `ftpde_obs::sync` for both
+//! stories. The `FT201`/`FT202` source lints (`ftpde lint --source`)
+//! enforce that library code in this crate uses these modules rather
+//! than reaching for `std::sync`/`parking_lot`/`Instant::now` directly.
 
 #[cfg(not(loom))]
 pub use parking_lot::{Mutex, MutexGuard};
@@ -44,3 +52,15 @@ mod loom_impl {
 
 #[cfg(loom)]
 pub use loom_impl::{Mutex, MutexGuard};
+
+pub use ftpde_obs::sync::clock;
+
+/// `std`/`parking_lot` primitives used identically in every build —
+/// synchronization documented as outside the loom-modeled protocol.
+/// See [`ftpde_obs::sync::plain`] for the rationale.
+pub mod plain {
+    pub use std::sync::atomic::{AtomicU64, Ordering};
+    pub use std::sync::{Arc, OnceLock};
+
+    pub use parking_lot::Mutex;
+}

@@ -6,7 +6,8 @@
 //! ftpde success  --runtime-min 30 --nodes 10 --mtbf 3600
 //! ftpde dot      --query Q5 --sf 100 --mtbf 3600 > plan.dot
 //! ftpde obs      --trace run.jsonl [--format summary|calibration|prom|json]
-//! ftpde lint     --all | --query Q5 | --plan plan.json [--format text|json]
+//! ftpde lint     --all | --query Q5 | --plan plan.json | --source [--root <dir>] [--format text|json]
+//! ftpde explain  FT201
 //! ftpde store    --inspect <dir> | --verify <dir> [--format text|json]
 //! ftpde check    --trace run.jsonl [--query Q5 --config best] [--format text|json]
 //! ftpde bench    [--quick] [--repeats N] [--warmup N] [--seed N] [--out <dir>]
@@ -28,8 +29,13 @@
 //!   text-format metrics, or the calibration report as JSON.
 //! * `lint` — run the static-analysis passes (`FT001`…) of
 //!   `ftpde-analysis` over the built-in plans, one TPC-H query, or an
-//!   arbitrary serialized plan; exits nonzero on any Error-severity
-//!   diagnostic, so it can gate CI.
+//!   arbitrary serialized plan; or, with `--source`, run the
+//!   source-discipline analyzer (`FT201`…`FT207`) over the workspace's
+//!   own Rust sources. Exits nonzero on any Error-severity diagnostic,
+//!   so both modes can gate CI.
+//! * `explain` — print the long-form explanation of one diagnostic code
+//!   (`ftpde explain FT201`), from the same registry that defines every
+//!   code's default severity.
 //! * `store` — inspect a durable checkpoint-store directory (`--inspect`
 //!   prints the manifest: segments, sizes, checksums, throughput stats)
 //!   or re-checksum every committed segment (`--verify`), exiting nonzero
@@ -81,6 +87,10 @@ fn main() -> ExitCode {
     // raw arguments.
     let result = if args.first().map(String::as_str) == Some("bench") {
         cmd_bench(&args[1..])
+    } else if args.first().map(String::as_str) == Some("explain") {
+        // `explain FT201` takes a positional code, which the uniform
+        // `--flag value` grammar cannot express.
+        cmd_explain(&args[1..])
     } else {
         let Some((cmd, flags)) = parse(&args) else {
             eprintln!("{USAGE}");
@@ -115,8 +125,10 @@ const USAGE: &str = "usage:
   ftpde success  --runtime-min <N> --nodes <N> --mtbf <secs>
   ftpde dot      --query <Q1|Q3|Q5|Q1C|Q2C> --sf <N> --nodes <N> --mtbf <secs>
   ftpde obs      --trace <run.jsonl> [--format <summary|calibration|prom|json>]
-  ftpde lint     --all | --query <Q1|Q3|Q5|Q1C|Q2C> | --plan <plan.json>
+  ftpde lint     --all | --query <Q1|Q3|Q5|Q1C|Q2C> | --plan <plan.json> | --source
                  [--sf <N>] [--nodes <N>] [--mtbf <secs>] [--mttr <secs>] [--format <text|json>]
+                 [--root <dir>]
+  ftpde explain  <FT001..FT207>   (e.g. `ftpde explain FT201`)
   ftpde store    --inspect <dir> | --verify <dir> [--format <text|json>]
   ftpde check    --trace <run.jsonl> [--query <Q1|Q3|Q5|Q1C|Q2C>] [--config <none|all|best|ops:<csv>>]
                  [--sf <N>] [--nodes <N>] [--mtbf <secs>] [--mttr <secs>] [--format <text|json>]
@@ -403,7 +415,56 @@ fn lint_searched(validator: &PlanValidator, subject: &str, plan: &PlanDag) -> Cl
     Ok(validator.validate_ft_plan(subject, &best.plan, &best.config))
 }
 
+/// `ftpde lint --source`: the source-discipline scan (`FT201`…`FT207`)
+/// over a workspace checkout — text renders the per-code rollup plus
+/// every Warn/Error finding, json emits the full `ReportSet` (the CI
+/// artifact). Exits nonzero iff any Error-severity finding survives its
+/// suppressions.
+fn cmd_lint_source(flags: &HashMap<String, String>) -> CliResult<()> {
+    let format = get_format(flags, &["text", "json"], "text")?;
+    let root = match flags.get("root") {
+        Some(dir) if dir != "true" => std::path::PathBuf::from(dir),
+        Some(_) => return Err("lint --root needs a directory argument".into()),
+        None => std::env::current_dir().map_err(|e| format!("cannot resolve cwd: {e}"))?,
+    };
+    if !root.join("Cargo.toml").exists() {
+        return Err(format!(
+            "{} does not look like a workspace root (no Cargo.toml); use --root",
+            root.display()
+        ));
+    }
+    let scan =
+        lint_workspace(&root).map_err(|e| format!("scan of {} failed: {e}", root.display()))?;
+    if format == "json" {
+        render_report_set(&scan.set, format)?;
+    } else {
+        print!("{}", scan.render());
+    }
+    if scan.is_clean() {
+        Ok(())
+    } else {
+        Err(format!("source lint found {} error(s)", scan.set.count(Severity::Error)))
+    }
+}
+
+/// `ftpde explain FT###`: prints the long-form explanation of one
+/// diagnostic code from the unified registry, `rustc --explain` style.
+fn cmd_explain(args: &[String]) -> CliResult<()> {
+    let [name] = args else {
+        return Err("explain takes exactly one code, e.g. `ftpde explain FT201`".into());
+    };
+    let Some(code) = ftpde::analysis::codes::parse(name) else {
+        let known: Vec<&str> = Code::ALL.iter().map(|c| c.as_str()).collect();
+        return Err(format!("unknown code {name:?} (known: {})", known.join(", ")));
+    };
+    print!("{}", ftpde::analysis::codes::explain(code));
+    Ok(())
+}
+
 fn cmd_lint(flags: &HashMap<String, String>) -> CliResult<()> {
+    if flags.contains_key("source") {
+        return cmd_lint_source(flags);
+    }
     // Lint doesn't require --mtbf: default to the paper's 1-hour cluster.
     let mut cluster_flags = flags.clone();
     cluster_flags.entry("mtbf".to_string()).or_insert_with(|| "3600".to_string());

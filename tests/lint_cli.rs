@@ -82,3 +82,87 @@ fn lint_honours_cluster_flags_and_validates_them() {
     let stderr = String::from_utf8(out.stderr).unwrap();
     assert!(stderr.contains("mtbf"), "{stderr}");
 }
+
+/// A scratch workspace with one seeded FT201/FT202 violation.
+fn seeded_workspace(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(dir.join("src")).unwrap();
+    std::fs::write(dir.join("Cargo.toml"), "[package]\nname = \"seeded\"\n").unwrap();
+    std::fs::write(
+        dir.join("src/lib.rs"),
+        "use std::sync::Mutex;\npub fn t() { let _ = std::time::Instant::now(); }\n",
+    )
+    .unwrap();
+    dir
+}
+
+#[test]
+fn lint_source_gates_on_a_seeded_violation() {
+    let dir = seeded_workspace("ftpde_lint_source_seeded_text");
+    let out = ftpde(&["lint", "--source", "--root", dir.to_str().unwrap()]);
+    assert!(!out.status.success(), "a seeded FT201/FT202 must turn the gate red");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("FT201"), "{stdout}");
+    assert!(stdout.contains("FT202"), "{stdout}");
+    assert!(stdout.contains("src/lib.rs:1"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn lint_source_json_artifact_parses_and_carries_locations() {
+    let dir = seeded_workspace("ftpde_lint_source_seeded_json");
+    let out = ftpde(&["lint", "--source", "--root", dir.to_str().unwrap(), "--format", "json"]);
+    assert!(!out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let set: ReportSet = serde_json::from_str(stdout.trim()).unwrap();
+    assert!(!set.is_clean());
+    let d = &set.reports[0].diagnostics[0];
+    assert_eq!(d.code, Code::FT201);
+    assert_eq!(d.file.as_deref(), Some("src/lib.rs"));
+    assert_eq!(d.line, Some(1));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn lint_source_on_this_workspace_is_clean() {
+    // CARGO_MANIFEST_DIR of the root integration tests IS the workspace
+    // root — the CLI face of the dogfooding gate.
+    let out = ftpde(&["lint", "--source", "--root", env!("CARGO_MANIFEST_DIR")]);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(out.status.success(), "workspace source lint not clean:\n{stdout}");
+    assert!(stdout.contains("0 error(s)"), "{stdout}");
+}
+
+#[test]
+fn lint_source_rejects_a_rootless_directory() {
+    let dir = std::env::temp_dir().join("ftpde_lint_source_no_cargo");
+    std::fs::create_dir_all(&dir).unwrap();
+    let _ = std::fs::remove_file(dir.join("Cargo.toml"));
+    let out = ftpde(&["lint", "--source", "--root", dir.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("workspace root"), "{stderr}");
+}
+
+#[test]
+fn explain_prints_registry_text_for_every_code_family() {
+    for (code, needle) in [("FT001", "structural"), ("FT105", "recovery"), ("FT201", "loom")] {
+        let out = ftpde(&["explain", code]);
+        assert!(out.status.success());
+        let stdout = String::from_utf8(out.stdout).unwrap();
+        assert!(stdout.starts_with(&format!("{code} [")), "{stdout}");
+        assert!(stdout.contains(needle), "{code}: {stdout}");
+    }
+    // Case-insensitive, like rustc --explain.
+    let out = ftpde(&["explain", "ft202"]);
+    assert!(out.status.success());
+
+    let out = ftpde(&["explain", "FT999"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("unknown code"), "{stderr}");
+
+    let out = ftpde(&["explain"]);
+    assert!(!out.status.success(), "explain requires a code argument");
+}
