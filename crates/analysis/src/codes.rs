@@ -280,6 +280,61 @@ pub const REGISTRY: &[CodeInfo] = &[
                       one silently suppresses nothing; both are errors so the escape \
                       hatches stay exactly as numerous as the exceptions they justify.",
     },
+    CodeInfo {
+        code: Code::FT301,
+        severity: Severity::Error,
+        summary: "nondeterministic replay: same seed, different canonical trace",
+        explanation: "The simulation harness runs every seeded scenario twice and compares \
+                      the canonical projections of the two traces (per-track event order, \
+                      sequence-index timestamps, wall-clock args stripped). Any byte \
+                      difference means something outside the seed influenced execution — \
+                      unshimmed randomness, hash-order iteration reaching output, a racy \
+                      event emitted on a deterministic track — and every property the \
+                      harness checks becomes unreproducible. Minimize with `ftpde sim \
+                      --seed N --shrink` and fix the nondeterminism at its source; never \
+                      quarantine an FT301 without a tracking note in the bug base.",
+    },
+    CodeInfo {
+        code: Code::FT302,
+        severity: Severity::Error,
+        summary: "result divergence: faulted run disagrees with failure-free run",
+        explanation: "Fault tolerance means failures may cost time but never answers: the \
+                      harness executes each workload once without faults and once with the \
+                      seeded schedule, then compares canonicalized result rows. A \
+                      divergence means recovery lost, duplicated or corrupted data — e.g. \
+                      a consumer read a damaged segment that was never demoted, or a \
+                      rewind skipped a producer. This is the oracle that catches 'silently \
+                      wrong answers', the worst failure class a fault-tolerant engine can \
+                      have; FT1xx conformance alone cannot see it because the trace of a \
+                      wrong-answer run can be perfectly contract-shaped.",
+    },
+    CodeInfo {
+        code: Code::FT303,
+        severity: Severity::Error,
+        summary: "panic during simulated execution",
+        explanation: "The engine must treat every injected fault — kills, torn or corrupt \
+                      segments, lost writes, stragglers — as a recoverable condition: \
+                      demote, rewind, redeploy or restart, but never unwind. The harness \
+                      wraps each simulated run in `catch_unwind`; a caught panic (or a \
+                      poisoned run that could not finish) is reported with the panic \
+                      payload in the message. Shrink the seed to find the minimal fault \
+                      sequence that trips it; the fix belongs in the engine or store, not \
+                      in the harness.",
+    },
+    CodeInfo {
+        code: Code::FT304,
+        severity: Severity::Warn,
+        summary: "scheduled faults never fired (schedule outran the run)",
+        explanation: "A fault schedule is derived from the seed before the run starts, so \
+                      it can name coordinates the execution never reaches — a stage that \
+                      was skipped, a read ordinal past the last get, a write the \
+                      configuration never performs. Unfired faults are reported as a \
+                      warning: the run is still valid evidence, but coverage is lower \
+                      than the schedule suggests, and a harness change that silently \
+                      stops firing most faults would otherwise look like a sudden drop \
+                      in found bugs. The shrinker also uses this signal: an event that \
+                      did not fire is always safe to drop.",
+    },
 ];
 
 /// Looks up the registry entry for `code`. Every code has one; the

@@ -284,6 +284,32 @@ pub fn check_trace(
     report
 }
 
+/// Parses a JSONL trace and verifies it — the shared entry point of
+/// `ftpde check --trace` and the simulation harness's replay oracle.
+///
+/// A parse failure is itself a conformance finding (FT101, error), not
+/// an `Err`: a torn or truncated trace is exactly the kind of damage
+/// the checker exists to report.
+pub fn check_trace_jsonl(
+    subject: &str,
+    jsonl: &str,
+    plan: Option<&StagePlan>,
+    opts: &CheckOptions,
+) -> Report {
+    match ftpde_obs::export::from_jsonl(jsonl) {
+        Ok(events) => check_trace(subject, &events, plan, opts),
+        Err(err) => {
+            let mut report = Report::new(subject);
+            report.push(Diagnostic::new(
+                Code::FT101,
+                Severity::Error,
+                format!("trace does not parse as JSONL events: {err}"),
+            ));
+            report
+        }
+    }
+}
+
 fn arg_u64(e: &Event, key: &str) -> Option<u64> {
     match e.get_arg(key) {
         Some(ArgValue::U64(v)) => Some(*v),
@@ -1222,5 +1248,20 @@ mod tests {
         let plan = chain_plan();
         let report = check_trace("garbage", &trace, Some(&plan), &CheckOptions::default());
         assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn jsonl_entry_point_checks_and_reports_parse_damage() {
+        let trace = vec![
+            Event::span("stage", "sim", 0, 1_000_000).arg("stage", 0u64),
+            Event::instant("query_completed", "sim", 1_000_000),
+        ];
+        let jsonl = ftpde_obs::export::to_jsonl(&trace);
+        let report = check_trace_jsonl("rt", &jsonl, None, &CheckOptions::default());
+        assert!(report.is_clean(), "{}", report.render());
+        // Torn input is an FT101 error, not an Err.
+        let report = check_trace_jsonl("torn", "{not json", None, &CheckOptions::default());
+        assert!(!report.is_clean());
+        assert_eq!(report.diagnostics[0].code, Code::FT101);
     }
 }

@@ -114,6 +114,17 @@ pub enum Code {
     /// Source discipline: unused or malformed `// ftpde-allow(...)`
     /// suppression.
     FT207,
+    /// Simulation harness: replaying the same seed produced a different
+    /// canonical trace (nondeterministic execution).
+    FT301,
+    /// Simulation harness: the faulted run's result diverged from the
+    /// failure-free reference (recovery lost or corrupted data).
+    FT302,
+    /// Simulation harness: the engine panicked during a simulated run.
+    FT303,
+    /// Simulation harness: scheduled faults never fired (the schedule
+    /// outran the run).
+    FT304,
 }
 
 impl Code {
@@ -145,6 +156,10 @@ impl Code {
         Code::FT205,
         Code::FT206,
         Code::FT207,
+        Code::FT301,
+        Code::FT302,
+        Code::FT303,
+        Code::FT304,
     ];
 
     /// The code as it appears in reports, e.g. `"FT005"`.
@@ -175,6 +190,10 @@ impl Code {
             Code::FT205 => "FT205",
             Code::FT206 => "FT206",
             Code::FT207 => "FT207",
+            Code::FT301 => "FT301",
+            Code::FT302 => "FT302",
+            Code::FT303 => "FT303",
+            Code::FT304 => "FT304",
         }
     }
 

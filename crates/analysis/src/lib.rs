@@ -68,7 +68,9 @@ pub mod source;
 
 /// Convenient glob-import of the crate's main types.
 pub mod prelude {
-    pub use crate::conformance::{check_trace, CheckOptions, IdSpace, StageInfo, StagePlan};
+    pub use crate::conformance::{
+        check_trace, check_trace_jsonl, CheckOptions, IdSpace, StageInfo, StagePlan,
+    };
     pub use crate::diag::{Code, Diagnostic, Report, ReportSet, Severity};
     pub use crate::oracle::{
         check_pruning_soundness, exhaustive_best, ExhaustiveBest, MemoMirror, OracleOutcome,

@@ -14,7 +14,8 @@
 //!   `overhead_pct` measured by interleaved traced-vs-untraced pairs.
 //! - **Search** ([`run_search_suite`]): the cost-based optimizer on
 //!   Q1/Q3/Q5 with pruning on and off — wall-time quantiles plus the
-//!   deterministic [`SearchStats`] counters and the §5.5 pruning rate.
+//!   deterministic [`SearchStats`](ftpde_core::search::SearchStats)
+//!   counters and the §5.5 pruning rate.
 //!
 //! Everything is seeded ([`SuiteOptions::seed`] drives the vendored
 //! RNG, the TPC-H generator and the failure injector), so counter-like

@@ -53,11 +53,17 @@ pub struct RunOptions {
     pub recovery: EngineRecovery,
     /// Whole-query restarts after which a coarse run aborts (paper: 100).
     pub max_restarts: u32,
+    /// Virtual milliseconds the global [`clock`] advances at each
+    /// injected failure — the paper's repair time `tr`, in simulated
+    /// time. Zero (the default) means failures recover instantaneously,
+    /// the engine's historical behavior; the simulation harness sets it
+    /// so recovery stretches observed spans without a real sleep.
+    pub repair_ms: u64,
 }
 
 impl Default for RunOptions {
     fn default() -> Self {
-        RunOptions { recovery: EngineRecovery::FineGrained, max_restarts: 100 }
+        RunOptions { recovery: EngineRecovery::FineGrained, max_restarts: 100, repair_ms: 0 }
     }
 }
 
@@ -480,6 +486,13 @@ pub fn run_query_resumable_traced(
                                                 attempt < 10_000,
                                                 "injector never lets node finish"
                                             );
+                                            // Repair time passes in
+                                            // virtual time only.
+                                            if opts.repair_ms > 0 {
+                                                clock::advance(std::time::Duration::from_millis(
+                                                    opts.repair_ms,
+                                                ));
+                                            }
                                             // Fine-grained recovery: the
                                             // failed node's sub-plan is
                                             // redeployed on the spot.
@@ -540,6 +553,13 @@ pub fn run_query_resumable_traced(
                                                     query_restarts,
                                                 )
                                             });
+                                            // Repair time before the
+                                            // restart, in virtual time.
+                                            if opts.repair_ms > 0 {
+                                                clock::advance(std::time::Duration::from_millis(
+                                                    opts.repair_ms,
+                                                ));
+                                            }
                                             NodeOutcome::Failed
                                         } else {
                                             rec.record_with(|| {

@@ -578,7 +578,11 @@ mod tests {
         let sink = plan.sinks()[0];
         let injector = FailureInjector::with([Injection { stage: sink.0, node: 2, attempt: 0 }]);
         let catalog = load_catalog(&db(), 4);
-        let opts = RunOptions { recovery: EngineRecovery::CoarseRestart, max_restarts: 100 };
+        let opts = RunOptions {
+            recovery: EngineRecovery::CoarseRestart,
+            max_restarts: 100,
+            ..Default::default()
+        };
         let got = run_query(&plan, &config, &catalog, &injector, &opts);
         assert_eq!(got.query_restarts, 1);
         assert!(!got.aborted);
@@ -598,7 +602,11 @@ mod tests {
             attempt: a,
         }));
         let catalog = load_catalog(&db(), 2);
-        let opts = RunOptions { recovery: EngineRecovery::CoarseRestart, max_restarts: 10 };
+        let opts = RunOptions {
+            recovery: EngineRecovery::CoarseRestart,
+            max_restarts: 10,
+            ..Default::default()
+        };
         let got = run_query(&plan, &config, &catalog, &injector, &opts);
         assert!(got.aborted);
         assert_eq!(got.query_restarts, 10);

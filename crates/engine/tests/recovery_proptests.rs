@@ -125,7 +125,7 @@ proptest! {
         let injector = FailureInjector::with(
             (0..restarts).map(|a| Injection { stage: sink.0, node, attempt: a }),
         );
-        let opts = RunOptions { recovery: EngineRecovery::CoarseRestart, max_restarts: 50 };
+        let opts = RunOptions { recovery: EngineRecovery::CoarseRestart, max_restarts: 50, ..Default::default() };
         let report = run_query(&plan, &config, &catalog, &injector, &opts);
         prop_assert!(!report.aborted);
         prop_assert_eq!(report.query_restarts, restarts);

@@ -32,6 +32,64 @@ pub fn from_jsonl(s: &str) -> Result<Vec<Event>, serde_json::Error> {
     s.lines().map(str::trim).filter(|l| !l.is_empty()).map(serde_json::from_str::<Event>).collect()
 }
 
+/// Args whose values are wall-clock measurements: identical logical
+/// executions produce different numbers here, so the canonical
+/// projection strips them.
+const TIMING_ARGS: &[&str] = &["lost_s", "write_bytes_per_s", "read_bytes_per_s"];
+
+/// Which tracks [`canonical_trace`] keeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CanonicalScope {
+    /// Every `(pid, tid)` track — for runs whose per-track event order
+    /// is deterministic (e.g. fine-grained recovery, where each worker's
+    /// events happen-before the stage join that publishes them).
+    AllTracks,
+    /// Only coordinator events (`tid == 0`) plus `materialize` instants
+    /// (emitted by the coordinator after the stage join, merely *tagged*
+    /// with a worker tid). For runs whose worker tracks race by design —
+    /// coarse restarts cancel sibling workers at arbitrary batch
+    /// boundaries, so whether a `worker_cancelled` event exists at all
+    /// is a scheduler coin-flip.
+    CoordinatorOnly,
+}
+
+/// Projects an event log onto its *canonical* form: the part of a trace
+/// that must be byte-identical when the same seeded run executes twice.
+///
+/// Raw logs are append-ordered in real time, so two identical executions
+/// interleave their worker tracks differently and stamp every event with
+/// a different wall-clock microsecond. The projection removes exactly
+/// those freedoms and nothing else:
+///
+/// * events are regrouped by `(pid, tid)` track (ascending), preserving
+///   the within-track order — the order that *is* deterministic;
+/// * `ts_us` becomes the event's sequence index in the projected log and
+///   `dur_us` becomes zero;
+/// * wall-clock measurement args (`lost_s`, `write_bytes_per_s`,
+///   `read_bytes_per_s`) are dropped.
+///
+/// The simulation harness compares `to_jsonl(&canonical_trace(..))` of a
+/// run against its replay; any byte difference is an FT301 finding.
+pub fn canonical_trace(events: &[Event], scope: CanonicalScope) -> Vec<Event> {
+    let mut tracks: Vec<(u32, u32)> = events.iter().map(|e| (e.pid, e.tid)).collect();
+    tracks.sort_unstable();
+    tracks.dedup();
+    let mut out = Vec::with_capacity(events.len());
+    for (pid, tid) in tracks {
+        for e in events.iter().filter(|e| e.pid == pid && e.tid == tid) {
+            if scope == CanonicalScope::CoordinatorOnly && e.tid != 0 && e.name != "materialize" {
+                continue;
+            }
+            let mut c = e.clone();
+            c.ts_us = out.len() as u64;
+            c.dur_us = 0;
+            c.args.retain(|(k, _)| !TIMING_ARGS.contains(&k.as_str()));
+            out.push(c);
+        }
+    }
+    out
+}
+
 fn arg_to_json(v: &ArgValue) -> Value {
     match v {
         ArgValue::U64(n) => Value::UInt(*n),
@@ -288,6 +346,46 @@ mod tests {
             Event::instant("node_failure", "engine", 1200).tid(1).arg("attempt", 0u64),
             Event::instant("best_update", "search", 7).arg("cost", 123.5),
         ]
+    }
+
+    #[test]
+    fn canonical_trace_is_invariant_across_interleavings() {
+        // The same logical run, logged under two different thread
+        // interleavings and wall clocks.
+        let a = vec![
+            Event::span("stage", "engine", 100, 900).arg("nodes", 2u64),
+            Event::span("attempt", "engine", 110, 300).tid(1).arg("rows", 5u64),
+            Event::instant("node_failure", "engine", 200).tid(2).arg("lost_s", 0.25),
+            Event::span("attempt", "engine", 210, 600).tid(2).arg("rows", 7u64),
+        ];
+        let b = vec![
+            Event::instant("node_failure", "engine", 4000).tid(2).arg("lost_s", 0.75),
+            Event::span("attempt", "engine", 4100, 333).tid(2).arg("rows", 7u64),
+            Event::span("attempt", "engine", 3900, 10).tid(1).arg("rows", 5u64),
+            Event::span("stage", "engine", 3800, 1000).arg("nodes", 2u64),
+        ];
+        let ca = canonical_trace(&a, CanonicalScope::AllTracks);
+        let cb = canonical_trace(&b, CanonicalScope::AllTracks);
+        assert_eq!(to_jsonl(&ca), to_jsonl(&cb));
+        // Sequence-index timestamps, zero durations, no timing args.
+        assert_eq!(ca.iter().map(|e| e.ts_us).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert!(ca.iter().all(|e| e.dur_us == 0));
+        assert!(ca.iter().all(|e| e.args.iter().all(|(k, _)| k != "lost_s")));
+        // Track order: tid 0 first, then 1, then 2.
+        assert_eq!(ca.iter().map(|e| e.tid).collect::<Vec<_>>(), vec![0, 1, 2, 2]);
+    }
+
+    #[test]
+    fn canonical_trace_coordinator_scope_drops_racy_worker_tracks() {
+        let events = vec![
+            Event::span("stage", "engine", 0, 10),
+            Event::instant("worker_cancelled", "engine", 3).tid(2),
+            Event::instant("materialize", "engine", 5).tid(1).arg("rows", 9u64),
+            Event::instant("query_completed", "engine", 9),
+        ];
+        let c = canonical_trace(&events, CanonicalScope::CoordinatorOnly);
+        let names: Vec<&str> = c.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["stage", "query_completed", "materialize"]);
     }
 
     #[test]

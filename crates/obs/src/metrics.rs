@@ -100,7 +100,7 @@ impl AtomicF64 {
 #[derive(Debug, Default)]
 struct Shard(AtomicU64);
 
-/// A monotonic counter striped across [`SHARDS`] cache lines: `add` is a
+/// A monotonic counter striped across `SHARDS` cache lines: `add` is a
 /// single relaxed `fetch_add` on the calling thread's stripe; `get` sums
 /// the stripes.
 #[derive(Debug)]

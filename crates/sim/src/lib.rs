@@ -22,6 +22,7 @@
 //! ```
 
 pub mod event;
+pub mod fault;
 pub mod metrics;
 pub mod scheme;
 pub mod simulate;
@@ -29,6 +30,7 @@ pub mod simulate;
 /// Convenient glob-import of the crate's main types.
 pub mod prelude {
     pub use crate::event::{SimEvent, SimLog};
+    pub use crate::fault::{FaultEvent, FaultSchedule};
     pub use crate::metrics::{
         overhead_pct, run_all_schemes, run_scheme, suggested_horizon, SchemeRun,
     };

@@ -1,0 +1,52 @@
+//! # ftpde-simharness — deterministic whole-system simulation
+//!
+//! One `u64` seed drives an entire adversarial run of the real system:
+//!
+//! 1. **Workload** ([`workload`]) — the seed derives a query plan (a
+//!    built-in TPC-H plan or a randomized operator DAG), scale factor,
+//!    node count, cluster MTBF, materialization configuration, recovery
+//!    scheme and repair time. The workload must pass the FT0xx plan
+//!    linter before it runs.
+//! 2. **Fault schedule** ([`case`]) — the same stream then derives node
+//!    kills and storage faults (torn writes, lost puts, corrupt reads,
+//!    virtual-time stragglers) at *logical* coordinates matching the
+//!    workload's actual collapsed stage structure.
+//! 3. **Execution & oracles** ([`runner`]) — the real engine runs the
+//!    schedule (kills via its failure injector, storage faults via the
+//!    [`FaultStore`](ftpde_store::FaultStore) decorator, repair time on
+//!    the process virtual clock) and every run is judged: trace
+//!    conformance (FT1xx), replay determinism (FT301), result
+//!    divergence against a failure-free reference (FT302), panics
+//!    (FT303), and unfired schedules (FT304).
+//! 4. **Shrinking** ([`shrink`]) — a failing case is minimized to a
+//!    1-minimal schedule plus the smallest workload knobs that still
+//!    reproduce the same diagnostic code.
+//! 5. **Bug base** ([`bugbase`]) — shrunk reproductions are committed to
+//!    `tests/bug_base.jsonl`, which CI replays forever: `fixed` entries
+//!    must stay fixed, `quarantined` entries must keep failing the same
+//!    way.
+//!
+//! The `ftpde sim` CLI subcommand is the harness's command-line face;
+//! `ftpde explain FT301` (and friends) documents the oracle codes.
+//!
+//! Determinism is the load-bearing property: same seed, same workload,
+//! same schedule, same verdict, byte-identical report — across
+//! invocations and machines. Everything random flows from
+//! `StdRng::seed_from_u64`; nothing reads the wall clock.
+
+pub mod bugbase;
+pub mod case;
+pub mod runner;
+pub mod shrink;
+pub mod workload;
+
+/// Convenient glob-import of the harness's main types.
+pub mod prelude {
+    pub use crate::bugbase::{replay_entry, BugBase, BugEntry, EntryStatus, ReplayResult};
+    pub use crate::case::{derive_schedule, stage_roots, store_slots, BugMode, SimCase};
+    pub use crate::runner::{run_case, run_seed, CaseOutcome, RunSummary};
+    pub use crate::shrink::{primary_code, shrink_case, shrink_schedule, Shrunk};
+    pub use crate::workload::{
+        random_plan, ConfigKind, QueryKind, RecoveryKind, Workload, MTBFS, SCALE_FACTORS,
+    };
+}

@@ -1,0 +1,279 @@
+//! Minimizes a failing case to the smallest still-failing reproduction.
+//!
+//! A randomly derived failing seed carries noise: faults that fired but
+//! didn't matter, a bigger plan than the bug needs, more nodes than the
+//! race requires. Before a case enters the bug base it is shrunk —
+//! ddmin-style chunk removal over the schedule, numeric fault-field
+//! reduction ("advance" ordinals toward zero), duplicate merging, knob
+//! reduction (scale factor, node count, repair time, random-DAG budget),
+//! and a final single-event pass that leaves the schedule **1-minimal**:
+//! removing any one remaining event makes the failure disappear.
+//!
+//! Acceptance is *same-failure*, not any-failure: a candidate counts
+//! only if its primary diagnostic code matches the original's, so a
+//! shrink can never silently walk from an FT302 divergence to an
+//! unrelated FT303 panic. The whole procedure is deterministic — same
+//! case in, same minimal case out — which the shrinker's own proptests
+//! assert.
+
+use ftpde_analysis::prelude::{Code, Report, Severity};
+use ftpde_sim::prelude::{FaultEvent, FaultSchedule};
+use serde::{Deserialize, Serialize};
+
+use crate::case::SimCase;
+use crate::runner::run_case;
+use crate::workload::{QueryKind, SCALE_FACTORS};
+
+/// The failure a report is "about": its first `Error`-severity code, in
+/// oracle order (plan lint before panic before conformance before
+/// divergence). `None` for clean or warn-only reports.
+pub fn primary_code(report: &Report) -> Option<Code> {
+    report.diagnostics.iter().find(|d| d.severity == Severity::Error).map(|d| d.code)
+}
+
+/// A minimized reproduction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Shrunk {
+    /// The minimal still-failing case.
+    pub case: SimCase,
+    /// The failure it reproduces.
+    pub code: Code,
+    /// Event count before shrinking.
+    pub original_events: usize,
+    /// Oracle invocations spent.
+    pub tested: u32,
+}
+
+/// Minimizes `events` against `still_fails`, which must hold for the
+/// input. Pure and engine-agnostic — the proptests drive it with
+/// synthetic oracles. The result is 1-minimal with respect to single
+/// event removal, and the procedure is deterministic.
+pub fn shrink_schedule(
+    events: &[FaultEvent],
+    still_fails: &mut impl FnMut(&[FaultEvent]) -> bool,
+) -> Vec<FaultEvent> {
+    let mut cur = events.to_vec();
+
+    // Phase 1: ddmin-style chunk removal, halving chunk sizes.
+    let mut chunk = cur.len().div_ceil(2).max(1);
+    loop {
+        let mut i = 0;
+        while i < cur.len() {
+            let end = (i + chunk).min(cur.len());
+            let mut cand = cur.clone();
+            cand.drain(i..end);
+            if still_fails(&cand) {
+                cur = cand;
+            } else {
+                i = end;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+    }
+
+    // Phase 2: advance numeric fault fields toward their minimum.
+    for i in 0..cur.len() {
+        for replacement in advance_candidates(cur[i]) {
+            let mut cand = cur.clone();
+            cand[i] = replacement;
+            if still_fails(&cand) {
+                cur = cand;
+            }
+        }
+    }
+
+    // Phase 3: merge exact duplicates.
+    let deduped = FaultSchedule { events: cur.clone() }.dedup().events;
+    if deduped.len() < cur.len() && still_fails(&deduped) {
+        cur = deduped;
+    }
+
+    // Phase 4: single-event removals to fixpoint — the 1-minimality
+    // guarantee.
+    single_removal_fixpoint(&mut cur, still_fails);
+    cur
+}
+
+/// Smaller-valued variants of one event, most aggressive first.
+fn advance_candidates(event: FaultEvent) -> Vec<FaultEvent> {
+    match event {
+        FaultEvent::KillNode { stage, node, attempt } if attempt > 0 => {
+            vec![FaultEvent::KillNode { stage, node, attempt: 0 }]
+        }
+        FaultEvent::CorruptRead { op, node, nth_get } if nth_get > 0 => {
+            vec![FaultEvent::CorruptRead { op, node, nth_get: 0 }]
+        }
+        FaultEvent::DelayIo { op, node, virtual_ms, uses } if virtual_ms > 1 || uses > 1 => {
+            vec![
+                FaultEvent::DelayIo { op, node, virtual_ms: 1, uses: 1 },
+                FaultEvent::DelayIo { op, node, virtual_ms: 1, uses },
+                FaultEvent::DelayIo { op, node, virtual_ms, uses: 1 },
+            ]
+        }
+        _ => Vec::new(),
+    }
+}
+
+/// Removes single events until no single removal still fails.
+fn single_removal_fixpoint(
+    cur: &mut Vec<FaultEvent>,
+    still_fails: &mut impl FnMut(&[FaultEvent]) -> bool,
+) {
+    let mut i = 0;
+    while i < cur.len() {
+        let mut cand = cur.clone();
+        cand.remove(i);
+        if still_fails(&cand) {
+            *cur = cand;
+            i = 0; // earlier removals may have become viable
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Shrinks a failing case end-to-end against the real runner. Returns
+/// `None` when the case does not fail (nothing to shrink).
+pub fn shrink_case(case: &SimCase) -> Option<Shrunk> {
+    let code = primary_code(&run_case(case).report)?;
+    let mut tested = 0u32;
+    let mut oracle = |cand: &SimCase| {
+        tested += 1;
+        primary_code(&run_case(cand).report) == Some(code)
+    };
+
+    let original_events = case.schedule.len();
+    let mut cur = case.clone();
+
+    // Schedule first: fewer events means every later knob probe is
+    // cheaper to judge.
+    let events = {
+        let base = cur.clone();
+        let mut f = |events: &[FaultEvent]| {
+            let mut cand = base.clone();
+            cand.schedule = FaultSchedule { events: events.to_vec() };
+            oracle(&cand)
+        };
+        shrink_schedule(&cur.schedule.events, &mut f)
+    };
+    cur.schedule = FaultSchedule { events };
+
+    // Knob ladder, smallest first; each accepted knob shrinks the next
+    // probe's search space too.
+    for sf in SCALE_FACTORS {
+        if sf < cur.workload.sf {
+            let mut cand = cur.clone();
+            cand.workload.sf = sf;
+            if oracle(&cand) {
+                cur = cand;
+                break;
+            }
+        }
+    }
+    for nodes in 2..cur.workload.nodes {
+        let mut cand = cur.clone();
+        cand.workload.nodes = nodes;
+        if oracle(&cand) {
+            cur = cand;
+            break;
+        }
+    }
+    if cur.workload.repair_ms > 0 {
+        let mut cand = cur.clone();
+        cand.workload.repair_ms = 0;
+        if oracle(&cand) {
+            cur = cand;
+        }
+    }
+    if let QueryKind::Random { dag_seed, budget } = cur.workload.query {
+        for smaller in 1..budget {
+            let mut cand = cur.clone();
+            cand.workload.query = QueryKind::Random { dag_seed, budget: smaller };
+            if oracle(&cand) {
+                cur = cand;
+                break;
+            }
+        }
+    }
+
+    // Knob changes can strand events (e.g. faults aimed at a dropped
+    // node); one more single-removal pass restores 1-minimality.
+    let events = {
+        let base = cur.clone();
+        let mut f = |events: &[FaultEvent]| {
+            let mut cand = base.clone();
+            cand.schedule = FaultSchedule { events: events.to_vec() };
+            oracle(&cand)
+        };
+        let mut events = cur.schedule.events.clone();
+        single_removal_fixpoint(&mut events, &mut f);
+        events
+    };
+    cur.schedule = FaultSchedule { events };
+
+    Some(Shrunk { case: cur, code, original_events, tested })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kill(stage: u32) -> FaultEvent {
+        FaultEvent::KillNode { stage, node: 0, attempt: 0 }
+    }
+
+    #[test]
+    fn shrinks_to_the_single_culprit() {
+        let events = vec![kill(1), kill(2), kill(3), kill(4), kill(5)];
+        let mut oracle =
+            |s: &[FaultEvent]| s.contains(&FaultEvent::KillNode { stage: 3, node: 0, attempt: 0 });
+        let shrunk = shrink_schedule(&events, &mut oracle);
+        assert_eq!(shrunk, vec![kill(3)]);
+    }
+
+    #[test]
+    fn advances_ordinals_toward_zero() {
+        let events = vec![FaultEvent::CorruptRead { op: 2, node: 1, nth_get: 2 }];
+        let mut oracle =
+            |s: &[FaultEvent]| s.iter().any(|e| matches!(e, FaultEvent::CorruptRead { op: 2, .. }));
+        let shrunk = shrink_schedule(&events, &mut oracle);
+        assert_eq!(shrunk, vec![FaultEvent::CorruptRead { op: 2, node: 1, nth_get: 0 }]);
+    }
+
+    #[test]
+    fn empty_result_when_the_workload_alone_fails() {
+        let events = vec![kill(1), kill(2)];
+        let mut oracle = |_: &[FaultEvent]| true;
+        assert!(shrink_schedule(&events, &mut oracle).is_empty());
+    }
+
+    #[test]
+    fn result_is_one_minimal() {
+        // Failure requires at least two torn writes, any two.
+        let events: Vec<FaultEvent> =
+            (0..6).map(|op| FaultEvent::TornWrite { op, node: 0 }).collect();
+        let mut oracle = |s: &[FaultEvent]| s.iter().filter(|e| e.is_store_fault()).count() >= 2;
+        let shrunk = shrink_schedule(&events, &mut oracle);
+        assert_eq!(shrunk.len(), 2, "{shrunk:?}");
+        for i in 0..shrunk.len() {
+            let mut cand = shrunk.clone();
+            cand.remove(i);
+            assert!(!oracle(&cand), "not 1-minimal at {i}: {shrunk:?}");
+        }
+    }
+
+    #[test]
+    fn primary_code_is_the_first_error() {
+        use ftpde_analysis::prelude::{Diagnostic, Severity};
+        let mut r = Report::new("t");
+        assert_eq!(primary_code(&r), None);
+        r.push(Diagnostic::new(Code::FT304, Severity::Warn, "w"));
+        assert_eq!(primary_code(&r), None);
+        r.push(Diagnostic::new(Code::FT302, Severity::Error, "e1"));
+        r.push(Diagnostic::new(Code::FT301, Severity::Error, "e2"));
+        assert_eq!(primary_code(&r), Some(Code::FT302));
+    }
+}

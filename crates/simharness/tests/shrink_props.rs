@@ -1,0 +1,147 @@
+//! Property tests for the schedule shrinker, driven by synthetic
+//! oracles: thousands of shrinks run without ever touching the engine,
+//! and the properties hold for *any* deterministic failure predicate —
+//! the real runner-backed oracle in `shrink_case` is just one of them.
+//!
+//! The three contracts under test:
+//!
+//! * **Reproduction** — the shrunk schedule still fails the oracle that
+//!   the input failed (here modeled as a synthetic "failure code" the
+//!   acceptance predicate must preserve, mirroring `shrink_case`'s
+//!   same-primary-code rule).
+//! * **1-minimality** — removing any single remaining event makes the
+//!   failure disappear.
+//! * **Determinism** — the same input and oracle shrink to the same
+//!   schedule every time.
+
+use ftpde_sim::prelude::FaultEvent;
+use ftpde_simharness::prelude::shrink_schedule;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One arbitrary fault event. The vendored proptest has no oneof
+/// combinators, so variant structure comes from a seeded RNG (the same
+/// idiom as the conformance proptests).
+fn event(rng: &mut StdRng) -> FaultEvent {
+    let op = rng.gen_range(0..6u32);
+    let node = rng.gen_range(0..4u32);
+    match rng.gen_range(0..5u32) {
+        0 => FaultEvent::KillNode { stage: op, node, attempt: rng.gen_range(0..3) },
+        1 => FaultEvent::TornWrite { op, node },
+        2 => FaultEvent::LostPut { op, node },
+        3 => FaultEvent::CorruptRead { op, node, nth_get: rng.gen_range(0..3) },
+        _ => FaultEvent::DelayIo {
+            op,
+            node,
+            virtual_ms: rng.gen_range(1..5),
+            uses: rng.gen_range(1..4),
+        },
+    }
+}
+
+fn events_from(seed: u64, n: usize) -> Vec<FaultEvent> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| event(&mut rng)).collect()
+}
+
+/// A synthetic failure classifier, standing in for `primary_code`: code
+/// 1 when any corrupt-read is present, else code 2 when at least two
+/// kills are present, else no failure.
+fn code_of(s: &[FaultEvent]) -> Option<u8> {
+    if s.iter().any(|e| matches!(e, FaultEvent::CorruptRead { .. })) {
+        Some(1)
+    } else if s.iter().filter(|e| matches!(e, FaultEvent::KillNode { .. })).count() >= 2 {
+        Some(2)
+    } else {
+        None
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn a_single_culprit_shrinks_to_exactly_that_event(
+        seed in any::<u64>(),
+        n in 1usize..16,
+    ) {
+        let events = events_from(seed, n);
+        let target = events[0];
+        let mut oracle = |s: &[FaultEvent]| s.contains(&target);
+        let shrunk = shrink_schedule(&events, &mut oracle);
+        // 1-minimality plus reproduction pin the result completely:
+        // the one event the oracle demands, nothing else.
+        prop_assert_eq!(shrunk, vec![target]);
+    }
+
+    #[test]
+    fn the_result_is_one_minimal_under_a_threshold_oracle(
+        seed in any::<u64>(),
+        n in 1usize..16,
+    ) {
+        let events = events_from(seed, n);
+        let k = events.iter().filter(|e| e.is_store_fault()).count();
+        let mut oracle =
+            |s: &[FaultEvent]| s.iter().filter(|e| e.is_store_fault()).count() >= k;
+        let shrunk = shrink_schedule(&events, &mut oracle);
+        // Exactly the k store faults survive; every kill is noise.
+        prop_assert_eq!(shrunk.len(), k);
+        prop_assert!(shrunk.iter().all(FaultEvent::is_store_fault));
+        for i in 0..shrunk.len() {
+            let mut cand = shrunk.clone();
+            cand.remove(i);
+            prop_assert!(!oracle(&cand), "not 1-minimal at {}: {:?}", i, shrunk);
+        }
+    }
+
+    #[test]
+    fn shrinking_preserves_the_failure_code(
+        seed in any::<u64>(),
+        n in 2usize..16,
+    ) {
+        let events = events_from(seed, n);
+        prop_assume!(code_of(&events).is_some());
+        let original = code_of(&events).unwrap();
+        // The same-failure acceptance rule `shrink_case` uses: a
+        // candidate counts only if it fails with the original's code.
+        let mut oracle = |s: &[FaultEvent]| code_of(s) == Some(original);
+        let shrunk = shrink_schedule(&events, &mut oracle);
+        prop_assert_eq!(code_of(&shrunk), Some(original));
+        prop_assert!(!shrunk.is_empty());
+    }
+
+    #[test]
+    fn shrinking_is_deterministic(
+        seed in any::<u64>(),
+        n in 1usize..16,
+    ) {
+        let events = events_from(seed, n);
+        let target = events[n / 2];
+        let mut first = |s: &[FaultEvent]| s.contains(&target);
+        let mut second = |s: &[FaultEvent]| s.contains(&target);
+        let a = shrink_schedule(&events, &mut first);
+        let b = shrink_schedule(&events, &mut second);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ordinals_are_advanced_whenever_the_oracle_permits(
+        seed in any::<u64>(),
+        n in 1usize..12,
+    ) {
+        let events = events_from(seed, n);
+        prop_assume!(events.iter().any(|e| matches!(e, FaultEvent::CorruptRead { .. })));
+        // The oracle only cares that *some* corrupt-read exists, so the
+        // survivor's retry ordinal must be driven to zero.
+        let mut oracle =
+            |s: &[FaultEvent]| s.iter().any(|e| matches!(e, FaultEvent::CorruptRead { .. }));
+        let shrunk = shrink_schedule(&events, &mut oracle);
+        prop_assert_eq!(shrunk.len(), 1);
+        prop_assert!(
+            matches!(shrunk[0], FaultEvent::CorruptRead { nth_get: 0, .. }),
+            "ordinal not advanced: {:?}",
+            shrunk
+        );
+    }
+}

@@ -25,6 +25,7 @@
 pub mod codec;
 pub mod compress;
 pub mod disk;
+pub mod fault;
 pub mod mem;
 pub mod stats;
 pub mod sync;
@@ -35,6 +36,7 @@ use std::fmt;
 use crate::sync::plain::Arc;
 
 pub use disk::{inspect, verify, DiskBackend, Manifest, ManifestEntry, StoreReport};
+pub use fault::{FaultStore, StoreBug};
 pub use mem::MemBackend;
 pub use stats::StoreStats;
 pub use value::{int_row, row, Row, Value};
@@ -134,6 +136,12 @@ mod tests {
     #[test]
     fn mem_backend_object_safety_and_contract() {
         exercise(&MemBackend::new());
+    }
+
+    #[test]
+    fn fault_store_with_nothing_armed_keeps_the_contract() {
+        let inner = MemBackend::new();
+        exercise(&FaultStore::new(&inner));
     }
 
     #[test]

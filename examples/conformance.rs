@@ -72,7 +72,11 @@ fn engine_coarse() -> Traced {
     let sp = StagePlan::engine_ids(&dag, &config, 1.0);
     let first = sp.stages()[0].id as u32;
     let injector = FailureInjector::with([Injection { stage: first, node: 0, attempt: 0 }]);
-    let opts = RunOptions { recovery: EngineRecovery::CoarseRestart, max_restarts: 10 };
+    let opts = RunOptions {
+        recovery: EngineRecovery::CoarseRestart,
+        max_restarts: 10,
+        ..Default::default()
+    };
     let rec = MemoryRecorder::new();
     run_query_traced(&plan, &config, &catalog(), &injector, &opts, None, &rec);
     Traced { file: "engine_q1_none_coarse.jsonl", events: rec.events(), stage_plan: sp }

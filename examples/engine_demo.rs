@@ -68,7 +68,7 @@ fn main() {
             &config,
             &catalog,
             &injector,
-            &RunOptions { recovery, max_restarts: 100 },
+            &RunOptions { recovery, max_restarts: 100, ..Default::default() },
         );
         let ok = report.results[0].1 == *truth;
         println!(
@@ -89,7 +89,11 @@ fn main() {
         &MatConfig::none(&dag),
         &catalog,
         &injector,
-        &RunOptions { recovery: EngineRecovery::CoarseRestart, max_restarts: 100 },
+        &RunOptions {
+            recovery: EngineRecovery::CoarseRestart,
+            max_restarts: 100,
+            ..Default::default()
+        },
     );
     println!(
         "  {:<34} restarts={:<2} result {}",

@@ -9,7 +9,9 @@
 //! ftpde lint     --all | --query Q5 | --plan plan.json | --source [--root <dir>] [--format text|json]
 //! ftpde explain  FT201
 //! ftpde store    --inspect <dir> | --verify <dir> [--format text|json]
-//! ftpde check    --trace run.jsonl [--query Q5 --config best] [--format text|json]
+//! ftpde check    --trace run.jsonl|- [--query Q5 --config best] [--format text|json]
+//! ftpde sim      --seed 42 | --seeds 0..64 [--shrink] [--bug serve-corrupt-data] [--bug-base tests/bug_base.jsonl]
+//! ftpde sim      --replay-bug-base tests/bug_base.jsonl
 //! ftpde bench    [--quick] [--repeats N] [--warmup N] [--seed N] [--out <dir>]
 //! ftpde bench    --compare <old.json> <new.json> [--tolerance <pct>]
 //! ftpde serve-metrics [--port N] [--store <dir>] [--flight-dir <dir>] [--budget-ms N] [--duration-s N]
@@ -47,6 +49,16 @@
 //!   lifecycle and Eq. 1 cost conservation. With `--query` (and
 //!   optionally `--config`) the trace is verified against the collapsed
 //!   plan it claims to execute; exits nonzero on any FT1xx Error.
+//!   `--trace -` reads the event log from stdin.
+//! * `sim` — the deterministic whole-system simulation harness: each
+//!   seed derives a workload (query/SF/nodes/MTBF/materialization/
+//!   recovery scheme) plus a fault schedule (node kills, torn/lost/
+//!   corrupt/delayed storage), runs it on the real engine under virtual
+//!   time, and judges the run with the FT0xx linter, the FT1xx trace
+//!   checker, and the FT30x harness oracles (replay determinism, result
+//!   divergence, panics, unfired schedules). `--shrink` minimizes each
+//!   failing seed to a 1-minimal schedule; `--bug-base` records the
+//!   reproductions; `--replay-bug-base` re-judges a committed base.
 //! * `bench` — run the canonical benchmark suite (Q1/Q3/Q5 × {none,
 //!   best, all} materialization × mem/disk store backends × clean and
 //!   failure-injected runs, plus the optimizer search with pruning on
@@ -105,6 +117,7 @@ fn main() -> ExitCode {
             "lint" => cmd_lint(&flags),
             "store" => cmd_store(&flags),
             "check" => cmd_check(&flags),
+            "sim" => cmd_sim(&flags),
             "serve-metrics" => cmd_serve_metrics(&flags),
             "top" => cmd_top(&flags),
             _ => Err(format!("unknown command {cmd:?}")),
@@ -128,10 +141,13 @@ const USAGE: &str = "usage:
   ftpde lint     --all | --query <Q1|Q3|Q5|Q1C|Q2C> | --plan <plan.json> | --source
                  [--sf <N>] [--nodes <N>] [--mtbf <secs>] [--mttr <secs>] [--format <text|json>]
                  [--root <dir>]
-  ftpde explain  <FT001..FT207>   (e.g. `ftpde explain FT201`)
+  ftpde explain  <FT001..FT304>   (e.g. `ftpde explain FT301`)
   ftpde store    --inspect <dir> | --verify <dir> [--format <text|json>]
-  ftpde check    --trace <run.jsonl> [--query <Q1|Q3|Q5|Q1C|Q2C>] [--config <none|all|best|ops:<csv>>]
+  ftpde check    --trace <run.jsonl|-> [--query <Q1|Q3|Q5|Q1C|Q2C>] [--config <none|all|best|ops:<csv>>]
                  [--sf <N>] [--nodes <N>] [--mtbf <secs>] [--mttr <secs>] [--format <text|json>]
+  ftpde sim      --seed <N> | --seeds <A..B> [--shrink] [--bug <none|serve-corrupt-data>]
+                 [--bug-base <file.jsonl>] [--format <text|json>]
+  ftpde sim      --replay-bug-base <file.jsonl> [--format <text|json>]
   ftpde bench    [--quick] [--repeats <N>] [--warmup <N>] [--seed <N>] [--out <dir>]
   ftpde bench    --compare <old.json> <new.json> [--tolerance <pct>]
   ftpde serve-metrics [--port <N>] [--store <dir>] [--flight-dir <dir>] [--budget-ms <N>] [--duration-s <N>]
@@ -598,7 +614,18 @@ fn get_mat_config(spec: &str, plan: &PlanDag, cluster: &ClusterConfig) -> CliRes
 fn cmd_check(flags: &HashMap<String, String>) -> CliResult<()> {
     let path = flags.get("trace").ok_or("missing required flag --trace")?;
     let format = get_format(flags, &["text", "json"], "text")?;
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    // `--trace -` reads the event log from stdin, so a recorder (or
+    // `ftpde sim`) can pipe straight into the checker.
+    let (name, text) = if path == "-" {
+        use std::io::Read as _;
+        let mut buf = String::new();
+        std::io::stdin().read_to_string(&mut buf).map_err(|e| format!("cannot read stdin: {e}"))?;
+        ("<stdin>".to_string(), buf)
+    } else {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        (path.clone(), text)
+    };
+    let path = &name;
     let events = obs::export::from_jsonl(&text)
         .map_err(|e| format!("{path} is not a JSONL event log: {e:?}"))?;
 
@@ -640,6 +667,194 @@ fn cmd_check(flags: &HashMap<String, String>) -> CliResult<()> {
         Ok(())
     } else {
         Err(format!("check found {} error(s)", set.count(Severity::Error)))
+    }
+}
+
+/// The JSON document `ftpde sim --format json` emits — the CI sim-smoke
+/// artifact: every outcome in full plus the shrunk reproductions.
+#[derive(serde::Serialize)]
+struct SimDoc {
+    /// Document identifier for downstream tooling.
+    schema: String,
+    /// Seeds swept.
+    seeds: Vec<u64>,
+    /// How many seeds produced an Error-severity finding.
+    failing: u64,
+    /// Per-seed verdicts, in sweep order.
+    outcomes: Vec<ftpde::simharness::runner::CaseOutcome>,
+    /// Minimized reproductions of the failing seeds (`--shrink` only).
+    shrunk: Vec<ftpde::simharness::shrink::Shrunk>,
+}
+
+/// Parses `--seeds A..B` (half-open, like a Rust range literal).
+fn parse_seed_range(spec: &str) -> CliResult<std::ops::Range<u64>> {
+    let (a, b) =
+        spec.split_once("..").ok_or_else(|| format!("--seeds: expected A..B, got {spec:?}"))?;
+    let start: u64 = a.trim().parse().map_err(|_| format!("--seeds: not a number: {a:?}"))?;
+    let end: u64 = b.trim().parse().map_err(|_| format!("--seeds: not a number: {b:?}"))?;
+    if end <= start {
+        return Err(format!("--seeds: empty range {spec:?}"));
+    }
+    Ok(start..end)
+}
+
+/// Appends `entries` to the bug base at `path`, creating the file (with
+/// its schema header) when missing and skipping entries whose
+/// `(seed, code)` is already recorded. Returns how many were added.
+fn append_bug_entries(
+    path: &str,
+    entries: Vec<ftpde::simharness::bugbase::BugEntry>,
+) -> CliResult<usize> {
+    use ftpde::simharness::bugbase::BugBase;
+    let mut base = if std::path::Path::new(path).exists() {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        BugBase::parse(&text).map_err(|e| format!("{path}: {e}"))?
+    } else {
+        BugBase::default()
+    };
+    let mut added = 0;
+    for entry in entries {
+        if base.entries.iter().any(|e| e.seed == entry.seed && e.code == entry.code) {
+            continue;
+        }
+        base.entries.push(entry);
+        added += 1;
+    }
+    std::fs::write(path, base.to_jsonl()).map_err(|e| format!("cannot write {path}: {e}"))?;
+    Ok(added)
+}
+
+/// Replays a committed bug base and reports each entry's judgement.
+fn sim_replay_bug_base(path: &str, format: &str) -> CliResult<()> {
+    use ftpde::simharness::bugbase::BugBase;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let base = BugBase::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let results = base.replay();
+    if format == "json" {
+        let json = serde_json::to_string(&results)
+            .map_err(|e| format!("replay results failed to serialize: {e:?}"))?;
+        println!("{json}");
+    } else {
+        for r in &results {
+            let verdict = if r.ok { "ok" } else { "FAIL" };
+            println!("seed {:>4} [{}] {verdict}: {}", r.seed, r.code, r.detail);
+        }
+        println!("{} entr(ies), {} ok", results.len(), results.iter().filter(|r| r.ok).count());
+    }
+    let bad = results.iter().filter(|r| !r.ok).count();
+    if bad == 0 {
+        Ok(())
+    } else {
+        Err(format!("bug base replay: {bad} entr(ies) failed"))
+    }
+}
+
+fn cmd_sim(flags: &HashMap<String, String>) -> CliResult<()> {
+    use ftpde::simharness::prelude::*;
+    let format = get_format(flags, &["text", "json"], "text")?;
+
+    if let Some(path) = flags.get("replay-bug-base") {
+        if path == "true" {
+            return Err("--replay-bug-base needs a file argument".into());
+        }
+        return sim_replay_bug_base(path, format);
+    }
+
+    let seeds: Vec<u64> = if let Some(spec) = flags.get("seeds") {
+        parse_seed_range(spec)?.collect()
+    } else if flags.contains_key("seed") {
+        vec![get_f64(flags, "seed", None)? as u64]
+    } else {
+        return Err("missing required flag --seed <N> or --seeds <A..B>".into());
+    };
+    let bug = match flags.get("bug").map(String::as_str) {
+        None | Some("none") => BugMode::None,
+        Some("serve-corrupt-data") => BugMode::ServeCorruptData,
+        Some(other) => {
+            return Err(format!("unknown bug {other:?} (expected none, serve-corrupt-data)"))
+        }
+    };
+    let shrink = flags.contains_key("shrink");
+
+    let mut outcomes = Vec::with_capacity(seeds.len());
+    let mut shrunk = Vec::new();
+    for &seed in &seeds {
+        let case = SimCase::derive(seed).with_bug(bug);
+        let outcome = run_case(&case);
+        if format == "text" {
+            println!("{}", outcome.headline());
+            if outcome.failing() {
+                print!("{}", outcome.report.render());
+            }
+        }
+        if outcome.failing() && shrink {
+            if let Some(min) = shrink_case(&case) {
+                if format == "text" {
+                    println!(
+                        "  shrunk {} -> {} event(s) in {} run(s) [{}]: {}",
+                        min.original_events,
+                        min.case.schedule.len(),
+                        min.tested,
+                        min.code.as_str(),
+                        serde_json::to_string(&min.case.schedule)
+                            .unwrap_or_else(|_| "<unserializable>".to_string()),
+                    );
+                }
+                shrunk.push(min);
+            }
+        }
+        outcomes.push(outcome);
+    }
+
+    let failing = outcomes.iter().filter(|o| o.failing()).count() as u64;
+    if let Some(path) = flags.get("bug-base") {
+        if path == "true" {
+            return Err("--bug-base needs a file argument".into());
+        }
+        let entries: Vec<BugEntry> = shrunk
+            .iter()
+            .map(|min| BugEntry {
+                seed: min.case.seed,
+                code: min.code.as_str().to_string(),
+                status: EntryStatus::Quarantined,
+                note: format!(
+                    "recorded by `ftpde sim --shrink` from seed {} ({} -> {} event(s))",
+                    min.case.seed,
+                    min.original_events,
+                    min.case.schedule.len()
+                ),
+                case: min.case.clone(),
+            })
+            .collect();
+        let added = append_bug_entries(path, entries)?;
+        if format == "text" {
+            println!("bug base {path}: {added} new entr(ies)");
+        }
+    }
+
+    if format == "json" {
+        let doc = SimDoc {
+            schema: "ftpde-sim-report".to_string(),
+            seeds: seeds.clone(),
+            failing,
+            outcomes,
+            shrunk,
+        };
+        let json = serde_json::to_string(&doc)
+            .map_err(|e| format!("sim report failed to serialize: {e:?}"))?;
+        println!("{json}");
+    } else {
+        let warn_only = outcomes.iter().filter(|o| !o.failing() && !o.report.is_clean()).count();
+        println!(
+            "{} seed(s): {} clean, {warn_only} warn-only, {failing} failing",
+            seeds.len(),
+            seeds.len() - warn_only - failing as usize,
+        );
+    }
+    if failing == 0 {
+        Ok(())
+    } else {
+        Err(format!("sim found {failing} failing seed(s)"))
     }
 }
 

@@ -22,7 +22,8 @@
 //! | [`store`] | durable, pluggable checkpoint storage: in-memory and on-disk backends with CRC-checked segments, an atomic manifest and crash recovery |
 //! | [`obs`] | observability: event recorder, metrics registry, JSONL / Chrome-trace exporters used by the search, simulator and engine |
 //! | [`analysis`] | static analysis: the coded plan linter (`FT001`…), collapsed-plan and cost-model verifiers, pruning-soundness oracle |
-//! | [`bench`] | experiment harnesses reproducing the paper's tables and figures, plus the canonical `ftpde bench` suite and its regression comparator |
+//! | [`simharness`] | deterministic whole-system simulation: seeded workloads and fault schedules driven through the real engine, oracle checks (`FT301`…), schedule shrinking and the committed bug base |
+//! | [`mod@bench`] | experiment harnesses reproducing the paper's tables and figures, plus the canonical `ftpde bench` suite and its regression comparator |
 //!
 //! ## Quickstart
 //!
@@ -62,5 +63,6 @@ pub use ftpde_engine as engine;
 pub use ftpde_obs as obs;
 pub use ftpde_optimizer as optimizer;
 pub use ftpde_sim as sim;
+pub use ftpde_simharness as simharness;
 pub use ftpde_store as store;
 pub use ftpde_tpch as tpch;

@@ -1,0 +1,61 @@
+//! Tier-1 gate: the committed bug base (`tests/bug_base.jsonl`) replays
+//! against the current engine and every entry meets its contract —
+//! `fixed` entries stay fixed (a regression turns the build red
+//! forever), `quarantined` entries keep reproducing exactly the code
+//! they were quarantined with (so a silent behavior change cannot hide
+//! behind a known failure).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use ftpde::simharness::prelude::*;
+
+fn base_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/bug_base.jsonl")
+}
+
+fn load_base() -> BugBase {
+    let text = std::fs::read_to_string(base_path()).expect("bug base is committed");
+    BugBase::parse(&text).expect("bug base parses")
+}
+
+#[test]
+fn committed_bug_base_parses_and_has_both_entry_kinds() {
+    let base = load_base();
+    assert!(base.entries.len() >= 2, "base holds {} entr(ies)", base.entries.len());
+    assert!(base.entries.iter().any(|e| e.status == EntryStatus::Fixed));
+    assert!(base.entries.iter().any(|e| e.status == EntryStatus::Quarantined));
+    // Shrunk reproductions stay small — a bloated entry is a sign the
+    // recording path skipped the shrinker.
+    for e in &base.entries {
+        assert!(
+            e.case.schedule.len() <= 10,
+            "seed {}: {} events is not a shrunk schedule",
+            e.seed,
+            e.case.schedule.len()
+        );
+    }
+    // The committed file is in the canonical rendering, so a hand edit
+    // that drifts from `to_jsonl` (or a schema bump without a rewrite)
+    // shows up here rather than in diffs forever after.
+    let text = std::fs::read_to_string(base_path()).unwrap();
+    assert_eq!(text, base.to_jsonl(), "bug base is not canonically rendered");
+}
+
+#[test]
+fn every_committed_entry_replays_green() {
+    for result in load_base().replay() {
+        assert!(result.ok, "seed {} [{}]: {}", result.seed, result.code, result.detail);
+    }
+}
+
+#[test]
+fn cli_replay_of_the_committed_base_exits_zero() {
+    let out = Command::new(env!("CARGO_BIN_EXE_ftpde"))
+        .args(["sim", "--replay-bug-base", base_path().to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(out.status.success(), "{stdout}\n{}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout.contains("2 ok") || stdout.contains("ok"), "{stdout}");
+}

@@ -78,7 +78,11 @@ fn engine_coarse_restart_trace_is_conformant() {
     // cancels the sibling workers, restarts the query, and the second
     // attempt runs clean.
     let injector = FailureInjector::with([Injection { stage: first_stage, node: 0, attempt: 0 }]);
-    let opts = RunOptions { recovery: EngineRecovery::CoarseRestart, max_restarts: 10 };
+    let opts = RunOptions {
+        recovery: EngineRecovery::CoarseRestart,
+        max_restarts: 10,
+        ..Default::default()
+    };
     let rec = MemoryRecorder::new();
     let r = run_query_traced(&plan, &config, &small_catalog(nodes), &injector, &opts, None, &rec);
     assert!(r.query_restarts >= 1, "the injection must force a restart");

@@ -145,6 +145,84 @@ fn lint_source_rejects_a_rootless_directory() {
     assert!(stderr.contains("workspace root"), "{stderr}");
 }
 
+/// A real traced engine run (Q3, one injected node failure), exported
+/// to JSONL — the input format `ftpde check` consumes.
+fn traced_run_jsonl() -> String {
+    use ftpde::core::config::MatConfig;
+    use ftpde::engine::prelude::*;
+    use ftpde::obs::{export, MemoryRecorder};
+    use ftpde::tpch::datagen::Database;
+
+    let plan = q3_engine_plan();
+    let dag = plan.to_plan_dag();
+    let config = MatConfig::all(&dag);
+    let sink = plan.sinks()[0];
+    let injector = FailureInjector::with([Injection { stage: sink.0, node: 1, attempt: 0 }]);
+    let catalog = load_catalog(&Database::generate(0.001, 42), 4);
+    let rec = MemoryRecorder::new();
+    run_query_traced(&plan, &config, &catalog, &injector, &RunOptions::default(), None, &rec);
+    export::to_jsonl(&rec.events())
+}
+
+/// Pipes `input` into `ftpde` via stdin and captures the output.
+fn ftpde_stdin(args: &[&str], input: &str) -> Output {
+    use std::io::Write as _;
+    use std::process::Stdio;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ftpde"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    child.stdin.take().unwrap().write_all(input.as_bytes()).unwrap();
+    child.wait_with_output().expect("binary runs")
+}
+
+#[test]
+fn check_reads_a_trace_from_stdin() {
+    let jsonl = traced_run_jsonl();
+
+    // `--trace -` must reach the same verdict as the file path does.
+    let out = ftpde_stdin(&["check", "--trace", "-"], &jsonl);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(out.status.success(), "{stdout}\n{}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout.contains("<stdin>"), "{stdout}");
+    assert!(stdout.contains("clean"), "{stdout}");
+
+    let path = tmp_file("stdin_equiv.jsonl", &jsonl);
+    let from_file = ftpde(&["check", "--trace", path.to_str().unwrap()]);
+    assert!(from_file.status.success());
+    // Identical reports up to the subject name.
+    let file_stdout = String::from_utf8(from_file.stdout).unwrap();
+    assert_eq!(
+        stdout.replace("<stdin>", "X"),
+        file_stdout.replace(path.to_str().unwrap(), "X"),
+        "stdin and file disagree"
+    );
+}
+
+#[test]
+fn check_stdin_with_plan_flags_still_verifies_stage_identity() {
+    let jsonl = traced_run_jsonl();
+    let out = ftpde_stdin(
+        &["check", "--trace", "-", "--query", "Q3", "--config", "all", "--format", "json"],
+        &jsonl,
+    );
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let set: ReportSet = serde_json::from_str(stdout.trim()).unwrap();
+    assert!(set.is_clean(), "{stdout}");
+}
+
+#[test]
+fn check_rejects_garbage_on_stdin() {
+    let out = ftpde_stdin(&["check", "--trace", "-"], "this is not a JSONL event log\n");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("<stdin>"), "{stderr}");
+}
+
 #[test]
 fn explain_prints_registry_text_for_every_code_family() {
     for (code, needle) in [("FT001", "structural"), ("FT105", "recovery"), ("FT201", "loom")] {
