@@ -281,6 +281,80 @@ pub const REGISTRY: &[CodeInfo] = &[
                       hatches stay exactly as numerous as the exceptions they justify.",
     },
     CodeInfo {
+        code: Code::FT210,
+        severity: Severity::Error,
+        summary: "lock-order cycle across the workspace (potential deadlock)",
+        explanation: "The analyzer builds a workspace-wide lock-order graph: an edge A → B \
+                      is recorded whenever some function acquires shim lock B (directly or \
+                      through the call graph) while already holding shim lock A. A cycle in \
+                      that graph means two locks are taken in both orders on different code \
+                      paths — the classic two-thread deadlock, which no amount of testing \
+                      reliably reproduces. Every acquisition routes through the `sync` shims \
+                      (FT201), so the graph covers the whole workspace. Fix by making one \
+                      order canonical (acquire in a fixed global order, or narrow one \
+                      critical section until it no longer nests). Inspect the graph with \
+                      `ftpde lint --source --emit-lock-graph <dir>`.",
+    },
+    CodeInfo {
+        code: Code::FT211,
+        severity: Severity::Error,
+        summary: "blocking I/O while a shim lock guard is live",
+        explanation: "A file or socket operation (fsync, open, read, rename, remove, \
+                      `TcpStream`/`TcpListener`, `std::process`, sleeps) executed while a \
+                      shim `MutexGuard` is live stalls every thread that wants that lock for \
+                      the full device latency — milliseconds per fsync, unbounded for \
+                      sockets. Under N concurrent queries sharing one store backend this \
+                      serializes the fleet on a single disk flush. Fix: stage the I/O \
+                      outside the critical section (build bytes before locking, write after \
+                      unlocking) and keep only the in-memory state flip under the lock. If \
+                      the commit protocol genuinely requires the lock across the I/O (e.g. \
+                      the manifest rewrite that publishes the state it serializes), carry an \
+                      audited `// ftpde-allow(FT211: reason)`.",
+    },
+    CodeInfo {
+        code: Code::FT212,
+        severity: Severity::Error,
+        summary: "channel send/recv or thread join under a shim lock",
+        explanation: "Blocking on another thread's progress — `JoinHandle::join`, a channel \
+                      `send`/`recv` — while holding a shim lock inverts the lock hierarchy: \
+                      the joined/peer thread may need exactly that lock to make progress, \
+                      which is a deadlock that depends on scheduling and load. Even when the \
+                      peer never takes the lock, the critical section now lasts as long as \
+                      an arbitrary other thread's work. Fix: drop the guard before joining \
+                      or communicating (collect what you need under the lock, release, then \
+                      block), or restructure so the channel endpoint lives outside the \
+                      locked state.",
+    },
+    CodeInfo {
+        code: Code::FT213,
+        severity: Severity::Error,
+        summary: "re-entrant acquisition of the same shim lock",
+        explanation: "The shim mutexes (parking_lot in production builds) are not \
+                      re-entrant: locking a mutex while the same thread already holds it \
+                      deadlocks immediately. The analyzer tracks which guard is live at each \
+                      statement and follows calls through the workspace call graph, so it \
+                      catches the indirect form too — a helper that locks `self.inner` \
+                      called from a method that already holds `self.inner`. Fix: pass the \
+                      live guard (or `&mut` of the guarded data) down to the helper instead \
+                      of re-locking, or split the helper into a locked wrapper plus a \
+                      lock-free core.",
+    },
+    CodeInfo {
+        code: Code::FT214,
+        severity: Severity::Error,
+        summary: "guard held across a call into the obs global/flight hot paths",
+        explanation: "`obs::global()`, the metrics registry and the flight recorder have \
+                      their own internal synchronization. Calling into them while holding an \
+                      unrelated shim lock extends the critical section by the observability \
+                      plane's cost and creates cross-crate lock edges that per-crate \
+                      reasoning (and the loom models, which run one crate at a time) cannot \
+                      see. Fix: record metrics after dropping the guard — compute the values \
+                      inside the critical section, emit them outside. Pre-resolved \
+                      lock-free handles (`Counter`, `HistogramHandle`) are cheap, but their \
+                      first-use resolution still locks the registry, so the discipline is \
+                      uniform: no obs calls under a store/engine lock.",
+    },
+    CodeInfo {
         code: Code::FT301,
         severity: Severity::Error,
         summary: "nondeterministic replay: same seed, different canonical trace",
@@ -373,14 +447,38 @@ pub fn explain(code: Code) -> String {
     out
 }
 
-/// The FT2xx (source-discipline) rows as a Markdown table — the exact
+/// The FT20x (source-discipline) rows as a Markdown table — the exact
 /// text embedded in `DESIGN.md` §14 between the `FT2XX-TABLE` markers.
 /// A test regenerates the table and diffs it against the docs, so the
 /// table in the book cannot drift from the registry.
 pub fn ft2xx_markdown_table() -> String {
+    markdown_table("FT20")
+}
+
+/// The FT21x (concurrency-discipline) rows as a Markdown table — the
+/// exact text embedded in `DESIGN.md` §16 between the `FT21X-TABLE`
+/// markers, drift-checked the same way as the §14 table.
+pub fn ft21x_markdown_table() -> String {
+    markdown_table("FT21")
+}
+
+fn markdown_table(prefix: &str) -> String {
     let mut out = String::from("| code | default severity | checks |\n|---|---|---|\n");
-    for ci in REGISTRY.iter().filter(|ci| ci.code.as_str().starts_with("FT2")) {
+    for ci in REGISTRY.iter().filter(|ci| ci.code.as_str().starts_with(prefix)) {
         out.push_str(&format!("| {} | {} | {} |\n", ci.code, ci.severity, ci.summary));
+    }
+    out
+}
+
+/// The whole registry as a severity-sorted text table (most severe
+/// first, ascending code within a severity) — what `ftpde explain
+/// --list` prints.
+pub fn registry_table() -> String {
+    let mut rows: Vec<&CodeInfo> = REGISTRY.iter().collect();
+    rows.sort_by_key(|ci| (std::cmp::Reverse(ci.severity), ci.code.as_str()));
+    let mut out = String::from("code   severity  checks\n-----  --------  ------\n");
+    for ci in rows {
+        out.push_str(&format!("{:<5}  {:<8}  {}\n", ci.code.as_str(), ci.severity, ci.summary));
     }
     out
 }
@@ -430,6 +528,32 @@ mod tests {
             assert!(table.contains(code), "missing {code}");
         }
         assert!(!table.contains("FT105"));
+        assert!(!table.contains("FT210"), "FT21x has its own table (§16)");
         assert_eq!(table.lines().count(), 2 + 7);
+    }
+
+    #[test]
+    fn ft21x_table_lists_exactly_the_concurrency_codes() {
+        let table = ft21x_markdown_table();
+        for code in ["FT210", "FT211", "FT212", "FT213", "FT214"] {
+            assert!(table.contains(code), "missing {code}");
+        }
+        assert!(!table.contains("FT201"));
+        assert_eq!(table.lines().count(), 2 + 5);
+    }
+
+    #[test]
+    fn registry_table_is_severity_sorted_and_complete() {
+        let table = registry_table();
+        for code in Code::ALL {
+            assert!(table.contains(code.as_str()), "missing {code}");
+        }
+        // Most severe first: the first data row is an error, and no
+        // error row appears after the first non-error row.
+        let rows: Vec<&str> = table.lines().skip(2).collect();
+        assert_eq!(rows.len(), Code::ALL.len());
+        let first_non_error =
+            rows.iter().position(|r| !r.contains("error")).expect("lint rows exist");
+        assert!(rows[first_non_error..].iter().all(|r| !r.contains("  error  ")), "{table}");
     }
 }

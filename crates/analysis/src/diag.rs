@@ -33,8 +33,9 @@ impl fmt::Display for Severity {
     }
 }
 
-/// Stable identifier of one linter check.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+/// Stable identifier of one linter check. Codes order by family and
+/// number (declaration order is ascending).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Code {
     /// DAG structural integrity: table shapes, edge endpoints in range,
     /// topological edge order (acyclicity), inputs/consumers inverse.
@@ -114,6 +115,21 @@ pub enum Code {
     /// Source discipline: unused or malformed `// ftpde-allow(...)`
     /// suppression.
     FT207,
+    /// Concurrency discipline: cycle in the workspace lock-order graph
+    /// (two shim locks acquired in both orders — potential deadlock).
+    FT210,
+    /// Concurrency discipline: blocking I/O (fsync, file or socket ops,
+    /// `std::process`, sleeps) while a shim lock guard is live.
+    FT211,
+    /// Concurrency discipline: channel `send`/`recv` or
+    /// `JoinHandle::join` while a shim lock guard is live.
+    FT212,
+    /// Concurrency discipline: re-entrant acquisition of the same shim
+    /// lock, directly or through the call graph (parking_lot deadlocks).
+    FT213,
+    /// Concurrency discipline: shim lock guard held across a call into
+    /// the `obs` global registry / flight-recorder hot paths.
+    FT214,
     /// Simulation harness: replaying the same seed produced a different
     /// canonical trace (nondeterministic execution).
     FT301,
@@ -156,6 +172,11 @@ impl Code {
         Code::FT205,
         Code::FT206,
         Code::FT207,
+        Code::FT210,
+        Code::FT211,
+        Code::FT212,
+        Code::FT213,
+        Code::FT214,
         Code::FT301,
         Code::FT302,
         Code::FT303,
@@ -190,6 +211,11 @@ impl Code {
             Code::FT205 => "FT205",
             Code::FT206 => "FT206",
             Code::FT207 => "FT207",
+            Code::FT210 => "FT210",
+            Code::FT211 => "FT211",
+            Code::FT212 => "FT212",
+            Code::FT213 => "FT213",
+            Code::FT214 => "FT214",
             Code::FT301 => "FT301",
             Code::FT302 => "FT302",
             Code::FT303 => "FT303",
@@ -235,6 +261,9 @@ pub struct Diagnostic {
     pub file: Option<String>,
     /// 1-based source line within [`Self::file`], if any.
     pub line: Option<u32>,
+    /// 1-based source column within [`Self::line`], if any. Serialized
+    /// as `null` when absent, like the other optional locations.
+    pub column: Option<u32>,
 }
 
 impl Diagnostic {
@@ -248,6 +277,7 @@ impl Diagnostic {
             stage: None,
             file: None,
             line: None,
+            column: None,
         }
     }
 
@@ -273,6 +303,13 @@ impl Diagnostic {
         self.line = Some(line);
         self
     }
+
+    /// Attaches a 1-based column to an already line-located finding.
+    #[must_use]
+    pub fn at_col(mut self, column: u32) -> Self {
+        self.column = Some(column);
+        self
+    }
 }
 
 impl fmt::Display for Diagnostic {
@@ -286,6 +323,9 @@ impl fmt::Display for Diagnostic {
         }
         if let (Some(file), Some(line)) = (&self.file, self.line) {
             write!(f, " {file}:{line}")?;
+            if let Some(col) = self.column {
+                write!(f, ":{col}")?;
+            }
         }
         write!(f, ": {}", self.message)
     }
@@ -461,7 +501,22 @@ mod tests {
         let plain = Diagnostic::new(Code::FT001, Severity::Error, "m");
         let json = serde_json::to_string(&plain).unwrap();
         assert!(json.contains(r#""file":null"#), "{json}");
+        assert!(json.contains(r#""column":null"#), "{json}");
         let parsed: Diagnostic = serde_json::from_str(&json).unwrap();
         assert_eq!(parsed.file, None);
+        assert_eq!(parsed.column, None);
+    }
+
+    #[test]
+    fn column_located_diagnostics_render_and_round_trip() {
+        let d = Diagnostic::new(Code::FT211, Severity::Error, "fsync under lock")
+            .at_line("crates/store/src/disk.rs", 240)
+            .at_col(13);
+        let text = d.to_string();
+        assert!(text.contains("crates/store/src/disk.rs:240:13:"), "{text}");
+        let json = serde_json::to_string(&d).unwrap();
+        assert!(json.contains(r#""column":13"#), "{json}");
+        let back: Diagnostic = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
     }
 }

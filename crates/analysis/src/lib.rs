@@ -31,11 +31,21 @@
 //!   reads outside the clock seam, iteration-order hazards in plan
 //!   paths, panics in library code, unsynced renames on the store
 //!   commit path, and unused `ftpde-allow` suppressions
-//!   (`FT201`…`FT207`). `ftpde lint --source` is its CLI face.
+//!   (`FT201`…`FT207`). On top of the token passes sits a
+//!   **concurrency-discipline analysis** (`FT210`…`FT214`): a
+//!   conservative workspace call graph ([`source::callgraph`]), a
+//!   lock-site dataflow ([`source::locks`]) tracking guard liveness,
+//!   and a lock-order graph ([`source::LockGraph`]) with cycle
+//!   detection — lock-order cycles, blocking I/O / channel ops /
+//!   re-entrant acquisition / global-metrics calls under a live guard.
+//!   `ftpde lint --source` is its CLI face.
 //! * [`codes`] — the **unified diagnostic registry**: every FT code's
 //!   default severity, summary and long-form explanation in one table,
-//!   backing `ftpde explain FT###` and the generated DESIGN.md code
-//!   table.
+//!   backing `ftpde explain FT###` (and `--list`) and the generated
+//!   DESIGN.md code tables.
+//! * [`sarif`] — **SARIF 2.1.0 export** of any report set, the
+//!   interchange document code-scanning UIs ingest
+//!   (`ftpde lint --source --format sarif`).
 //!
 //! The crate depends only on `ftpde-core` and `ftpde-obs` (plus serde):
 //! it can lint any plan and audit any trace regardless of where they came
@@ -64,6 +74,7 @@ pub mod conformance;
 pub mod diag;
 pub mod oracle;
 pub mod passes;
+pub mod sarif;
 pub mod source;
 
 /// Convenient glob-import of the crate's main types.
@@ -77,5 +88,8 @@ pub mod prelude {
         OracleReport, RULE12_SLACK,
     };
     pub use crate::passes::PlanValidator;
-    pub use crate::source::{classify, lint_str, lint_workspace, FileClass, SourceScan};
+    pub use crate::source::{
+        classify, lint_sources, lint_str, lint_workspace, FileClass, LockGraph, SourceFile,
+        SourceScan,
+    };
 }

@@ -1,0 +1,315 @@
+//! A conservative, workspace-wide call graph over library sources.
+//!
+//! Name resolution is a heuristic — there is no type information — so
+//! it resolves only the call shapes that can be answered from names
+//! alone, and leaves everything else *unresolved* rather than guessed:
+//!
+//! * `self.m(…)` — methods on `self` resolve to same-file fns named
+//!   `m`. The workspace keeps each type's impl in the type's own file,
+//!   which is what makes this precise in practice.
+//! * `x.m(…)` for any other receiver — **unresolved**. Without types,
+//!   `entry.verify(…)` vs `cache.get(…)` cannot be told apart safely.
+//! * `Type::m(…)` / `path::m(…)` — resolves to the unique fn whose
+//!   qualified name is `Type::m`; failing that, a *lowercase* segment
+//!   (module path) falls back to the unique fn named `m` anywhere in
+//!   the workspace (this is what resolves `stats::record_put(…)`
+//!   across files). An uppercase segment with no qual match is a
+//!   foreign type's associated fn (`File::open`), and a known std
+//!   module segment (`mem::take`) is foreign too — both **unresolved**.
+//! * `m(…)` bare — same-file fns named `m` first, else the unique
+//!   workspace fn named `m`.
+//!
+//! Unresolved calls mean the analysis can *miss* facts (unsound, by
+//! design); it never invents an edge that no rule supports. The
+//! soundness trade-offs are documented in DESIGN §16.
+
+use std::collections::BTreeMap;
+
+use crate::source::items::{self, FnItem};
+use crate::source::tokens::Tok;
+
+/// One function in the graph, tagged with the index of the file (in
+/// the caller-supplied file list) that declares it.
+#[derive(Debug)]
+pub struct FnNode {
+    /// Caller's file index.
+    pub file: usize,
+    /// The extracted item (name, qualification, body extent).
+    pub item: FnItem,
+}
+
+/// A resolved call site inside some function's body.
+#[derive(Debug, Clone, Copy)]
+pub struct CallSite {
+    /// Index of the callee in [`CallGraph::fns`].
+    pub callee: usize,
+    /// Token index of the callee name (in the caller's file).
+    pub tok: usize,
+    /// 1-based location of the callee name.
+    pub line: u32,
+    pub col: u32,
+}
+
+/// The workspace call graph: a flat fn list plus resolved call sites
+/// per function, in body-token order.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    pub fns: Vec<FnNode>,
+    pub calls: Vec<Vec<CallSite>>,
+}
+
+/// Identifiers that look like calls (`ident (`) but are control flow
+/// or bindings, never function names.
+const NOT_CALLS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "fn", "let", "in", "else", "move", "async",
+    "await", "break", "continue",
+];
+
+/// Lowercase path segments that name `std`/`core` modules. A call
+/// through one of these is foreign even though the segment looks
+/// module-like — `mem::take(…)` must not resolve to a workspace fn
+/// that happens to be named `take`.
+const STD_SEGMENTS: &[&str] = &[
+    "std",
+    "core",
+    "alloc",
+    "mem",
+    "ptr",
+    "fmt",
+    "fs",
+    "io",
+    "cmp",
+    "iter",
+    "slice",
+    "str",
+    "array",
+    "vec",
+    "env",
+    "process",
+    "thread",
+    "time",
+    "mpsc",
+    "atomic",
+    "collections",
+    "path",
+    "ffi",
+    "net",
+    "ops",
+    "hint",
+];
+
+/// Builds the graph over `(file index, tokens, fns)` triples — one per
+/// analyzed file, with `fns` as extracted by [`items::extract`].
+pub fn build(files: &[(usize, &[Tok], Vec<FnItem>)]) -> CallGraph {
+    let mut graph = CallGraph::default();
+    // (file position in `files`, fn position in that file) → graph id.
+    let mut ids: Vec<Vec<usize>> = Vec::with_capacity(files.len());
+    // Bare name → graph ids; qualified name → graph ids.
+    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    let mut by_qual: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (file, _, fns) in files {
+        let mut file_ids = Vec::with_capacity(fns.len());
+        for f in fns {
+            let id = graph.fns.len();
+            graph.fns.push(FnNode { file: *file, item: f.clone() });
+            by_name.entry(&f.name).or_default().push(id);
+            by_qual.entry(&f.qual).or_default().push(id);
+            file_ids.push(id);
+        }
+        ids.push(file_ids);
+    }
+
+    graph.calls = vec![Vec::new(); graph.fns.len()];
+    for (fi, (_, toks, fns)) in files.iter().enumerate() {
+        for (fj, _) in fns.iter().enumerate() {
+            let caller = ids[fi][fj];
+            for i in items::own_body(fns, fj) {
+                let Some(name) = toks[i].ident() else { continue };
+                if !toks.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+                    continue;
+                }
+                if NOT_CALLS.contains(&name) {
+                    continue;
+                }
+                let callees = resolve(name, toks, i, &ids[fi], &graph, &by_name, &by_qual);
+                for callee in callees {
+                    graph.calls[caller].push(CallSite {
+                        callee,
+                        tok: i,
+                        line: toks[i].line(),
+                        col: toks[i].col(),
+                    });
+                }
+            }
+        }
+    }
+    graph
+}
+
+/// Resolves the call at token `i` (an ident followed by `(`) to zero
+/// or more callee graph ids, per the module-level rules.
+fn resolve(
+    name: &str,
+    toks: &[Tok],
+    i: usize,
+    same_file: &[usize],
+    graph: &CallGraph,
+    by_name: &BTreeMap<&str, Vec<usize>>,
+    by_qual: &BTreeMap<&str, Vec<usize>>,
+) -> Vec<usize> {
+    let prev = i.checked_sub(1).and_then(|j| toks.get(j));
+    let in_file = |ids: &BTreeMap<&str, Vec<usize>>, key: &str| -> Vec<usize> {
+        ids.get(key).map_or_else(Vec::new, |v| {
+            v.iter().copied().filter(|id| same_file.contains(id)).collect()
+        })
+    };
+    match prev.and_then(Tok::punct) {
+        // `recv . m (` — a method call. Only `self.m(…)` resolves.
+        Some('.') => {
+            if i >= 2 && toks[i - 2].is_ident("self") {
+                in_file(by_name, name)
+            } else {
+                Vec::new()
+            }
+        }
+        // `seg :: m (` — a path call. Exact `Seg::m` qual match first.
+        // The unique-name fallback applies only to module-like
+        // (lowercase) segments such as `stats::record_put`: an
+        // uppercase segment names a *type*, and when `Type::m` has no
+        // qual match the type is foreign (`File::open`), so a
+        // same-named workspace fn would be a different function.
+        Some(':') if i >= 3 && toks[i - 2].is_punct(':') => {
+            let seg = toks[i - 3].ident().unwrap_or_default();
+            let qual = format!("{seg}::{name}");
+            if let Some(ids) = by_qual.get(qual.as_str()) {
+                return ids.clone();
+            }
+            if seg.chars().next().is_some_and(char::is_lowercase) && !STD_SEGMENTS.contains(&seg) {
+                unique(by_name, name)
+            } else {
+                Vec::new()
+            }
+        }
+        // `m (` bare: same-file first, else unique workspace match.
+        // A `fn m(` declaration name is not a call (own_body yields the
+        // body only, but stay defensive for nested-closure edges).
+        _ => {
+            if prev.is_some_and(|t| t.is_ident("fn")) {
+                return Vec::new();
+            }
+            let local = in_file(by_name, name);
+            if local.is_empty() {
+                unique(by_name, name)
+            } else {
+                local
+            }
+        }
+    }
+    .into_iter()
+    .filter(|&id| id < graph.fns.len())
+    .collect()
+}
+
+/// The singleton id list for `name`, or empty when the name is absent
+/// or ambiguous across the workspace.
+fn unique(by_name: &BTreeMap<&str, Vec<usize>>, name: &str) -> Vec<usize> {
+    match by_name.get(name) {
+        Some(ids) if ids.len() == 1 => ids.clone(),
+        _ => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::tokens::tokenize;
+
+    /// Builds a graph over in-memory `(path, src)` files and returns
+    /// caller-qual → callee-qual edge pairs.
+    fn edges(files: &[&str]) -> Vec<(String, String)> {
+        let tzs: Vec<_> = files.iter().map(|s| tokenize(s)).collect();
+        let triples: Vec<(usize, &[Tok], Vec<FnItem>)> = tzs
+            .iter()
+            .enumerate()
+            .map(|(i, tz)| (i, tz.toks.as_slice(), items::extract(&tz.toks)))
+            .collect();
+        let g = build(&triples);
+        let mut out = Vec::new();
+        for (caller, sites) in g.calls.iter().enumerate() {
+            for s in sites {
+                out.push((g.fns[caller].item.qual.clone(), g.fns[s.callee].item.qual.clone()));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn self_methods_resolve_same_file_only() {
+        let e = edges(&[
+            "impl A { fn outer(&self) { self.inner(); } fn inner(&self) {} }",
+            "impl B { fn inner(&self) {} }",
+        ]);
+        assert_eq!(e, vec![("A::outer".into(), "A::inner".into())]);
+    }
+
+    #[test]
+    fn non_self_method_calls_stay_unresolved() {
+        let e = edges(&["impl A { fn f(&self, x: &B) { x.g(); } fn g(&self) {} }"]);
+        assert_eq!(e, vec![]);
+    }
+
+    #[test]
+    fn path_calls_resolve_by_qual_then_unique_name() {
+        let e = edges(&[
+            "impl Disk { fn put(&self) { stats::record_put(1); Disk::reopen(); } \
+             fn reopen() {} }",
+            "pub fn record_put(n: u64) {}",
+        ]);
+        assert!(e.contains(&("Disk::put".into(), "record_put".into())), "{e:?}");
+        assert!(e.contains(&("Disk::put".into(), "Disk::reopen".into())), "{e:?}");
+    }
+
+    #[test]
+    fn std_module_paths_do_not_steal_workspace_names() {
+        // `mem::take` is std — it must NOT resolve to the workspace's
+        // only fn named `take`.
+        let e = edges(&[
+            "fn clear(v: &mut Vec<u32>) { let _ = std::mem::take(v); }",
+            "impl Ring { fn take(&self) -> Vec<u32> { Vec::new() } }",
+        ]);
+        assert_eq!(e, vec![]);
+    }
+
+    #[test]
+    fn foreign_type_paths_do_not_steal_workspace_names() {
+        // `File::open` is std — it must NOT resolve to the workspace's
+        // only fn named `open` (a different function on another type).
+        let e = edges(&[
+            "fn read_file(p: &Path) { File::open(p); }",
+            "impl Disk { fn open(dir: &Path) -> Disk { Disk } }",
+        ]);
+        assert_eq!(e, vec![]);
+    }
+
+    #[test]
+    fn ambiguous_workspace_names_do_not_resolve() {
+        let e = edges(&[
+            "fn caller() { helper(); }",
+            "pub fn helper() {}",
+            "pub fn helper() {}", // second declaration → ambiguous
+        ]);
+        assert_eq!(e, vec![]);
+    }
+
+    #[test]
+    fn bare_local_calls_beat_workspace_names() {
+        let e = edges(&["fn caller() { helper(); } fn helper() {}", "pub fn helper() {}"]);
+        assert_eq!(e, vec![("caller".into(), "helper".into())]);
+    }
+
+    #[test]
+    fn control_flow_keywords_are_not_calls() {
+        let e = edges(&["fn f(x: bool) { if (x) { g(); } while (x) {} } fn g() {}"]);
+        assert_eq!(e, vec![("f".into(), "g".into())]);
+    }
+}

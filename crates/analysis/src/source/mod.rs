@@ -20,12 +20,16 @@
 //! `ftpde lint --source` is the CLI face and CI gate; see `DESIGN.md`
 //! §14 for the full code table (generated from [`crate::codes`]).
 
+pub mod callgraph;
+pub mod items;
+pub mod locks;
 pub mod passes;
 pub mod tokens;
 
 use std::path::Path;
 
-use crate::diag::{Report, ReportSet, Severity};
+use crate::diag::{Code, Diagnostic, Report, ReportSet, Severity};
+pub use locks::LockGraph;
 
 /// What kind of code a file is — which discipline it owes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,6 +85,15 @@ pub fn lint_str(rel_path: &str, class: FileClass, src: &str) -> Report {
     passes::lint_tokens(rel_path, class, &tokens::tokenize(src))
 }
 
+/// One in-memory source file fed to [`lint_sources`].
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path, forward slashes.
+    pub rel: String,
+    pub class: FileClass,
+    pub text: String,
+}
+
 /// The result of a whole-workspace scan.
 #[derive(Debug, Clone)]
 pub struct SourceScan {
@@ -89,6 +102,9 @@ pub struct SourceScan {
     pub set: ReportSet,
     /// Total files tokenized and linted (clean files included).
     pub files_scanned: usize,
+    /// The workspace lock-order graph observed by the FT21x analysis
+    /// (see [`locks`]); empty when no ordered acquisitions exist.
+    pub lock_graph: LockGraph,
 }
 
 impl SourceScan {
@@ -146,16 +162,83 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<SourceScan> {
     discover(root, root, &mut files)?;
     // Deterministic report order regardless of directory-entry order.
     files.sort();
-    let mut reports = Vec::new();
+    let mut sources = Vec::new();
     for rel in &files {
         let Some(class) = classify(rel) else { continue };
         let text = std::fs::read_to_string(root.join(rel))?;
-        let report = lint_str(rel, class, &text);
-        if !report.diagnostics.is_empty() {
-            reports.push(report);
-        }
+        sources.push(SourceFile { rel: rel.clone(), class, text });
     }
-    Ok(SourceScan { set: ReportSet::new(reports), files_scanned: files.len() })
+    let mut scan = lint_sources(&sources);
+    apply_ft204_ratchet(root, &mut scan);
+    Ok(scan)
+}
+
+/// Lints a set of in-memory files as one unit: the per-file passes
+/// plus the cross-file FT21x concurrency analysis over the library
+/// subset. This is the pure core of [`lint_workspace`], also used by
+/// the fixture tests.
+pub fn lint_sources(files: &[SourceFile]) -> SourceScan {
+    let tokenized: Vec<tokens::Tokenized> =
+        files.iter().map(|f| tokens::tokenize(&f.text)).collect();
+    let mut lints: Vec<passes::FileLint> =
+        files.iter().zip(&tokenized).map(|(f, tz)| passes::collect(&f.rel, f.class, tz)).collect();
+
+    let lib: Vec<(usize, &str, &[tokens::Tok])> = files
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.class == FileClass::Lib)
+        .map(|(i, f)| (i, f.rel.as_str(), tokenized[i].toks.as_slice()))
+        .collect();
+    let analysis = locks::analyze(&lib);
+    for finding in analysis.findings {
+        lints[finding.file].push_finding(finding.diag);
+    }
+
+    let mut reports: Vec<Report> = lints
+        .into_iter()
+        .map(passes::FileLint::finish)
+        .filter(|r| !r.diagnostics.is_empty())
+        .collect();
+    reports.sort_by(|a, b| a.subject.cmp(&b.subject));
+    SourceScan {
+        set: ReportSet::new(reports),
+        files_scanned: files.len(),
+        lock_graph: analysis.graph,
+    }
+}
+
+/// The FT204 hygiene ratchet: when the workspace commits a baseline
+/// count (`tests/ft204_baseline.txt`), a scan whose FT204 count
+/// *exceeds* it gets a synthetic Error report. Decreases never block —
+/// they are the point — and a missing baseline file disables the
+/// ratchet (scratch workspaces in tests have none).
+fn apply_ft204_ratchet(root: &Path, scan: &mut SourceScan) {
+    let path = root.join("tests").join("ft204_baseline.txt");
+    let Ok(text) = std::fs::read_to_string(&path) else { return };
+    let Some(baseline) = text.split_whitespace().next().and_then(|w| w.parse::<usize>().ok())
+    else {
+        return;
+    };
+    let count = scan
+        .set
+        .reports
+        .iter()
+        .flat_map(|r| &r.diagnostics)
+        .filter(|d| d.code == Code::FT204)
+        .count();
+    if count > baseline {
+        let mut report = Report::new("tests/ft204_baseline.txt");
+        report.push(Diagnostic::new(
+            Code::FT204,
+            Severity::Error,
+            format!(
+                "panic-hygiene ratchet: {count} FT204 finding(s), committed baseline is \
+                 {baseline} — fix the new `.unwrap()`/`.expect()`/`panic!` sites (or lower \
+                 the baseline after cleaning up; it must never increase)"
+            ),
+        ));
+        scan.set.reports.push(report);
+    }
 }
 
 /// Recursively collects workspace-relative `.rs` paths under `dir`,
@@ -218,14 +301,14 @@ mod tests {
     fn scan_renders_rollup_and_gates_on_errors() {
         let mut bad = Report::new("crates/x/src/lib.rs");
         bad.push(
-            crate::diag::Diagnostic::new(
-                crate::diag::Code::FT201,
-                Severity::Error,
-                "std::sync outside shim",
-            )
-            .at_line("crates/x/src/lib.rs", 3),
+            Diagnostic::new(Code::FT201, Severity::Error, "std::sync outside shim")
+                .at_line("crates/x/src/lib.rs", 3),
         );
-        let scan = SourceScan { set: ReportSet::new(vec![bad]), files_scanned: 10 };
+        let scan = SourceScan {
+            set: ReportSet::new(vec![bad]),
+            files_scanned: 10,
+            lock_graph: LockGraph::default(),
+        };
         assert!(!scan.is_clean());
         let text = scan.render();
         assert!(text.contains("10 file(s) scanned"), "{text}");

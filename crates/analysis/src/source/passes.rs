@@ -19,12 +19,77 @@ pub const UNSAFE_ALLOWLIST: &[&str] = &[];
 /// Lints one tokenized file. `rel_path` uses forward slashes and is
 /// workspace-relative (it scopes the store/core/optimizer passes).
 pub fn lint_tokens(rel_path: &str, class: FileClass, tz: &Tokenized) -> Report {
+    collect(rel_path, class, tz).finish()
+}
+
+/// The per-file passes plus parsed suppressions, held open so the
+/// cross-file concurrency analysis ([`super::locks`]) can push its
+/// findings through the same `ftpde-allow` machinery before
+/// [`FileLint::finish`] settles the report.
+pub struct FileLint {
+    rel_path: String,
+    allows: Vec<Allow>,
+    findings: Vec<Diagnostic>,
+    report: Report,
+}
+
+impl FileLint {
+    /// Adds a candidate finding; suppressions apply at [`Self::finish`].
+    pub fn push_finding(&mut self, d: Diagnostic) {
+        self.findings.push(d);
+    }
+
+    /// Applies suppressions and reports unused ones (FT207).
+    pub fn finish(self) -> Report {
+        let Self { rel_path, mut allows, findings, mut report } = self;
+        // An allow matches findings of its code on the same line or the
+        // line below it. FT207 itself is not suppressible.
+        for d in findings {
+            let line = d.line.unwrap_or(0);
+            let suppressed = allows.iter_mut().any(|a| {
+                a.malformed.is_none()
+                    && a.code == Some(d.code)
+                    && (a.line == line || a.line + 1 == line)
+                    && {
+                        a.used = true;
+                        true
+                    }
+            });
+            if !suppressed {
+                report.push(d);
+            }
+        }
+
+        // FT207: well-formed suppressions that matched nothing are rot.
+        for a in &allows {
+            if a.malformed.is_none() && !a.used {
+                report.push(
+                    Diagnostic::new(
+                        Code::FT207,
+                        Code::FT207.default_severity(),
+                        format!(
+                            "unused suppression `ftpde-allow({}: …)` — the violation it \
+                             excused is gone; delete the comment",
+                            a.code.map_or("?", Code::as_str),
+                        ),
+                    )
+                    .at_line(&rel_path, a.line),
+                );
+            }
+        }
+        report
+    }
+}
+
+/// Runs the single-file passes (FT201-FT206) and parses suppressions,
+/// without settling them — see [`FileLint`].
+pub fn collect(rel_path: &str, class: FileClass, tz: &Tokenized) -> FileLint {
     let mut report = Report::new(rel_path);
     let toks = &tz.toks[..];
     let test_ranges = test_line_ranges(toks);
     let in_test = |line: u32| test_ranges.iter().any(|&(a, b)| (a..=b).contains(&line));
 
-    let mut allows = parse_allows(&tz.comments);
+    let allows = parse_allows(&tz.comments);
     for a in &allows {
         if let Some(msg) = &a.malformed {
             report.push(
@@ -174,43 +239,7 @@ pub fn lint_tokens(rel_path: &str, class: FileClass, tz: &Tokenized) -> Report {
         }
     }
 
-    // Apply suppressions: an allow matches findings of its code on the
-    // same line or the line below it. FT207 itself is not suppressible.
-    for d in findings {
-        let line = d.line.unwrap_or(0);
-        let suppressed = allows.iter_mut().any(|a| {
-            a.malformed.is_none()
-                && a.code == Some(d.code)
-                && (a.line == line || a.line + 1 == line)
-                && {
-                    a.used = true;
-                    true
-                }
-        });
-        if !suppressed {
-            report.push(d);
-        }
-    }
-
-    // FT207: well-formed suppressions that matched nothing are rot.
-    for a in &allows {
-        if a.malformed.is_none() && !a.used {
-            report.push(
-                Diagnostic::new(
-                    Code::FT207,
-                    Code::FT207.default_severity(),
-                    format!(
-                        "unused suppression `ftpde-allow({}: …)` — the violation it \
-                         excused is gone; delete the comment",
-                        a.code.map_or("?", Code::as_str),
-                    ),
-                )
-                .at_line(rel_path, a.line),
-            );
-        }
-    }
-
-    report
+    FileLint { rel_path: rel_path.to_string(), allows, findings, report }
 }
 
 /// Matches `seg0 :: seg1` starting at token `i`.
@@ -292,7 +321,7 @@ fn parse_allows(comments: &[Comment]) -> Vec<Allow> {
 /// attribute run containing the bare ident `test` exempts the item it
 /// decorates (attribute lines through the end of the item's `{…}` block
 /// or its terminating `;`).
-fn test_line_ranges(toks: &[Tok]) -> Vec<(u32, u32)> {
+pub(crate) fn test_line_ranges(toks: &[Tok]) -> Vec<(u32, u32)> {
     let mut ranges = Vec::new();
     let mut i = 0usize;
     while i < toks.len() {

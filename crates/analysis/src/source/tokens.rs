@@ -16,21 +16,21 @@
 //! * raw identifiers (`r#fn`), numeric literals (including `0x…`, float
 //!   exponents, and `0..n` ranges), and single-char punctuation.
 //!
-//! Output is a flat token stream plus a comment list, both carrying
-//! 1-based line numbers.
+//! Output is a flat token stream plus a comment list; tokens carry
+//! 1-based line and column numbers (comments carry only lines).
 
 /// One lexical token. Literal payloads are not kept — the passes only
 /// need to know *that* a literal occupies the position.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Tok {
     /// An identifier or keyword (raw identifiers lose their `r#`).
-    Ident { text: String, line: u32 },
+    Ident { text: String, line: u32, col: u32 },
     /// A single punctuation character (`::` is two `:` tokens).
-    Punct { ch: char, line: u32 },
+    Punct { ch: char, line: u32, col: u32 },
     /// A string/char/byte/numeric literal.
-    Lit { line: u32 },
+    Lit { line: u32, col: u32 },
     /// A lifetime or loop label (`'a`, `'static`).
-    Lifetime { line: u32 },
+    Lifetime { line: u32, col: u32 },
 }
 
 impl Tok {
@@ -39,8 +39,18 @@ impl Tok {
         match self {
             Tok::Ident { line, .. }
             | Tok::Punct { line, .. }
-            | Tok::Lit { line }
-            | Tok::Lifetime { line } => *line,
+            | Tok::Lit { line, .. }
+            | Tok::Lifetime { line, .. } => *line,
+        }
+    }
+
+    /// The 1-based column (in chars) the token starts at.
+    pub fn col(&self) -> u32 {
+        match self {
+            Tok::Ident { col, .. }
+            | Tok::Punct { col, .. }
+            | Tok::Lit { col, .. }
+            | Tok::Lifetime { col, .. } => *col,
         }
     }
 
@@ -93,13 +103,14 @@ pub struct Tokenized {
 /// stray byte) never panics: the cursor always advances, and garbage
 /// degrades to punctuation tokens.
 pub fn tokenize(src: &str) -> Tokenized {
-    Lexer { chars: src.chars().collect(), pos: 0, line: 1, out: Tokenized::default() }.run()
+    Lexer { chars: src.chars().collect(), pos: 0, line: 1, col: 1, out: Tokenized::default() }.run()
 }
 
 struct Lexer {
     chars: Vec<char>,
     pos: usize,
     line: u32,
+    col: u32,
     out: Tokenized,
 }
 
@@ -108,33 +119,36 @@ impl Lexer {
         self.chars.get(self.pos + ahead).copied()
     }
 
-    /// Consumes one char, tracking line numbers.
+    /// Consumes one char, tracking line numbers and 1-based columns.
     fn bump(&mut self) -> Option<char> {
         let c = self.peek(0)?;
         self.pos += 1;
         if c == '\n' {
             self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
         }
         Some(c)
     }
 
     fn run(mut self) -> Tokenized {
         while let Some(c) = self.peek(0) {
-            let line = self.line;
+            let (line, col) = (self.line, self.col);
             match c {
                 _ if c.is_whitespace() => {
                     self.bump();
                 }
                 '/' if self.peek(1) == Some('/') => self.line_comment(line),
                 '/' if self.peek(1) == Some('*') => self.block_comment(line),
-                '"' => self.string_lit(line),
-                'r' | 'b' if self.raw_or_byte_lit(line) => {}
-                '\'' => self.char_or_lifetime(line),
-                _ if c.is_ascii_digit() => self.number(line),
-                _ if c == '_' || c.is_alphanumeric() => self.ident(line),
+                '"' => self.string_lit(line, col),
+                'r' | 'b' if self.raw_or_byte_lit(line, col) => {}
+                '\'' => self.char_or_lifetime(line, col),
+                _ if c.is_ascii_digit() => self.number(line, col),
+                _ if c == '_' || c.is_alphanumeric() => self.ident(line, col),
                 _ => {
                     self.bump();
-                    self.out.toks.push(Tok::Punct { ch: c, line });
+                    self.out.toks.push(Tok::Punct { ch: c, line, col });
                 }
             }
         }
@@ -179,7 +193,7 @@ impl Lexer {
     }
 
     /// Consumes a `"…"` literal (escape-aware).
-    fn string_lit(&mut self, line: u32) {
+    fn string_lit(&mut self, line: u32, col: u32) {
         self.bump(); // opening quote
         while let Some(c) = self.bump() {
             match c {
@@ -190,13 +204,13 @@ impl Lexer {
                 _ => {}
             }
         }
-        self.out.toks.push(Tok::Lit { line });
+        self.out.toks.push(Tok::Lit { line, col });
     }
 
     /// Handles the `r`/`b` prefix family: `r"…"`, `r#"…"#`, `b"…"`,
     /// `br#"…"#`, `b'x'`, and raw identifiers `r#ident`. Returns `true`
     /// if it consumed a token; `false` to fall through to `ident()`.
-    fn raw_or_byte_lit(&mut self, line: u32) -> bool {
+    fn raw_or_byte_lit(&mut self, line: u32, col: u32) -> bool {
         let is_raw_opener = |lex: &Self, at: usize| {
             // `at` points just past an `r`: zero or more `#`s then `"`.
             let mut hashes = 0usize;
@@ -212,7 +226,7 @@ impl Lexer {
                     self.bump(); // r, #*, "
                 }
                 self.raw_string_body(hashes);
-                self.out.toks.push(Tok::Lit { line });
+                self.out.toks.push(Tok::Lit { line, col });
                 true
             }
             (Some('r'), Some('#'))
@@ -221,7 +235,7 @@ impl Lexer {
                 // r#ident — drop the prefix, lex the rest as an ident.
                 self.bump();
                 self.bump();
-                self.ident(line);
+                self.ident(line, col);
                 true
             }
             (Some('b'), Some('r')) if is_raw_opener(self, 2).is_some() => {
@@ -230,18 +244,18 @@ impl Lexer {
                     self.bump(); // b, r, #*, "
                 }
                 self.raw_string_body(hashes);
-                self.out.toks.push(Tok::Lit { line });
+                self.out.toks.push(Tok::Lit { line, col });
                 true
             }
             (Some('b'), Some('"')) => {
                 self.bump(); // b — string_lit consumes the quotes.
-                self.string_lit(line);
+                self.string_lit(line, col);
                 true
             }
             (Some('b'), Some('\'')) => {
                 self.bump(); // b
                 self.char_body();
-                self.out.toks.push(Tok::Lit { line });
+                self.out.toks.push(Tok::Lit { line, col });
                 true
             }
             _ => false,
@@ -262,7 +276,7 @@ impl Lexer {
     }
 
     /// `'a` (lifetime) vs `'a'` / `'\n'` (char literal).
-    fn char_or_lifetime(&mut self, line: u32) {
+    fn char_or_lifetime(&mut self, line: u32, col: u32) {
         let is_lifetime = match (self.peek(1), self.peek(2)) {
             // 'x' / '\…' are char literals; '_, 'a followed by anything
             // but a closing quote is a lifetime.
@@ -280,10 +294,10 @@ impl Lexer {
                     break;
                 }
             }
-            self.out.toks.push(Tok::Lifetime { line });
+            self.out.toks.push(Tok::Lifetime { line, col });
         } else {
             self.char_body();
-            self.out.toks.push(Tok::Lit { line });
+            self.out.toks.push(Tok::Lit { line, col });
         }
     }
 
@@ -301,7 +315,7 @@ impl Lexer {
         }
     }
 
-    fn number(&mut self, line: u32) {
+    fn number(&mut self, line: u32, col: u32) {
         while let Some(c) = self.peek(0) {
             if c == '_' || c.is_alphanumeric() {
                 self.bump();
@@ -316,10 +330,10 @@ impl Lexer {
                 break;
             }
         }
-        self.out.toks.push(Tok::Lit { line });
+        self.out.toks.push(Tok::Lit { line, col });
     }
 
-    fn ident(&mut self, line: u32) {
+    fn ident(&mut self, line: u32, col: u32) {
         let mut text = String::new();
         while let Some(c) = self.peek(0) {
             if c == '_' || c.is_alphanumeric() {
@@ -329,7 +343,7 @@ impl Lexer {
                 break;
             }
         }
-        self.out.toks.push(Tok::Ident { text, line });
+        self.out.toks.push(Tok::Ident { text, line, col });
     }
 }
 
@@ -384,6 +398,19 @@ mod tests {
         let t = tokenize("a\nb\n  c");
         let lines: Vec<u32> = t.toks.iter().map(Tok::line).collect();
         assert_eq!(lines, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn columns_are_one_based_and_reset_per_line() {
+        let t = tokenize("a bb  c\n  let s = \"x\";");
+        let pos: Vec<(u32, u32)> = t.toks.iter().map(|t| (t.line(), t.col())).collect();
+        // a@1:1  bb@1:3  c@1:7  let@2:3  s@2:7  =@2:9  "x"@2:11  ;@2:14
+        assert_eq!(
+            pos,
+            vec![(1, 1), (1, 3), (1, 7), (2, 3), (2, 7), (2, 9), (2, 11), (2, 14)],
+            "{:?}",
+            t.toks
+        );
     }
 
     #[test]

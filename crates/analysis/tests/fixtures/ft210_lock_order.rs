@@ -1,0 +1,26 @@
+//! FT210 golden fixture: two functions acquire the same pair of locks
+//! in opposite orders — a deadlock-capable cycle in the lock-order
+//! graph. The walker skips `fixtures/`, so the violation is deliberate.
+
+use crate::sync::Mutex;
+
+pub struct Ledger {
+    src: Mutex<u64>,
+    dst: Mutex<u64>,
+}
+
+impl Ledger {
+    pub fn transfer(&self) {
+        let a = self.src.lock(); // order: src -> dst
+        let b = self.dst.lock();
+        drop(b);
+        drop(a);
+    }
+
+    pub fn refund(&self) {
+        let b = self.dst.lock(); // order: dst -> src — closes the cycle
+        let a = self.src.lock();
+        drop(a);
+        drop(b);
+    }
+}

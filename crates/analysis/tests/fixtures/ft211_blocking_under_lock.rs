@@ -1,0 +1,32 @@
+//! FT211 golden fixture: blocking file-system I/O performed while a
+//! lock guard is live — both directly and transitively through a call.
+//! The walker skips `fixtures/`, so the violations are deliberate.
+
+use crate::sync::Mutex;
+
+pub struct Spiller {
+    state: Mutex<Vec<u8>>,
+}
+
+impl Spiller {
+    pub fn spill(&self, path: &std::path::Path) {
+        let g = self.state.lock();
+        let _ = std::fs::write(path, &*g); // line 14: FT211 (direct)
+        drop(g);
+    }
+
+    pub fn rotate(&self, path: &std::path::Path) {
+        let g = self.state.lock();
+        flush_to(path); // line 20: FT211 (transitive, via flush_to)
+        drop(g);
+    }
+
+    pub fn spill_unlocked(&self, path: &std::path::Path) {
+        let bytes = { self.state.lock().clone() };
+        let _ = std::fs::write(path, bytes); // clean: guard already dead
+    }
+}
+
+fn flush_to(path: &std::path::Path) {
+    let _ = std::fs::write(path, b"rotated");
+}

@@ -1,0 +1,38 @@
+//! FT212 golden fixture: channel operations and thread joins while a
+//! lock guard is live. `Path::join` (an argumented `.join(…)`) must
+//! stay silent. The walker skips `fixtures/`, so the violations are
+//! deliberate.
+
+use crate::sync::plain::thread::JoinHandle;
+use crate::sync::Mutex;
+
+pub struct Inbox {
+    seen: Mutex<u64>,
+    rx: Receiver<u64>,
+}
+
+impl Inbox {
+    pub fn drain_one(&self) {
+        let mut n = self.seen.lock();
+        if self.rx.recv().is_ok() {
+            // line 17: FT212 (recv under `seen`)
+            *n += 1;
+        }
+        drop(n);
+    }
+
+    pub fn wait(&self, worker: JoinHandle<()>) {
+        let g = self.seen.lock();
+        let _ = worker.join(); // line 26: FT212 (join under `seen`)
+        drop(g);
+    }
+
+    pub fn segment_path(&self, dir: &std::path::Path) -> std::path::PathBuf {
+        let g = self.seen.lock();
+        let p = dir.join("segment.bin"); // clean: Path::join takes args
+        drop(g);
+        p
+    }
+}
+
+pub struct Receiver<T>(std::marker::PhantomData<T>);

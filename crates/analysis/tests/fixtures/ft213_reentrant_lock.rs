@@ -1,0 +1,39 @@
+//! FT213 golden fixture: re-entrant acquisition of a non-reentrant
+//! mutex — directly in one body, and transitively through a method
+//! that locks the same field. The walker skips `fixtures/`, so the
+//! violations are deliberate.
+
+use crate::sync::Mutex;
+
+pub struct Registry {
+    items: Mutex<Vec<u32>>,
+}
+
+impl Registry {
+    pub fn add_twice(&self, x: u32) {
+        let g = self.items.lock();
+        let h = self.items.lock(); // line 15: FT213 (direct re-lock)
+        drop(h);
+        drop(g);
+    }
+
+    pub fn add(&self, x: u32) {
+        let mut g = self.items.lock();
+        g.push(x);
+        self.flush(); // line 23: FT213 (flush re-locks `items`)
+        drop(g);
+    }
+
+    pub fn add_then_flush(&self, x: u32) {
+        {
+            let mut g = self.items.lock();
+            g.push(x);
+        }
+        self.flush(); // clean: guard scope closed above
+    }
+
+    fn flush(&self) {
+        let g = self.items.lock();
+        drop(g);
+    }
+}

@@ -1,0 +1,38 @@
+//! FT214 golden fixture: reaching the global metrics registry
+//! (`obs::global()`) while a lock guard is live — directly and
+//! transitively through a recording helper. The walker skips
+//! `fixtures/`, so the violations are deliberate.
+
+use crate::sync::Mutex;
+
+pub struct Tracker {
+    hits: Mutex<u64>,
+}
+
+impl Tracker {
+    pub fn bump(&self) {
+        let mut g = self.hits.lock();
+        *g += 1;
+        ftpde_obs::global().counter_add("hits", 1); // line 16: FT214 (direct)
+        drop(g);
+    }
+
+    pub fn bump_via_helper(&self) {
+        let mut g = self.hits.lock();
+        *g += 1;
+        record_hit(); // line 23: FT214 (record_hit reaches global())
+        drop(g);
+    }
+
+    pub fn bump_then_record(&self) {
+        {
+            let mut g = self.hits.lock();
+            *g += 1;
+        }
+        record_hit(); // clean: guard released first
+    }
+}
+
+fn record_hit() {
+    ftpde_obs::global().counter_add("hits", 1);
+}

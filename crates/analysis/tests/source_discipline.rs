@@ -10,7 +10,9 @@
 use std::path::{Path, PathBuf};
 
 use ftpde_analysis::diag::{Code, Report, Severity};
-use ftpde_analysis::source::{classify, lint_str, lint_workspace, FileClass};
+use ftpde_analysis::source::{
+    classify, lint_sources, lint_str, lint_workspace, FileClass, SourceFile,
+};
 
 fn fixture(name: &str) -> String {
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
@@ -103,6 +105,76 @@ fn ft207_fixture_audits_suppressions_both_ways() {
     assert_eq!(at(&r), want, "{}", r.render());
 }
 
+/// Lints one fixture through the cross-file pipeline: the FT21x
+/// concurrency passes need the call-graph analysis, which runs in
+/// [`lint_sources`], not in the single-file [`lint_str`].
+fn lint_concurrency_fixture(name: &str) -> Report {
+    let rel = "crates/engine/src/fixture.rs";
+    let files = [SourceFile { rel: rel.to_string(), class: FileClass::Lib, text: fixture(name) }];
+    let scan = lint_sources(&files);
+    scan.set.reports.into_iter().next().unwrap_or_else(|| Report::new(rel))
+}
+
+#[test]
+fn ft210_fixture_catches_the_lock_order_cycle() {
+    let r = lint_concurrency_fixture("ft210_lock_order.rs");
+    assert_eq!(at(&r), [(Code::FT210, 22)], "{}", r.render());
+    assert!(!r.is_clean(), "FT210 is an Error and must gate");
+}
+
+#[test]
+fn ft211_fixture_catches_direct_and_transitive_blocking() {
+    let r = lint_concurrency_fixture("ft211_blocking_under_lock.rs");
+    assert_eq!(at(&r), [(Code::FT211, 14), (Code::FT211, 20)], "{}", r.render());
+    // FT21x findings are column-located (the offending token).
+    assert!(r.diagnostics.iter().all(|d| d.column.is_some()), "{}", r.render());
+}
+
+#[test]
+fn ft212_fixture_catches_recv_and_join_but_not_path_join() {
+    let r = lint_concurrency_fixture("ft212_channel_under_lock.rs");
+    assert_eq!(at(&r), [(Code::FT212, 17), (Code::FT212, 26)], "{}", r.render());
+}
+
+#[test]
+fn ft213_fixture_catches_reentrant_acquisition() {
+    let r = lint_concurrency_fixture("ft213_reentrant_lock.rs");
+    assert_eq!(at(&r), [(Code::FT213, 15), (Code::FT213, 23)], "{}", r.render());
+}
+
+#[test]
+fn ft214_fixture_catches_metrics_under_lock() {
+    let r = lint_concurrency_fixture("ft214_obs_under_lock.rs");
+    assert_eq!(at(&r), [(Code::FT214, 16), (Code::FT214, 23)], "{}", r.render());
+}
+
+/// The FT204 hygiene ratchet: a committed baseline gates increases and
+/// only increases — matching or shrinking counts stay clean.
+#[test]
+fn ft204_ratchet_gates_on_increase_only() {
+    let dir = std::env::temp_dir().join("ftpde_ft204_ratchet_it");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(dir.join("crates/x/src")).unwrap();
+    std::fs::create_dir_all(dir.join("tests")).unwrap();
+    std::fs::write(dir.join("Cargo.toml"), "[workspace]\n").unwrap();
+    std::fs::write(dir.join("crates/x/src/lib.rs"), "pub fn f() -> u32 { None::<u32>.unwrap() }\n")
+        .unwrap();
+
+    std::fs::write(dir.join("tests/ft204_baseline.txt"), "0\n").unwrap();
+    let scan = lint_workspace(&dir).expect("scan");
+    assert!(!scan.is_clean(), "count 1 > baseline 0 must gate:\n{}", scan.render());
+    assert!(
+        scan.set.reports.iter().any(|r| r.subject == "tests/ft204_baseline.txt"),
+        "{}",
+        scan.render()
+    );
+
+    std::fs::write(dir.join("tests/ft204_baseline.txt"), "1\n").unwrap();
+    let scan = lint_workspace(&dir).expect("scan");
+    assert!(scan.is_clean(), "count == baseline must pass:\n{}", scan.render());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// The dogfooding gate: the workspace that ships this analyzer passes
 /// it. Any reintroduced raw primitive, clock read, unsynced rename or
 /// stale suppression — e.g. deleting a `sync` shim route — fails this
@@ -118,6 +190,21 @@ fn workspace_self_scan_is_clean() {
     );
     assert!(scan.is_clean(), "workspace has source-discipline errors:\n{}", scan.render());
     assert_eq!(0, scan.set.count(Severity::Warn), "unresolved warnings:\n{}", scan.render());
+    // The concurrency passes specifically: zero FT21x findings survive
+    // (fixed or carrying an audited `ftpde-allow`), and the lock-order
+    // graph the scan built is non-trivial — the store and the flight
+    // recorder both lock.
+    let ft21x: Vec<String> = scan
+        .set
+        .reports
+        .iter()
+        .flat_map(|r| &r.diagnostics)
+        .filter(|d| {
+            matches!(d.code, Code::FT210 | Code::FT211 | Code::FT212 | Code::FT213 | Code::FT214)
+        })
+        .map(ToString::to_string)
+        .collect();
+    assert!(ft21x.is_empty(), "unfixed concurrency findings:\n{}", ft21x.join("\n"));
 }
 
 /// A seeded violation in a scratch workspace is detected end to end via
@@ -160,6 +247,25 @@ fn design_doc_ft2xx_table_matches_registry() {
         embedded,
         generated.trim(),
         "DESIGN.md §14 table drifted from the registry — regenerate it"
+    );
+}
+
+/// DESIGN.md §16 embeds the generated FT21x table between markers; it
+/// must match the registry verbatim, same as the §14.3 table.
+#[test]
+fn design_doc_ft21x_table_matches_registry() {
+    let design = std::fs::read_to_string(workspace_root().join("DESIGN.md")).expect("DESIGN.md");
+    let begin =
+        "<!-- FT21X-TABLE BEGIN (generated: ftpde_analysis::codes::ft21x_markdown_table) -->";
+    let end = "<!-- FT21X-TABLE END -->";
+    let start = design.find(begin).expect("DESIGN.md must carry the FT21X-TABLE BEGIN marker");
+    let stop = design.find(end).expect("DESIGN.md must carry the FT21X-TABLE END marker");
+    let embedded = design[start + begin.len()..stop].trim();
+    let generated = ftpde_analysis::codes::ft21x_markdown_table();
+    assert_eq!(
+        embedded,
+        generated.trim(),
+        "DESIGN.md §16 table drifted from the registry — regenerate it"
     );
 }
 

@@ -182,23 +182,28 @@ impl FlightRecorder {
     /// thread).
     pub fn dump_now(&self, trigger: &str) -> Option<PathBuf> {
         let events = self.snapshot();
+        // Claim a sequence number and resolve the target path under the
+        // lock, then write the file *outside* it: the write is the slow
+        // part, and the claimed sequence already gives concurrent dumps
+        // distinct file names (FT211 — no blocking I/O under a guard).
         let mut st = self.dump.lock();
         st.count += 1;
         let seq = st.count;
-        let path = st.dir.as_ref().map(|d| d.join(format!("flight-{seq:04}-{trigger}.jsonl")));
-        let path = match path {
+        let target = st.dir.as_ref().map(|d| d.join(format!("flight-{seq:04}-{trigger}.jsonl")));
+        drop(st);
+        let path = match target {
             Some(p) => {
                 if export::write_file(&p, &export::to_jsonl(&events)).is_ok() {
                     Some(p)
                 } else {
-                    st.write_errors += 1;
+                    self.dump.lock().write_errors += 1;
                     None
                 }
             }
             None => None,
         };
-        st.last = Some(FlightDump { trigger: trigger.to_owned(), path: path.clone(), events });
-        drop(st);
+        self.dump.lock().last =
+            Some(FlightDump { trigger: trigger.to_owned(), path: path.clone(), events });
         #[cfg(not(loom))]
         crate::metrics::global().counter_add("obs.flight_dumps_total", 1);
         path

@@ -194,6 +194,8 @@ impl DiskBackend {
         if before != store.inner.lock().manifest.segments.len() {
             let mut inner = store.inner.lock();
             store.write_manifest(&mut inner)?;
+            drop(inner);
+            record_fsyncs(2);
         }
         Ok(store)
     }
@@ -230,8 +232,12 @@ impl DiskBackend {
     }
 
     /// Atomically persists a segment file: write `.tmp`, fsync, rename,
-    /// fsync the directory. Returns bytes written. Counts 2 fsyncs.
-    fn commit_file(&self, stats: &mut StoreStats, name: &str, bytes: &[u8]) -> u64 {
+    /// fsync the directory. Returns bytes written. Records 2 fsyncs to
+    /// the live metrics; the caller accounts them to the manifest stats
+    /// (this runs with no lock held — the payload write and its fsyncs
+    /// are the slow part of a put and must stay out of the critical
+    /// section).
+    fn commit_file(&self, name: &str, bytes: &[u8]) -> u64 {
         let tmp = self.dir.join(format!("{name}.tmp"));
         let write = || -> std::io::Result<()> {
             let mut f = OpenOptions::new().write(true).create(true).truncate(true).open(&tmp)?;
@@ -244,12 +250,14 @@ impl DiskBackend {
         // A put that cannot reach the medium is a store-level fault the
         // engine cannot re-execute around; fail fast like an allocator.
         write().unwrap_or_else(|e| panic!("store: failed to commit {name}: {e}"));
-        stats.fsyncs += 2;
         record_fsyncs(2);
         bytes.len() as u64
     }
 
-    /// Rewrites the manifest atomically. Counts 2 fsyncs.
+    /// Rewrites the manifest atomically. Counts 2 fsyncs into the
+    /// manifest stats; the caller reports them to the live metrics
+    /// *after* releasing the `inner` guard (FT214 — no `obs::global()`
+    /// under a lock).
     fn write_manifest(&self, inner: &mut DiskInner) -> std::io::Result<()> {
         let text = serde_json::to_string_pretty(&inner.manifest)
             .expect("manifest serialization is infallible");
@@ -260,7 +268,6 @@ impl DiskBackend {
         fs::rename(&tmp, self.dir.join(MANIFEST_FILE))?;
         sync_dir(&self.dir)?;
         inner.manifest.stats.fsyncs += 2;
-        record_fsyncs(2);
         Ok(())
     }
 
@@ -274,16 +281,27 @@ impl DiskBackend {
         let raw_bytes = encoded_rows_len(&rows);
         let shared = Arc::new(rows);
 
+        // Commit the segment file *before* taking the lock: the slot
+        // only becomes visible to readers once its manifest entry lands
+        // below, and the engine writes each (op, node) slot from a
+        // single worker, so the payload write + 2 fsyncs need no
+        // serialization against other slots.
+        let physical = self.commit_file(&file, &image);
+
         let mut inner = self.inner.lock();
-        // Evict whatever previously covered these slots.
+        // Evict whatever previously covered these slots. Segment file
+        // names are deterministic per slot, so the unlink must stay
+        // atomic with the manifest mutation that forgets the entry — a
+        // racing re-put of the same slot could otherwise lose the file
+        // it just committed.
         inner.manifest.segments.retain(|e| {
             let replaced = node.map_or(e.op == op, |n| e.covers(op, n));
             if replaced && e.file != file {
+                // ftpde-allow(FT211: unlinking a replaced slot must be atomic with forgetting its manifest entry — slot file names are deterministic)
                 let _ = fs::remove_file(self.dir.join(&e.file));
             }
             !replaced
         });
-        let physical = self.commit_file(&mut inner.manifest.stats, &file, &image);
         inner.manifest.segments.push(ManifestEntry {
             op,
             node,
@@ -306,26 +324,46 @@ impl DiskBackend {
         }
         let elapsed = clock::elapsed(started).as_secs_f64();
         let stats = &mut inner.manifest.stats;
+        stats.fsyncs += 2; // commit_file's segment write + rename pair
         stats.logical_rows_written += row_count * logical_copies;
         stats.logical_bytes_written += raw_bytes * logical_copies;
         stats.physical_rows_written += row_count;
         stats.physical_bytes_written += physical;
         stats.segments_committed += 1;
         stats.write_seconds += elapsed;
-        record_put(physical, elapsed);
+        // ftpde-allow(FT211: the manifest rewrite is the commit point — it must serialize with the mutation it persists)
         self.write_manifest(&mut inner)
             .unwrap_or_else(|e| panic!("store: failed to commit manifest: {e}"));
+        drop(inner);
+        record_fsyncs(2); // write_manifest's pair, reported unlocked
+        record_put(physical, elapsed);
     }
 
     /// Demotes a corrupt segment: drop the entry, delete the file, record
-    /// the corruption, persist the shrunken manifest.
-    fn demote(&self, inner: &mut DiskInner, entry: &ManifestEntry, reason: String) {
+    /// the corruption, persist the shrunken manifest. Takes the `inner`
+    /// lock itself — callers must not hold it (the caller observed the
+    /// corruption with no lock held, so the entry is re-validated here
+    /// before acting on it).
+    fn demote(&self, entry: &ManifestEntry, reason: String) {
+        let mut inner = self.inner.lock();
+        // A concurrent put may have replaced the slot (and its file)
+        // while the failed read ran; demoting the snapshot would then
+        // delete the successor's data.
+        if !inner.manifest.segments.iter().any(|e| e == entry) {
+            return;
+        }
+        // ftpde-allow(FT211: unlinking a demoted slot must be atomic with forgetting its manifest entry — slot file names are deterministic)
         let _ = fs::remove_file(self.dir.join(&entry.file));
         inner.manifest.segments.retain(|e| e.file != entry.file);
         inner.manifest.stats.corrupt_segments += 1;
-        record_corrupt_segments(1);
         inner.corruptions.push(CorruptSegment { op: entry.op, node: entry.node, reason });
-        let _ = self.write_manifest(inner);
+        // ftpde-allow(FT211: the manifest rewrite is the commit point — it must serialize with the mutation it persists)
+        let synced = self.write_manifest(&mut inner).is_ok();
+        drop(inner);
+        record_corrupt_segments(1);
+        if synced {
+            record_fsyncs(2);
+        }
     }
 }
 
@@ -356,20 +394,32 @@ impl StoreBackend for DiskBackend {
             inner.manifest.stats.rows_read += rows.len() as u64;
             inner.manifest.stats.bytes_read += bytes;
             inner.manifest.stats.read_seconds += elapsed;
+            drop(inner);
             record_get(bytes, elapsed);
             return Some(rows);
         }
         let entry = inner.manifest.segments.iter().find(|e| e.covers(op, node))?.clone();
+        drop(inner);
+        // Read and decode the segment with no lock held: committed
+        // files are immutable, and the cache insert below re-validates
+        // the entry against the manifest before publishing the rows.
         match read_entry(&self.dir, &entry) {
             Ok(rows) => {
                 let shared = Arc::new(rows);
-                match entry.node {
-                    Some(n) => {
-                        inner.cache.insert((op, n), Arc::clone(&shared));
-                    }
-                    None => {
-                        for n in 0..entry.nodes {
+                let mut inner = self.inner.lock();
+                // Only cache if the entry is still current — a
+                // concurrent put/clear may have replaced the slot while
+                // the read ran, and its rows must not be shadowed by
+                // this (now stale, but consistent-at-read-start) copy.
+                if inner.manifest.segments.iter().any(|e| e == &entry) {
+                    match entry.node {
+                        Some(n) => {
                             inner.cache.insert((op, n), Arc::clone(&shared));
+                        }
+                        None => {
+                            for n in 0..entry.nodes {
+                                inner.cache.insert((op, n), Arc::clone(&shared));
+                            }
                         }
                     }
                 }
@@ -378,11 +428,12 @@ impl StoreBackend for DiskBackend {
                 stats.rows_read += shared.len() as u64;
                 stats.bytes_read += entry.payload_bytes;
                 stats.read_seconds += elapsed;
+                drop(inner);
                 record_get(entry.payload_bytes, elapsed);
                 Some(shared)
             }
             Err(reason) => {
-                self.demote(&mut inner, &entry, reason);
+                self.demote(&entry, reason);
                 None
             }
         }
@@ -397,12 +448,18 @@ impl StoreBackend for DiskBackend {
     fn clear(&self) {
         let mut inner = self.inner.lock();
         for entry in std::mem::take(&mut inner.manifest.segments) {
+            // ftpde-allow(FT211: unlinking cleared slots must be atomic with emptying the manifest — slot file names are deterministic)
             let _ = fs::remove_file(self.dir.join(&entry.file));
         }
         inner.cache.clear();
         // Lifetime stats survive (and are re-persisted) — a coarse query
         // restart must keep the write volume it already cost.
-        let _ = self.write_manifest(&mut inner);
+        // ftpde-allow(FT211: the manifest rewrite is the commit point — it must serialize with the mutation it persists)
+        let synced = self.write_manifest(&mut inner).is_ok();
+        drop(inner);
+        if synced {
+            record_fsyncs(2);
+        }
     }
 
     fn len(&self) -> usize {

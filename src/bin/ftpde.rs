@@ -139,9 +139,9 @@ const USAGE: &str = "usage:
   ftpde dot      --query <Q1|Q3|Q5|Q1C|Q2C> --sf <N> --nodes <N> --mtbf <secs>
   ftpde obs      --trace <run.jsonl> [--format <summary|calibration|prom|json>]
   ftpde lint     --all | --query <Q1|Q3|Q5|Q1C|Q2C> | --plan <plan.json> | --source
-                 [--sf <N>] [--nodes <N>] [--mtbf <secs>] [--mttr <secs>] [--format <text|json>]
-                 [--root <dir>]
-  ftpde explain  <FT001..FT304>   (e.g. `ftpde explain FT301`)
+                 [--sf <N>] [--nodes <N>] [--mtbf <secs>] [--mttr <secs>]
+                 [--format <text|json|sarif>] [--root <dir>] [--emit-lock-graph [<dir>]]
+  ftpde explain  <FT001..FT304> | --list   (e.g. `ftpde explain FT301`)
   ftpde store    --inspect <dir> | --verify <dir> [--format <text|json>]
   ftpde check    --trace <run.jsonl|-> [--query <Q1|Q3|Q5|Q1C|Q2C>] [--config <none|all|best|ops:<csv>>]
                  [--sf <N>] [--nodes <N>] [--mtbf <secs>] [--mttr <secs>] [--format <text|json>]
@@ -437,7 +437,7 @@ fn lint_searched(validator: &PlanValidator, subject: &str, plan: &PlanDag) -> Cl
 /// artifact). Exits nonzero iff any Error-severity finding survives its
 /// suppressions.
 fn cmd_lint_source(flags: &HashMap<String, String>) -> CliResult<()> {
-    let format = get_format(flags, &["text", "json"], "text")?;
+    let format = get_format(flags, &["text", "json", "sarif"], "text")?;
     let root = match flags.get("root") {
         Some(dir) if dir != "true" => std::path::PathBuf::from(dir),
         Some(_) => return Err("lint --root needs a directory argument".into()),
@@ -451,10 +451,33 @@ fn cmd_lint_source(flags: &HashMap<String, String>) -> CliResult<()> {
     }
     let scan =
         lint_workspace(&root).map_err(|e| format!("scan of {} failed: {e}", root.display()))?;
-    if format == "json" {
-        render_report_set(&scan.set, format)?;
-    } else {
+    if let Some(dir) = flags.get("emit-lock-graph") {
+        let dir = if dir == "true" {
+            root.join("target").join("lint")
+        } else {
+            std::path::PathBuf::from(dir)
+        };
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        for (name, body) in [
+            ("lock-graph.dot", scan.lock_graph.to_dot()),
+            ("lock-graph.json", scan.lock_graph.to_json()),
+        ] {
+            let path = dir.join(name);
+            std::fs::write(&path, body)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        }
+        eprintln!(
+            "lock graph ({} lock(s), {} edge(s)) written to {}",
+            scan.lock_graph.nodes().len(),
+            scan.lock_graph.edges.len(),
+            dir.display()
+        );
+    }
+    if format == "text" {
         print!("{}", scan.render());
+    } else {
+        render_report_set(&scan.set, format)?;
     }
     if scan.is_clean() {
         Ok(())
@@ -465,9 +488,15 @@ fn cmd_lint_source(flags: &HashMap<String, String>) -> CliResult<()> {
 
 /// `ftpde explain FT###`: prints the long-form explanation of one
 /// diagnostic code from the unified registry, `rustc --explain` style.
+/// `ftpde explain --list` prints the whole registry as a
+/// severity-sorted table.
 fn cmd_explain(args: &[String]) -> CliResult<()> {
+    if args == ["--list"] {
+        print!("{}", ftpde::analysis::codes::registry_table());
+        return Ok(());
+    }
     let [name] = args else {
-        return Err("explain takes exactly one code, e.g. `ftpde explain FT201`".into());
+        return Err("explain takes exactly one code (or --list), e.g. `ftpde explain FT201`".into());
     };
     let Some(code) = ftpde::analysis::codes::parse(name) else {
         let known: Vec<&str> = Code::ALL.iter().map(|c| c.as_str()).collect();
@@ -487,7 +516,7 @@ fn cmd_lint(flags: &HashMap<String, String>) -> CliResult<()> {
     let cluster = get_cluster(&cluster_flags)?;
     let params = Scheme::cost_params(&cluster);
     let sf = get_f64(flags, "sf", Some(100.0))?;
-    let format = get_format(flags, &["text", "json"], "text")?;
+    let format = get_format(flags, &["text", "json", "sarif"], "text")?;
     let validator = PlanValidator::new(params);
     let cm = CostModel::xdb_calibrated();
 
@@ -520,13 +549,15 @@ fn cmd_lint(flags: &HashMap<String, String>) -> CliResult<()> {
     }
 }
 
-/// Renders a diagnostic report set in the shared `text`/`json` formats
-/// (`lint` and `check` both exit through here).
+/// Renders a diagnostic report set in the shared `text`/`json`/`sarif`
+/// formats (`lint` and `check` both exit through here).
 fn render_report_set(set: &ReportSet, format: &str) -> CliResult<()> {
     if format == "json" {
         let json =
             serde_json::to_string(set).map_err(|e| format!("report failed to serialize: {e:?}"))?;
         println!("{json}");
+    } else if format == "sarif" {
+        println!("{}", ftpde::analysis::sarif::to_sarif_string(set));
     } else {
         print!("{}", set.render());
     }

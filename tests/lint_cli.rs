@@ -121,6 +121,92 @@ fn lint_source_json_artifact_parses_and_carries_locations() {
     assert_eq!(d.code, Code::FT201);
     assert_eq!(d.file.as_deref(), Some("src/lib.rs"));
     assert_eq!(d.line, Some(1));
+    // Token-window findings have no column; the field is an explicit
+    // null in the artifact, never absent.
+    assert_eq!(d.column, None);
+    assert!(stdout.contains("\"column\":null"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A scratch workspace seeding the concurrency passes: blocking I/O
+/// under two live guards (FT211) plus a nested acquisition for the
+/// lock-order graph.
+fn seeded_concurrency_workspace(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(dir.join("src")).unwrap();
+    std::fs::write(dir.join("Cargo.toml"), "[package]\nname = \"seeded\"\n").unwrap();
+    std::fs::write(
+        dir.join("src/lib.rs"),
+        "pub struct S { inner: crate::sync::Mutex<u32>, log: crate::sync::Mutex<u32> }\n\
+         impl S {\n\
+             pub fn spill(&self) {\n\
+                 let g = self.inner.lock();\n\
+                 let h = self.log.lock();\n\
+                 let _ = std::fs::write(\"spill.bin\", b\"x\");\n\
+                 drop(h);\n\
+                 drop(g);\n\
+             }\n\
+         }\n",
+    )
+    .unwrap();
+    dir
+}
+
+#[test]
+fn lint_source_json_locates_concurrency_findings_with_columns() {
+    let dir = seeded_concurrency_workspace("ftpde_lint_source_seeded_ft211");
+    let out = ftpde(&["lint", "--source", "--root", dir.to_str().unwrap(), "--format", "json"]);
+    assert!(!out.status.success(), "a seeded FT211 must turn the gate red");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let set: ReportSet = serde_json::from_str(stdout.trim()).unwrap();
+    let ft211: Vec<_> =
+        set.reports.iter().flat_map(|r| &r.diagnostics).filter(|d| d.code == Code::FT211).collect();
+    assert_eq!(ft211.len(), 1, "{stdout}");
+    assert_eq!(ft211[0].line, Some(6));
+    assert!(ft211[0].column.is_some(), "FT21x findings are column-located: {stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn lint_source_sarif_artifact_carries_rules_and_locations() {
+    let dir = seeded_concurrency_workspace("ftpde_lint_source_seeded_sarif");
+    let out = ftpde(&["lint", "--source", "--root", dir.to_str().unwrap(), "--format", "sarif"]);
+    assert!(!out.status.success(), "the gate still gates in sarif format");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("\"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\""),
+        "{stdout}"
+    );
+    assert!(stdout.contains("\"version\": \"2.1.0\""), "{stdout}");
+    assert!(stdout.contains("\"ruleId\": \"FT211\""), "{stdout}");
+    assert!(stdout.contains("\"startLine\": 6"), "{stdout}");
+    assert!(stdout.contains("\"startColumn\""), "{stdout}");
+    assert!(stdout.contains("\"uri\": \"src/lib.rs\""), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn lint_source_emits_the_lock_graph_artifact() {
+    let dir = seeded_concurrency_workspace("ftpde_lint_source_seeded_lockgraph");
+    let graph_dir = dir.join("lint-artifacts");
+    let out = ftpde(&[
+        "lint",
+        "--source",
+        "--root",
+        dir.to_str().unwrap(),
+        "--emit-lock-graph",
+        graph_dir.to_str().unwrap(),
+    ]);
+    // The seeded FT211 still turns the gate red, but the artifacts land.
+    assert!(!out.status.success());
+    let dot = std::fs::read_to_string(graph_dir.join("lock-graph.dot")).expect("dot artifact");
+    assert!(dot.contains("src/lib.rs::inner"), "{dot}");
+    assert!(dot.contains("src/lib.rs::log"), "{dot}");
+    assert!(dot.contains("->"), "{dot}");
+    let json = std::fs::read_to_string(graph_dir.join("lock-graph.json")).expect("json artifact");
+    let v: serde::Value = serde_json::from_str(&json).expect("artifact parses");
+    assert_eq!(v.get("edges").and_then(serde::Value::as_array).map(<[_]>::len), Some(1));
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -243,4 +329,18 @@ fn explain_prints_registry_text_for_every_code_family() {
 
     let out = ftpde(&["explain"]);
     assert!(!out.status.success(), "explain requires a code argument");
+}
+
+#[test]
+fn explain_list_prints_the_full_registry_table() {
+    let out = ftpde(&["explain", "--list"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for code in Code::ALL {
+        assert!(stdout.contains(code.as_str()), "missing {code} in:\n{stdout}");
+    }
+    // Severity-sorted: every error row precedes every lint row.
+    let first_lint = stdout.find(" lint ").expect("registry has lint-severity codes");
+    let last_error = stdout.rfind(" error ").expect("registry has error-severity codes");
+    assert!(last_error < first_lint, "rows are not severity-sorted:\n{stdout}");
 }
